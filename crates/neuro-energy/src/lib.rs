@@ -1,0 +1,33 @@
+//! # neuro-energy — device models and analytical cost estimation
+//!
+//! The SpikeDyn paper estimates memory as `mem = (Pw + Pn) · BP` and energy
+//! as `E = E1 · N` (§III-C), where `E1` comes from GPU power measurement on
+//! three NVIDIA devices (Table I). Real GPUs are not available here, so
+//! this crate supplies the measurement side analytically:
+//!
+//! * [`gpu`] — device models of the paper's three GPUs with calibrated
+//!   per-kernel latency, elementwise throughput and average power draw.
+//!   The SNN workloads at issue run thousands of *tiny* tensor kernels per
+//!   second (≤ ~314k elements), a regime where kernel-launch overhead
+//!   dominates wall-clock; the model is therefore
+//!   `time = kernels · t_kernel + elems / throughput` and
+//!   `energy = P_avg · time`, with constants calibrated against the
+//!   paper's Table II (see `DESIGN.md` §2 for the substitution argument).
+//! * [`memory`] — the `(Pw + Pn) · BP` analytical memory model and its
+//!   validation against actually allocated simulator state (Fig. 5a).
+//! * [`energy`] — the `E = E1 · N` single-sample-extrapolation model and
+//!   its validation against full runs (Figs. 5b–5c).
+//! * [`time`] — processing-time prediction reproducing Table II.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod gpu;
+pub mod memory;
+pub mod time;
+
+pub use energy::{relative_error, EnergyEstimate};
+pub use gpu::{all_gpus, GpuSpec};
+pub use memory::{analytical_memory_bytes, BitPrecision, MemoryEstimate};
+pub use time::ProcessingTime;

@@ -1,0 +1,158 @@
+//! The paper's analytical memory model (§III-C):
+//! `mem = (Pw + Pn) · BP`, where `Pw` is the number of weights, `Pn` the
+//! number of neuron parameters, and `BP` the bit precision.
+//!
+//! Fig. 5a validates the model against "actual runs" with < 5 % error; the
+//! reproduction's equivalent of an actual run is the byte count of the
+//! buffers the simulator really allocates
+//! ([`snn_core::network::Snn::actual_memory_bytes`]), which additionally
+//! includes trace vectors and learning-rule state — hence a small,
+//! bounded, architecture-dependent error, exactly as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision used to store parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitPrecision {
+    bits: u32,
+}
+
+impl BitPrecision {
+    /// Standard IEEE-754 single precision (the paper's BindsNET default).
+    pub const FP32: BitPrecision = BitPrecision { bits: 32 };
+    /// Half precision.
+    pub const FP16: BitPrecision = BitPrecision { bits: 16 };
+    /// 8-bit fixed point (the paper's framework targets quantised
+    /// deployments; FSpiNN, the authors' companion work, uses this).
+    pub const FIXED8: BitPrecision = BitPrecision { bits: 8 };
+
+    /// Creates an arbitrary precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or not a multiple of 8.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0 && bits % 8 == 0, "bit precision must be a positive multiple of 8");
+        BitPrecision { bits }
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Width in bytes.
+    pub fn bytes(&self) -> usize {
+        (self.bits / 8) as usize
+    }
+}
+
+impl Default for BitPrecision {
+    fn default() -> Self {
+        BitPrecision::FP32
+    }
+}
+
+/// The analytical model: `mem = (Pw + Pn) · BP` in bytes.
+pub fn analytical_memory_bytes(pw: usize, pn: usize, bp: BitPrecision) -> usize {
+    (pw + pn) * bp.bytes()
+}
+
+/// An analytical estimate paired with the measured ("actual run") value,
+/// as compared in the paper's Fig. 5a.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryEstimate {
+    /// `(Pw + Pn) · BP` in bytes.
+    pub analytical_bytes: usize,
+    /// Bytes the simulator actually allocates for the model state.
+    pub actual_bytes: usize,
+}
+
+impl MemoryEstimate {
+    /// Relative error of the analytical model against the actual value,
+    /// `|analytical - actual| / actual`. The paper claims < 5 %.
+    pub fn relative_error(&self) -> f64 {
+        if self.actual_bytes == 0 {
+            return 0.0;
+        }
+        (self.analytical_bytes as f64 - self.actual_bytes as f64).abs()
+            / self.actual_bytes as f64
+    }
+
+    /// Analytical estimate in kilobytes (Fig. 5a's unit).
+    pub fn analytical_kb(&self) -> f64 {
+        self.analytical_bytes as f64 / 1024.0
+    }
+
+    /// Actual value in kilobytes.
+    pub fn actual_kb(&self) -> f64 {
+        self.actual_bytes as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_constants() {
+        assert_eq!(BitPrecision::FP32.bytes(), 4);
+        assert_eq!(BitPrecision::FP16.bytes(), 2);
+        assert_eq!(BitPrecision::FIXED8.bytes(), 1);
+        assert_eq!(BitPrecision::default(), BitPrecision::FP32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn odd_precision_rejected() {
+        let _ = BitPrecision::new(12);
+    }
+
+    #[test]
+    fn analytical_formula() {
+        // N400 on 784 inputs with direct lateral inhibition:
+        // Pw = 784·400 + 1, Pn = 400·5.
+        let pw = 784 * 400 + 1;
+        let pn = 400 * 5;
+        let bytes = analytical_memory_bytes(pw, pn, BitPrecision::FP32);
+        assert_eq!(bytes, (pw + pn) * 4);
+        // ~1.2 MiB, the order of magnitude in Fig. 4b / Fig. 5a.
+        assert!((1_000_000..2_000_000).contains(&bytes));
+    }
+
+    #[test]
+    fn quantisation_shrinks_memory_proportionally() {
+        let a = analytical_memory_bytes(1000, 100, BitPrecision::FP32);
+        let b = analytical_memory_bytes(1000, 100, BitPrecision::FIXED8);
+        assert_eq!(a, b * 4);
+    }
+
+    #[test]
+    fn relative_error_behaves() {
+        let e = MemoryEstimate {
+            analytical_bytes: 95,
+            actual_bytes: 100,
+        };
+        assert!((e.relative_error() - 0.05).abs() < 1e-12);
+        let exact = MemoryEstimate {
+            analytical_bytes: 100,
+            actual_bytes: 100,
+        };
+        assert_eq!(exact.relative_error(), 0.0);
+        let empty = MemoryEstimate {
+            analytical_bytes: 5,
+            actual_bytes: 0,
+        };
+        assert_eq!(empty.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn kb_conversions() {
+        let e = MemoryEstimate {
+            analytical_bytes: 2048,
+            actual_bytes: 1024,
+        };
+        assert!((e.analytical_kb() - 2.0).abs() < 1e-12);
+        assert!((e.actual_kb() - 1.0).abs() < 1e-12);
+    }
+}

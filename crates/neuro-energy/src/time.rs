@@ -1,0 +1,182 @@
+//! Processing-time prediction (paper Table II).
+//!
+//! Table II reports SpikeDyn's wall-clock on the full MNIST dataset —
+//! training (60 k samples) and inference (10 k samples) in hours, plus the
+//! latency of a single-image inference — for each GPU and network size.
+//! [`ProcessingTime`] reproduces those rows from metered per-sample
+//! workloads priced on a [`GpuSpec`].
+
+use serde::{Deserialize, Serialize};
+use snn_core::ops::OpCounts;
+
+use crate::gpu::GpuSpec;
+
+/// Predicted processing times for one (GPU, network size) cell of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingTime {
+    /// Full training-set wall-clock in hours.
+    pub train_h: f64,
+    /// Full test-set inference wall-clock in hours.
+    pub infer_h: f64,
+    /// Single-image inference latency in seconds.
+    pub per_image_s: f64,
+}
+
+impl ProcessingTime {
+    /// Builds the prediction from metered per-sample workloads.
+    ///
+    /// * `train_sample_ops` — ops of one training sample (with plasticity),
+    /// * `infer_sample_ops` — ops of one inference sample,
+    /// * `n_train` / `n_test` — dataset sizes (60 000 / 10 000 for MNIST).
+    pub fn from_samples(
+        gpu: &GpuSpec,
+        train_sample_ops: &OpCounts,
+        infer_sample_ops: &OpCounts,
+        n_train: u64,
+        n_test: u64,
+    ) -> Self {
+        let t_train = gpu.time_s(train_sample_ops) * n_train as f64;
+        let per_image = gpu.time_s(infer_sample_ops);
+        ProcessingTime {
+            train_h: t_train / 3600.0,
+            infer_h: per_image * n_test as f64 / 3600.0,
+            per_image_s: per_image,
+        }
+    }
+}
+
+/// The paper's Table II reference values for SpikeDyn on full MNIST,
+/// used by the harness to print paper-vs-measured comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Reference {
+    /// GPU column name.
+    pub gpu: &'static str,
+    /// Network size (number of excitatory neurons).
+    pub n_exc: usize,
+    /// Training hours reported by the paper.
+    pub train_h: f64,
+    /// Inference hours reported by the paper.
+    pub infer_h: f64,
+    /// Per-image inference seconds reported by the paper.
+    pub per_image_s: f64,
+}
+
+/// All twelve cells of Table II.
+pub fn table2_reference() -> Vec<Table2Reference> {
+    vec![
+        Table2Reference { gpu: "Jetson Nano", n_exc: 200, train_h: 35.0, infer_h: 4.7, per_image_s: 1.71 },
+        Table2Reference { gpu: "Jetson Nano", n_exc: 400, train_h: 36.3, infer_h: 4.8, per_image_s: 1.74 },
+        Table2Reference { gpu: "GTX 1080 Ti", n_exc: 200, train_h: 5.0, infer_h: 0.7, per_image_s: 0.25 },
+        Table2Reference { gpu: "GTX 1080 Ti", n_exc: 400, train_h: 5.3, infer_h: 0.7, per_image_s: 0.25 },
+        Table2Reference { gpu: "RTX 2080 Ti", n_exc: 200, train_h: 3.9, infer_h: 0.6, per_image_s: 0.2 },
+        Table2Reference { gpu: "RTX 2080 Ti", n_exc: 400, train_h: 4.1, infer_h: 0.6, per_image_s: 0.2 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A per-sample workload resembling SpikeDyn training at N200:
+    /// 1000 steps × (~12 kernels, ~170k element ops).
+    fn spikedyn_train_sample(n_exc: u64) -> OpCounts {
+        let per_step_elems = 784 * n_exc / 4 * 2 + 3000; // decay-dominated
+        OpCounts {
+            kernel_launches: 12_000,
+            weight_updates: per_step_elems * 1000,
+            ..Default::default()
+        }
+    }
+
+    fn spikedyn_infer_sample(n_exc: u64) -> OpCounts {
+        OpCounts {
+            kernel_launches: 9_000,
+            neuron_updates: n_exc * 1000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn jetson_training_lands_near_table2() {
+        let gpu = GpuSpec::jetson_nano();
+        let t = ProcessingTime::from_samples(
+            &gpu,
+            &spikedyn_train_sample(200),
+            &spikedyn_infer_sample(200),
+            60_000,
+            10_000,
+        );
+        // Table II: 35.0 h. The shape claim: same order, tens of hours.
+        assert!(
+            (20.0..60.0).contains(&t.train_h),
+            "Jetson training {:.1} h should be tens of hours",
+            t.train_h
+        );
+    }
+
+    #[test]
+    fn gpgpu_is_roughly_seven_times_faster_than_jetson() {
+        let train = spikedyn_train_sample(200);
+        let infer = spikedyn_infer_sample(200);
+        let jetson =
+            ProcessingTime::from_samples(&GpuSpec::jetson_nano(), &train, &infer, 60_000, 10_000);
+        let gtx =
+            ProcessingTime::from_samples(&GpuSpec::gtx_1080_ti(), &train, &infer, 60_000, 10_000);
+        let ratio = jetson.train_h / gtx.train_h;
+        // Table II: 35.0 / 5.0 = 7.0.
+        assert!(
+            (4.0..12.0).contains(&ratio),
+            "Jetson/GTX training ratio {ratio:.1} should be near 7"
+        );
+    }
+
+    #[test]
+    fn n400_only_slightly_slower_than_n200() {
+        // Table II: 35.0 → 36.3 h (+3.7 %) — launch-bound, barely
+        // size-dependent.
+        let gpu = GpuSpec::jetson_nano();
+        let t200 = ProcessingTime::from_samples(
+            &gpu,
+            &spikedyn_train_sample(200),
+            &spikedyn_infer_sample(200),
+            60_000,
+            10_000,
+        );
+        let t400 = ProcessingTime::from_samples(
+            &gpu,
+            &spikedyn_train_sample(400),
+            &spikedyn_infer_sample(400),
+            60_000,
+            10_000,
+        );
+        let growth = t400.train_h / t200.train_h;
+        assert!(
+            (1.0..1.25).contains(&growth),
+            "N200→N400 growth {growth:.3} should be small"
+        );
+    }
+
+    #[test]
+    fn reference_table_is_complete() {
+        let refs = table2_reference();
+        assert_eq!(refs.len(), 6);
+        assert!(refs.iter().any(|r| r.gpu == "Jetson Nano" && r.n_exc == 200 && r.train_h == 35.0));
+        // Monotonicity in the paper's own numbers: faster GPU, less time.
+        let jet = refs.iter().find(|r| r.gpu == "Jetson Nano" && r.n_exc == 400).unwrap();
+        let rtx = refs.iter().find(|r| r.gpu == "RTX 2080 Ti" && r.n_exc == 400).unwrap();
+        assert!(jet.train_h > rtx.train_h);
+    }
+
+    #[test]
+    fn inference_hours_consistent_with_per_image() {
+        let gpu = GpuSpec::rtx_2080_ti();
+        let t = ProcessingTime::from_samples(
+            &gpu,
+            &spikedyn_train_sample(200),
+            &spikedyn_infer_sample(200),
+            60_000,
+            10_000,
+        );
+        assert!((t.infer_h - t.per_image_s * 10_000.0 / 3600.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,346 @@
+//! ASP — Adaptive Synaptic Plasticity (Panda et al., IEEE JETCAS 2018),
+//! the paper's state-of-the-art comparison partner \[7\].
+//!
+//! ASP augments baseline STDP with *learning to forget*: every synaptic
+//! weight leaks exponentially toward zero, and the leak rate of each
+//! neuron's synapses is modulated by how significant (recently and
+//! strongly active) that neuron's memory is. Stale memories fade, freeing
+//! synapses for new tasks — which is why ASP beats the baseline in dynamic
+//! environments (paper Fig. 1(c)) — but the price is:
+//!
+//! * a per-neuron significance trace (one more state vector),
+//! * a **fresh exponential evaluation per neuron per step** for the
+//!   modulated leak factor (it depends on the neuron's running activity,
+//!   so it cannot be precomputed), and
+//! * a per-synapse multiply every step to apply the leak.
+//!
+//! These are exactly the "large number of weights and neuron parameters"
+//! and "complex exponential calculations" the paper charges ASP for in
+//! §I-A, and the op counters here make that cost measurable.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use snn_core::network::{Snn, SnnConfig};
+use snn_core::sim::{Plasticity, PlasticityCtx};
+use snn_core::stdp::PairStdp;
+
+/// ASP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AspConfig {
+    /// The underlying pair-STDP rule (same shape as the baseline's).
+    pub stdp: PairStdp,
+    /// Base weight-leak time constant in ms: with no protective activity a
+    /// weight decays as `exp(-t / tau_leak_ms)`.
+    pub tau_leak_ms: f32,
+    /// Decay time constant of the per-neuron significance trace, ms.
+    pub tau_activity_ms: f32,
+    /// Significance added to a neuron's trace per postsynaptic spike.
+    pub activity_boost: f32,
+    /// How strongly significance slows the leak: the effective time
+    /// constant is `tau_leak_ms · (1 + leak_mod · activity)`.
+    pub leak_mod: f32,
+    /// Per-row normalisation target after each sample (`None` disables).
+    pub norm_target: Option<f32>,
+}
+
+impl AspConfig {
+    /// Defaults for a given input size at the paper's timescale
+    /// (6000 samples per task). The leak constant makes unprotected
+    /// weights fade over a fraction of a task — the regime in which ASP
+    /// forgets old tasks gracefully.
+    pub fn for_input(n_input: usize) -> Self {
+        AspConfig {
+            stdp: PairStdp::default(),
+            tau_leak_ms: 2.5e6,
+            tau_activity_ms: 3.0e5,
+            activity_boost: 1.0,
+            leak_mod: 16.0,
+            norm_target: Some(n_input as f32 * 0.1),
+        }
+    }
+
+    /// Rescales the time constants for a temporally compressed experiment
+    /// (`compression` = paper samples-per-task / harness samples-per-task).
+    /// Compressed runs present far fewer samples, so forgetting and
+    /// significance dynamics must run proportionally faster to land in
+    /// the same regime. See `DESIGN.md` §2 (scale substitution).
+    pub fn compressed(mut self, compression: f32) -> Self {
+        let c = compression.max(1.0);
+        self.tau_leak_ms /= c;
+        self.tau_activity_ms /= c;
+        self
+    }
+}
+
+/// The ASP learning rule.
+#[derive(Debug, Clone)]
+pub struct AspPlasticity {
+    cfg: AspConfig,
+    /// Per-neuron significance traces (the "memory importance" state).
+    activity: Vec<f32>,
+}
+
+impl AspPlasticity {
+    /// Creates the rule for `n_exc` excitatory neurons.
+    pub fn new(cfg: AspConfig, n_exc: usize) -> Self {
+        AspPlasticity {
+            cfg,
+            activity: vec![0.0; n_exc],
+        }
+    }
+
+    /// The rule's configuration.
+    pub fn config(&self) -> &AspConfig {
+        &self.cfg
+    }
+
+    /// Current per-neuron significance traces.
+    pub fn activity(&self) -> &[f32] {
+        &self.activity
+    }
+}
+
+impl Plasticity for AspPlasticity {
+    fn name(&self) -> &'static str {
+        "asp"
+    }
+
+    fn begin_sample(&mut self, n_exc: usize, _n_input: usize) {
+        if self.activity.len() != n_exc {
+            self.activity = vec![0.0; n_exc];
+        }
+    }
+
+    fn on_step(&mut self, ctx: &mut PlasticityCtx<'_>) {
+        let n_exc = ctx.exc_spiked.len();
+        // --- STDP events (identical mechanics to the baseline) ---
+        if !ctx.input_spikes.is_empty() {
+            for &k in ctx.input_spikes {
+                self.cfg
+                    .stdp
+                    .apply_pre_spike(ctx.weights, ctx.traces, k as usize, ctx.ops);
+            }
+            ctx.ops.kernel_launches += 1;
+        }
+        let mut any_post = false;
+        for (j, &spiked) in ctx.exc_spiked.iter().enumerate() {
+            if spiked {
+                self.cfg
+                    .stdp
+                    .apply_post_spike(ctx.weights, ctx.traces, j, ctx.ops);
+                any_post = true;
+            }
+        }
+        if any_post {
+            ctx.ops.kernel_launches += 1;
+        }
+
+        // --- significance trace update ---
+        let act_factor = (-ctx.dt_ms / self.cfg.tau_activity_ms).exp();
+        for (j, a) in self.activity.iter_mut().enumerate() {
+            *a *= act_factor;
+            if ctx.exc_spiked[j] {
+                *a += self.cfg.activity_boost;
+            }
+        }
+        ctx.ops.decay_mults += n_exc as u64;
+        ctx.ops.kernel_launches += 1;
+
+        // --- activity-modulated weight leak (the "forgetting") ---
+        // The per-neuron leak factor depends on the running activity, so a
+        // fresh exp() per neuron per step is unavoidable — ASP's hallmark
+        // energy cost.
+        for j in 0..n_exc {
+            let tau_eff = self.cfg.tau_leak_ms * (1.0 + self.cfg.leak_mod * self.activity[j]);
+            let factor = (-ctx.dt_ms / tau_eff).exp();
+            for w in ctx.weights.row_mut(j) {
+                *w *= factor;
+            }
+        }
+        ctx.ops.exp_evals += n_exc as u64;
+        ctx.ops.weight_updates += ctx.weights.len() as u64;
+        ctx.ops.kernel_launches += 2; // exp-factor kernel + row-scale kernel
+    }
+
+    fn end_sample(&mut self, ctx: &mut PlasticityCtx<'_>) {
+        if let Some(target) = self.cfg.norm_target {
+            ctx.weights.normalize_rows(target, ctx.ops);
+        }
+    }
+}
+
+/// Builds the ASP network — the same explicit-inhibitory-layer
+/// architecture as the baseline (ASP changes the learning rule, not the
+/// topology).
+pub fn asp_network<R: Rng + ?Sized>(n_input: usize, n_exc: usize, rng: &mut R) -> Snn {
+    Snn::new(SnnConfig::with_inhibitory_layer(n_input, n_exc), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::config::PresentConfig;
+    use snn_core::ops::OpCounts;
+    use snn_core::rng::seeded_rng;
+    use snn_core::sim::run_sample;
+
+    #[test]
+    fn idle_weights_leak_away() {
+        let mut net = asp_network(16, 4, &mut seeded_rng(1));
+        let mut cfg = AspConfig::for_input(16);
+        cfg.norm_target = None; // watch the raw leak
+        cfg.tau_leak_ms = 500.0; // fast, so the test sees it
+        let mut rule = AspPlasticity::new(cfg, 4);
+        let mean_before = net.weights.mean();
+        let mut ops = OpCounts::default();
+        for _ in 0..5 {
+            run_sample(
+                &mut net,
+                &vec![0.0; 16], // silence: no STDP, only leak
+                &PresentConfig::fast(),
+                Some(&mut rule),
+                &mut seeded_rng(2),
+                &mut ops,
+            );
+        }
+        let mean_after = net.weights.mean();
+        assert!(
+            mean_after < mean_before * 0.5,
+            "idle weights must leak: {mean_before} -> {mean_after}"
+        );
+    }
+
+    #[test]
+    fn activity_protects_weights() {
+        // Two identical networks; in one, neuron 0 is marked highly active.
+        // After the same silent interval, the active neuron's row must
+        // retain more weight.
+        let make = || {
+            let mut net = asp_network(8, 2, &mut seeded_rng(3));
+            for j in 0..2 {
+                for k in 0..8 {
+                    net.weights.set(j, k, 0.5);
+                }
+            }
+            net
+        };
+        let mut cfg = AspConfig::for_input(8);
+        cfg.norm_target = None;
+        cfg.tau_leak_ms = 300.0;
+        cfg.tau_activity_ms = 1.0e9; // effectively no activity decay
+        let mut protected = AspPlasticity::new(cfg, 2);
+        protected.activity[0] = 50.0;
+        let mut unprotected = AspPlasticity::new(cfg, 2);
+
+        let mut net_a = make();
+        let mut net_b = make();
+        let mut ops = OpCounts::default();
+        let quiet = vec![0.0; 8];
+        run_sample(
+            &mut net_a,
+            &quiet,
+            &PresentConfig::fast(),
+            Some(&mut protected),
+            &mut seeded_rng(4),
+            &mut ops,
+        );
+        run_sample(
+            &mut net_b,
+            &quiet,
+            &PresentConfig::fast(),
+            Some(&mut unprotected),
+            &mut seeded_rng(4),
+            &mut ops,
+        );
+        assert!(
+            net_a.weights.row_sum(0) > net_b.weights.row_sum(0) * 1.2,
+            "active neuron's weights must be protected: {} vs {}",
+            net_a.weights.row_sum(0),
+            net_b.weights.row_sum(0)
+        );
+        // The unprotected rows leak identically in both networks.
+        assert!((net_a.weights.row_sum(1) - net_b.weights.row_sum(1)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn asp_costs_more_exponentials_than_baseline() {
+        use crate::diehl_cook::{DiehlCookConfig, DiehlCookStdp};
+        let run = |use_asp: bool| -> OpCounts {
+            let mut net = asp_network(16, 4, &mut seeded_rng(5));
+            let mut ops = OpCounts::default();
+            let rates = vec![100.0; 16];
+            if use_asp {
+                let mut rule = AspPlasticity::new(AspConfig::for_input(16), 4);
+                run_sample(
+                    &mut net,
+                    &rates,
+                    &PresentConfig::fast(),
+                    Some(&mut rule),
+                    &mut seeded_rng(6),
+                    &mut ops,
+                );
+            } else {
+                let mut rule = DiehlCookStdp::new(DiehlCookConfig::for_input(16));
+                run_sample(
+                    &mut net,
+                    &rates,
+                    &PresentConfig::fast(),
+                    Some(&mut rule),
+                    &mut seeded_rng(6),
+                    &mut ops,
+                );
+            }
+            ops
+        };
+        let asp_ops = run(true);
+        let base_ops = run(false);
+        assert!(
+            asp_ops.exp_evals > base_ops.exp_evals,
+            "ASP must pay fresh exponentials"
+        );
+        assert!(
+            asp_ops.weight_updates > base_ops.weight_updates,
+            "ASP leak touches every synapse every step"
+        );
+        assert!(asp_ops.kernel_launches > base_ops.kernel_launches);
+    }
+
+    #[test]
+    fn significance_trace_decays_and_bumps() {
+        let mut net = asp_network(8, 2, &mut seeded_rng(7));
+        for j in 0..2 {
+            for k in 0..8 {
+                net.weights.set(j, k, 0.9);
+            }
+        }
+        let mut cfg = AspConfig::for_input(8);
+        cfg.norm_target = None;
+        let mut rule = AspPlasticity::new(cfg, 2);
+        let mut ops = OpCounts::default();
+        run_sample(
+            &mut net,
+            &vec![300.0; 8],
+            &PresentConfig::fast(),
+            Some(&mut rule),
+            &mut seeded_rng(8),
+            &mut ops,
+        );
+        assert!(
+            rule.activity().iter().any(|&a| a > 0.0),
+            "driving the network must raise significance"
+        );
+    }
+
+    #[test]
+    fn begin_sample_resizes_state() {
+        let mut rule = AspPlasticity::new(AspConfig::for_input(8), 2);
+        rule.begin_sample(16, 8);
+        assert_eq!(rule.activity().len(), 16);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let rule = AspPlasticity::new(AspConfig::for_input(8), 2);
+        assert_eq!(rule.name(), "asp");
+    }
+}

@@ -1,0 +1,27 @@
+//! # snn-baselines — the SpikeDyn paper's comparison partners
+//!
+//! The paper compares against two prior systems (§IV):
+//!
+//! * [`diehl_cook`] — the **baseline** \[2\]: Diehl & Cook's unsupervised
+//!   MNIST network. Input → excitatory → inhibitory architecture, pair
+//!   STDP applied on *every* spike event, per-row weight normalisation,
+//!   adaptive thresholds. No mechanism for dynamic task changes.
+//! * [`asp`] — the **state of the art** \[7\]: Adaptive Synaptic
+//!   Plasticity (Panda et al., IEEE JETCAS 2018), "learning to forget":
+//!   baseline STDP plus an activity-modulated exponential weight leak that
+//!   gradually frees synapses holding stale information, at the cost of
+//!   extra spike traces and per-step exponential computations — the energy
+//!   overhead the paper's Fig. 1(b) measures.
+//!
+//! Both rules implement [`snn_core::sim::Plasticity`] and run on the same
+//! engine as SpikeDyn, so accuracy and op-count comparisons isolate the
+//! learning-rule and architecture differences.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asp;
+pub mod diehl_cook;
+
+pub use asp::{AspConfig, AspPlasticity};
+pub use diehl_cook::{baseline_network, DiehlCookConfig, DiehlCookStdp};

@@ -1,0 +1,313 @@
+//! Spike encoding schemes.
+//!
+//! The paper's §II surveys rate, temporal, rank-order, phase and burst
+//! coding and picks **rate coding** ("it has demonstrated high accuracy in
+//! unsupervised SNNs"): each pixel becomes a Poisson spike train whose rate
+//! is proportional to intensity. [`PoissonEncoder`] implements that; the
+//! other cited schemes are provided as deterministic [`SpikeTrain`]
+//! generators so downstream users can swap coding strategies and so the
+//! benchmark suite can compare encoder costs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ops::OpCounts;
+use crate::spikes::SpikeTrain;
+
+/// Poisson rate coding: intensity `x ∈ [0, 1]` maps to rate `x · max_rate`.
+///
+/// Diehl & Cook scale MNIST's 0–255 pixels to a maximum of 63.75 Hz
+/// (intensity / 4); the same convention is used here on normalised
+/// intensities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonEncoder {
+    max_rate_hz: f32,
+}
+
+impl PoissonEncoder {
+    /// Creates an encoder with the given full-intensity rate.
+    pub fn new(max_rate_hz: f32) -> Self {
+        PoissonEncoder { max_rate_hz }
+    }
+
+    /// The rate assigned to a full-intensity pixel.
+    pub fn max_rate_hz(&self) -> f32 {
+        self.max_rate_hz
+    }
+
+    /// Converts normalised intensities to per-channel rates in Hz.
+    pub fn rates_hz(&self, intensities: &[f32]) -> Vec<f32> {
+        intensities
+            .iter()
+            .map(|&x| x.clamp(0.0, 1.0) * self.max_rate_hz)
+            .collect()
+    }
+
+    /// Samples which channels spike in one timestep of `dt_ms`, appending
+    /// spiking channel indices to `out`.
+    ///
+    /// A channel with rate `r` Hz spikes with probability `r · dt` per step
+    /// (the Bernoulli approximation of a Poisson process, exact in the
+    /// `dt → 0` limit the simulator operates in).
+    pub fn sample_step<R: Rng + ?Sized>(
+        rates_hz: &[f32],
+        dt_ms: f32,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+        ops: &mut OpCounts,
+    ) {
+        out.clear();
+        let dt_s = dt_ms / 1000.0;
+        for (k, &r) in rates_hz.iter().enumerate() {
+            if r > 0.0 && rng.gen::<f32>() < r * dt_s {
+                out.push(k as u32);
+            }
+        }
+        ops.encode_ops += rates_hz.len() as u64;
+        ops.kernel_launches += 1; // one Bernoulli-mask kernel per step
+    }
+}
+
+impl Default for PoissonEncoder {
+    /// The MNIST convention: 63.75 Hz at full intensity.
+    fn default() -> Self {
+        PoissonEncoder::new(63.75)
+    }
+}
+
+/// Time-to-first-spike (temporal) coding: each channel emits exactly one
+/// spike, earlier for higher intensity. A zero-intensity channel stays
+/// silent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TtfsEncoder {
+    /// Horizon (in steps) into which intensities are mapped.
+    pub n_steps: u32,
+}
+
+impl TtfsEncoder {
+    /// Creates an encoder that spreads first-spike times over `n_steps`.
+    pub fn new(n_steps: u32) -> Self {
+        TtfsEncoder { n_steps }
+    }
+
+    /// Encodes intensities into a deterministic spike train.
+    pub fn encode(&self, intensities: &[f32], ops: &mut OpCounts) -> SpikeTrain {
+        let mut train = SpikeTrain::new(intensities.len());
+        for (c, &x) in intensities.iter().enumerate() {
+            let x = x.clamp(0.0, 1.0);
+            if x > 0.0 {
+                // Brighter pixels fire earlier: t = (1 - x) · (n_steps - 1).
+                let t = ((1.0 - x) * (self.n_steps.saturating_sub(1)) as f32).round() as u32;
+                train.push(c, t);
+            }
+        }
+        ops.encode_ops += intensities.len() as u64;
+        train
+    }
+}
+
+/// Rank-order coding: channels fire once, ordered by descending intensity,
+/// one per step starting at step 0. Carries only the intensity *ranking*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankOrderEncoder;
+
+impl RankOrderEncoder {
+    /// Encodes intensities into a one-spike-per-step rank train. Channels
+    /// with zero intensity are silent.
+    pub fn encode(&self, intensities: &[f32], ops: &mut OpCounts) -> SpikeTrain {
+        let mut order: Vec<usize> = (0..intensities.len())
+            .filter(|&c| intensities[c] > 0.0)
+            .collect();
+        order.sort_by(|&a, &b| {
+            intensities[b]
+                .partial_cmp(&intensities[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut train = SpikeTrain::new(intensities.len());
+        for (rank, &c) in order.iter().enumerate() {
+            train.push(c, rank as u32);
+        }
+        ops.encode_ops += (intensities.len() as f64 * (intensities.len() as f64).log2().max(1.0))
+            as u64; // sorting cost
+        train
+    }
+}
+
+/// Phase coding: each channel fires periodically with a phase offset
+/// proportional to intensity (brighter → earlier phase within each cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseEncoder {
+    /// Cycle length in steps.
+    pub period_steps: u32,
+    /// Number of cycles to emit.
+    pub n_cycles: u32,
+}
+
+impl PhaseEncoder {
+    /// Creates a phase encoder with the given period and cycle count.
+    pub fn new(period_steps: u32, n_cycles: u32) -> Self {
+        PhaseEncoder {
+            period_steps,
+            n_cycles,
+        }
+    }
+
+    /// Encodes intensities into a periodic phase-offset train.
+    pub fn encode(&self, intensities: &[f32], ops: &mut OpCounts) -> SpikeTrain {
+        let mut train = SpikeTrain::new(intensities.len());
+        for (c, &x) in intensities.iter().enumerate() {
+            let x = x.clamp(0.0, 1.0);
+            if x == 0.0 {
+                continue;
+            }
+            let phase = ((1.0 - x) * (self.period_steps.saturating_sub(1)) as f32).round() as u32;
+            for cycle in 0..self.n_cycles {
+                train.push(c, cycle * self.period_steps + phase);
+            }
+        }
+        ops.encode_ops += (intensities.len() as u64) * u64::from(self.n_cycles);
+        train
+    }
+}
+
+/// Burst coding: intensity maps to the *number* of spikes in a short burst
+/// with fixed inter-spike interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstEncoder {
+    /// Maximum burst length (spikes) at full intensity.
+    pub max_spikes: u32,
+    /// Inter-spike interval inside a burst, in steps.
+    pub isi_steps: u32,
+}
+
+impl BurstEncoder {
+    /// Creates a burst encoder.
+    pub fn new(max_spikes: u32, isi_steps: u32) -> Self {
+        BurstEncoder {
+            max_spikes,
+            isi_steps: isi_steps.max(1),
+        }
+    }
+
+    /// Encodes intensities into bursts starting at step 0.
+    pub fn encode(&self, intensities: &[f32], ops: &mut OpCounts) -> SpikeTrain {
+        let mut train = SpikeTrain::new(intensities.len());
+        for (c, &x) in intensities.iter().enumerate() {
+            let x = x.clamp(0.0, 1.0);
+            let n = (x * self.max_spikes as f32).round() as u32;
+            for i in 0..n {
+                train.push(c, i * self.isi_steps);
+            }
+        }
+        ops.encode_ops += intensities.len() as u64;
+        train
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn poisson_rates_scale_linearly() {
+        let e = PoissonEncoder::new(100.0);
+        let rates = e.rates_hz(&[0.0, 0.5, 1.0, 2.0]);
+        assert_eq!(rates, vec![0.0, 50.0, 100.0, 100.0]); // clamped at 1.0
+    }
+
+    #[test]
+    fn poisson_sampling_matches_expected_rate() {
+        let e = PoissonEncoder::new(100.0);
+        let rates = e.rates_hz(&[1.0]);
+        let mut rng = seeded_rng(11);
+        let mut out = Vec::new();
+        let mut ops = OpCounts::default();
+        let mut spikes = 0usize;
+        let steps = 20_000;
+        for _ in 0..steps {
+            PoissonEncoder::sample_step(&rates, 1.0, &mut rng, &mut out, &mut ops);
+            spikes += out.len();
+        }
+        // Expected 100 Hz × 20 s = 2000 spikes; allow 10 % statistical slack.
+        let expected = 2000.0;
+        assert!(
+            (spikes as f32 - expected).abs() < expected * 0.1,
+            "got {spikes} spikes, expected ≈{expected}"
+        );
+        assert_eq!(ops.encode_ops, steps);
+    }
+
+    #[test]
+    fn poisson_zero_rate_never_spikes() {
+        let rates = vec![0.0; 10];
+        let mut rng = seeded_rng(5);
+        let mut out = Vec::new();
+        let mut ops = OpCounts::default();
+        for _ in 0..1000 {
+            PoissonEncoder::sample_step(&rates, 1.0, &mut rng, &mut out, &mut ops);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn ttfs_brighter_fires_earlier() {
+        let e = TtfsEncoder::new(100);
+        let mut ops = OpCounts::default();
+        let train = e.encode(&[1.0, 0.5, 0.1, 0.0], &mut ops);
+        let t_bright = train.channel(0)[0];
+        let t_mid = train.channel(1)[0];
+        let t_dim = train.channel(2)[0];
+        assert!(t_bright < t_mid && t_mid < t_dim);
+        assert!(train.channel(3).is_empty(), "zero intensity is silent");
+        assert_eq!(train.channel(0).len(), 1, "exactly one spike per channel");
+    }
+
+    #[test]
+    fn rank_order_is_a_permutation_of_active_channels() {
+        let e = RankOrderEncoder;
+        let mut ops = OpCounts::default();
+        let train = e.encode(&[0.2, 0.9, 0.0, 0.5], &mut ops);
+        // Channel 1 (0.9) first, then 3 (0.5), then 0 (0.2); channel 2 silent.
+        assert_eq!(train.channel(1), &[0]);
+        assert_eq!(train.channel(3), &[1]);
+        assert_eq!(train.channel(0), &[2]);
+        assert!(train.channel(2).is_empty());
+    }
+
+    #[test]
+    fn rank_order_ties_break_by_index() {
+        let e = RankOrderEncoder;
+        let mut ops = OpCounts::default();
+        let train = e.encode(&[0.5, 0.5], &mut ops);
+        assert_eq!(train.channel(0), &[0]);
+        assert_eq!(train.channel(1), &[1]);
+    }
+
+    #[test]
+    fn phase_encoder_repeats_each_cycle() {
+        let e = PhaseEncoder::new(10, 3);
+        let mut ops = OpCounts::default();
+        let train = e.encode(&[1.0], &mut ops);
+        assert_eq!(train.channel(0), &[0, 10, 20]);
+    }
+
+    #[test]
+    fn burst_count_scales_with_intensity() {
+        let e = BurstEncoder::new(4, 2);
+        let mut ops = OpCounts::default();
+        let train = e.encode(&[1.0, 0.5, 0.0], &mut ops);
+        assert_eq!(train.channel(0), &[0, 2, 4, 6]);
+        assert_eq!(train.channel(1), &[0, 2]);
+        assert!(train.channel(2).is_empty());
+    }
+
+    #[test]
+    fn burst_isi_zero_is_promoted_to_one() {
+        let e = BurstEncoder::new(2, 0);
+        let mut ops = OpCounts::default();
+        let train = e.encode(&[1.0], &mut ops);
+        assert_eq!(train.channel(0), &[0, 1]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types shared across the simulator.
+
+use std::fmt;
+
+/// Result alias used by fallible `snn-core` APIs.
+pub type SnnResult<T> = Result<T, SnnError>;
+
+/// Errors produced while building or running a spiking network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// A dimension did not match what the network expects
+    /// (e.g. an input vector shorter than the input layer).
+    DimensionMismatch {
+        /// What the API expected.
+        expected: usize,
+        /// What the caller provided.
+        got: usize,
+        /// Human-readable description of the mismatching quantity.
+        what: &'static str,
+    },
+    /// A parameter was outside its valid domain (e.g. a non-positive time
+    /// constant).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A network was asked to do something its topology does not support.
+    UnsupportedTopology(String),
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, got {got}"
+            ),
+            SnnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SnnError::UnsupportedTopology(msg) => write!(f, "unsupported topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = SnnError::DimensionMismatch {
+            expected: 784,
+            got: 10,
+            what: "input image",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("784"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains("input image"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnnError>();
+    }
+
+    #[test]
+    fn invalid_parameter_display() {
+        let err = SnnError::InvalidParameter {
+            name: "tau_m_ms",
+            reason: "must be positive".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "invalid parameter `tau_m_ms`: must be positive"
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! Evaluation metrics for unsupervised SNN classification.
+//!
+//! The protocol follows Diehl & Cook, which the paper inherits: after
+//! (or during) unsupervised training, each excitatory neuron is assigned
+//! the class for which it fired most over a labelled assignment set; a test
+//! sample is then predicted as the class whose assigned neurons fired most
+//! (averaged per neuron). [`ConfusionMatrix`] reproduces the analysis of
+//! the paper's Fig. 10.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps each excitatory neuron to the class it responds to most.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassAssignment {
+    n_classes: usize,
+    /// `assigned[j]` is the class of neuron `j`, `None` if it never fired.
+    assigned: Vec<Option<u8>>,
+}
+
+impl ClassAssignment {
+    /// Builds an assignment from labelled responses.
+    ///
+    /// `responses` yields `(label, spike_counts)` pairs — one per
+    /// assignment sample — where `spike_counts[j]` is how often neuron `j`
+    /// fired for that sample. A neuron is assigned the class with the
+    /// highest *per-sample average* response, which prevents classes with
+    /// more assignment samples from monopolising neurons.
+    pub fn from_responses<'a, I>(n_neurons: usize, n_classes: usize, responses: I) -> Self
+    where
+        I: IntoIterator<Item = (u8, &'a [u32])>,
+    {
+        let mut sums = vec![0.0f64; n_neurons * n_classes];
+        let mut class_samples = vec![0u64; n_classes];
+        for (label, counts) in responses {
+            let c = label as usize;
+            assert!(c < n_classes, "label {label} out of range");
+            assert_eq!(counts.len(), n_neurons, "response length mismatch");
+            class_samples[c] += 1;
+            for (j, &cnt) in counts.iter().enumerate() {
+                sums[j * n_classes + c] += f64::from(cnt);
+            }
+        }
+        let assigned = (0..n_neurons)
+            .map(|j| {
+                let mut best: Option<(u8, f64)> = None;
+                for c in 0..n_classes {
+                    if class_samples[c] == 0 {
+                        continue;
+                    }
+                    let avg = sums[j * n_classes + c] / class_samples[c] as f64;
+                    if avg > 0.0 && best.map_or(true, |(_, b)| avg > b) {
+                        best = Some((c as u8, avg));
+                    }
+                }
+                best.map(|(c, _)| c)
+            })
+            .collect();
+        ClassAssignment {
+            n_classes,
+            assigned,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The per-neuron assignments.
+    pub fn assignments(&self) -> &[Option<u8>] {
+        &self.assigned
+    }
+
+    /// Number of neurons assigned to `class`.
+    pub fn neurons_for(&self, class: u8) -> usize {
+        self.assigned
+            .iter()
+            .filter(|&&a| a == Some(class))
+            .count()
+    }
+
+    /// Predicts the class of a test response: the class whose assigned
+    /// neurons have the highest mean spike count. Returns `None` when no
+    /// neuron fired or no neuron is assigned.
+    pub fn predict(&self, counts: &[u32]) -> Option<u8> {
+        assert_eq!(counts.len(), self.assigned.len());
+        let mut sum = vec![0u64; self.n_classes];
+        let mut n = vec![0u32; self.n_classes];
+        for (j, &a) in self.assigned.iter().enumerate() {
+            if let Some(c) = a {
+                sum[c as usize] += u64::from(counts[j]);
+                n[c as usize] += 1;
+            }
+        }
+        let mut best: Option<(u8, f64)> = None;
+        for c in 0..self.n_classes {
+            if n[c] == 0 {
+                continue;
+            }
+            let avg = sum[c] as f64 / f64::from(n[c]);
+            if avg > 0.0 && best.map_or(true, |(_, b)| avg > b) {
+                best = Some((c as u8, avg));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+/// A square confusion matrix over `n_classes` classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>, // row-major [target][predicted]
+    unclassified: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new(n_classes: usize) -> Self {
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+            unclassified: vec![0; n_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records one prediction; `None` means the network stayed silent.
+    pub fn add(&mut self, target: u8, predicted: Option<u8>) {
+        match predicted {
+            Some(p) => {
+                self.counts[target as usize * self.n_classes + p as usize] += 1;
+            }
+            None => self.unclassified[target as usize] += 1,
+        }
+    }
+
+    /// Count in cell `(target, predicted)`.
+    pub fn get(&self, target: u8, predicted: u8) -> u64 {
+        self.counts[target as usize * self.n_classes + predicted as usize]
+    }
+
+    /// Samples of `target` that produced no prediction.
+    pub fn unclassified(&self, target: u8) -> u64 {
+        self.unclassified[target as usize]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.unclassified.iter().sum::<u64>()
+    }
+
+    /// Overall accuracy in `[0, 1]`; unclassified samples count as wrong.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|c| self.get(c as u8, c as u8)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class accuracy (recall); `None` for classes with no samples.
+    pub fn per_class_accuracy(&self) -> Vec<Option<f64>> {
+        (0..self.n_classes)
+            .map(|c| {
+                let row: u64 = (0..self.n_classes)
+                    .map(|p| self.get(c as u8, p as u8))
+                    .sum::<u64>()
+                    + self.unclassified[c];
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.get(c as u8, c as u8) as f64 / row as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// The most confused (off-diagonal) cell: `(target, predicted, count)`.
+    /// This is how the paper's Fig. 10 analysis identifies the 4→9 mix-up.
+    pub fn worst_confusion(&self) -> Option<(u8, u8, u64)> {
+        let mut worst = None;
+        for t in 0..self.n_classes {
+            for p in 0..self.n_classes {
+                if t == p {
+                    continue;
+                }
+                let c = self.get(t as u8, p as u8);
+                if c > 0 && worst.map_or(true, |(_, _, w)| c > w) {
+                    worst = Some((t as u8, p as u8, c));
+                }
+            }
+        }
+        worst
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.unclassified.iter_mut().zip(&other.unclassified) {
+            *a += b;
+        }
+    }
+
+    /// Renders the matrix as an aligned text table (targets as rows).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("tgt\\pred");
+        for p in 0..self.n_classes {
+            out.push_str(&format!("{p:>6}"));
+        }
+        out.push_str("   none\n");
+        for t in 0..self.n_classes {
+            out.push_str(&format!("{t:>8}"));
+            for p in 0..self.n_classes {
+                out.push_str(&format!("{:>6}", self.get(t as u8, p as u8)));
+            }
+            out.push_str(&format!("{:>7}\n", self.unclassified[t]));
+        }
+        out
+    }
+}
+
+/// Accuracy over an already-labelled set of `(target, predicted)` pairs.
+/// Convenience for quick checks; `None` predictions count as wrong.
+pub fn accuracy(pairs: &[(u8, Option<u8>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let correct = pairs
+        .iter()
+        .filter(|(t, p)| Some(*t) == *p)
+        .count();
+    correct as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_picks_strongest_class() {
+        // Neuron 0 responds to class 0, neuron 1 to class 1, neuron 2 silent.
+        let r0: &[u32] = &[10, 1, 0];
+        let r1: &[u32] = &[2, 8, 0];
+        let a = ClassAssignment::from_responses(3, 2, vec![(0u8, r0), (1u8, r1)]);
+        assert_eq!(a.assignments(), &[Some(0), Some(1), None]);
+        assert_eq!(a.neurons_for(0), 1);
+    }
+
+    #[test]
+    fn assignment_normalises_by_class_frequency() {
+        // Class 0 has 4 samples each eliciting 3 spikes from neuron 0;
+        // class 1 has 1 sample eliciting 5 spikes. Average: class 1 wins
+        // (5 > 3) even though the total favours class 0 (12 > 5).
+        let weak: &[u32] = &[3];
+        let strong: &[u32] = &[5];
+        let responses = vec![
+            (0u8, weak),
+            (0u8, weak),
+            (0u8, weak),
+            (0u8, weak),
+            (1u8, strong),
+        ];
+        let a = ClassAssignment::from_responses(1, 2, responses);
+        assert_eq!(a.assignments(), &[Some(1)]);
+    }
+
+    #[test]
+    fn predict_uses_mean_over_assigned_neurons() {
+        let r0: &[u32] = &[10, 0, 0, 0];
+        let r1: &[u32] = &[0, 5, 5, 0];
+        let a = ClassAssignment::from_responses(4, 2, vec![(0u8, r0), (1u8, r1)]);
+        // Test response: neuron 0 fires 4; neurons 1,2 fire 3 each.
+        // class0 mean = 4, class1 mean = 3 → predict 0.
+        assert_eq!(a.predict(&[4, 3, 3, 0]), Some(0));
+        // class1 mean = 6 → predict 1.
+        assert_eq!(a.predict(&[4, 6, 6, 0]), Some(1));
+        assert_eq!(a.predict(&[0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn confusion_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.add(0, Some(0));
+        m.add(0, Some(0));
+        m.add(1, Some(1));
+        m.add(1, Some(2));
+        m.add(2, None);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        let per = m.per_class_accuracy();
+        assert_eq!(per[0], Some(1.0));
+        assert_eq!(per[1], Some(0.5));
+        assert_eq!(per[2], Some(0.0));
+        assert_eq!(m.unclassified(2), 1);
+    }
+
+    #[test]
+    fn worst_confusion_finds_hotspot() {
+        let mut m = ConfusionMatrix::new(10);
+        m.add(4, Some(9));
+        m.add(4, Some(9));
+        m.add(4, Some(9));
+        m.add(7, Some(1));
+        assert_eq!(m.worst_confusion(), Some((4, 9, 3)));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new(2);
+        a.add(0, Some(0));
+        let mut b = ConfusionMatrix::new(2);
+        b.add(0, Some(1));
+        b.add(1, None);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.get(0, 1), 1);
+        assert_eq!(a.unclassified(1), 1);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.worst_confusion(), None);
+        assert!(m.per_class_accuracy().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn table_rendering_contains_counts() {
+        let mut m = ConfusionMatrix::new(2);
+        m.add(1, Some(0));
+        let table = m.to_table();
+        assert!(table.contains("tgt\\pred"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn plain_accuracy_helper() {
+        assert_eq!(accuracy(&[]), 0.0);
+        let pairs = [(0u8, Some(0u8)), (1, Some(0)), (2, None), (3, Some(3))];
+        assert!((accuracy(&pairs) - 0.5).abs() < 1e-12);
+    }
+}

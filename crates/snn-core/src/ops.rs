@@ -1,0 +1,207 @@
+//! Operation counting for energy/time estimation.
+//!
+//! The paper estimates energy as `E = E1 · N` where `E1` is the energy of
+//! processing one sample (§III-C). On the authors' testbed `E1` comes from
+//! GPU power measurement; here the simulator counts the arithmetic it
+//! actually performs, bucketed into categories with different hardware
+//! costs, and the `neuro-energy` crate converts counts into joules per
+//! device model. Counting is done by the substrate (this crate) so every
+//! learning rule and architecture variant is metered identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for the operation categories the energy model distinguishes.
+///
+/// All counters are cumulative; callers typically take a snapshot before and
+/// after a phase and subtract. The categories mirror the cost discussion in
+/// the paper's §I and §III-B: neuron state updates, exponential-decay
+/// arithmetic, synaptic (spike-driven) events, and weight updates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Per-neuron membrane integration steps (one per neuron per timestep).
+    pub neuron_updates: u64,
+    /// Multiplications by a precomputed exponential decay factor
+    /// (conductances, traces, adaptive thresholds). These correspond to the
+    /// "complex exponential calculations" the paper charges ASP for.
+    pub decay_mults: u64,
+    /// Fresh `exp()` evaluations (not reusable precomputed factors).
+    pub exp_evals: u64,
+    /// Spike-driven synaptic conductance additions (one per target synapse
+    /// per presynaptic spike).
+    pub syn_events: u64,
+    /// Individual synaptic weight modifications (STDP, decay, normalisation).
+    pub weight_updates: u64,
+    /// Synaptic trace variable updates driven by spikes.
+    pub trace_updates: u64,
+    /// Threshold/comparison operations (spike condition checks).
+    pub comparisons: u64,
+    /// Total spikes emitted (all layers).
+    pub spikes: u64,
+    /// Spike-encoding operations (Bernoulli draws or deterministic schedule
+    /// lookups in the input layer).
+    pub encode_ops: u64,
+    /// Logical vectorised-kernel invocations. The paper's testbed runs
+    /// BindsNET/PyTorch, where each elementwise tensor op is one GPU kernel
+    /// launch; at the tensor sizes involved (≤ ~314 k elements) launches
+    /// dominate wall-clock, so the time/energy models in `neuro-energy`
+    /// weight this counter heavily.
+    pub kernel_launches: u64,
+}
+
+impl OpCounts {
+    /// Returns a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another snapshot into `self`, saturating on overflow.
+    pub fn accumulate(&mut self, other: &OpCounts) {
+        self.neuron_updates = self.neuron_updates.saturating_add(other.neuron_updates);
+        self.decay_mults = self.decay_mults.saturating_add(other.decay_mults);
+        self.exp_evals = self.exp_evals.saturating_add(other.exp_evals);
+        self.syn_events = self.syn_events.saturating_add(other.syn_events);
+        self.weight_updates = self.weight_updates.saturating_add(other.weight_updates);
+        self.trace_updates = self.trace_updates.saturating_add(other.trace_updates);
+        self.comparisons = self.comparisons.saturating_add(other.comparisons);
+        self.spikes = self.spikes.saturating_add(other.spikes);
+        self.encode_ops = self.encode_ops.saturating_add(other.encode_ops);
+        self.kernel_launches = self.kernel_launches.saturating_add(other.kernel_launches);
+    }
+
+    /// Difference `self - earlier`, useful for metering a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has any counter larger than
+    /// `self` (i.e. it is not actually an earlier snapshot); saturates to
+    /// zero in release builds.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        debug_assert!(self.total() >= earlier.total(), "snapshot order reversed");
+        OpCounts {
+            neuron_updates: self.neuron_updates.saturating_sub(earlier.neuron_updates),
+            decay_mults: self.decay_mults.saturating_sub(earlier.decay_mults),
+            exp_evals: self.exp_evals.saturating_sub(earlier.exp_evals),
+            syn_events: self.syn_events.saturating_sub(earlier.syn_events),
+            weight_updates: self.weight_updates.saturating_sub(earlier.weight_updates),
+            trace_updates: self.trace_updates.saturating_sub(earlier.trace_updates),
+            comparisons: self.comparisons.saturating_sub(earlier.comparisons),
+            spikes: self.spikes.saturating_sub(earlier.spikes),
+            encode_ops: self.encode_ops.saturating_sub(earlier.encode_ops),
+            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+        }
+    }
+
+    /// Sum of all element-wise arithmetic categories (excludes the `spikes`
+    /// event count and `kernel_launches`, which are structural rather than
+    /// per-element work).
+    pub fn total(&self) -> u64 {
+        self.neuron_updates
+            + self.decay_mults
+            + self.exp_evals
+            + self.syn_events
+            + self.weight_updates
+            + self.trace_updates
+            + self.comparisons
+            + self.encode_ops
+    }
+
+    /// Scales every counter by `factor`, used when extrapolating a
+    /// single-sample measurement to `N` samples exactly as the paper's
+    /// `E = E1 · N` model does.
+    pub fn scaled(&self, factor: u64) -> OpCounts {
+        OpCounts {
+            neuron_updates: self.neuron_updates.saturating_mul(factor),
+            decay_mults: self.decay_mults.saturating_mul(factor),
+            exp_evals: self.exp_evals.saturating_mul(factor),
+            syn_events: self.syn_events.saturating_mul(factor),
+            weight_updates: self.weight_updates.saturating_mul(factor),
+            trace_updates: self.trace_updates.saturating_mul(factor),
+            comparisons: self.comparisons.saturating_mul(factor),
+            spikes: self.spikes.saturating_mul(factor),
+            encode_ops: self.encode_ops.saturating_mul(factor),
+            kernel_launches: self.kernel_launches.saturating_mul(factor),
+        }
+    }
+}
+
+impl std::ops::Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        let mut out = self;
+        out.accumulate(&rhs);
+        out
+    }
+}
+
+impl std::iter::Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> Self {
+        iter.fold(OpCounts::default(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpCounts {
+        OpCounts {
+            neuron_updates: 10,
+            decay_mults: 20,
+            exp_evals: 3,
+            syn_events: 40,
+            weight_updates: 5,
+            trace_updates: 6,
+            comparisons: 10,
+            spikes: 2,
+            encode_ops: 9,
+            kernel_launches: 7,
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_fieldwise() {
+        let mut a = sample();
+        a.accumulate(&sample());
+        assert_eq!(a.neuron_updates, 20);
+        assert_eq!(a.syn_events, 80);
+        assert_eq!(a.spikes, 4);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = sample();
+        let mut late = sample();
+        late.accumulate(&sample());
+        let delta = late.since(&early);
+        assert_eq!(delta, sample());
+    }
+
+    #[test]
+    fn total_excludes_spikes() {
+        let c = sample();
+        assert_eq!(c.total(), 10 + 20 + 3 + 40 + 5 + 6 + 10 + 9);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let c = sample().scaled(3);
+        assert_eq!(c.neuron_updates, 30);
+        assert_eq!(c.exp_evals, 9);
+        assert_eq!(c.kernel_launches, 21);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: OpCounts = (0..4).map(|_| sample()).sum();
+        assert_eq!(total.neuron_updates, 40);
+    }
+
+    #[test]
+    fn add_operator_matches_accumulate() {
+        let a = sample() + sample();
+        let mut b = sample();
+        b.accumulate(&sample());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,230 @@
+//! Fixed-point weight quantisation — the `BP` axis of the paper's memory
+//! model.
+//!
+//! §III-C estimates memory as `mem = (Pw + Pn) · BP` where `BP` is the
+//! *bit precision*; the framework targets quantised embedded deployments
+//! (the authors' companion work FSpiNN \[6\] stores 8-bit fixed-point
+//! weights). This module quantises a trained [`WeightMatrix`] to `B`-bit
+//! unsigned fixed point over `[0, w_max]` and back, so experiments can
+//! trade memory (`32 → B` bits per weight) against accuracy.
+//!
+//! Quantisation is uniform mid-rise: `q = round(w / w_max · (2^B − 1))`,
+//! reconstructed as `ŵ = q / (2^B − 1) · w_max`. The worst-case absolute
+//! reconstruction error is half a step, `w_max / (2 · (2^B − 1))`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SnnError, SnnResult};
+use crate::synapse::WeightMatrix;
+
+/// A weight matrix stored in `B`-bit unsigned fixed point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedWeights {
+    bits: u8,
+    n_post: usize,
+    n_pre: usize,
+    w_max: f32,
+    /// Quantised codes, one per synapse (stored in the smallest integer
+    /// that fits; codes ≤ 16 bits cover every practical `BP`).
+    codes: Vec<u16>,
+}
+
+impl QuantizedWeights {
+    /// Quantises `weights` to `bits`-bit fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidParameter`] unless `1 ≤ bits ≤ 16`.
+    pub fn quantize(weights: &WeightMatrix, bits: u8) -> SnnResult<Self> {
+        if bits == 0 || bits > 16 {
+            return Err(SnnError::InvalidParameter {
+                name: "bits",
+                reason: format!("supported range is 1..=16, got {bits}"),
+            });
+        }
+        let levels = (1u32 << bits) - 1;
+        let w_max = weights.w_max();
+        let scale = if w_max > 0.0 {
+            levels as f32 / w_max
+        } else {
+            0.0
+        };
+        let codes = weights
+            .as_slice()
+            .iter()
+            .map(|&w| ((w.clamp(0.0, w_max) * scale).round() as u32).min(levels) as u16)
+            .collect();
+        Ok(QuantizedWeights {
+            bits,
+            n_post: weights.n_post(),
+            n_pre: weights.n_pre(),
+            w_max,
+            codes,
+        })
+    }
+
+    /// Bit precision of the stored codes.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of synapses.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the matrix has no synapses.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Memory footprint of the quantised weights in bytes (packed, i.e.
+    /// `len · bits / 8` rounded up — the `Pw · BP` term of the paper's
+    /// memory model).
+    pub fn packed_bytes(&self) -> usize {
+        (self.codes.len() * self.bits as usize).div_ceil(8)
+    }
+
+    /// Worst-case absolute reconstruction error, `w_max / (2·(2^B−1))`.
+    pub fn max_error(&self) -> f32 {
+        let levels = (1u32 << self.bits) - 1;
+        self.w_max / (2.0 * levels as f32)
+    }
+
+    /// Reconstructs a floating-point weight matrix.
+    pub fn dequantize(&self) -> WeightMatrix {
+        let levels = (1u32 << self.bits) - 1;
+        let scale = if levels > 0 {
+            self.w_max / levels as f32
+        } else {
+            0.0
+        };
+        let data = self
+            .codes
+            .iter()
+            .map(|&q| f32::from(q) * scale)
+            .collect();
+        WeightMatrix::from_rows(self.n_post, self.n_pre, data, self.w_max)
+            .expect("dimensions preserved by construction")
+    }
+}
+
+/// Quantises a network's weights in place (round-trip through `bits`-bit
+/// fixed point), returning the worst observed reconstruction error. This
+/// is the deployment transform the paper's memory model prices at
+/// `BP = bits`.
+///
+/// # Errors
+///
+/// Propagates [`SnnError::InvalidParameter`] for unsupported bit widths.
+pub fn quantize_in_place(weights: &mut WeightMatrix, bits: u8) -> SnnResult<f32> {
+    let q = QuantizedWeights::quantize(weights, bits)?;
+    let restored = q.dequantize();
+    let mut worst = 0.0f32;
+    for (w, r) in weights.as_slice().iter().zip(restored.as_slice()) {
+        worst = worst.max((w - r).abs());
+    }
+    weights
+        .as_mut_slice()
+        .copy_from_slice(restored.as_slice());
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn random_weights(seed: u64) -> WeightMatrix {
+        WeightMatrix::random_uniform(8, 16, 1.0, 1.0, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        let w = random_weights(1);
+        assert!(QuantizedWeights::quantize(&w, 0).is_err());
+        assert!(QuantizedWeights::quantize(&w, 17).is_err());
+        assert!(QuantizedWeights::quantize(&w, 16).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let w = random_weights(2);
+        for bits in [2u8, 4, 8, 12] {
+            let q = QuantizedWeights::quantize(&w, bits).unwrap();
+            let bound = q.max_error() * 1.0001; // float slack
+            let restored = q.dequantize();
+            for (a, b) in w.as_slice().iter().zip(restored.as_slice()) {
+                assert!(
+                    (a - b).abs() <= bound,
+                    "{bits}-bit error {} exceeds bound {bound}",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_never_worse() {
+        let w = random_weights(3);
+        let err = |bits: u8| {
+            let q = QuantizedWeights::quantize(&w, bits).unwrap();
+            let r = q.dequantize();
+            w.as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        assert!(err(8) <= err(4));
+        assert!(err(4) <= err(2));
+    }
+
+    #[test]
+    fn packed_bytes_follow_bp() {
+        let w = random_weights(4); // 128 synapses
+        let q8 = QuantizedWeights::quantize(&w, 8).unwrap();
+        let q4 = QuantizedWeights::quantize(&w, 4).unwrap();
+        assert_eq!(q8.packed_bytes(), 128);
+        assert_eq!(q4.packed_bytes(), 64);
+        assert_eq!(q8.len(), 128);
+        assert!(!q8.is_empty());
+    }
+
+    #[test]
+    fn quantize_in_place_reports_worst_error() {
+        let mut w = random_weights(5);
+        let original = w.clone();
+        let worst = quantize_in_place(&mut w, 8).unwrap();
+        assert!(worst <= 1.0 / (2.0 * 255.0) * 1.0001);
+        // Weights actually changed to lattice points.
+        let step = 1.0 / 255.0;
+        for &v in w.as_slice() {
+            let k = (v / step).round();
+            assert!((v - k * step).abs() < 1e-5);
+        }
+        // And stayed close to the originals.
+        for (a, b) in original.as_slice().iter().zip(w.as_slice()) {
+            assert!((a - b).abs() <= worst + 1e-6);
+        }
+    }
+
+    #[test]
+    fn idempotent_once_on_lattice() {
+        let mut w = random_weights(6);
+        quantize_in_place(&mut w, 6).unwrap();
+        let once = w.clone();
+        let second_err = quantize_in_place(&mut w, 6).unwrap();
+        assert_eq!(w, once, "re-quantising lattice points is a no-op");
+        assert!(second_err < 1e-6);
+    }
+
+    #[test]
+    fn one_bit_is_binary() {
+        let mut w = random_weights(7);
+        quantize_in_place(&mut w, 1).unwrap();
+        for &v in w.as_slice() {
+            assert!(v == 0.0 || (v - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Spike trains and recording utilities.
+//!
+//! Deterministic encoders ([`crate::encoding`]) produce [`SpikeTrain`]s —
+//! per-channel lists of spike step indices — and experiment harnesses use
+//! [`SpikeRecord`] to capture raster data for debugging and for the
+//! spurious-update analysis (paper Fig. 7 illustrates pre/post rasters).
+
+use serde::{Deserialize, Serialize};
+
+/// Spike times for a set of channels, as integer step indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeTrain {
+    /// `times[c]` holds the sorted spike step indices of channel `c`.
+    times: Vec<Vec<u32>>,
+}
+
+impl SpikeTrain {
+    /// Creates an empty train with `n_channels` channels.
+    pub fn new(n_channels: usize) -> Self {
+        SpikeTrain {
+            times: vec![Vec::new(); n_channels],
+        }
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Records a spike of channel `c` at step `t`. Steps must be pushed in
+    /// non-decreasing order per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` is earlier than the channel's last
+    /// recorded spike.
+    pub fn push(&mut self, c: usize, t: u32) {
+        debug_assert!(
+            self.times[c].last().map_or(true, |&last| t >= last),
+            "spike times must be non-decreasing"
+        );
+        self.times[c].push(t);
+    }
+
+    /// Spike steps of channel `c`.
+    pub fn channel(&self, c: usize) -> &[u32] {
+        &self.times[c]
+    }
+
+    /// Total spikes across all channels.
+    pub fn total_spikes(&self) -> usize {
+        self.times.iter().map(Vec::len).sum()
+    }
+
+    /// Spike count per channel.
+    pub fn counts(&self) -> Vec<u32> {
+        self.times.iter().map(|t| t.len() as u32).collect()
+    }
+
+    /// Mean firing rate in Hz given the step size and horizon.
+    pub fn mean_rate_hz(&self, dt_ms: f32, n_steps: u32) -> f32 {
+        if self.times.is_empty() || n_steps == 0 {
+            return 0.0;
+        }
+        let total = self.total_spikes() as f32;
+        let duration_s = (n_steps as f32 * dt_ms) / 1000.0;
+        total / (self.times.len() as f32 * duration_s)
+    }
+
+    /// Iterates `(channel, step)` pairs in channel order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.times
+            .iter()
+            .enumerate()
+            .flat_map(|(c, ts)| ts.iter().map(move |&t| (c, t)))
+    }
+}
+
+/// A per-step raster recording of a population, used by harness diagnostics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpikeRecord {
+    n_channels: usize,
+    events: Vec<(u32, u32)>, // (step, channel)
+}
+
+impl SpikeRecord {
+    /// Creates an empty record for `n_channels` channels.
+    pub fn new(n_channels: usize) -> Self {
+        SpikeRecord {
+            n_channels,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of channels being recorded.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Appends the spikes of one simulation step from a flag slice.
+    pub fn record_step(&mut self, step: u32, spiked: &[bool]) {
+        for (c, &s) in spiked.iter().enumerate() {
+            if s {
+                self.events.push((step, c as u32));
+            }
+        }
+    }
+
+    /// All `(step, channel)` events in insertion order.
+    pub fn events(&self) -> &[(u32, u32)] {
+        &self.events
+    }
+
+    /// Total recorded spikes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Spike count per channel.
+    pub fn counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_channels];
+        for &(_, c) in &self.events {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of spikes within the step window `[from, to)`.
+    pub fn spikes_in_window(&self, from: u32, to: u32) -> usize {
+        self.events
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .count()
+    }
+
+    /// Clears the record for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut t = SpikeTrain::new(3);
+        t.push(0, 1);
+        t.push(0, 5);
+        t.push(2, 3);
+        assert_eq!(t.total_spikes(), 3);
+        assert_eq!(t.counts(), vec![2, 0, 1]);
+        assert_eq!(t.channel(0), &[1, 5]);
+    }
+
+    #[test]
+    fn mean_rate_is_in_hz() {
+        let mut t = SpikeTrain::new(2);
+        // 10 spikes per channel over 1000 steps of 1 ms = 1 s → 10 Hz.
+        for c in 0..2 {
+            for i in 0..10 {
+                t.push(c, i * 100);
+            }
+        }
+        assert!((t.mean_rate_hz(1.0, 1000) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_train_rate_is_zero() {
+        let t = SpikeTrain::new(0);
+        assert_eq!(t.mean_rate_hz(1.0, 100), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_all_events() {
+        let mut t = SpikeTrain::new(2);
+        t.push(1, 4);
+        t.push(0, 2);
+        let events: Vec<_> = t.iter().collect();
+        assert_eq!(events, vec![(0, 2), (1, 4)]);
+    }
+
+    #[test]
+    fn record_step_collects_flags() {
+        let mut r = SpikeRecord::new(4);
+        r.record_step(0, &[true, false, false, true]);
+        r.record_step(1, &[false, true, false, false]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.counts(), vec![1, 1, 0, 1]);
+        assert_eq!(r.spikes_in_window(0, 1), 2);
+        assert_eq!(r.spikes_in_window(1, 2), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = SpikeRecord::new(1);
+        r.record_step(0, &[true]);
+        assert!(!r.is_empty());
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

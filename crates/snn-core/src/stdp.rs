@@ -1,0 +1,317 @@
+//! Synaptic traces and pair-based STDP.
+//!
+//! Every learning rule in the reproduction (Diehl & Cook baseline, ASP,
+//! SpikeDyn's Eq. 2) is built from exponentially decaying *spike traces*:
+//! `x_pre[k]` tracks recent activity of input channel `k` and `x_post[j]`
+//! of excitatory neuron `j`. A presynaptic spike sets (or increments) the
+//! pre trace; potentiation reads it on postsynaptic events, and vice versa.
+//! [`TraceSet`] owns the trace vectors; [`PairStdp`] packages the classic
+//! rule used by the baseline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::OpCounts;
+use crate::synapse::WeightMatrix;
+
+/// How a spike modifies its trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Trace jumps to 1 on a spike (bounded, "all-to-one" interaction).
+    SetToOne,
+    /// Trace increments by 1 on a spike (unbounded, "all-to-all").
+    Additive,
+}
+
+/// Parameters of a pre/post trace pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceParams {
+    /// Presynaptic trace time constant (ms).
+    pub tau_pre_ms: f32,
+    /// Postsynaptic trace time constant (ms).
+    pub tau_post_ms: f32,
+    /// Spike-to-trace interaction mode.
+    pub mode: TraceMode,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            tau_pre_ms: 20.0,
+            tau_post_ms: 20.0,
+            mode: TraceMode::SetToOne,
+        }
+    }
+}
+
+/// Exponentially decaying pre- and post-synaptic trace vectors.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    params: TraceParams,
+    x_pre: Vec<f32>,
+    x_post: Vec<f32>,
+    cached_dt: f32,
+    f_pre: f32,
+    f_post: f32,
+}
+
+impl TraceSet {
+    /// Creates zeroed traces for `n_pre` input channels and `n_post`
+    /// postsynaptic neurons.
+    pub fn new(n_pre: usize, n_post: usize, params: TraceParams) -> Self {
+        TraceSet {
+            params,
+            x_pre: vec![0.0; n_pre],
+            x_post: vec![0.0; n_post],
+            cached_dt: f32::NAN,
+            f_pre: 0.0,
+            f_post: 0.0,
+        }
+    }
+
+    /// Trace parameters.
+    pub fn params(&self) -> &TraceParams {
+        &self.params
+    }
+
+    /// Presynaptic traces.
+    pub fn x_pre(&self) -> &[f32] {
+        &self.x_pre
+    }
+
+    /// Postsynaptic traces.
+    pub fn x_post(&self) -> &[f32] {
+        &self.x_post
+    }
+
+    /// Decays both trace vectors by one timestep.
+    pub fn decay(&mut self, dt: f32, ops: &mut OpCounts) {
+        if dt != self.cached_dt {
+            self.cached_dt = dt;
+            self.f_pre = (-dt / self.params.tau_pre_ms).exp();
+            self.f_post = (-dt / self.params.tau_post_ms).exp();
+        }
+        for x in &mut self.x_pre {
+            *x *= self.f_pre;
+        }
+        for x in &mut self.x_post {
+            *x *= self.f_post;
+        }
+        ops.decay_mults += (self.x_pre.len() + self.x_post.len()) as u64;
+        ops.kernel_launches += 2; // one decay kernel per trace vector
+    }
+
+    /// Registers a presynaptic spike on channel `k`.
+    #[inline]
+    pub fn on_pre_spike(&mut self, k: usize, ops: &mut OpCounts) {
+        match self.params.mode {
+            TraceMode::SetToOne => self.x_pre[k] = 1.0,
+            TraceMode::Additive => self.x_pre[k] += 1.0,
+        }
+        ops.trace_updates += 1;
+    }
+
+    /// Registers a postsynaptic spike on neuron `j`.
+    #[inline]
+    pub fn on_post_spike(&mut self, j: usize, ops: &mut OpCounts) {
+        match self.params.mode {
+            TraceMode::SetToOne => self.x_post[j] = 1.0,
+            TraceMode::Additive => self.x_post[j] += 1.0,
+        }
+        ops.trace_updates += 1;
+    }
+
+    /// Clears all traces (between samples).
+    pub fn reset(&mut self) {
+        self.x_pre.fill(0.0);
+        self.x_post.fill(0.0);
+    }
+}
+
+/// The classic pair-based STDP rule with soft weight dependence, as used by
+/// the Diehl & Cook baseline:
+///
+/// * on a **presynaptic** spike at synapse `(j, k)`:
+///   `Δw = -η_pre · x_post[j]` (depression),
+/// * on a **postsynaptic** spike of neuron `j`:
+///   `Δw = η_post · x_pre[k] · (w_max - w)^µ` (potentiation)
+///   for every incoming synapse `k`.
+///
+/// This updates on *every* spike event — the paper's §I calls these
+/// per-event updates a source of "spurious updates" that SpikeDyn's
+/// timestep-gated rule (in the `spikedyn` crate) avoids.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairStdp {
+    /// Learning rate applied on presynaptic spikes (depression).
+    pub eta_pre: f32,
+    /// Learning rate applied on postsynaptic spikes (potentiation).
+    pub eta_post: f32,
+    /// Soft-bound exponent µ on `(w_max - w)` for potentiation.
+    pub mu: f32,
+}
+
+impl Default for PairStdp {
+    fn default() -> Self {
+        PairStdp {
+            eta_pre: 1.0e-4,
+            eta_post: 1.0e-2,
+            mu: 1.0,
+        }
+    }
+}
+
+impl PairStdp {
+    /// Applies depression to the synapses of all postsynaptic neurons for a
+    /// presynaptic spike on channel `k`.
+    pub fn apply_pre_spike(
+        &self,
+        weights: &mut WeightMatrix,
+        traces: &TraceSet,
+        k: usize,
+        ops: &mut OpCounts,
+    ) {
+        let n_post = weights.n_post();
+        for j in 0..n_post {
+            let x = traces.x_post()[j];
+            if x > 0.0 {
+                weights.nudge(j, k, -self.eta_pre * x);
+            }
+        }
+        ops.weight_updates += n_post as u64;
+    }
+
+    /// Applies potentiation to every incoming synapse of postsynaptic
+    /// neuron `j` on its spike.
+    pub fn apply_post_spike(
+        &self,
+        weights: &mut WeightMatrix,
+        traces: &TraceSet,
+        j: usize,
+        ops: &mut OpCounts,
+    ) {
+        let w_max = weights.w_max();
+        let mu = self.mu;
+        let eta = self.eta_post;
+        let x_pre = traces.x_pre();
+        let row = weights.row_mut(j);
+        for (k, w) in row.iter_mut().enumerate() {
+            let x = x_pre[k];
+            if x > 0.0 {
+                let bound = if mu == 1.0 {
+                    w_max - *w
+                } else {
+                    (w_max - *w).max(0.0).powf(mu)
+                };
+                *w = (*w + eta * x * bound).clamp(0.0, w_max);
+            }
+        }
+        ops.weight_updates += row.len() as u64;
+        if mu != 1.0 {
+            ops.exp_evals += row.len() as u64; // powf costs a transcendental
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_decay_exponentially() {
+        let mut t = TraceSet::new(1, 1, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.on_pre_spike(0, &mut ops);
+        assert_eq!(t.x_pre()[0], 1.0);
+        // After one tau (20 ms at 1 ms steps) the trace is ~e^-1.
+        for _ in 0..20 {
+            t.decay(1.0, &mut ops);
+        }
+        assert!((t.x_pre()[0] - (-1.0f32).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn additive_mode_accumulates() {
+        let params = TraceParams {
+            mode: TraceMode::Additive,
+            ..Default::default()
+        };
+        let mut t = TraceSet::new(1, 1, params);
+        let mut ops = OpCounts::default();
+        t.on_pre_spike(0, &mut ops);
+        t.on_pre_spike(0, &mut ops);
+        assert_eq!(t.x_pre()[0], 2.0);
+    }
+
+    #[test]
+    fn set_to_one_saturates() {
+        let mut t = TraceSet::new(1, 1, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.on_pre_spike(0, &mut ops);
+        t.on_pre_spike(0, &mut ops);
+        assert_eq!(t.x_pre()[0], 1.0);
+    }
+
+    #[test]
+    fn post_spike_potentiates_toward_wmax() {
+        let mut w = WeightMatrix::constant(1, 2, 0.5, 1.0);
+        let mut t = TraceSet::new(2, 1, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.on_pre_spike(0, &mut ops); // channel 0 recently active
+        let rule = PairStdp {
+            eta_post: 0.1,
+            ..Default::default()
+        };
+        rule.apply_post_spike(&mut w, &t, 0, &mut ops);
+        assert!(w.get(0, 0) > 0.5, "active channel must potentiate");
+        assert_eq!(w.get(0, 1), 0.5, "inactive channel must not change");
+    }
+
+    #[test]
+    fn pre_spike_depresses_active_posts() {
+        let mut w = WeightMatrix::constant(2, 1, 0.5, 1.0);
+        let mut t = TraceSet::new(1, 2, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.on_post_spike(1, &mut ops); // neuron 1 recently fired
+        let rule = PairStdp {
+            eta_pre: 0.1,
+            ..Default::default()
+        };
+        rule.apply_pre_spike(&mut w, &t, 0, &mut ops);
+        assert_eq!(w.get(0, 0), 0.5, "quiet neuron untouched");
+        assert!(w.get(1, 0) < 0.5, "recently active neuron depressed");
+    }
+
+    #[test]
+    fn potentiation_never_exceeds_wmax() {
+        let mut w = WeightMatrix::constant(1, 1, 0.99, 1.0);
+        let mut t = TraceSet::new(1, 1, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.on_pre_spike(0, &mut ops);
+        let rule = PairStdp {
+            eta_post: 10.0,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            rule.apply_post_spike(&mut w, &t, 0, &mut ops);
+        }
+        assert!(w.get(0, 0) <= 1.0);
+    }
+
+    #[test]
+    fn reset_clears_traces() {
+        let mut t = TraceSet::new(2, 2, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.on_pre_spike(1, &mut ops);
+        t.on_post_spike(0, &mut ops);
+        t.reset();
+        assert!(t.x_pre().iter().all(|&x| x == 0.0));
+        assert!(t.x_post().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn decay_counts_ops() {
+        let mut t = TraceSet::new(3, 2, TraceParams::default());
+        let mut ops = OpCounts::default();
+        t.decay(1.0, &mut ops);
+        assert_eq!(ops.decay_mults, 5);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dense synaptic weight storage.
+//!
+//! The architectures in the paper are fully connected (input → excitatory),
+//! so weights live in a dense row-major matrix: row `j` holds the incoming
+//! weights of postsynaptic neuron `j`. Row-major-by-post keeps the hot
+//! learning-rule operations (per-winner potentiation, per-row normalisation,
+//! whole-matrix decay) contiguous.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SnnError, SnnResult};
+use crate::ops::OpCounts;
+
+/// A dense `n_post × n_pre` weight matrix, row-major by postsynaptic neuron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightMatrix {
+    n_post: usize,
+    n_pre: usize,
+    data: Vec<f32>,
+    w_max: f32,
+}
+
+impl WeightMatrix {
+    /// Creates a matrix with every weight drawn uniformly from
+    /// `[0, w_init_max)`, the initialisation used by Diehl & Cook.
+    pub fn random_uniform<R: Rng + ?Sized>(
+        n_post: usize,
+        n_pre: usize,
+        w_init_max: f32,
+        w_max: f32,
+        rng: &mut R,
+    ) -> Self {
+        let data = (0..n_post * n_pre)
+            .map(|_| rng.gen::<f32>() * w_init_max)
+            .collect();
+        WeightMatrix {
+            n_post,
+            n_pre,
+            data,
+            w_max,
+        }
+    }
+
+    /// Creates a matrix filled with a constant weight.
+    pub fn constant(n_post: usize, n_pre: usize, w: f32, w_max: f32) -> Self {
+        WeightMatrix {
+            n_post,
+            n_pre,
+            data: vec![w; n_post * n_pre],
+            w_max,
+        }
+    }
+
+    /// Builds a matrix from an explicit row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::DimensionMismatch`] when `data.len()` is not
+    /// `n_post * n_pre`.
+    pub fn from_rows(n_post: usize, n_pre: usize, data: Vec<f32>, w_max: f32) -> SnnResult<Self> {
+        if data.len() != n_post * n_pre {
+            return Err(SnnError::DimensionMismatch {
+                expected: n_post * n_pre,
+                got: data.len(),
+                what: "weight buffer",
+            });
+        }
+        Ok(WeightMatrix {
+            n_post,
+            n_pre,
+            data,
+            w_max,
+        })
+    }
+
+    /// Number of postsynaptic neurons (rows).
+    pub fn n_post(&self) -> usize {
+        self.n_post
+    }
+
+    /// Number of presynaptic channels (columns).
+    pub fn n_pre(&self) -> usize {
+        self.n_pre
+    }
+
+    /// Total number of synapses.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no synapses.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Upper clip bound for weights.
+    pub fn w_max(&self) -> f32 {
+        self.w_max
+    }
+
+    /// Weight of the synapse from presynaptic `pre` to postsynaptic `post`.
+    #[inline]
+    pub fn get(&self, post: usize, pre: usize) -> f32 {
+        self.data[post * self.n_pre + pre]
+    }
+
+    /// Sets one weight (clipped to `[0, w_max]`).
+    #[inline]
+    pub fn set(&mut self, post: usize, pre: usize, w: f32) {
+        self.data[post * self.n_pre + pre] = w.clamp(0.0, self.w_max);
+    }
+
+    /// Incoming weight row of postsynaptic neuron `post`.
+    #[inline]
+    pub fn row(&self, post: usize) -> &[f32] {
+        &self.data[post * self.n_pre..(post + 1) * self.n_pre]
+    }
+
+    /// Mutable incoming weight row of postsynaptic neuron `post`.
+    #[inline]
+    pub fn row_mut(&mut self, post: usize) -> &mut [f32] {
+        &mut self.data[post * self.n_pre..(post + 1) * self.n_pre]
+    }
+
+    /// The full row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the full row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Adds `delta` to one weight and clips to `[0, w_max]`.
+    #[inline]
+    pub fn nudge(&mut self, post: usize, pre: usize, delta: f32) {
+        let idx = post * self.n_pre + pre;
+        self.data[idx] = (self.data[idx] + delta).clamp(0.0, self.w_max);
+    }
+
+    /// Multiplies every weight by `factor` (exponential decay step),
+    /// counting one weight update per synapse.
+    pub fn decay_all(&mut self, factor: f32, ops: &mut OpCounts) {
+        for w in &mut self.data {
+            *w *= factor;
+        }
+        ops.weight_updates += self.data.len() as u64;
+        ops.kernel_launches += 1;
+    }
+
+    /// Normalises each postsynaptic row so its weights sum to `target_sum`
+    /// (Diehl & Cook's per-neuron weight normalisation). Rows whose sum is
+    /// zero are left untouched.
+    pub fn normalize_rows(&mut self, target_sum: f32, ops: &mut OpCounts) {
+        for post in 0..self.n_post {
+            let row = self.row_mut(post);
+            let sum: f32 = row.iter().sum();
+            if sum > f32::EPSILON {
+                let scale = target_sum / sum;
+                for w in row.iter_mut() {
+                    *w *= scale;
+                }
+            }
+        }
+        ops.weight_updates += self.data.len() as u64;
+        ops.kernel_launches += 2; // row-sum reduction + scale
+    }
+
+    /// Sum of the incoming weights of `post`.
+    pub fn row_sum(&self, post: usize) -> f32 {
+        self.row(post).iter().sum()
+    }
+
+    /// Mean weight across the whole matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Fraction of synapses whose weight is below `threshold` — the paper's
+    /// weight decay argues weak connections "get more disconnected over the
+    /// training period"; this measures that.
+    pub fn fraction_below(&self, threshold: f32) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let n = self.data.iter().filter(|&&w| w < threshold).count();
+        n as f32 / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn random_init_within_bounds() {
+        let mut rng = seeded_rng(1);
+        let m = WeightMatrix::random_uniform(4, 8, 0.3, 1.0, &mut rng);
+        assert_eq!(m.len(), 32);
+        for &w in m.as_slice() {
+            assert!((0.0..0.3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn from_rows_validates_len() {
+        assert!(WeightMatrix::from_rows(2, 3, vec![0.0; 5], 1.0).is_err());
+        assert!(WeightMatrix::from_rows(2, 3, vec![0.0; 6], 1.0).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip_and_clip() {
+        let mut m = WeightMatrix::constant(3, 3, 0.5, 1.0);
+        m.set(1, 2, 0.7);
+        assert_eq!(m.get(1, 2), 0.7);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 1.0, "set must clip to w_max");
+        m.nudge(1, 2, -10.0);
+        assert_eq!(m.get(1, 2), 0.0, "nudge must clip to zero");
+    }
+
+    #[test]
+    fn row_is_contiguous_and_correct() {
+        let data: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let m = WeightMatrix::from_rows(2, 3, data, 10.0).unwrap();
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn decay_shrinks_all_weights() {
+        let mut m = WeightMatrix::constant(2, 2, 0.8, 1.0);
+        let mut ops = OpCounts::default();
+        m.decay_all(0.5, &mut ops);
+        for &w in m.as_slice() {
+            assert!((w - 0.4).abs() < 1e-6);
+        }
+        assert_eq!(ops.weight_updates, 4);
+    }
+
+    #[test]
+    fn normalize_rows_hits_target() {
+        let mut rng = seeded_rng(3);
+        let mut m = WeightMatrix::random_uniform(5, 20, 1.0, 10.0, &mut rng);
+        let mut ops = OpCounts::default();
+        m.normalize_rows(78.4, &mut ops);
+        for post in 0..5 {
+            assert!((m.row_sum(post) - 78.4).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn normalize_skips_zero_rows() {
+        let mut m = WeightMatrix::constant(2, 4, 0.0, 1.0);
+        let mut ops = OpCounts::default();
+        m.normalize_rows(10.0, &mut ops);
+        assert_eq!(m.row_sum(0), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_counts() {
+        let m = WeightMatrix::from_rows(1, 4, vec![0.1, 0.2, 0.6, 0.9], 1.0).unwrap();
+        assert!((m.fraction_below(0.5) - 0.5).abs() < 1e-6);
+        assert_eq!(m.fraction_below(0.05), 0.0);
+        assert_eq!(m.fraction_below(1.0), 1.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let m = WeightMatrix::constant(0, 0, 0.0, 1.0);
+        assert_eq!(m.mean(), 0.0);
+        assert!(m.is_empty());
+    }
+}

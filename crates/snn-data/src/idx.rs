@@ -1,0 +1,360 @@
+//! IDX file format parsing (the MNIST container format).
+//!
+//! When the real MNIST files are available, experiments can load them with
+//! [`load_images`] / [`load_labels`] or [`Mnist::load`]; everything else in
+//! the workspace treats the result identically to the synthetic dataset.
+//!
+//! Format reference: `http://yann.lecun.com/exdb/mnist/` — big-endian magic
+//! `0x00000801` (u8 vector) or `0x00000803` (u8 3-D tensor), then one
+//! big-endian `u32` per dimension, then raw `u8` payload.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bytes::Buf;
+
+use crate::image::Image;
+
+/// Errors from IDX parsing.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number did not match the expected type code.
+    BadMagic {
+        /// Magic value found in the file.
+        found: u32,
+        /// Magic value the caller expected.
+        expected: u32,
+    },
+    /// File ended before the declared payload.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Images and labels files disagree on sample count.
+    CountMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error reading idx file: {e}"),
+            IdxError::BadMagic { found, expected } => {
+                write!(f, "bad idx magic: found {found:#010x}, expected {expected:#010x}")
+            }
+            IdxError::Truncated { expected, got } => {
+                write!(f, "truncated idx payload: expected {expected} bytes, got {got}")
+            }
+            IdxError::CountMismatch { images, labels } => {
+                write!(f, "idx count mismatch: {images} images vs {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+const MAGIC_LABELS: u32 = 0x0000_0801;
+const MAGIC_IMAGES: u32 = 0x0000_0803;
+
+/// Parses an IDX3 image tensor from raw bytes into normalised images with
+/// placeholder label 0 (pair with [`parse_labels`]).
+///
+/// # Errors
+///
+/// Returns [`IdxError::BadMagic`] or [`IdxError::Truncated`] on malformed
+/// input.
+pub fn parse_images(raw: &[u8]) -> Result<Vec<Image>, IdxError> {
+    let mut buf = raw;
+    if buf.remaining() < 16 {
+        return Err(IdxError::Truncated {
+            expected: 16,
+            got: buf.remaining(),
+        });
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC_IMAGES {
+        return Err(IdxError::BadMagic {
+            found: magic,
+            expected: MAGIC_IMAGES,
+        });
+    }
+    let n = buf.get_u32() as usize;
+    let h = buf.get_u32() as usize;
+    let w = buf.get_u32() as usize;
+    let need = n * h * w;
+    if buf.remaining() < need {
+        return Err(IdxError::Truncated {
+            expected: need,
+            got: buf.remaining(),
+        });
+    }
+    let mut images = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pixels: Vec<f32> = buf[..h * w].iter().map(|&b| f32::from(b) / 255.0).collect();
+        buf.advance(h * w);
+        images.push(Image::new(w, h, pixels, 0));
+    }
+    Ok(images)
+}
+
+/// Parses an IDX1 label vector from raw bytes.
+///
+/// # Errors
+///
+/// Returns [`IdxError::BadMagic`] or [`IdxError::Truncated`] on malformed
+/// input.
+pub fn parse_labels(raw: &[u8]) -> Result<Vec<u8>, IdxError> {
+    let mut buf = raw;
+    if buf.remaining() < 8 {
+        return Err(IdxError::Truncated {
+            expected: 8,
+            got: buf.remaining(),
+        });
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC_LABELS {
+        return Err(IdxError::BadMagic {
+            found: magic,
+            expected: MAGIC_LABELS,
+        });
+    }
+    let n = buf.get_u32() as usize;
+    if buf.remaining() < n {
+        return Err(IdxError::Truncated {
+            expected: n,
+            got: buf.remaining(),
+        });
+    }
+    Ok(buf[..n].to_vec())
+}
+
+/// Loads and parses an IDX3 image file.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load_images<P: AsRef<Path>>(path: P) -> Result<Vec<Image>, IdxError> {
+    parse_images(&fs::read(path)?)
+}
+
+/// Loads and parses an IDX1 label file.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load_labels<P: AsRef<Path>>(path: P) -> Result<Vec<u8>, IdxError> {
+    parse_labels(&fs::read(path)?)
+}
+
+/// A loaded MNIST-style dataset (train + test splits).
+#[derive(Debug, Clone)]
+pub struct Mnist {
+    /// Training images with labels applied.
+    pub train: Vec<Image>,
+    /// Test images with labels applied.
+    pub test: Vec<Image>,
+}
+
+impl Mnist {
+    /// Loads the four standard MNIST files from a directory
+    /// (`train-images-idx3-ubyte`, `train-labels-idx1-ubyte`,
+    /// `t10k-images-idx3-ubyte`, `t10k-labels-idx1-ubyte`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any file is missing/malformed or image and label counts
+    /// disagree.
+    pub fn load<P: AsRef<Path>>(dir: P) -> Result<Self, IdxError> {
+        let dir = dir.as_ref();
+        let train = Self::load_split(
+            &dir.join("train-images-idx3-ubyte"),
+            &dir.join("train-labels-idx1-ubyte"),
+        )?;
+        let test = Self::load_split(
+            &dir.join("t10k-images-idx3-ubyte"),
+            &dir.join("t10k-labels-idx1-ubyte"),
+        )?;
+        Ok(Mnist { train, test })
+    }
+
+    fn load_split(images: &Path, labels: &Path) -> Result<Vec<Image>, IdxError> {
+        let mut imgs = load_images(images)?;
+        let labs = load_labels(labels)?;
+        if imgs.len() != labs.len() {
+            return Err(IdxError::CountMismatch {
+                images: imgs.len(),
+                labels: labs.len(),
+            });
+        }
+        for (img, lab) in imgs.iter_mut().zip(labs) {
+            img.label = lab;
+        }
+        Ok(imgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_idx_images(n: u32, h: u32, w: u32, fill: u8) -> Vec<u8> {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+        raw.extend_from_slice(&n.to_be_bytes());
+        raw.extend_from_slice(&h.to_be_bytes());
+        raw.extend_from_slice(&w.to_be_bytes());
+        raw.extend(std::iter::repeat(fill).take((n * h * w) as usize));
+        raw
+    }
+
+    fn make_idx_labels(labels: &[u8]) -> Vec<u8> {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC_LABELS.to_be_bytes());
+        raw.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        raw.extend_from_slice(labels);
+        raw
+    }
+
+    #[test]
+    fn roundtrip_images() {
+        let raw = make_idx_images(3, 4, 5, 255);
+        let imgs = parse_images(&raw).unwrap();
+        assert_eq!(imgs.len(), 3);
+        assert_eq!(imgs[0].width(), 5);
+        assert_eq!(imgs[0].height(), 4);
+        assert_eq!(imgs[0].get(0, 0), 1.0, "255 maps to intensity 1.0");
+    }
+
+    #[test]
+    fn roundtrip_labels() {
+        let raw = make_idx_labels(&[3, 1, 4, 1, 5]);
+        assert_eq!(parse_labels(&raw).unwrap(), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = make_idx_images(1, 2, 2, 0);
+        raw[3] = 0x99;
+        assert!(matches!(
+            parse_images(&raw),
+            Err(IdxError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut raw = make_idx_images(2, 4, 4, 7);
+        raw.truncate(raw.len() - 5);
+        assert!(matches!(
+            parse_images(&raw),
+            Err(IdxError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(
+            parse_images(&[0, 0]),
+            Err(IdxError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_labels(&[0, 0]),
+            Err(IdxError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_magic_checked() {
+        let raw = make_idx_images(1, 1, 1, 0);
+        assert!(matches!(
+            parse_labels(&raw),
+            Err(IdxError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn mnist_load_from_tempdir() {
+        let dir = std::env::temp_dir().join(format!("snn-data-idx-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("train-images-idx3-ubyte"),
+            make_idx_images(2, 2, 2, 128),
+        )
+        .unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), make_idx_labels(&[1, 2])).unwrap();
+        fs::write(
+            dir.join("t10k-images-idx3-ubyte"),
+            make_idx_images(1, 2, 2, 64),
+        )
+        .unwrap();
+        fs::write(dir.join("t10k-labels-idx1-ubyte"), make_idx_labels(&[7])).unwrap();
+        let mnist = Mnist::load(&dir).unwrap();
+        assert_eq!(mnist.train.len(), 2);
+        assert_eq!(mnist.train[0].label, 1);
+        assert_eq!(mnist.train[1].label, 2);
+        assert_eq!(mnist.test[0].label, 7);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let dir =
+            std::env::temp_dir().join(format!("snn-data-idx-mismatch-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("train-images-idx3-ubyte"),
+            make_idx_images(2, 2, 2, 0),
+        )
+        .unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), make_idx_labels(&[1])).unwrap();
+        fs::write(
+            dir.join("t10k-images-idx3-ubyte"),
+            make_idx_images(1, 2, 2, 0),
+        )
+        .unwrap();
+        fs::write(dir.join("t10k-labels-idx1-ubyte"), make_idx_labels(&[7])).unwrap();
+        assert!(matches!(
+            Mnist::load(&dir),
+            Err(IdxError::CountMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = IdxError::BadMagic {
+            found: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("bad idx magic"));
+        let e = IdxError::CountMismatch {
+            images: 5,
+            labels: 4,
+        };
+        assert!(e.to_string().contains('5'));
+    }
+}

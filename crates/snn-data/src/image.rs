@@ -1,0 +1,232 @@
+//! Grayscale images with labels.
+
+use serde::{Deserialize, Serialize};
+
+/// Side length of the MNIST-compatible image grid.
+pub const IMAGE_SIDE: usize = 28;
+
+/// A labelled grayscale image with intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+    /// Class label (digit 0–9 for the MNIST-like datasets).
+    pub label: u8,
+}
+
+impl Image {
+    /// Creates an image from a pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn new(width: usize, height: usize, pixels: Vec<f32>, label: u8) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        Image {
+            width,
+            height,
+            pixels,
+            label,
+        }
+    }
+
+    /// A black (all-zero) image.
+    pub fn black(width: usize, height: usize, label: u8) -> Self {
+        Image::new(width, height, vec![0.0; width * height], label)
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// True for a zero-sized image.
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Intensity at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the intensity at `(x, y)`, clamped to `[0, 1]`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.pixels[y * self.width + x] = v.clamp(0.0, 1.0);
+    }
+
+    /// The row-major intensity buffer — the input-layer rate vector.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mean intensity over all pixels.
+    pub fn mean_intensity(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+    }
+
+    /// Fraction of pixels brighter than `threshold`.
+    pub fn ink_fraction(&self, threshold: f32) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let n = self.pixels.iter().filter(|&&p| p > threshold).count();
+        n as f32 / self.pixels.len() as f32
+    }
+
+    /// Normalised overlap with another image of the same shape
+    /// (cosine similarity of the pixel vectors). Used by tests to verify
+    /// the synthetic dataset keeps intra-class similarity above
+    /// inter-class similarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn cosine_similarity(&self, other: &Image) -> f32 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let dot: f32 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| a * b)
+            .sum();
+        let na: f32 = self.pixels.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = other.pixels.iter().map(|b| b * b).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Downsamples by an integer `factor` using box averaging. Used by
+    /// tests and fast experiment profiles to shrink the input layer
+    /// (e.g. 28×28 → 14×14) while keeping class structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or does not divide both dimensions.
+    pub fn downsample(&self, factor: usize) -> Image {
+        assert!(factor > 0, "factor must be positive");
+        assert!(
+            self.width % factor == 0 && self.height % factor == 0,
+            "factor must divide both dimensions"
+        );
+        let (w, h) = (self.width / factor, self.height / factor);
+        let mut pixels = vec![0.0f32; w * h];
+        let norm = (factor * factor) as f32;
+        for y in 0..h {
+            for x in 0..w {
+                let mut sum = 0.0;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        sum += self.get(x * factor + dx, y * factor + dy);
+                    }
+                }
+                pixels[y * w + x] = sum / norm;
+            }
+        }
+        Image::new(w, h, pixels, self.label)
+    }
+
+    /// Renders the image as ASCII art (for debugging and examples).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y).clamp(0.0, 1.0);
+                let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_size() {
+        let img = Image::new(2, 3, vec![0.0; 6], 7);
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.label, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer size mismatch")]
+    fn new_panics_on_bad_size() {
+        let _ = Image::new(2, 3, vec![0.0; 5], 0);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut img = Image::black(2, 2, 0);
+        img.set(0, 0, 3.0);
+        img.set(1, 1, -1.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn mean_and_ink() {
+        let img = Image::new(2, 2, vec![0.0, 1.0, 1.0, 0.0], 0);
+        assert!((img.mean_intensity() - 0.5).abs() < 1e-6);
+        assert!((img.ink_fraction(0.5) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = Image::new(2, 2, vec![1.0, 0.0, 0.0, 0.0], 0);
+        let b = Image::new(2, 2, vec![1.0, 0.0, 0.0, 0.0], 0);
+        let c = Image::new(2, 2, vec![0.0, 1.0, 0.0, 0.0], 0);
+        assert!((a.cosine_similarity(&b) - 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine_similarity(&c), 0.0);
+        let z = Image::black(2, 2, 0);
+        assert_eq!(a.cosine_similarity(&z), 0.0);
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_line() {
+        let img = Image::black(4, 3, 0);
+        assert_eq!(img.to_ascii().lines().count(), 3);
+    }
+
+    #[test]
+    fn downsample_box_averages() {
+        let img = Image::new(4, 2, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0], 3);
+        let small = img.downsample(2);
+        assert_eq!(small.width(), 2);
+        assert_eq!(small.height(), 1);
+        assert_eq!(small.label, 3);
+        assert!((small.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((small.get(1, 0) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide both dimensions")]
+    fn downsample_rejects_nondivisor() {
+        let _ = Image::black(4, 4, 0).downsample(3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # snn-data — dataset substrate for the SpikeDyn reproduction
+//!
+//! The paper evaluates on MNIST "as it is widely used for evaluating the
+//! continual and unsupervised learning in SNNs" (§IV). The MNIST files are
+//! not shipped in this offline environment, so this crate provides:
+//!
+//! * [`synthetic`] — a deterministic procedural generator of 28×28
+//!   grayscale digit images. Digits are rendered from stroke skeletons with
+//!   per-sample jitter (translation, rotation, scale, stroke thickness,
+//!   pixel noise), preserving the two dataset properties the experiments
+//!   depend on: strong intra-class similarity and partial inter-class
+//!   overlap (e.g. 4 vs 9, the confusion the paper's Fig. 10 highlights).
+//! * [`idx`] — a parser for the IDX file format, so the real MNIST can be
+//!   dropped in when available (`MNIST_DIR` environment variable or
+//!   explicit paths).
+//! * [`stream`] — the two presentation environments of §IV: **dynamic**
+//!   (consecutive task changes, one class at a time, never re-fed) and
+//!   **non-dynamic** (classes shuffled uniformly).
+//!
+//! All generation is keyed by explicit seeds: the same seed always yields
+//! the same dataset, bit for bit.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod idx;
+pub mod image;
+pub mod stream;
+pub mod synthetic;
+
+pub use image::{Image, IMAGE_SIDE};
+pub use stream::{dynamic_stream, eval_set, non_dynamic_stream};
+pub use synthetic::{SyntheticConfig, SyntheticDigits};

@@ -1,0 +1,159 @@
+//! Sample streams for dynamic and non-dynamic environments (§IV).
+//!
+//! * **Dynamic**: "the network is fed with consecutive task changes without
+//!   re-feeding previous tasks, and each task has the same number of
+//!   samples" — class 0 first, then class 1, …, never revisiting.
+//! * **Non-dynamic**: "the network is fed with input samples whose tasks
+//!   are distributed randomly".
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use snn_core::rng::{derive_seed, seeded_rng};
+
+use crate::image::Image;
+use crate::synthetic::SyntheticDigits;
+
+/// Builds a dynamic-environment stream: `tasks` presented consecutively,
+/// `samples_per_task` fresh samples each, never re-fed.
+///
+/// The returned images appear in exactly the presentation order.
+pub fn dynamic_stream(
+    gen: &SyntheticDigits,
+    tasks: &[u8],
+    samples_per_task: u64,
+    index_offset: u64,
+) -> Vec<Image> {
+    let mut out = Vec::with_capacity(tasks.len() * samples_per_task as usize);
+    for &task in tasks {
+        for i in 0..samples_per_task {
+            out.push(gen.sample(task, index_offset + i));
+        }
+    }
+    out
+}
+
+/// Builds a non-dynamic stream of `total` samples with classes drawn
+/// uniformly at random (with replacement) and fresh per-class indices.
+pub fn non_dynamic_stream(
+    gen: &SyntheticDigits,
+    classes: &[u8],
+    total: u64,
+    seed: u64,
+    index_offset: u64,
+) -> Vec<Image> {
+    let mut rng = seeded_rng(derive_seed(seed, 0xD15E));
+    let mut next_index = vec![index_offset; 256];
+    (0..total)
+        .map(|_| {
+            let class = classes[rng.gen_range(0..classes.len())];
+            let idx = next_index[class as usize];
+            next_index[class as usize] += 1;
+            gen.sample(class, idx)
+        })
+        .collect()
+}
+
+/// Builds a balanced, shuffled evaluation set: `per_class` samples of each
+/// listed class, drawn from a dedicated index range so they never collide
+/// with training samples generated at offsets below `index_offset`.
+pub fn eval_set(
+    gen: &SyntheticDigits,
+    classes: &[u8],
+    per_class: u64,
+    index_offset: u64,
+    seed: u64,
+) -> Vec<Image> {
+    let mut out = Vec::with_capacity(classes.len() * per_class as usize);
+    for &c in classes {
+        for i in 0..per_class {
+            out.push(gen.sample(c, index_offset + i));
+        }
+    }
+    let mut rng = seeded_rng(derive_seed(seed, 0xE7A1));
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_stream_is_task_ordered_and_never_refeeds() {
+        let gen = SyntheticDigits::new(5);
+        let stream = dynamic_stream(&gen, &[0, 1, 2], 3, 0);
+        assert_eq!(stream.len(), 9);
+        let labels: Vec<u8> = stream.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // No duplicate images within a task.
+        assert_ne!(stream[0], stream[1]);
+    }
+
+    #[test]
+    fn dynamic_stream_subset_of_tasks() {
+        let gen = SyntheticDigits::new(5);
+        let stream = dynamic_stream(&gen, &[7, 4], 2, 10);
+        let labels: Vec<u8> = stream.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec![7, 7, 4, 4]);
+    }
+
+    #[test]
+    fn non_dynamic_stream_mixes_classes() {
+        let gen = SyntheticDigits::new(6);
+        let classes: Vec<u8> = (0..10).collect();
+        let stream = non_dynamic_stream(&gen, &classes, 200, 99, 0);
+        assert_eq!(stream.len(), 200);
+        // All classes should appear in 200 uniform draws (p_miss < 1e-9).
+        let mut seen = [false; 10];
+        for s in &stream {
+            seen[s.label as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all classes should appear");
+        // And the head must not be single-class (it is shuffled).
+        let first: Vec<u8> = stream.iter().take(20).map(|s| s.label).collect();
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn non_dynamic_stream_is_deterministic() {
+        let gen = SyntheticDigits::new(6);
+        let classes: Vec<u8> = (0..10).collect();
+        let a = non_dynamic_stream(&gen, &classes, 50, 1, 0);
+        let b = non_dynamic_stream(&gen, &classes, 50, 1, 0);
+        assert_eq!(a, b);
+        let c = non_dynamic_stream(&gen, &classes, 50, 2, 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eval_set_is_balanced_and_shuffled() {
+        let gen = SyntheticDigits::new(8);
+        let classes: Vec<u8> = (0..10).collect();
+        let set = eval_set(&gen, &classes, 4, 1_000_000, 3);
+        assert_eq!(set.len(), 40);
+        let mut counts = [0u32; 10];
+        for s in &set {
+            counts[s.label as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+        let labels: Vec<u8> = set.iter().map(|s| s.label).collect();
+        let sorted = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l
+        };
+        assert_ne!(labels, sorted, "eval set should be shuffled");
+    }
+
+    #[test]
+    fn eval_and_train_indices_disjoint() {
+        let gen = SyntheticDigits::new(9);
+        let train = dynamic_stream(&gen, &[0], 5, 0);
+        let eval = eval_set(&gen, &[0], 5, 1_000_000, 0);
+        for t in &train {
+            for e in &eval {
+                assert_ne!(t, e, "train and eval samples must not collide");
+            }
+        }
+    }
+}

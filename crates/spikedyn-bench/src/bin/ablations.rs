@@ -1,0 +1,10 @@
+//! Reproduces the paper artefact implemented in
+//! `spikedyn_bench::experiments::ablations`. Accepts `--spt`, `--seed`,
+//! `--n-small`, `--n-large`, `--eval`, `--assign`.
+use spikedyn_bench::experiments::ablations;
+use spikedyn_bench::HarnessScale;
+
+fn main() {
+    let scale = HarnessScale::from_args();
+    print!("{}", ablations::run(&scale));
+}

@@ -1,0 +1,10 @@
+//! Reproduces the paper artefact implemented in
+//! `spikedyn_bench::experiments::fig10`. Accepts `--spt`, `--seed`,
+//! `--n-small`, `--n-large`, `--eval`, `--assign`.
+use spikedyn_bench::experiments::fig10;
+use spikedyn_bench::HarnessScale;
+
+fn main() {
+    let scale = HarnessScale::from_args();
+    print!("{}", fig10::run(&scale));
+}

@@ -1,0 +1,10 @@
+//! Reproduces the paper artefact implemented in
+//! `spikedyn_bench::experiments::fig11`. Accepts `--spt`, `--seed`,
+//! `--n-small`, `--n-large`, `--eval`, `--assign`.
+use spikedyn_bench::experiments::fig11;
+use spikedyn_bench::HarnessScale;
+
+fn main() {
+    let scale = HarnessScale::from_args();
+    print!("{}", fig11::run(&scale));
+}

@@ -1,0 +1,10 @@
+//! Reproduces the paper artefact implemented in
+//! `spikedyn_bench::experiments::table02`. Accepts `--spt`, `--seed`,
+//! `--n-small`, `--n-large`, `--eval`, `--assign`.
+use spikedyn_bench::experiments::table02;
+use spikedyn_bench::HarnessScale;
+
+fn main() {
+    let scale = HarnessScale::from_args();
+    print!("{}", table02::run(&scale));
+}

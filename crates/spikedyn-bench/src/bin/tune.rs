@@ -1,0 +1,61 @@
+//! Hyperparameter tuning harness for SpikeDyn (dev tool).
+//! Args: theta_plus eta_post tau_decay t_step [g_inh]
+use snn_core::config::PresentConfig;
+use snn_core::metrics::ConfusionMatrix;
+use snn_core::network::{Inhibition, SnnConfig};
+use snn_core::network::Snn;
+use snn_core::rng::{derive_seed, seeded_rng};
+use snn_data::{dynamic_stream, eval_set, SyntheticDigits};
+use spikedyn::arch::ThetaPolicy;
+use spikedyn::learning::{SpikeDynConfig, SpikeDynPlasticity};
+use spikedyn::{Method, Trainer};
+
+fn main() {
+    let args: Vec<f32> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
+    let (tp, ep, td, ts, gi) = (args[0], args[1], args[2], args[3], *args.get(4).unwrap_or(&4.0));
+    let spt = *args.get(5).unwrap_or(&20.0) as u64;
+    let mut scores = Vec::new();
+    for seed in [42u64, 7, 1234] {
+        let gen = SyntheticDigits::new(seed);
+        let n_exc = 100;
+        let prep = |v: Vec<snn_data::Image>| -> Vec<snn_data::Image> {
+            v.into_iter().map(|i| i.downsample(2)).collect()
+        };
+        // Build SpikeDyn manually with overridden params.
+        let mut tr = Trainer::new(Method::SpikeDyn, 196, n_exc, PresentConfig::fast(), seed).with_max_rate(255.0);
+        // Swap in a custom-built network + rule via rebuild
+        let policy = ThetaPolicy::with_theta_plus(100.0, tp);
+        let mut cfg_net = SnnConfig::direct_lateral(196, n_exc);
+        cfg_net.adapt = Some(policy.to_adaptive_threshold());
+        cfg_net.norm_target = None;
+        cfg_net.inhibition = Inhibition::DirectLateral { g_inh: gi };
+        tr.net = Snn::new(cfg_net, &mut seeded_rng(derive_seed(seed, 1)));
+        let mut rule_cfg = SpikeDynConfig::for_network(n_exc);
+        rule_cfg.eta_post = ep;
+        rule_cfg.tau_decay_ms = td;
+        rule_cfg.t_step_ms = ts;
+        tr.set_plasticity(Box::new(SpikeDynPlasticity::new(rule_cfg, 196, n_exc)));
+        let mut recents = Vec::new();
+        for (k, task) in (0..10u8).enumerate() {
+            tr.train_on(&prep(dynamic_stream(&gen, &[task], spt, 0)));
+            let seen: Vec<u8> = (0..=k as u8).collect();
+            let assign = prep(eval_set(&gen, &seen, 6, 1_000_000, seed));
+            let a = tr.fit_assignment(&assign, 10);
+            let ev = prep(eval_set(&gen, &[task], 10, 2_000_000, seed));
+            let cm = tr.evaluate(&a, &ev);
+            recents.push(cm.per_class_accuracy()[task as usize].unwrap_or(0.0));
+        }
+        let assign = prep(eval_set(&gen, &(0..10).collect::<Vec<_>>(), 6, 1_000_000, seed));
+        let a = tr.fit_assignment(&assign, 10);
+        let ev = prep(eval_set(&gen, &(0..10).collect::<Vec<_>>(), 10, 2_000_000, seed));
+        let cm: ConfusionMatrix = tr.evaluate(&a, &ev);
+        let recent = recents.iter().sum::<f64>() / 10.0;
+        let prev = cm.accuracy();
+        println!("  seed{seed:5}: recent={:5.1} prev={:5.1} {:?}", recent*100.0, prev*100.0,
+                 recents.iter().map(|a| (a*100.0) as i32).collect::<Vec<_>>());
+        scores.push((recent, prev));
+    }
+    let ar = scores.iter().map(|s| s.0).sum::<f64>() / 3.0;
+    let ap = scores.iter().map(|s| s.1).sum::<f64>() / 3.0;
+    println!("θ+={tp} ηp={ep} τd={td} ts={ts} gi={gi} => RECENT {:.1} PREV {:.1}", ar * 100.0, ap * 100.0);
+}

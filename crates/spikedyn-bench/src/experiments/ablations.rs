@@ -1,0 +1,191 @@
+//! Ablations of SpikeDyn's design choices (DESIGN.md §5).
+//!
+//! 1. **Timestep gating** (spurious-update reduction): Alg. 2 with
+//!    `tstep = dt` degenerates to per-step updates; comparing weight-update
+//!    op counts and accuracy isolates the gating's contribution.
+//! 2. **Adaptive learning rates**: clamping `kp ≡ 1` removes Eq. 1(a).
+//! 3. **`wdecay ∝ 1/nexc` scaling**: running both sizes with the *same*
+//!    constant decay tests the paper's proportionality argument.
+//! 4. **Bit precision (`BP`)**: quantising the trained weights to 8/4/2
+//!    bits trades the paper's `mem = (Pw + Pn) · BP` footprint against
+//!    accuracy.
+
+use snn_core::rng::{derive_seed, seeded_rng};
+use snn_core::network::Snn;
+use spikedyn::eval::run_dynamic_with;
+use spikedyn::learning::{SpikeDynConfig, SpikeDynPlasticity};
+use spikedyn::{Method, Trainer};
+
+use crate::output::{pct, Table};
+use crate::scale::HarnessScale;
+
+fn spikedyn_with(
+    n_exc: usize,
+    scale: &HarnessScale,
+    tweak: impl FnOnce(SpikeDynConfig) -> SpikeDynConfig,
+) -> (Trainer, spikedyn::eval::ProtocolConfig) {
+    let cfg = scale.protocol(Method::SpikeDyn, n_exc);
+    let mut trainer = Trainer::with_compression(
+        Method::SpikeDyn,
+        cfg.n_input(),
+        n_exc,
+        cfg.present,
+        cfg.time_compression,
+        scale.seed,
+    )
+    .with_max_rate(cfg.max_rate_hz);
+    // Rebuild the network with a fresh seed so all variants start equal.
+    trainer.net = Snn::new(
+        trainer.net.config.clone(),
+        &mut seeded_rng(derive_seed(scale.seed, 0xAB)),
+    );
+    let rule_cfg = tweak(SpikeDynConfig::for_network(n_exc).compressed(cfg.time_compression));
+    trainer.set_plasticity(Box::new(SpikeDynPlasticity::new(
+        rule_cfg,
+        cfg.n_input(),
+        n_exc,
+    )));
+    (trainer, cfg)
+}
+
+/// Runs the ablation suite and returns the rendered report.
+pub fn run(scale: &HarnessScale) -> String {
+    let mut out = String::new();
+    let n_exc = scale.n_small;
+
+    // --- 1. timestep gating ---
+    let mut gating = Table::new(
+        "Ablation: timestep-gated vs per-step updates (SpikeDyn, N200)",
+        &["variant", "weight-update ops/sample", "kernels/sample", "avg recent acc %"],
+    );
+    for (label, t_step) in [("gated (tstep=10ms)", 10.0f32), ("per-step (tstep=dt)", 1.0)] {
+        let (mut trainer, cfg) = spikedyn_with(n_exc, scale, |c| SpikeDynConfig {
+            t_step_ms: t_step,
+            ..c
+        });
+        let report = run_dynamic_with(&mut trainer, &cfg);
+        gating.row(&[
+            label.into(),
+            report.train_sample_ops.weight_updates.to_string(),
+            report.train_sample_ops.kernel_launches.to_string(),
+            pct(report.avg_recent()),
+        ]);
+    }
+    out.push_str(&gating.render());
+    let _ = gating.write_csv("ablation_timestep");
+
+    // --- 2. adaptive kp vs fixed kp ---
+    let mut rates = Table::new(
+        "Ablation: adaptive kp (Eq. 1a) vs fixed kp=1 (SpikeDyn, N200)",
+        &["variant", "avg recent acc %", "avg previous acc %"],
+    );
+    for (label, kp_max) in [("adaptive kp", 4.0f32), ("fixed kp=1", 1.0)] {
+        let (mut trainer, cfg) = spikedyn_with(n_exc, scale, |c| SpikeDynConfig {
+            kp_max,
+            ..c
+        });
+        let report = run_dynamic_with(&mut trainer, &cfg);
+        rates.row(&[
+            label.into(),
+            pct(report.avg_recent()),
+            pct(report.avg_previous()),
+        ]);
+    }
+    out.push_str(&rates.render());
+    let _ = rates.write_csv("ablation_rates");
+
+    // --- 3. wdecay ∝ 1/nexc vs constant ---
+    let mut decay = Table::new(
+        "Ablation: wdecay ∝ 1/nexc vs constant wdecay across sizes",
+        &["size", "scaled (c/n)", "constant (N400 value)", "avg recent scaled %", "avg recent const %"],
+    );
+    let constant = SpikeDynConfig::C_WDECAY / scale.n_large as f32;
+    for (label, n) in scale.sizes() {
+        let (mut t_scaled, cfg) = spikedyn_with(n, scale, |c| c);
+        let scaled_acc = run_dynamic_with(&mut t_scaled, &cfg).avg_recent();
+        let (mut t_const, cfg) = spikedyn_with(n, scale, |c| c.with_w_decay(constant));
+        let const_acc = run_dynamic_with(&mut t_const, &cfg).avg_recent();
+        decay.row(&[
+            label.into(),
+            format!("{:.1e}", SpikeDynConfig::C_WDECAY / n as f32),
+            format!("{constant:.1e}"),
+            pct(scaled_acc),
+            pct(const_acc),
+        ]);
+    }
+    out.push_str(&decay.render());
+    let _ = decay.write_csv("ablation_decay_scaling");
+
+    // --- 4. bit-precision (BP) quantisation ---
+    let mut quant = Table::new(
+        "Ablation: weight bit precision BP vs accuracy (SpikeDyn, N200)",
+        &["BP", "weight memory [KB]", "max quant error", "avg previous acc %"],
+    );
+    {
+        use snn_core::quantize::{quantize_in_place, QuantizedWeights};
+        let cfg = scale.protocol(Method::SpikeDyn, n_exc);
+        // Train once at full precision.
+        let (mut trainer, _) = spikedyn_with(n_exc, scale, |c| c);
+        let gen = snn_data::SyntheticDigits::new(cfg.seed);
+        let prep = |v: Vec<snn_data::Image>| -> Vec<snn_data::Image> {
+            v.into_iter()
+                .map(|i| if cfg.downsample > 1 { i.downsample(cfg.downsample) } else { i })
+                .collect()
+        };
+        let classes: Vec<u8> = cfg.tasks.clone();
+        for &task in &classes {
+            trainer.train_on(&prep(snn_data::dynamic_stream(
+                &gen,
+                &[task],
+                cfg.samples_per_task,
+                0,
+            )));
+        }
+        let assign = prep(snn_data::eval_set(&gen, &classes, cfg.assign_per_class, 1_000_000, cfg.seed));
+        let eval = prep(snn_data::eval_set(&gen, &classes, cfg.eval_per_class, 2_000_000, cfg.seed));
+        let full_weights = trainer.net.weights.clone();
+        for bits in [32u8, 8, 4, 2] {
+            trainer.net.weights = full_weights.clone();
+            let (bytes, err) = if bits == 32 {
+                (full_weights.len() * 4, 0.0)
+            } else {
+                let q = QuantizedWeights::quantize(&full_weights, bits).expect("valid width");
+                let err = quantize_in_place(&mut trainer.net.weights, bits).expect("valid width");
+                (q.packed_bytes(), err)
+            };
+            let assignment = trainer.fit_assignment(&assign, 10);
+            let cm = trainer.evaluate(&assignment, &eval);
+            quant.row(&[
+                format!("{bits}-bit"),
+                format!("{:.0}", bytes as f64 / 1024.0),
+                format!("{err:.4}"),
+                pct(cm.accuracy()),
+            ]);
+        }
+        trainer.net.weights = full_weights;
+    }
+    out.push_str(&quant.render());
+    let _ = quant.write_csv("ablation_bit_precision");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gating_reduces_update_work() {
+        let scale = HarnessScale {
+            samples_per_task: 3,
+            n_small: 20,
+            n_large: 30,
+            eval_per_class: 2,
+            assign_per_class: 2,
+            ..Default::default()
+        };
+        let report = run(&scale);
+        assert!(report.contains("timestep-gated"));
+        assert!(report.contains("adaptive kp"));
+        assert!(report.contains("wdecay"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Fig. 5 — validation of the analytical models and the exploration-time
+//! savings of the model search (§III-C).
+//!
+//! (a) analytical memory `(Pw+Pn)·BP` vs actually allocated bytes for
+//! N100/200/400 — the paper claims < 5 % error;
+//! (b,c) analytical energy `E = E1·N` (single-sample probe, extrapolated)
+//! vs a measured multi-sample "actual run" for training and inference;
+//! (d,e) exploration time of Alg. 1's single-sample probes vs exhaustive
+//! full runs per candidate size.
+
+use neuro_energy::{relative_error, BitPrecision, GpuSpec};
+use snn_core::config::PresentConfig;
+use snn_core::ops::OpCounts;
+use snn_core::rng::{derive_seed, seeded_rng};
+use snn_core::sim::run_sample;
+use snn_data::SyntheticDigits;
+use spikedyn::arch::{spikedyn_network, ThetaPolicy};
+use spikedyn::learning::{SpikeDynConfig, SpikeDynPlasticity};
+use spikedyn::search::{search, spikedyn_memory_bytes, SearchConstraints, SearchSpec};
+
+use crate::output::Table;
+use crate::scale::HarnessScale;
+
+const SIZES: [usize; 3] = [100, 200, 400];
+const N_TRAIN: u64 = 60_000;
+const N_INFER: u64 = 10_000;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(scale: &HarnessScale) -> String {
+    let mut out = String::new();
+    let gpu = GpuSpec::gtx_1080_ti();
+
+    // --- (a) memory model validation at native 784-input size ---
+    let mut mem = Table::new(
+        "Fig. 5(a): memory [KB] — analytical vs actual (784 inputs, FP32)",
+        &["n_exc", "analytical", "actual", "error %", "paper"],
+    );
+    for n in SIZES {
+        let analytical = spikedyn_memory_bytes(784, n, BitPrecision::FP32);
+        let net = spikedyn_network(
+            784,
+            n,
+            ThetaPolicy::for_presentation(350.0),
+            &mut seeded_rng(scale.seed),
+        );
+        // Actual state = network buffers + the learning rule's counters.
+        let actual = net.actual_memory_bytes() + (784 + n) * 4;
+        let err = relative_error(analytical as f64, actual as f64);
+        mem.row(&[
+            n.to_string(),
+            format!("{:.0}", analytical as f64 / 1024.0),
+            format!("{:.0}", actual as f64 / 1024.0),
+            format!("{:.2}", err * 100.0),
+            "<5%".into(),
+        ]);
+    }
+    out.push_str(&mem.render());
+    let _ = mem.write_csv("fig05a_memory");
+
+    // --- (b,c) energy model validation ---
+    // Probe with one sample, validate against the mean of a longer run.
+    // Retries are disabled for the probes: the paper's E1 comes from a
+    // steady-state run where re-presentations are rare, and the `E = E1·N`
+    // claim is about the extrapolation model, not retry variance.
+    let present = PresentConfig {
+        retry: None,
+        ..PresentConfig::fast()
+    };
+    let gen = SyntheticDigits::new(derive_seed(scale.seed, 5));
+    let encoder = snn_core::encoding::PoissonEncoder::new(255.0);
+    let mut etrain = Table::new(
+        "Fig. 5(b): training energy [kJ] — E1·N vs actual-run mean",
+        &["n_exc", "estimate", "actual", "error %", "paper"],
+    );
+    let mut einfer = Table::new(
+        "Fig. 5(c): inference energy [kJ] — E1·N vs actual-run mean",
+        &["n_exc", "estimate", "actual", "error %", "paper"],
+    );
+    let validation_samples = 12u64;
+    for n in SIZES {
+        let mut rng = seeded_rng(derive_seed(scale.seed, n as u64));
+        let mut net = spikedyn_network(
+            196,
+            n,
+            ThetaPolicy::for_presentation(present.t_present_ms),
+            &mut rng,
+        );
+        let mut rule = SpikeDynPlasticity::new(SpikeDynConfig::for_network(n), 196, n);
+
+        // One burn-in sample brings the network to a representative state
+        // before the single-sample probe (the paper meters a live system).
+        {
+            let img = gen.sample(0, 9999).downsample(2);
+            let rates = encoder.rates_hz(img.pixels());
+            let mut warm = OpCounts::default();
+            run_sample(&mut net, &rates, &present, Some(&mut rule), &mut rng, &mut warm);
+        }
+
+        // Training: first sample = the paper's single-sample probe.
+        let mut per_sample = Vec::new();
+        for i in 0..validation_samples {
+            let img = gen.sample((i % 10) as u8, i).downsample(2);
+            let rates = encoder.rates_hz(img.pixels());
+            let mut ops = OpCounts::default();
+            run_sample(&mut net, &rates, &present, Some(&mut rule), &mut rng, &mut ops);
+            per_sample.push(gpu.energy_j(&ops));
+        }
+        let estimate = per_sample[0] * N_TRAIN as f64;
+        let actual =
+            per_sample.iter().sum::<f64>() / validation_samples as f64 * N_TRAIN as f64;
+        etrain.row(&[
+            n.to_string(),
+            format!("{:.1}", estimate / 1e3),
+            format!("{:.1}", actual / 1e3),
+            format!("{:.2}", relative_error(estimate, actual) * 100.0),
+            "<5%".into(),
+        ]);
+
+        // Inference.
+        let infer_present = PresentConfig {
+            t_rest_ms: 0.0,
+            ..present
+        };
+        let mut per_sample = Vec::new();
+        for i in 0..validation_samples {
+            let img = gen.sample((i % 10) as u8, 100 + i).downsample(2);
+            let rates = encoder.rates_hz(img.pixels());
+            let mut ops = OpCounts::default();
+            run_sample(&mut net, &rates, &infer_present, None, &mut rng, &mut ops);
+            per_sample.push(gpu.energy_j(&ops));
+        }
+        let estimate = per_sample[0] * N_INFER as f64;
+        let actual =
+            per_sample.iter().sum::<f64>() / validation_samples as f64 * N_INFER as f64;
+        einfer.row(&[
+            n.to_string(),
+            format!("{:.1}", estimate / 1e3),
+            format!("{:.1}", actual / 1e3),
+            format!("{:.2}", relative_error(estimate, actual) * 100.0),
+            "<5%".into(),
+        ]);
+    }
+    out.push_str(&etrain.render());
+    out.push_str(&einfer.render());
+    let _ = etrain.write_csv("fig05b_train_energy");
+    let _ = einfer.write_csv("fig05c_infer_energy");
+
+    // --- (d,e) exploration time: Alg. 1 vs exhaustive actual runs ---
+    let spec = SearchSpec {
+        n_input: 196,
+        n_add: 100,
+        n_train: N_TRAIN,
+        n_infer: N_INFER,
+        bp: BitPrecision::FP32,
+        present,
+        seed: scale.seed,
+    };
+    let constraints = SearchConstraints {
+        mem_bytes: spikedyn_memory_bytes(196, 400, BitPrecision::FP32) + 1,
+        e_train_j: f64::INFINITY,
+        e_infer_j: f64::INFINITY,
+    };
+    let result = search(&spec, &constraints, &gpu);
+    let mut expl = Table::new(
+        "Fig. 5(d,e): exploration duration [s] per candidate (GTX 1080 Ti model)",
+        &["n_exc", "actual run (train)", "algorithm (train)", "actual run (infer)", "algorithm (infer)"],
+    );
+    for c in &result.explored {
+        let p = gpu.avg_power_w;
+        expl.row(&[
+            c.n_exc.to_string(),
+            format!("{:.0}", c.e_train_j / p),
+            format!("{:.3}", c.e1_train_j / p),
+            format!("{:.0}", c.e_infer_j / p),
+            format!("{:.3}", c.e1_infer_j / p),
+        ]);
+    }
+    out.push_str(&expl.render());
+    out.push_str(&format!(
+        "total search cost {:.2} s vs exhaustive {:.0} s → speedup {:.0}×\n",
+        result.search_cost_s,
+        result.exhaustive_cost_s,
+        result.speedup()
+    ));
+    let _ = expl.write_csv("fig05de_exploration");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_memory_error_is_within_paper_bound() {
+        // The <5 % claim must hold structurally, not just in the report.
+        for n in SIZES {
+            let analytical = spikedyn_memory_bytes(784, n, BitPrecision::FP32);
+            let net = spikedyn_network(
+                784,
+                n,
+                ThetaPolicy::for_presentation(350.0),
+                &mut seeded_rng(1),
+            );
+            let actual = net.actual_memory_bytes() + (784 + n) * 4;
+            assert!(
+                relative_error(analytical as f64, actual as f64) < 0.05,
+                "memory model error exceeds 5% at n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 9 — the headline accuracy comparison (§V-A).
+//!
+//! Dynamic environments, for N200 and N400:
+//! * (a.1/b.1) accuracy on the most recently learned task — SpikeDyn
+//!   improves over ASP by up to 38 % (avg 23 %) at N200 and up to 29 %
+//!   (avg 21 %) at N400;
+//! * (a.2/b.2) accuracy on previously learned tasks after the full
+//!   sequence — SpikeDyn improves over ASP by avg 4 % (N200) / 8 % (N400);
+//!   the baseline is worst.
+//!
+//! Non-dynamic environments (c.1/c.2): accuracy over the number of
+//! training samples; all methods comparable.
+
+use spikedyn::{run_dynamic, run_non_dynamic, Method};
+
+use crate::output::{pct, Table};
+use crate::scale::HarnessScale;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(scale: &HarnessScale) -> String {
+    let mut out = String::new();
+
+    for (label, n_exc) in scale.sizes() {
+        let mut recent = Table::new(
+            &format!("Fig. 9 ({label}): most-recently-learned-task accuracy [%], dynamic"),
+            &[
+                "method", "d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "avg",
+            ],
+        );
+        let mut previous = Table::new(
+            &format!("Fig. 9 ({label}): previously-learned-tasks accuracy [%], dynamic"),
+            &[
+                "method", "d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "avg",
+            ],
+        );
+        let mut spikedyn_vs_asp = (0.0, 0.0);
+        let mut asp_recent = 0.0;
+        let mut asp_prev = 0.0;
+        for method in Method::all() {
+            let report = run_dynamic(&scale.protocol(method, n_exc));
+            let mut row = vec![method.label().to_string()];
+            row.extend(report.recent_task_acc.iter().map(|&a| pct(a)));
+            row.push(pct(report.avg_recent()));
+            recent.row(&row);
+            let mut row = vec![method.label().to_string()];
+            row.extend(
+                report
+                    .previous_tasks_acc
+                    .iter()
+                    .map(|a| a.map_or("-".to_string(), pct)),
+            );
+            row.push(pct(report.avg_previous()));
+            previous.row(&row);
+            match method {
+                Method::Asp => {
+                    asp_recent = report.avg_recent();
+                    asp_prev = report.avg_previous();
+                }
+                Method::SpikeDyn => {
+                    spikedyn_vs_asp = (report.avg_recent(), report.avg_previous());
+                }
+                Method::Baseline => {}
+            }
+        }
+        out.push_str(&recent.render());
+        out.push_str(&previous.render());
+        out.push_str(&format!(
+            "{label}: SpikeDyn − ASP = {:+.1} pts recent (paper avg +{}), {:+.1} pts previous (paper avg +{})\n\n",
+            (spikedyn_vs_asp.0 - asp_recent) * 100.0,
+            if n_exc == scale.n_small { "23" } else { "21" },
+            (spikedyn_vs_asp.1 - asp_prev) * 100.0,
+            if n_exc == scale.n_small { "4" } else { "8" },
+        ));
+        let _ = recent.write_csv(&format!("fig09_recent_{label}"));
+        let _ = previous.write_csv(&format!("fig09_previous_{label}"));
+    }
+
+    // Non-dynamic: accuracy over the presentation of training samples.
+    let total = scale.samples_per_task * 10;
+    let checkpoints: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|f| ((total as f64 * f) as u64).max(1))
+        .collect();
+    for (label, n_exc) in scale.sizes() {
+        let mut table = Table::new(
+            &format!("Fig. 9 (c, {label}): non-dynamic accuracy [%] vs training samples"),
+            &["method", "samples", "accuracy"],
+        );
+        for method in Method::all() {
+            let report = run_non_dynamic(&scale.protocol(method, n_exc), &checkpoints);
+            for &(samples, acc) in &report.checkpoints {
+                table.row(&[
+                    method.label().into(),
+                    samples.to_string(),
+                    pct(acc),
+                ]);
+            }
+        }
+        out.push_str(&table.render());
+        let _ = table.write_csv(&format!("fig09c_nondynamic_{label}"));
+    }
+    out.push_str("paper shape (c): all three methods comparable, rising with sample count.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale() {
+        let scale = HarnessScale {
+            samples_per_task: 3,
+            n_small: 16,
+            n_large: 24,
+            eval_per_class: 2,
+            assign_per_class: 2,
+            ..Default::default()
+        };
+        let report = run(&scale);
+        assert!(report.contains("most-recently-learned"));
+        assert!(report.contains("non-dynamic"));
+        assert!(report.contains("SpikeDyn"));
+    }
+}

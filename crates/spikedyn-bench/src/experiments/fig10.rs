@@ -1,0 +1,60 @@
+//! Fig. 10 — confusion matrices of SpikeDyn for classifying the
+//! previously learned tasks (§V-A).
+//!
+//! The paper highlights that digit-4 is frequently misclassified as
+//! digit-9 (label 1 in Fig. 10b): their overlapped features and the task
+//! order make neurons that learned 4 drift toward 9.
+
+use spikedyn::{run_dynamic, Method};
+
+use crate::output::Table;
+use crate::scale::HarnessScale;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(scale: &HarnessScale) -> String {
+    let mut out = String::new();
+    for (label, n_exc) in scale.sizes() {
+        let report = run_dynamic(&scale.protocol(Method::SpikeDyn, n_exc));
+        out.push_str(&format!(
+            "=== Fig. 10 ({label}): SpikeDyn confusion matrix (previously learned tasks) ===\n"
+        ));
+        out.push_str(&report.confusion.to_table());
+        if let Some((t, p, c)) = report.confusion.worst_confusion() {
+            out.push_str(&format!(
+                "worst confusion: digit-{t} predicted as digit-{p} ({c} samples); paper: 4 → 9\n\n"
+            ));
+        }
+        // CSV: full matrix.
+        let mut csv = Table::new(
+            &format!("fig10 confusion {label}"),
+            &["target", "predicted", "count"],
+        );
+        for t in 0..10u8 {
+            for p in 0..10u8 {
+                csv.row(&[t.to_string(), p.to_string(), report.confusion.get(t, p).to_string()]);
+            }
+        }
+        let _ = csv.write_csv(&format!("fig10_confusion_{label}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrices_render() {
+        let scale = HarnessScale {
+            samples_per_task: 3,
+            n_small: 16,
+            n_large: 24,
+            eval_per_class: 2,
+            assign_per_class: 2,
+            ..Default::default()
+        };
+        let report = run(&scale);
+        assert!(report.contains("confusion matrix"));
+        assert!(report.contains("tgt\\pred"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 11 — energy consumption normalised to the baseline, across the
+//! three GPUs, both network sizes and both phases (§V-B).
+//!
+//! Paper: for N200, SpikeDyn cuts energy vs ASP by up to 59 % (avg 57 %)
+//! training and up to 54 % (avg 51 %) inference; for N400, up to 66 %
+//! (avg 51 %) training and up to 54 % (avg 37 %) inference. Training
+//! savings come from eliminating the inhibitory neurons, the spurious
+//! updates and the exponential calculations; inference savings mainly
+//! from eliminating the inhibitory neurons.
+
+use neuro_energy::all_gpus;
+use spikedyn::Method;
+
+use crate::experiments::meter_method;
+use crate::output::{ratio, Table};
+use crate::scale::HarnessScale;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(scale: &HarnessScale) -> String {
+    let mut out = String::new();
+    let mut table = Table::new(
+        "Fig. 11: energy normalised to Baseline",
+        &["gpu", "size", "phase", "Baseline", "ASP", "SpikeDyn", "SpikeDyn vs ASP"],
+    );
+    let mut spikedyn_vs_asp_train = Vec::new();
+    let mut spikedyn_vs_asp_infer = Vec::new();
+    for (label, n_exc) in scale.sizes() {
+        // Op counts are GPU-independent; meter once per (method, size).
+        let metered: Vec<_> = Method::all()
+            .iter()
+            .map(|&m| (m, meter_method(m, n_exc, scale)))
+            .collect();
+        for gpu in all_gpus() {
+            for (phase, pick) in [("training", 0usize), ("inference", 1usize)] {
+                let energies: Vec<f64> = metered
+                    .iter()
+                    .map(|(_, (t, i))| {
+                        let ops = if pick == 0 { t } else { i };
+                        gpu.energy_j(ops)
+                    })
+                    .collect();
+                let base = energies[0];
+                let asp = energies[1] / base;
+                let sd = energies[2] / base;
+                let saving = 1.0 - energies[2] / energies[1];
+                if phase == "training" {
+                    spikedyn_vs_asp_train.push(saving);
+                } else {
+                    spikedyn_vs_asp_infer.push(saving);
+                }
+                table.row(&[
+                    gpu.name.clone(),
+                    label.into(),
+                    phase.into(),
+                    "1.00".into(),
+                    ratio(asp),
+                    ratio(sd),
+                    format!("-{:.0}%", saving * 100.0),
+                ]);
+            }
+        }
+    }
+    out.push_str(&table.render());
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+    out.push_str(&format!(
+        "SpikeDyn vs ASP savings: training avg {:.0}% (paper avg 51-57%), inference avg {:.0}% (paper avg 37-51%)\n",
+        avg(&spikedyn_vs_asp_train),
+        avg(&spikedyn_vs_asp_infer)
+    ));
+    let _ = table.write_csv("fig11_energy");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spikedyn_always_cheapest() {
+        let scale = HarnessScale {
+            samples_per_task: 3,
+            n_small: 20,
+            n_large: 30,
+            eval_per_class: 2,
+            assign_per_class: 2,
+            ..Default::default()
+        };
+        let report = run(&scale);
+        assert!(report.contains("Fig. 11"));
+        // Every SpikeDyn-vs-ASP cell must be a saving (negative sign in
+        // the rendered column).
+        for line in report.lines().filter(|l| l.contains("training") || l.contains("inference")) {
+            assert!(line.contains("-"), "expected a saving in: {line}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Table I — GPU specifications (§IV), plus this reproduction's
+//! calibrated cost-model constants.
+
+use neuro_energy::all_gpus;
+
+use crate::output::Table;
+use crate::scale::HarnessScale;
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(_scale: &HarnessScale) -> String {
+    let mut table = Table::new(
+        "Table I: GPU specifications (paper) + calibrated cost constants (ours)",
+        &[
+            "category",
+            "Jetson Nano",
+            "GTX 1080 Ti",
+            "RTX 2080 Ti",
+        ],
+    );
+    let gpus = all_gpus();
+    let col = |f: &dyn Fn(&neuro_energy::GpuSpec) -> String| -> Vec<String> {
+        gpus.iter().map(|g| f(g)).collect()
+    };
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        ("Architecture", col(&|g| g.architecture.clone())),
+        ("CUDA cores", col(&|g| g.cuda_cores.to_string())),
+        ("Memory", col(&|g| format!("{}GB {}", g.memory_gib, g.memory_type))),
+        ("Interface width", col(&|g| format!("{}-bit", g.interface_bits))),
+        ("Power", col(&|g| format!("{}W", g.tdp_w))),
+        ("Kernel latency (calibrated)", col(&|g| format!("{:.0} µs", g.kernel_latency_us))),
+        ("Elem throughput (calibrated)", col(&|g| format!("{:.1} Gop/s", g.elem_throughput_ops / 1e9))),
+        ("Avg draw during sim (calibrated)", col(&|g| format!("{:.1} W", g.avg_power_w))),
+    ];
+    for (name, cells) in rows {
+        table.row(&[
+            name.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    let out = table.render();
+    let _ = table.write_csv("table01_gpus");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_paper_values() {
+        let report = run(&HarnessScale::default());
+        assert!(report.contains("Maxwell"));
+        assert!(report.contains("3584"));
+        assert!(report.contains("4352"));
+        assert!(report.contains("10W"));
+        assert!(report.contains("250W"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Table II — processing time of SpikeDyn on the full MNIST dataset
+//! (§V-B).
+//!
+//! SpikeDyn training/inference is metered for one sample at the paper's
+//! native scale (784 inputs, 0.5 ms steps, 350 ms + 150 ms presentation)
+//! and extrapolated to 60 k training / 10 k test samples on each GPU's
+//! calibrated cost model; the paper's reported hours are printed beside.
+
+use neuro_energy::time::{table2_reference, ProcessingTime};
+use neuro_energy::{all_gpus, GpuSpec};
+use snn_core::config::PresentConfig;
+use snn_core::encoding::PoissonEncoder;
+use snn_core::ops::OpCounts;
+use snn_core::rng::{derive_seed, seeded_rng};
+use snn_core::sim::run_sample;
+use snn_data::SyntheticDigits;
+use spikedyn::arch::{spikedyn_network, ThetaPolicy};
+use spikedyn::learning::{SpikeDynConfig, SpikeDynPlasticity};
+
+use crate::output::Table;
+use crate::scale::HarnessScale;
+
+/// Meters one paper-scale training and inference sample of SpikeDyn at
+/// the given size, returning `(train_ops, infer_ops)`.
+pub fn meter_paper_scale(n_exc: usize, seed: u64) -> (OpCounts, OpCounts) {
+    let present = PresentConfig::default();
+    let gen = SyntheticDigits::new(derive_seed(seed, 0x72));
+    let img = gen.sample(0, 0);
+    let encoder = PoissonEncoder::default();
+    let rates = encoder.rates_hz(img.pixels());
+    let mut rng = seeded_rng(derive_seed(seed, n_exc as u64));
+    let mut net = spikedyn_network(
+        784,
+        n_exc,
+        ThetaPolicy::for_presentation(present.t_present_ms),
+        &mut rng,
+    );
+    let mut rule = SpikeDynPlasticity::new(SpikeDynConfig::for_network(n_exc), 784, n_exc);
+    let mut train_ops = OpCounts::default();
+    run_sample(&mut net, &rates, &present, Some(&mut rule), &mut rng, &mut train_ops);
+    let infer_present = PresentConfig {
+        t_rest_ms: 0.0,
+        ..present
+    };
+    let mut infer_ops = OpCounts::default();
+    run_sample(&mut net, &rates, &infer_present, None, &mut rng, &mut infer_ops);
+    (train_ops, infer_ops)
+}
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(scale: &HarnessScale) -> String {
+    let mut table = Table::new(
+        "Table II: SpikeDyn processing time on full MNIST (hours; per-image seconds)",
+        &[
+            "gpu", "n_exc", "train ours", "train paper", "infer ours", "infer paper",
+            "per-img ours", "per-img paper",
+        ],
+    );
+    let refs = table2_reference();
+    for n_exc in [200usize, 400] {
+        let (train_ops, infer_ops) = meter_paper_scale(n_exc, scale.seed);
+        for gpu in all_gpus() {
+            let t = ProcessingTime::from_samples(&gpu, &train_ops, &infer_ops, 60_000, 10_000);
+            let r = refs
+                .iter()
+                .find(|r| r.gpu == gpu.name && r.n_exc == n_exc)
+                .expect("reference row exists");
+            table.row(&[
+                gpu.name.clone(),
+                n_exc.to_string(),
+                format!("{:.1}", t.train_h),
+                format!("{:.1}", r.train_h),
+                format!("{:.1}", t.infer_h),
+                format!("{:.1}", r.infer_h),
+                format!("{:.2}s", t.per_image_s),
+                format!("{:.2}s", r.per_image_s),
+            ]);
+        }
+    }
+    let out = table.render();
+    let _ = table.write_csv("table02_time");
+    out
+}
+
+/// Re-derives per-GPU calibration from the Table II reference rows and
+/// this build's measured op counts (exposed for the calibration test).
+pub fn calibration_check(gpu: &GpuSpec, n200: &OpCounts, n400: &OpCounts) -> Option<(f64, f64)> {
+    let refs = table2_reference();
+    let t200 = refs.iter().find(|r| r.gpu == gpu.name && r.n_exc == 200)?;
+    let t400 = refs.iter().find(|r| r.gpu == gpu.name && r.n_exc == 400)?;
+    GpuSpec::calibrate(
+        (&n200.scaled(60_000), t200.train_h * 3600.0),
+        (&n400.scaled(60_000), t400.train_h * 3600.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictions_land_in_paper_ballpark() {
+        // The model is calibrated against Table II; predictions should be
+        // within ~40 % of every cell (shape reproduction, not identity).
+        let (t200, i200) = meter_paper_scale(200, 42);
+        let refs = table2_reference();
+        for gpu in all_gpus() {
+            let t = ProcessingTime::from_samples(&gpu, &t200, &i200, 60_000, 10_000);
+            let r = refs
+                .iter()
+                .find(|r| r.gpu == gpu.name && r.n_exc == 200)
+                .unwrap();
+            let err = (t.train_h - r.train_h).abs() / r.train_h;
+            assert!(
+                err < 0.4,
+                "{}: predicted {:.1} h vs paper {:.1} h",
+                gpu.name,
+                t.train_h,
+                r.train_h
+            );
+        }
+    }
+
+    #[test]
+    fn jetson_is_slowest_and_ordering_holds() {
+        let (t, i) = meter_paper_scale(200, 42);
+        let hours: Vec<f64> = all_gpus()
+            .iter()
+            .map(|g| ProcessingTime::from_samples(g, &t, &i, 60_000, 10_000).train_h)
+            .collect();
+        assert!(hours[0] > hours[1], "Jetson slower than 1080 Ti");
+        assert!(hours[1] > hours[2], "1080 Ti slower than 2080 Ti");
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared experiment scale configuration and CLI parsing.
+
+use spikedyn::eval::ProtocolConfig;
+use spikedyn::Method;
+
+/// The paper's samples-per-task on MNIST.
+pub const PAPER_SAMPLES_PER_TASK: u64 = 6000;
+
+/// Scale knobs common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessScale {
+    /// Samples per task in dynamic runs.
+    pub samples_per_task: u64,
+    /// The small network size (paper: N200).
+    pub n_small: usize,
+    /// The large network size (paper: N400).
+    pub n_large: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Labelled samples per class for neuron→class assignment.
+    pub assign_per_class: u64,
+    /// Held-out samples per class for accuracy measurement.
+    pub eval_per_class: u64,
+}
+
+impl Default for HarnessScale {
+    fn default() -> Self {
+        HarnessScale {
+            samples_per_task: 40,
+            n_small: 200,
+            n_large: 400,
+            seed: 42,
+            assign_per_class: 6,
+            eval_per_class: 10,
+        }
+    }
+}
+
+impl HarnessScale {
+    /// Parses `--spt`, `--seed`, `--n-small`, `--n-large`, `--eval`,
+    /// `--assign` from the process arguments, falling back to defaults.
+    pub fn from_args() -> Self {
+        let mut scale = HarnessScale::default();
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<u64> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        if let Some(v) = get("--spt") {
+            scale.samples_per_task = v;
+        }
+        if let Some(v) = get("--seed") {
+            scale.seed = v;
+        }
+        if let Some(v) = get("--n-small") {
+            scale.n_small = v as usize;
+        }
+        if let Some(v) = get("--n-large") {
+            scale.n_large = v as usize;
+        }
+        if let Some(v) = get("--eval") {
+            scale.eval_per_class = v;
+        }
+        if let Some(v) = get("--assign") {
+            scale.assign_per_class = v;
+        }
+        scale
+    }
+
+    /// Temporal compression of this scale relative to the paper.
+    pub fn compression(&self) -> f32 {
+        PAPER_SAMPLES_PER_TASK as f32 / self.samples_per_task.max(1) as f32
+    }
+
+    /// Builds the dynamic/non-dynamic protocol config for one method and
+    /// network size at this scale.
+    pub fn protocol(&self, method: Method, n_exc: usize) -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::fast(method, n_exc);
+        cfg.samples_per_task = self.samples_per_task;
+        cfg.assign_per_class = self.assign_per_class;
+        cfg.eval_per_class = self.eval_per_class;
+        cfg.seed = self.seed;
+        cfg.time_compression = self.compression();
+        cfg
+    }
+
+    /// `(label, n_exc)` pairs for the two paper network sizes.
+    pub fn sizes(&self) -> [(&'static str, usize); 2] {
+        [("N200", self.n_small), ("N400", self.n_large)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_tuned_operating_point() {
+        let s = HarnessScale::default();
+        assert_eq!(s.samples_per_task, 40);
+        assert!((s.compression() - 150.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn protocol_inherits_scale() {
+        let s = HarnessScale {
+            samples_per_task: 20,
+            seed: 9,
+            ..Default::default()
+        };
+        let cfg = s.protocol(Method::SpikeDyn, 100);
+        assert_eq!(cfg.samples_per_task, 20);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.n_exc, 100);
+        assert!((cfg.time_compression - 300.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sizes_are_labelled() {
+        let s = HarnessScale::default();
+        let sizes = s.sizes();
+        assert_eq!(sizes[0], ("N200", 200));
+        assert_eq!(sizes[1], ("N400", 400));
+    }
+}

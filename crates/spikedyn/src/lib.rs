@@ -1,0 +1,57 @@
+//! # spikedyn — the paper's primary contribution
+//!
+//! A reproduction of **SpikeDyn: A Framework for Energy-Efficient Spiking
+//! Neural Networks with Continual and Unsupervised Learning Capabilities in
+//! Dynamic Environments** (Putra & Shafique, DAC 2021, arXiv:2103.00424).
+//!
+//! The framework combines three mechanisms (paper §III):
+//!
+//! * [`arch`] — **reduced neuronal operations** (§III-B): the explicit
+//!   inhibitory layer of prior work is replaced by direct lateral
+//!   inhibition, eliminating an entire population's parameters and
+//!   per-step dynamics.
+//! * [`search`] — **memory- and energy-aware model search** (§III-C,
+//!   Alg. 1): candidate sizes are screened with analytical models —
+//!   `mem = (Pw + Pn) · BP` and `E = E1 · N` from a single-sample probe —
+//!   instead of full training runs.
+//! * [`learning`] — **continual and unsupervised learning** (§III-D,
+//!   Alg. 2): adaptive learning rates, synaptic weight decay, adaptive
+//!   membrane thresholds and timestep-gated (spurious-update-free) STDP.
+//!
+//! [`method`], [`trainer`] and [`eval`] provide the evaluation scaffolding
+//! of §IV–V: the three comparison methods (Baseline, ASP, SpikeDyn), a
+//! shared training/inference driver with operation metering, and the
+//! dynamic/non-dynamic environment protocols behind Figs. 9–10.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spikedyn::eval::{run_dynamic, ProtocolConfig};
+//! use spikedyn::method::Method;
+//!
+//! let mut cfg = ProtocolConfig::fast(Method::SpikeDyn, 12);
+//! cfg.tasks = vec![0, 1];          // two-task dynamic scenario
+//! cfg.samples_per_task = 4;        // keep the doctest quick
+//! let report = run_dynamic(&cfg);
+//! assert_eq!(report.recent_task_acc.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arch;
+pub mod eval;
+pub mod learning;
+pub mod method;
+pub mod search;
+pub mod trainer;
+
+pub use arch::{spikedyn_network, ThetaPolicy};
+pub use eval::{
+    run_dynamic, run_dynamic_with, run_non_dynamic, DynamicReport, NonDynamicReport,
+    ProtocolConfig,
+};
+pub use learning::{SpikeDynConfig, SpikeDynPlasticity};
+pub use method::Method;
+pub use search::{search, Candidate, SearchConstraints, SearchResult, SearchSpec};
+pub use trainer::Trainer;

@@ -1,0 +1,336 @@
+//! The memory- and energy-aware SNN model search (§III-C, Alg. 1).
+//!
+//! The algorithm explores increasing excitatory-layer sizes. For each
+//! candidate it *estimates* memory analytically (`mem = (Pw + Pn) · BP`)
+//! and energy by metering a **single** training and inference sample and
+//! extrapolating (`E = E1 · N`) — instead of actually running the full
+//! workload — then keeps the largest model satisfying all constraints
+//! ("larger network usually can achieve higher accuracy"). Figs. 5(d–e)
+//! quantify the exploration-time savings versus exhaustive actual runs;
+//! [`SearchResult`] carries both cost totals so the harness can reproduce
+//! them.
+
+use serde::{Deserialize, Serialize};
+use snn_core::config::PresentConfig;
+use snn_core::network::SnnConfig;
+use snn_core::ops::OpCounts;
+use snn_core::rng::{derive_seed, seeded_rng};
+use snn_core::sim::run_sample;
+use snn_data::{Image, SyntheticDigits};
+use neuro_energy::{analytical_memory_bytes, BitPrecision, GpuSpec};
+
+use crate::arch::{spikedyn_network, ThetaPolicy};
+use crate::learning::{SpikeDynConfig, SpikeDynPlasticity};
+
+/// The designer-supplied constraints of Alg. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConstraints {
+    /// Memory constraint `memc` in bytes.
+    pub mem_bytes: usize,
+    /// Training energy constraint `Ect` in joules.
+    pub e_train_j: f64,
+    /// Inference energy constraint `Eci` in joules.
+    pub e_infer_j: f64,
+}
+
+/// The search space and deployment parameters of Alg. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpec {
+    /// Input-layer width (pixels).
+    pub n_input: usize,
+    /// Size increment `nadd` between candidates.
+    pub n_add: usize,
+    /// Number of training samples the deployment will process (`N` for the
+    /// training-energy extrapolation).
+    pub n_train: u64,
+    /// Number of inference samples the deployment will process.
+    pub n_infer: u64,
+    /// Parameter bit precision `BP`.
+    pub bp: BitPrecision,
+    /// Presentation protocol used for the single-sample measurements.
+    pub present: PresentConfig,
+    /// Seed for the probe sample and weight initialisation.
+    pub seed: u64,
+}
+
+impl SearchSpec {
+    /// A reduced-scale spec for tests and the fast experiment profile.
+    pub fn fast(n_input: usize) -> Self {
+        SearchSpec {
+            n_input,
+            n_add: 100,
+            n_train: 60_000,
+            n_infer: 10_000,
+            bp: BitPrecision::FP32,
+            present: PresentConfig::fast(),
+            seed: 7,
+        }
+    }
+}
+
+/// One explored model size with its estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Excitatory neuron count of this model.
+    pub n_exc: usize,
+    /// Analytical memory footprint in bytes.
+    pub mem_bytes: usize,
+    /// Single-sample training energy `E1t` (J).
+    pub e1_train_j: f64,
+    /// Extrapolated training energy `Et = E1t · N` (J).
+    pub e_train_j: f64,
+    /// Single-sample inference energy `E1i` (J).
+    pub e1_infer_j: f64,
+    /// Extrapolated inference energy `Ei = E1i · N` (J).
+    pub e_infer_j: f64,
+    /// Whether all three constraints were met.
+    pub feasible: bool,
+}
+
+/// Outcome of the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Every explored size, feasible or not, in exploration order.
+    pub explored: Vec<Candidate>,
+    /// The selected model: the largest feasible candidate.
+    pub selected: Option<Candidate>,
+    /// Modelled GPU time the search itself spent (one training + one
+    /// inference sample per explored size) — Fig. 5(d–e)'s "our algorithm".
+    pub search_cost_s: f64,
+    /// Modelled GPU time exhaustive full runs would have spent (full
+    /// training + inference per explored size) — Fig. 5(d–e)'s
+    /// "actual run".
+    pub exhaustive_cost_s: f64,
+}
+
+impl SearchResult {
+    /// Exploration-time speedup of the estimate-based search over
+    /// exhaustive actual runs.
+    pub fn speedup(&self) -> f64 {
+        if self.search_cost_s == 0.0 {
+            return 0.0;
+        }
+        self.exhaustive_cost_s / self.search_cost_s
+    }
+}
+
+/// Analytical memory footprint of a SpikeDyn model of the given size, per
+/// the paper's `mem = (Pw + Pn) · BP` with the direct-lateral architecture.
+pub fn spikedyn_memory_bytes(n_input: usize, n_exc: usize, bp: BitPrecision) -> usize {
+    let cfg = SnnConfig::direct_lateral(n_input, n_exc);
+    analytical_memory_bytes(cfg.weight_count(), cfg.neuron_param_count(), bp)
+}
+
+/// Runs Alg. 1: explores sizes `n_add, 2·n_add, …` while the analytical
+/// memory estimate fits `memc`, metering one training and one inference
+/// sample per size on `gpu` and extrapolating with `E = E1 · N`.
+pub fn search(spec: &SearchSpec, constraints: &SearchConstraints, gpu: &GpuSpec) -> SearchResult {
+    let gen = SyntheticDigits::new(derive_seed(spec.seed, 0xA1));
+    let side = (spec.n_input as f64).sqrt().round() as usize;
+    let probe: Image = if side * side == spec.n_input && snn_data::IMAGE_SIDE % side == 0 {
+        let factor = snn_data::IMAGE_SIDE / side;
+        let img = gen.sample(0, 0);
+        if factor > 1 {
+            img.downsample(factor)
+        } else {
+            img
+        }
+    } else {
+        // Non-square input: probe with a uniform mid-intensity stimulus.
+        Image::new(spec.n_input, 1, vec![0.5; spec.n_input], 0)
+    };
+
+    let mut explored = Vec::new();
+    let mut selected = None;
+    let mut search_cost_s = 0.0;
+    let mut exhaustive_cost_s = 0.0;
+
+    let mut n_exc = 0usize;
+    loop {
+        n_exc += spec.n_add;
+        let mem = spikedyn_memory_bytes(spec.n_input, n_exc, spec.bp);
+        if mem > constraints.mem_bytes {
+            break;
+        }
+
+        // One-sample training probe (Alg. 1 line 5: "training with 1
+        // sample using Alg. 2").
+        let mut rng = seeded_rng(derive_seed(spec.seed, n_exc as u64));
+        let mut net = spikedyn_network(
+            spec.n_input,
+            n_exc,
+            ThetaPolicy::for_presentation(spec.present.t_present_ms),
+            &mut rng,
+        );
+        let mut rule =
+            SpikeDynPlasticity::new(SpikeDynConfig::for_network(n_exc), spec.n_input, n_exc);
+        let encoder = snn_core::encoding::PoissonEncoder::default();
+        let rates = encoder.rates_hz(probe.pixels());
+
+        let mut train_ops = OpCounts::default();
+        run_sample(
+            &mut net,
+            &rates,
+            &spec.present,
+            Some(&mut rule),
+            &mut rng,
+            &mut train_ops,
+        );
+        let e1_train = gpu.energy_j(&train_ops);
+        let e_train = e1_train * spec.n_train as f64;
+
+        // One-sample inference probe.
+        let infer_present = PresentConfig {
+            t_rest_ms: 0.0,
+            ..spec.present
+        };
+        let mut infer_ops = OpCounts::default();
+        run_sample(
+            &mut net,
+            &rates,
+            &infer_present,
+            None,
+            &mut rng,
+            &mut infer_ops,
+        );
+        let e1_infer = gpu.energy_j(&infer_ops);
+        let e_infer = e1_infer * spec.n_infer as f64;
+
+        let t1_train = gpu.time_s(&train_ops);
+        let t1_infer = gpu.time_s(&infer_ops);
+        search_cost_s += t1_train + t1_infer;
+        exhaustive_cost_s +=
+            t1_train * spec.n_train as f64 + t1_infer * spec.n_infer as f64;
+
+        let feasible = e_train <= constraints.e_train_j && e_infer <= constraints.e_infer_j;
+        let candidate = Candidate {
+            n_exc,
+            mem_bytes: mem,
+            e1_train_j: e1_train,
+            e_train_j: e_train,
+            e1_infer_j: e1_infer,
+            e_infer_j: e_infer,
+            feasible,
+        };
+        explored.push(candidate);
+        if feasible {
+            // Alg. 1 keeps the largest feasible model.
+            selected = Some(candidate);
+        }
+    }
+
+    SearchResult {
+        explored,
+        selected,
+        search_cost_s,
+        exhaustive_cost_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SearchSpec {
+        SearchSpec {
+            n_input: 196,
+            n_add: 8,
+            n_train: 1000,
+            n_infer: 100,
+            bp: BitPrecision::FP32,
+            present: PresentConfig {
+                dt_ms: 1.0,
+                t_present_ms: 30.0,
+                t_rest_ms: 10.0,
+                retry: None,
+            },
+            seed: 3,
+        }
+    }
+
+    fn loose_constraints() -> SearchConstraints {
+        SearchConstraints {
+            mem_bytes: spikedyn_memory_bytes(196, 40, BitPrecision::FP32) + 1,
+            e_train_j: f64::INFINITY,
+            e_infer_j: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn memory_model_monotone_in_size() {
+        let m1 = spikedyn_memory_bytes(784, 100, BitPrecision::FP32);
+        let m2 = spikedyn_memory_bytes(784, 200, BitPrecision::FP32);
+        let m4 = spikedyn_memory_bytes(784, 400, BitPrecision::FP32);
+        assert!(m1 < m2 && m2 < m4);
+        // N400: (784·400 + 1 + 400·5)·4 bytes ≈ 1.26 MB.
+        assert_eq!(m4, (784 * 400 + 1 + 400 * 5) * 4);
+    }
+
+    #[test]
+    fn search_respects_memory_constraint() {
+        let spec = tiny_spec();
+        let result = search(&spec, &loose_constraints(), &GpuSpec::gtx_1080_ti());
+        // Sizes 8..=40 fit (5 candidates); 48 exceeds the bound.
+        assert_eq!(result.explored.len(), 5);
+        assert_eq!(result.selected.unwrap().n_exc, 40, "largest feasible wins");
+    }
+
+    #[test]
+    fn search_respects_energy_constraints() {
+        let spec = tiny_spec();
+        let probe = search(&spec, &loose_constraints(), &GpuSpec::gtx_1080_ti());
+        // Constrain training energy below the largest model's estimate:
+        // the selection must shrink (or vanish).
+        let largest = probe.selected.unwrap();
+        let tight = SearchConstraints {
+            e_train_j: largest.e_train_j * 0.99,
+            ..loose_constraints()
+        };
+        let result = search(&spec, &tight, &GpuSpec::gtx_1080_ti());
+        match result.selected {
+            Some(c) => assert!(c.n_exc < largest.n_exc),
+            None => {} // all infeasible is also a valid outcome
+        }
+        // Infeasible candidates are still recorded for Fig. 5-style plots.
+        assert_eq!(result.explored.len(), probe.explored.len());
+        assert!(result.explored.iter().any(|c| !c.feasible));
+    }
+
+    #[test]
+    fn estimation_is_far_cheaper_than_exhaustive() {
+        let spec = tiny_spec();
+        let result = search(&spec, &loose_constraints(), &GpuSpec::gtx_1080_ti());
+        assert!(
+            result.speedup() > 100.0,
+            "1-sample probes must beat {} full runs: speedup {}",
+            spec.n_train,
+            result.speedup()
+        );
+        assert!(result.search_cost_s > 0.0);
+    }
+
+    #[test]
+    fn extrapolation_uses_sample_counts() {
+        let spec = tiny_spec();
+        let result = search(&spec, &loose_constraints(), &GpuSpec::gtx_1080_ti());
+        for c in &result.explored {
+            assert!((c.e_train_j - c.e1_train_j * spec.n_train as f64).abs() < 1e-9);
+            assert!((c.e_infer_j - c.e1_infer_j * spec.n_infer as f64).abs() < 1e-9);
+            assert!(c.e1_train_j > c.e1_infer_j, "training costs more than inference");
+        }
+    }
+
+    #[test]
+    fn impossible_memory_budget_selects_nothing() {
+        let spec = tiny_spec();
+        let constraints = SearchConstraints {
+            mem_bytes: 16, // nothing fits
+            e_train_j: f64::INFINITY,
+            e_infer_j: f64::INFINITY,
+        };
+        let result = search(&spec, &constraints, &GpuSpec::jetson_nano());
+        assert!(result.selected.is_none());
+        assert!(result.explored.is_empty());
+        assert_eq!(result.speedup(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Continual learning in a dynamic environment: digit classes arrive one
+//! after another and are never re-fed (the paper's §IV protocol). The
+//! example compares all three methods on the most-recently-learned-task
+//! metric and shows SpikeDyn's retention advantage.
+//!
+//! ```sh
+//! cargo run --release --example continual_learning
+//! ```
+
+use spikedyn::eval::{run_dynamic, ProtocolConfig};
+use spikedyn::Method;
+
+fn main() {
+    println!("dynamic environment: tasks 0..6 presented consecutively, never re-fed\n");
+    for method in Method::all() {
+        let mut cfg = ProtocolConfig::fast(method, 60);
+        cfg.tasks = (0..6).collect();
+        cfg.samples_per_task = 25;
+        cfg.eval_per_class = 8;
+        let report = run_dynamic(&cfg);
+        let accs: Vec<String> = report
+            .recent_task_acc
+            .iter()
+            .map(|a| format!("{:3.0}", a * 100.0))
+            .collect();
+        println!(
+            "{:9}  per-task accuracy after learning it: [{}]%  (avg {:.0}%)",
+            method.label(),
+            accs.join(" "),
+            report.avg_recent() * 100.0
+        );
+        println!(
+            "           retention of all tasks at the end: {:.0}%",
+            report.avg_previous() * 100.0
+        );
+    }
+    println!(
+        "\nThe baseline's synapses saturate on early tasks (catastrophic forgetting);\n\
+         ASP's weight leak frees capacity; SpikeDyn adds gated updates, adaptive\n\
+         rates and threshold balancing on a cheaper architecture (paper §III)."
+    );
+}

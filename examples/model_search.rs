@@ -1,0 +1,61 @@
+//! The memory- and energy-aware model search (paper Alg. 1): find the
+//! largest SNN that fits an embedded deployment budget, using analytical
+//! estimates instead of full training runs.
+//!
+//! ```sh
+//! cargo run --release --example model_search
+//! ```
+
+use neuro_energy::{BitPrecision, GpuSpec};
+use snn_core::config::PresentConfig;
+use spikedyn::search::{search, SearchConstraints, SearchSpec};
+
+fn main() {
+    // Deployment: a Jetson Nano processing 60k training and 10k inference
+    // samples, with 640 KiB of model memory and a 260 kJ / 26 kJ energy
+    // budget.
+    let gpu = GpuSpec::jetson_nano();
+    let spec = SearchSpec {
+        n_input: 196,
+        n_add: 50,
+        n_train: 60_000,
+        n_infer: 10_000,
+        bp: BitPrecision::FP32,
+        present: PresentConfig::fast(),
+        seed: 7,
+    };
+    let constraints = SearchConstraints {
+        mem_bytes: 640 * 1024,
+        e_train_j: 260_000.0,
+        e_infer_j: 26_000.0,
+    };
+    println!(
+        "searching on {} (budget: {} KiB, {:.0} kJ train, {:.0} kJ infer)\n",
+        gpu.name,
+        constraints.mem_bytes / 1024,
+        constraints.e_train_j / 1e3,
+        constraints.e_infer_j / 1e3
+    );
+    let result = search(&spec, &constraints, &gpu);
+    println!("explored candidates:");
+    for c in &result.explored {
+        println!(
+            "  n_exc={:4}  mem={:4} KiB  Et={:8.1} kJ  Ei={:7.1} kJ  {}",
+            c.n_exc,
+            c.mem_bytes / 1024,
+            c.e_train_j / 1e3,
+            c.e_infer_j / 1e3,
+            if c.feasible { "feasible" } else { "violates budget" }
+        );
+    }
+    match result.selected {
+        Some(c) => println!("\nselected model: {} excitatory neurons", c.n_exc),
+        None => println!("\nno model satisfies the constraints"),
+    }
+    println!(
+        "exploration cost: {:.2} s of modelled GPU time vs {:.0} s for exhaustive runs ({}x faster)",
+        result.search_cost_s,
+        result.exhaustive_cost_s,
+        result.speedup() as u64
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: train a small SpikeDyn network on two digit classes and
+//! classify held-out samples.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use snn_core::config::PresentConfig;
+use snn_data::{eval_set, SyntheticDigits};
+use spikedyn::{Method, Trainer};
+
+fn main() {
+    // 14×14 synthetic digits keep the example fast; see DESIGN.md §2 for
+    // why the procedural dataset stands in for MNIST.
+    let gen = SyntheticDigits::new(42);
+    let prep = |v: Vec<snn_data::Image>| -> Vec<snn_data::Image> {
+        v.into_iter().map(|img| img.downsample(2)).collect()
+    };
+    let classes = [0u8, 1];
+
+    // A SpikeDyn trainer: direct lateral inhibition + Alg. 2 learning,
+    // time constants compressed for this short run (DESIGN.md §2).
+    let mut trainer =
+        Trainer::with_compression(Method::SpikeDyn, 196, 30, PresentConfig::fast(), 150.0, 42)
+            .with_max_rate(255.0);
+
+    // Unsupervised training: labels are never shown to the network.
+    let train = prep(eval_set(&gen, &classes, 20, 0, 42));
+    println!("training on {} unlabeled samples …", train.len());
+    trainer.train_on(&train);
+
+    // Assign each neuron to the class it responds to most, then evaluate.
+    let assign = prep(eval_set(&gen, &classes, 5, 1_000_000, 42));
+    let assignment = trainer.fit_assignment(&assign, 10);
+    let test = prep(eval_set(&gen, &classes, 10, 2_000_000, 42));
+    let confusion = trainer.evaluate(&assignment, &test);
+
+    println!("\nconfusion matrix (rows = true class):");
+    println!("{}", confusion.to_table());
+    println!("accuracy: {:.1}%", confusion.accuracy() * 100.0);
+    println!(
+        "ops metered: {} kernel launches for training, {} for inference",
+        trainer.train_ops.kernel_launches, trainer.infer_ops.kernel_launches
+    );
+}

@@ -1,0 +1,20 @@
+//! # spikedyn-repro — umbrella crate for the SpikeDyn reproduction
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use one coherent namespace:
+//!
+//! * [`core`](snn_core) — the clock-driven SNN simulator substrate,
+//! * [`data`](snn_data) — synthetic MNIST-like digits, IDX parsing, task streams,
+//! * [`baselines`](snn_baselines) — Diehl & Cook and ASP comparison partners,
+//! * [`energy`](neuro_energy) — GPU cost models and the paper's analytical estimators,
+//! * [`spikedyn`] — the paper's contribution: architecture, Alg. 1 search, Alg. 2 learning.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use neuro_energy;
+pub use snn_baselines;
+pub use snn_core;
+pub use snn_data;
+pub use spikedyn;

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through training, evaluation and energy estimation.
+
+use neuro_energy::{BitPrecision, GpuSpec};
+use snn_core::config::PresentConfig;
+use snn_data::{eval_set, SyntheticDigits};
+use spikedyn::eval::{run_dynamic, run_non_dynamic, ProtocolConfig};
+use spikedyn::search::{search, spikedyn_memory_bytes, SearchConstraints, SearchSpec};
+use spikedyn::{Method, Trainer};
+
+fn tiny_protocol(method: Method) -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::fast(method, 24);
+    cfg.samples_per_task = 4;
+    cfg.assign_per_class = 2;
+    cfg.eval_per_class = 2;
+    cfg.tasks = vec![0, 1, 2];
+    cfg
+}
+
+#[test]
+fn full_dynamic_pipeline_runs_for_every_method() {
+    for method in Method::all() {
+        let report = run_dynamic(&tiny_protocol(method));
+        assert_eq!(report.recent_task_acc.len(), 3, "{method}");
+        assert_eq!(report.confusion.total(), 6, "{method}");
+        assert!(report.train_ops.kernel_launches > 0, "{method}");
+        assert!(report.train_sample_ops.total() > 0, "{method}");
+    }
+}
+
+#[test]
+fn dynamic_pipeline_is_bit_deterministic() {
+    let a = run_dynamic(&tiny_protocol(Method::SpikeDyn));
+    let b = run_dynamic(&tiny_protocol(Method::SpikeDyn));
+    assert_eq!(a.recent_task_acc, b.recent_task_acc);
+    assert_eq!(a.previous_tasks_acc, b.previous_tasks_acc);
+    assert_eq!(a.train_ops, b.train_ops);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut cfg = tiny_protocol(Method::SpikeDyn);
+    let a = run_dynamic(&cfg);
+    cfg.seed = 43;
+    let b = run_dynamic(&cfg);
+    assert_ne!(a.train_ops, b.train_ops);
+}
+
+#[test]
+fn non_dynamic_pipeline_reaches_checkpoints() {
+    let report = run_non_dynamic(&tiny_protocol(Method::Baseline), &[4, 8]);
+    assert_eq!(report.checkpoints.len(), 2);
+    assert_eq!(report.checkpoints[1].0, 8);
+    for &(_, acc) in &report.checkpoints {
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}
+
+#[test]
+fn energy_ordering_matches_paper_claims() {
+    // Meter each method on identical inputs; SpikeDyn must cost less than
+    // ASP on every GPU model, in both phases (the paper's headline).
+    let gen = SyntheticDigits::new(5);
+    let images: Vec<_> = eval_set(&gen, &(0..10).collect::<Vec<_>>(), 1, 0, 5)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+    let mut metered = Vec::new();
+    for method in Method::all() {
+        let mut t = Trainer::with_compression(method, 196, 40, PresentConfig::fast(), 150.0, 5)
+            .with_max_rate(255.0);
+        t.train_on(&images);
+        for img in &images {
+            t.infer_image(img);
+        }
+        metered.push((t.avg_train_sample_ops(), t.avg_infer_sample_ops()));
+    }
+    for gpu in [
+        GpuSpec::jetson_nano(),
+        GpuSpec::gtx_1080_ti(),
+        GpuSpec::rtx_2080_ti(),
+    ] {
+        let train: Vec<f64> = metered.iter().map(|(t, _)| gpu.energy_j(t)).collect();
+        let infer: Vec<f64> = metered.iter().map(|(_, i)| gpu.energy_j(i)).collect();
+        // Order: [Baseline, Asp, SpikeDyn].
+        assert!(train[2] < train[1], "{}: SpikeDyn < ASP training", gpu.name);
+        assert!(train[2] < train[0], "{}: SpikeDyn < Baseline training", gpu.name);
+        assert!(infer[2] < infer[1], "{}: SpikeDyn < ASP inference", gpu.name);
+        assert!(train[1] > train[0], "{}: ASP costs more than Baseline", gpu.name);
+    }
+}
+
+#[test]
+fn search_selects_within_budget_end_to_end() {
+    let spec = SearchSpec {
+        n_input: 196,
+        n_add: 10,
+        n_train: 500,
+        n_infer: 50,
+        bp: BitPrecision::FP32,
+        present: PresentConfig {
+            dt_ms: 1.0,
+            t_present_ms: 20.0,
+            t_rest_ms: 5.0,
+            retry: None,
+        },
+        seed: 11,
+    };
+    let constraints = SearchConstraints {
+        mem_bytes: spikedyn_memory_bytes(196, 30, BitPrecision::FP32),
+        e_train_j: f64::INFINITY,
+        e_infer_j: f64::INFINITY,
+    };
+    let result = search(&spec, &constraints, &GpuSpec::jetson_nano());
+    let selected = result.selected.expect("a model fits");
+    assert!(selected.mem_bytes <= constraints.mem_bytes);
+    assert!(selected.n_exc <= 30);
+    assert!(result.speedup() > 10.0);
+}
+
+#[test]
+fn inference_preserves_all_learned_state() {
+    let gen = SyntheticDigits::new(9);
+    let train: Vec<_> = eval_set(&gen, &[3], 4, 0, 9)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+    for method in Method::all() {
+        let mut t = Trainer::with_compression(method, 196, 16, PresentConfig::fast(), 150.0, 9)
+            .with_max_rate(255.0);
+        t.train_on(&train);
+        let weights = t.net.weights.clone();
+        let thetas = t.net.exc.thetas().to_vec();
+        t.infer_image(&train[0]);
+        assert_eq!(t.net.weights, weights, "{method}: weights frozen at inference");
+        assert_eq!(t.net.exc.thetas(), &thetas[..], "{method}: θ restored after inference");
+    }
+}
+
+#[test]
+fn real_mnist_is_used_when_present() {
+    // The IDX loader integrates with the pipeline: generate a fake MNIST
+    // directory, load it, and feed it through a trainer.
+    use std::fs;
+    let dir = std::env::temp_dir().join(format!("spikedyn-repro-mnist-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let imgs = |n: u32| -> Vec<u8> {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        raw.extend_from_slice(&n.to_be_bytes());
+        raw.extend_from_slice(&28u32.to_be_bytes());
+        raw.extend_from_slice(&28u32.to_be_bytes());
+        raw.extend(std::iter::repeat(128u8).take((n * 784) as usize));
+        raw
+    };
+    let labs = |labels: &[u8]| -> Vec<u8> {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        raw.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        raw.extend_from_slice(labels);
+        raw
+    };
+    fs::write(dir.join("train-images-idx3-ubyte"), imgs(2)).unwrap();
+    fs::write(dir.join("train-labels-idx1-ubyte"), labs(&[0, 1])).unwrap();
+    fs::write(dir.join("t10k-images-idx3-ubyte"), imgs(1)).unwrap();
+    fs::write(dir.join("t10k-labels-idx1-ubyte"), labs(&[0])).unwrap();
+    let mnist = snn_data::idx::Mnist::load(&dir).unwrap();
+    let mut t = Trainer::with_compression(
+        Method::SpikeDyn,
+        784,
+        8,
+        PresentConfig {
+            dt_ms: 1.0,
+            t_present_ms: 20.0,
+            t_rest_ms: 0.0,
+            retry: None,
+        },
+        150.0,
+        1,
+    );
+    t.train_on(&mnist.train);
+    assert_eq!(t.train_samples_seen(), 2);
+    fs::remove_dir_all(&dir).ok();
+}
