@@ -119,10 +119,7 @@ impl GpuSpec {
     ///
     /// Returns `None` when the system is singular (proportional workloads)
     /// or produces non-positive constants.
-    pub fn calibrate(
-        a: (&OpCounts, f64),
-        b: (&OpCounts, f64),
-    ) -> Option<(f64, f64)> {
+    pub fn calibrate(a: (&OpCounts, f64), b: (&OpCounts, f64)) -> Option<(f64, f64)> {
         let (ops_a, t_a) = a;
         let (ops_b, t_b) = b;
         let (ka, ea) = (ops_a.kernel_launches as f64, ops_a.total() as f64);

@@ -32,7 +32,10 @@ impl BitPrecision {
     ///
     /// Panics if `bits` is zero or not a multiple of 8.
     pub fn new(bits: u32) -> Self {
-        assert!(bits > 0 && bits % 8 == 0, "bit precision must be a positive multiple of 8");
+        assert!(
+            bits > 0 && bits.is_multiple_of(8),
+            "bit precision must be a positive multiple of 8"
+        );
         BitPrecision { bits }
     }
 
@@ -75,8 +78,7 @@ impl MemoryEstimate {
         if self.actual_bytes == 0 {
             return 0.0;
         }
-        (self.analytical_bytes as f64 - self.actual_bytes as f64).abs()
-            / self.actual_bytes as f64
+        (self.analytical_bytes as f64 - self.actual_bytes as f64).abs() / self.actual_bytes as f64
     }
 
     /// Analytical estimate in kilobytes (Fig. 5a's unit).

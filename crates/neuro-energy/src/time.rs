@@ -64,12 +64,48 @@ pub struct Table2Reference {
 /// All twelve cells of Table II.
 pub fn table2_reference() -> Vec<Table2Reference> {
     vec![
-        Table2Reference { gpu: "Jetson Nano", n_exc: 200, train_h: 35.0, infer_h: 4.7, per_image_s: 1.71 },
-        Table2Reference { gpu: "Jetson Nano", n_exc: 400, train_h: 36.3, infer_h: 4.8, per_image_s: 1.74 },
-        Table2Reference { gpu: "GTX 1080 Ti", n_exc: 200, train_h: 5.0, infer_h: 0.7, per_image_s: 0.25 },
-        Table2Reference { gpu: "GTX 1080 Ti", n_exc: 400, train_h: 5.3, infer_h: 0.7, per_image_s: 0.25 },
-        Table2Reference { gpu: "RTX 2080 Ti", n_exc: 200, train_h: 3.9, infer_h: 0.6, per_image_s: 0.2 },
-        Table2Reference { gpu: "RTX 2080 Ti", n_exc: 400, train_h: 4.1, infer_h: 0.6, per_image_s: 0.2 },
+        Table2Reference {
+            gpu: "Jetson Nano",
+            n_exc: 200,
+            train_h: 35.0,
+            infer_h: 4.7,
+            per_image_s: 1.71,
+        },
+        Table2Reference {
+            gpu: "Jetson Nano",
+            n_exc: 400,
+            train_h: 36.3,
+            infer_h: 4.8,
+            per_image_s: 1.74,
+        },
+        Table2Reference {
+            gpu: "GTX 1080 Ti",
+            n_exc: 200,
+            train_h: 5.0,
+            infer_h: 0.7,
+            per_image_s: 0.25,
+        },
+        Table2Reference {
+            gpu: "GTX 1080 Ti",
+            n_exc: 400,
+            train_h: 5.3,
+            infer_h: 0.7,
+            per_image_s: 0.25,
+        },
+        Table2Reference {
+            gpu: "RTX 2080 Ti",
+            n_exc: 200,
+            train_h: 3.9,
+            infer_h: 0.6,
+            per_image_s: 0.2,
+        },
+        Table2Reference {
+            gpu: "RTX 2080 Ti",
+            n_exc: 400,
+            train_h: 4.1,
+            infer_h: 0.6,
+            per_image_s: 0.2,
+        },
     ]
 }
 
@@ -160,10 +196,18 @@ mod tests {
     fn reference_table_is_complete() {
         let refs = table2_reference();
         assert_eq!(refs.len(), 6);
-        assert!(refs.iter().any(|r| r.gpu == "Jetson Nano" && r.n_exc == 200 && r.train_h == 35.0));
+        assert!(refs
+            .iter()
+            .any(|r| r.gpu == "Jetson Nano" && r.n_exc == 200 && r.train_h == 35.0));
         // Monotonicity in the paper's own numbers: faster GPU, less time.
-        let jet = refs.iter().find(|r| r.gpu == "Jetson Nano" && r.n_exc == 400).unwrap();
-        let rtx = refs.iter().find(|r| r.gpu == "RTX 2080 Ti" && r.n_exc == 400).unwrap();
+        let jet = refs
+            .iter()
+            .find(|r| r.gpu == "Jetson Nano" && r.n_exc == 400)
+            .unwrap();
+        let rtx = refs
+            .iter()
+            .find(|r| r.gpu == "RTX 2080 Ti" && r.n_exc == 400)
+            .unwrap();
         assert!(jet.train_h > rtx.train_h);
     }
 

@@ -196,7 +196,7 @@ mod tests {
         for _ in 0..5 {
             run_sample(
                 &mut net,
-                &vec![0.0; 16], // silence: no STDP, only leak
+                &[0.0; 16], // silence: no STDP, only leak
                 &PresentConfig::fast(),
                 Some(&mut rule),
                 &mut seeded_rng(2),
@@ -319,7 +319,7 @@ mod tests {
         let mut ops = OpCounts::default();
         run_sample(
             &mut net,
-            &vec![300.0; 8],
+            &[300.0; 8],
             &PresentConfig::fast(),
             Some(&mut rule),
             &mut seeded_rng(8),

@@ -129,7 +129,7 @@ mod tests {
         let mut ops = OpCounts::default();
         run_sample(
             &mut net,
-            &vec![150.0; 16],
+            &[150.0; 16],
             &fast_cfg(),
             Some(&mut rule),
             &mut seeded_rng(3),
@@ -149,7 +149,7 @@ mod tests {
         for _ in 0..3 {
             run_sample(
                 &mut net,
-                &vec![100.0; 16],
+                &[100.0; 16],
                 &fast_cfg(),
                 Some(&mut rule),
                 &mut seeded_rng(5),
@@ -175,7 +175,7 @@ mod tests {
         let mut ops = OpCounts::default();
         run_sample(
             &mut net,
-            &vec![0.0; 16], // silent: no STDP events either
+            &[0.0; 16], // silent: no STDP events either
             &fast_cfg(),
             Some(&mut rule),
             &mut seeded_rng(7),
@@ -198,7 +198,7 @@ mod tests {
         let mut active_ops = OpCounts::default();
         run_sample(
             &mut net,
-            &vec![200.0; 16],
+            &[200.0; 16],
             &cfg,
             Some(&mut rule),
             &mut seeded_rng(9),
@@ -208,7 +208,7 @@ mod tests {
         let mut quiet_ops = OpCounts::default();
         run_sample(
             &mut net2,
-            &vec![0.0; 16],
+            &[0.0; 16],
             &cfg,
             Some(&mut rule),
             &mut seeded_rng(9),

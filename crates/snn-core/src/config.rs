@@ -111,7 +111,7 @@ impl PresentConfig {
     /// non-positive, larger than the presentation window, or the windows are
     /// negative.
     pub fn validate(&self) -> SnnResult<()> {
-        if !(self.dt_ms > 0.0) {
+        if self.dt_ms.is_nan() || self.dt_ms <= 0.0 {
             return Err(SnnError::InvalidParameter {
                 name: "dt_ms",
                 reason: format!("must be positive, got {}", self.dt_ms),

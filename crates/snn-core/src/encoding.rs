@@ -128,8 +128,8 @@ impl RankOrderEncoder {
         for (rank, &c) in order.iter().enumerate() {
             train.push(c, rank as u32);
         }
-        ops.encode_ops += (intensities.len() as f64 * (intensities.len() as f64).log2().max(1.0))
-            as u64; // sorting cost
+        ops.encode_ops +=
+            (intensities.len() as f64 * (intensities.len() as f64).log2().max(1.0)) as u64; // sorting cost
         train
     }
 }

@@ -48,7 +48,7 @@ impl ClassAssignment {
                         continue;
                     }
                     let avg = sums[j * n_classes + c] / class_samples[c] as f64;
-                    if avg > 0.0 && best.map_or(true, |(_, b)| avg > b) {
+                    if avg > 0.0 && best.is_none_or(|(_, b)| avg > b) {
                         best = Some((c as u8, avg));
                     }
                 }
@@ -73,10 +73,7 @@ impl ClassAssignment {
 
     /// Number of neurons assigned to `class`.
     pub fn neurons_for(&self, class: u8) -> usize {
-        self.assigned
-            .iter()
-            .filter(|&&a| a == Some(class))
-            .count()
+        self.assigned.iter().filter(|&&a| a == Some(class)).count()
     }
 
     /// Predicts the class of a test response: the class whose assigned
@@ -98,7 +95,7 @@ impl ClassAssignment {
                 continue;
             }
             let avg = sum[c] as f64 / f64::from(n[c]);
-            if avg > 0.0 && best.map_or(true, |(_, b)| avg > b) {
+            if avg > 0.0 && best.is_none_or(|(_, b)| avg > b) {
                 best = Some((c as u8, avg));
             }
         }
@@ -160,7 +157,9 @@ impl ConfusionMatrix {
         if total == 0 {
             return 0.0;
         }
-        let correct: u64 = (0..self.n_classes).map(|c| self.get(c as u8, c as u8)).sum();
+        let correct: u64 = (0..self.n_classes)
+            .map(|c| self.get(c as u8, c as u8))
+            .sum();
         correct as f64 / total as f64
     }
 
@@ -191,7 +190,7 @@ impl ConfusionMatrix {
                     continue;
                 }
                 let c = self.get(t as u8, p as u8);
-                if c > 0 && worst.map_or(true, |(_, _, w)| c > w) {
+                if c > 0 && worst.is_none_or(|(_, _, w)| c > w) {
                     worst = Some((t as u8, p as u8, c));
                 }
             }
@@ -239,10 +238,7 @@ pub fn accuracy(pairs: &[(u8, Option<u8>)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let correct = pairs
-        .iter()
-        .filter(|(t, p)| Some(*t) == *p)
-        .count();
+    let correct = pairs.iter().filter(|(t, p)| Some(*t) == *p).count();
     correct as f64 / pairs.len() as f64
 }
 

@@ -86,7 +86,7 @@ impl LifParams {
             ("tau_ge_ms", self.tau_ge_ms),
             ("tau_gi_ms", self.tau_gi_ms),
         ] {
-            if !(v > 0.0) {
+            if v.is_nan() || v <= 0.0 {
                 return Err(SnnError::InvalidParameter {
                     name,
                     reason: format!("time constant must be positive, got {v}"),
@@ -266,6 +266,14 @@ impl LifLayer {
     #[inline]
     pub fn inject_inh(&mut self, j: usize, w: f32) {
         self.gi[j] += w;
+    }
+
+    /// Mutable view of the excitatory conductances, for sparse delivery
+    /// kernels that accumulate many presynaptic events per neuron in one
+    /// pass (see [`crate::synapse::WeightMatrix::gather_active_into`]).
+    #[inline]
+    pub fn exc_conductances_mut(&mut self) -> &mut [f32] {
+        &mut self.ge
     }
 
     /// Adds inhibitory conductance to every neuron except `except`, the

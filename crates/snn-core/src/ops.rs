@@ -105,6 +105,27 @@ impl OpCounts {
             + self.encode_ops
     }
 
+    /// Integer-divides every counter by `n` — the per-sample average
+    /// (`E1` of the paper's `E = E1 · N` model) of an `n`-sample run.
+    /// Returns a zeroed snapshot when `n` is zero.
+    pub fn averaged_over(&self, n: u64) -> OpCounts {
+        if n == 0 {
+            return OpCounts::default();
+        }
+        OpCounts {
+            neuron_updates: self.neuron_updates / n,
+            decay_mults: self.decay_mults / n,
+            exp_evals: self.exp_evals / n,
+            syn_events: self.syn_events / n,
+            weight_updates: self.weight_updates / n,
+            trace_updates: self.trace_updates / n,
+            comparisons: self.comparisons / n,
+            spikes: self.spikes / n,
+            encode_ops: self.encode_ops / n,
+            kernel_launches: self.kernel_launches / n,
+        }
+    }
+
     /// Scales every counter by `factor`, used when extrapolating a
     /// single-sample measurement to `N` samples exactly as the paper's
     /// `E = E1 · N` model does.
@@ -181,6 +202,13 @@ mod tests {
     fn total_excludes_spikes() {
         let c = sample();
         assert_eq!(c.total(), 10 + 20 + 3 + 40 + 5 + 6 + 10 + 9);
+    }
+
+    #[test]
+    fn averaged_over_divides_and_handles_zero() {
+        let total = sample().scaled(4);
+        assert_eq!(total.averaged_over(4), sample());
+        assert_eq!(total.averaged_over(0), OpCounts::default());
     }
 
     #[test]

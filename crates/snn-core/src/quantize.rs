@@ -99,11 +99,7 @@ impl QuantizedWeights {
         } else {
             0.0
         };
-        let data = self
-            .codes
-            .iter()
-            .map(|&q| f32::from(q) * scale)
-            .collect();
+        let data = self.codes.iter().map(|&q| f32::from(q) * scale).collect();
         WeightMatrix::from_rows(self.n_post, self.n_pre, data, self.w_max)
             .expect("dimensions preserved by construction")
     }
@@ -124,9 +120,7 @@ pub fn quantize_in_place(weights: &mut WeightMatrix, bits: u8) -> SnnResult<f32>
     for (w, r) in weights.as_slice().iter().zip(restored.as_slice()) {
         worst = worst.max((w - r).abs());
     }
-    weights
-        .as_mut_slice()
-        .copy_from_slice(restored.as_slice());
+    weights.as_mut_slice().copy_from_slice(restored.as_slice());
     Ok(worst)
 }
 

@@ -97,6 +97,9 @@ impl SampleResult {
 }
 
 /// Invokes a plasticity hook with disjoint borrows of the network state.
+/// The argument list mirrors `PlasticityCtx` field by field; bundling them
+/// into a struct would just move the same list one call deeper.
+#[allow(clippy::too_many_arguments)]
 fn call_hook(
     net: &mut Snn,
     plasticity: &mut dyn Plasticity,
@@ -181,9 +184,7 @@ pub fn run_sample<R: Rng + ?Sized>(
         }
         for step in 0..present_steps {
             PoissonEncoder::sample_step(&boosted, cfg.dt_ms, rng, &mut spike_buf, ops);
-            for &k in &spike_buf {
-                net.deliver_input_spike(k as usize, ops);
-            }
+            net.deliver_input_spikes(&spike_buf, ops);
             if !spike_buf.is_empty() {
                 // Batched equivalents: one weight-column gather/add kernel
                 // and one pre-trace update kernel per step with input spikes.
@@ -251,7 +252,7 @@ pub fn run_sample<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::{Inhibition, SnnConfig};
+    use crate::network::SnnConfig;
     use crate::rng::seeded_rng;
 
     fn tiny_net(seed: u64) -> Snn {
@@ -266,7 +267,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![0.0; 16],
+            &[0.0; 16],
             &PresentConfig::fast(),
             None,
             &mut seeded_rng(2),
@@ -289,7 +290,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![200.0; 16],
+            &[200.0; 16],
             &PresentConfig::fast(),
             None,
             &mut seeded_rng(4),
@@ -310,7 +311,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![0.0; 16],
+            &[0.0; 16],
             &cfg,
             None,
             &mut seeded_rng(6),
@@ -342,7 +343,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![5.0; 16],
+            &[5.0; 16],
             &cfg,
             None,
             &mut seeded_rng(8),
@@ -364,7 +365,7 @@ mod tests {
             let mut ops = OpCounts::default();
             run_sample(
                 &mut net,
-                &vec![100.0; 16],
+                &[100.0; 16],
                 &PresentConfig::fast(),
                 None,
                 &mut seeded_rng(11),
@@ -412,7 +413,7 @@ mod tests {
         let mut ops = OpCounts::default();
         run_sample(
             &mut net,
-            &vec![50.0; 16],
+            &[50.0; 16],
             &cfg,
             Some(&mut probe),
             &mut seeded_rng(13),
@@ -438,7 +439,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![200.0; 16],
+            &[200.0; 16],
             &PresentConfig::fast(),
             None,
             &mut seeded_rng(21),
@@ -458,7 +459,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let _ = run_sample(
             &mut net,
-            &vec![0.0; 3],
+            &[0.0; 3],
             &PresentConfig::fast(),
             None,
             &mut seeded_rng(31),

@@ -36,7 +36,7 @@ impl SpikeTrain {
     /// recorded spike.
     pub fn push(&mut self, c: usize, t: u32) {
         debug_assert!(
-            self.times[c].last().map_or(true, |&last| t >= last),
+            self.times[c].last().is_none_or(|&last| t >= last),
             "spike times must be non-decreasing"
         );
         self.times[c].push(t);

@@ -13,9 +13,36 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use bytes::Buf;
-
 use crate::image::Image;
+
+/// Minimal big-endian cursor over a byte slice (replaces the `bytes` crate,
+/// which is unavailable in the offline build environment).
+struct BeCursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> BeCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BeCursor { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads one big-endian `u32`; caller must have checked `remaining`.
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        u32::from_be_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        head
+    }
+}
 
 /// Errors from IDX parsing.
 #[derive(Debug)]
@@ -50,10 +77,16 @@ impl fmt::Display for IdxError {
         match self {
             IdxError::Io(e) => write!(f, "i/o error reading idx file: {e}"),
             IdxError::BadMagic { found, expected } => {
-                write!(f, "bad idx magic: found {found:#010x}, expected {expected:#010x}")
+                write!(
+                    f,
+                    "bad idx magic: found {found:#010x}, expected {expected:#010x}"
+                )
             }
             IdxError::Truncated { expected, got } => {
-                write!(f, "truncated idx payload: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "truncated idx payload: expected {expected} bytes, got {got}"
+                )
             }
             IdxError::CountMismatch { images, labels } => {
                 write!(f, "idx count mismatch: {images} images vs {labels} labels")
@@ -88,7 +121,7 @@ const MAGIC_IMAGES: u32 = 0x0000_0803;
 /// Returns [`IdxError::BadMagic`] or [`IdxError::Truncated`] on malformed
 /// input.
 pub fn parse_images(raw: &[u8]) -> Result<Vec<Image>, IdxError> {
-    let mut buf = raw;
+    let mut buf = BeCursor::new(raw);
     if buf.remaining() < 16 {
         return Err(IdxError::Truncated {
             expected: 16,
@@ -105,7 +138,18 @@ pub fn parse_images(raw: &[u8]) -> Result<Vec<Image>, IdxError> {
     let n = buf.get_u32() as usize;
     let h = buf.get_u32() as usize;
     let w = buf.get_u32() as usize;
-    let need = n * h * w;
+    // Zero-sized images would make `need` collapse to 0 below, letting an
+    // arbitrary `n` bypass the payload check and drive a huge allocation.
+    if n > 0 && (h == 0 || w == 0) {
+        return Err(IdxError::Truncated {
+            expected: n,
+            got: 0,
+        });
+    }
+    let need = n
+        .checked_mul(h)
+        .and_then(|x| x.checked_mul(w))
+        .unwrap_or(usize::MAX);
     if buf.remaining() < need {
         return Err(IdxError::Truncated {
             expected: need,
@@ -114,8 +158,11 @@ pub fn parse_images(raw: &[u8]) -> Result<Vec<Image>, IdxError> {
     }
     let mut images = Vec::with_capacity(n);
     for _ in 0..n {
-        let pixels: Vec<f32> = buf[..h * w].iter().map(|&b| f32::from(b) / 255.0).collect();
-        buf.advance(h * w);
+        let pixels: Vec<f32> = buf
+            .take(h * w)
+            .iter()
+            .map(|&b| f32::from(b) / 255.0)
+            .collect();
         images.push(Image::new(w, h, pixels, 0));
     }
     Ok(images)
@@ -128,7 +175,7 @@ pub fn parse_images(raw: &[u8]) -> Result<Vec<Image>, IdxError> {
 /// Returns [`IdxError::BadMagic`] or [`IdxError::Truncated`] on malformed
 /// input.
 pub fn parse_labels(raw: &[u8]) -> Result<Vec<u8>, IdxError> {
-    let mut buf = raw;
+    let mut buf = BeCursor::new(raw);
     if buf.remaining() < 8 {
         return Err(IdxError::Truncated {
             expected: 8,
@@ -149,7 +196,7 @@ pub fn parse_labels(raw: &[u8]) -> Result<Vec<u8>, IdxError> {
             got: buf.remaining(),
         });
     }
-    Ok(buf[..n].to_vec())
+    Ok(buf.take(n).to_vec())
 }
 
 /// Loads and parses an IDX3 image file.
@@ -227,7 +274,7 @@ mod tests {
         raw.extend_from_slice(&n.to_be_bytes());
         raw.extend_from_slice(&h.to_be_bytes());
         raw.extend_from_slice(&w.to_be_bytes());
-        raw.extend(std::iter::repeat(fill).take((n * h * w) as usize));
+        raw.extend(std::iter::repeat_n(fill, (n * h * w) as usize));
         raw
     }
 
@@ -259,10 +306,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut raw = make_idx_images(1, 2, 2, 0);
         raw[3] = 0x99;
-        assert!(matches!(
-            parse_images(&raw),
-            Err(IdxError::BadMagic { .. })
-        ));
+        assert!(matches!(parse_images(&raw), Err(IdxError::BadMagic { .. })));
     }
 
     #[test]
@@ -273,6 +317,25 @@ mod tests {
             parse_images(&raw),
             Err(IdxError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn zero_dimension_with_nonzero_count_rejected() {
+        // Malicious header: n = u32::MAX, h = w = 0 — the declared payload
+        // is 0 bytes, so without an explicit guard the parser would try to
+        // materialise 4.3 billion empty images.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+        raw.extend_from_slice(&u32::MAX.to_be_bytes());
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(
+            parse_images(&raw),
+            Err(IdxError::Truncated { .. })
+        ));
+        // n = 0 with zero dimensions stays valid (an empty tensor).
+        let empty = make_idx_images(0, 0, 0, 0);
+        assert_eq!(parse_images(&empty).unwrap().len(), 0);
     }
 
     #[test]
@@ -290,10 +353,7 @@ mod tests {
     #[test]
     fn labels_magic_checked() {
         let raw = make_idx_images(1, 1, 1, 0);
-        assert!(matches!(
-            parse_labels(&raw),
-            Err(IdxError::BadMagic { .. })
-        ));
+        assert!(matches!(parse_labels(&raw), Err(IdxError::BadMagic { .. })));
     }
 
     #[test]
@@ -305,7 +365,11 @@ mod tests {
             make_idx_images(2, 2, 2, 128),
         )
         .unwrap();
-        fs::write(dir.join("train-labels-idx1-ubyte"), make_idx_labels(&[1, 2])).unwrap();
+        fs::write(
+            dir.join("train-labels-idx1-ubyte"),
+            make_idx_labels(&[1, 2]),
+        )
+        .unwrap();
         fs::write(
             dir.join("t10k-images-idx3-ubyte"),
             make_idx_images(1, 2, 2, 64),

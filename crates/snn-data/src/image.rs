@@ -126,7 +126,7 @@ impl Image {
     pub fn downsample(&self, factor: usize) -> Image {
         assert!(factor > 0, "factor must be positive");
         assert!(
-            self.width % factor == 0 && self.height % factor == 0,
+            self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor),
             "factor must divide both dimensions"
         );
         let (w, h) = (self.width / factor, self.height / factor);

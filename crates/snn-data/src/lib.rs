@@ -15,7 +15,8 @@
 //!   explicit paths).
 //! * [`stream`] — the two presentation environments of §IV: **dynamic**
 //!   (consecutive task changes, one class at a time, never re-fed) and
-//!   **non-dynamic** (classes shuffled uniformly).
+//!   **non-dynamic** (classes shuffled uniformly), plus order-preserving
+//!   [`batches`] iterators that feed the `snn-runtime` batched engine.
 //!
 //! All generation is keyed by explicit seeds: the same seed always yields
 //! the same dataset, bit for bit.
@@ -29,5 +30,5 @@ pub mod stream;
 pub mod synthetic;
 
 pub use image::{Image, IMAGE_SIDE};
-pub use stream::{dynamic_stream, eval_set, non_dynamic_stream};
+pub use stream::{batches, dynamic_stream, eval_set, non_dynamic_stream, Batches};
 pub use synthetic::{SyntheticConfig, SyntheticDigits};

@@ -74,9 +74,83 @@ pub fn eval_set(
     out
 }
 
+/// Iterator over contiguous, submission-ordered batches of a sample slice,
+/// sized for the `snn-runtime` engine's `infer_batch`.
+///
+/// Like [`slice::chunks`] but with an explicit contract for the batched
+/// execution engine: every batch except possibly the last has exactly
+/// `batch_size` items, order is preserved, and `len()` reports the exact
+/// number of remaining batches. Constructed via [`batches`].
+#[derive(Debug, Clone)]
+pub struct Batches<'a, T> {
+    rest: &'a [T],
+    batch_size: usize,
+}
+
+impl<'a, T> Iterator for Batches<'a, T> {
+    type Item = &'a [T];
+
+    fn next(&mut self) -> Option<&'a [T]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let cut = self.batch_size.min(self.rest.len());
+        let (head, tail) = self.rest.split_at(cut);
+        self.rest = tail;
+        Some(head)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rest.len().div_ceil(self.batch_size);
+        (n, Some(n))
+    }
+}
+
+impl<T> ExactSizeIterator for Batches<'_, T> {}
+
+/// Splits `samples` into contiguous batches of `batch_size` (the last may
+/// be shorter), preserving presentation order.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn batches<T>(samples: &[T], batch_size: usize) -> Batches<'_, T> {
+    assert!(batch_size > 0, "batch size must be positive");
+    Batches {
+        rest: samples,
+        batch_size,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batches_cover_stream_in_order() {
+        let xs: Vec<u32> = (0..10).collect();
+        let got: Vec<&[u32]> = batches(&xs, 4).collect();
+        assert_eq!(got, vec![&[0, 1, 2, 3][..], &[4, 5, 6, 7], &[8, 9]]);
+        let flat: Vec<u32> = got.concat();
+        assert_eq!(flat, xs, "batching must not reorder or drop samples");
+    }
+
+    #[test]
+    fn batches_len_is_exact() {
+        let xs = [0u8; 10];
+        assert_eq!(batches(&xs, 4).len(), 3);
+        assert_eq!(batches(&xs, 5).len(), 2);
+        assert_eq!(batches(&xs, 64).len(), 1);
+        let empty: [u8; 0] = [];
+        assert_eq!(batches(&empty, 4).len(), 0);
+        assert_eq!(batches(&empty, 4).next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = batches(&[1, 2, 3], 0);
+    }
 
     #[test]
     fn dynamic_stream_is_task_ordered_and_never_refeeds() {

@@ -168,8 +168,8 @@ impl SyntheticDigits {
         let scale = rng.gen_range(1.0 - cfg.scale_jitter..=1.0 + cfg.scale_jitter);
         let dx = rng.gen_range(-cfg.max_shift..=cfg.max_shift);
         let dy = rng.gen_range(-cfg.max_shift..=cfg.max_shift);
-        let thickness = cfg.stroke_px
-            * rng.gen_range(1.0 - cfg.thickness_jitter..=1.0 + cfg.thickness_jitter);
+        let thickness =
+            cfg.stroke_px * rng.gen_range(1.0 - cfg.thickness_jitter..=1.0 + cfg.thickness_jitter);
         let intensity = rng.gen_range(1.0 - cfg.intensity_jitter..=1.0f32);
         let (sin, cos) = angle.sin_cos();
 

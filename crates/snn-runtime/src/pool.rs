@@ -1,0 +1,96 @@
+//! Replica pooling: reuse of network clones across batches.
+//!
+//! Cloning a network is cheap relative to simulating a sample but not free
+//! (the weight matrix of a paper-scale N400 model is ~1.2 MB), so the
+//! engine keeps finished replicas in a pool and hands them back out on the
+//! next batch instead of re-cloning the template for every worker.
+
+use std::sync::Mutex;
+
+use snn_core::network::Snn;
+
+/// A lock-guarded stack of network replicas.
+///
+/// Checkout order is unspecified (workers race for the lock); this is safe
+/// because the engine re-synchronises every replica to the template state
+/// before each sample, so replicas are interchangeable by construction.
+#[derive(Debug, Default)]
+pub struct ReplicaPool {
+    replicas: Mutex<Vec<Snn>>,
+}
+
+impl ReplicaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a replica from the pool, or clones `template` when empty.
+    pub fn checkout(&self, template: &Snn) -> Snn {
+        let popped = self
+            .replicas
+            .lock()
+            .expect("replica pool lock poisoned")
+            .pop();
+        popped.unwrap_or_else(|| template.clone())
+    }
+
+    /// Returns a replica to the pool for reuse by later batches.
+    pub fn restore(&self, replica: Snn) {
+        self.replicas
+            .lock()
+            .expect("replica pool lock poisoned")
+            .push(replica);
+    }
+
+    /// Drops every pooled replica (used when the template changes shape).
+    pub fn clear(&self) {
+        self.replicas
+            .lock()
+            .expect("replica pool lock poisoned")
+            .clear();
+    }
+
+    /// Number of idle replicas currently pooled.
+    pub fn idle(&self) -> usize {
+        self.replicas
+            .lock()
+            .expect("replica pool lock poisoned")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::network::SnnConfig;
+    use snn_core::rng::seeded_rng;
+
+    fn template() -> Snn {
+        Snn::new(SnnConfig::direct_lateral(9, 3), &mut seeded_rng(1))
+    }
+
+    #[test]
+    fn checkout_clones_when_empty_and_reuses_after_restore() {
+        let pool = ReplicaPool::new();
+        let t = template();
+        assert_eq!(pool.idle(), 0);
+        let a = pool.checkout(&t);
+        assert_eq!(pool.idle(), 0, "empty pool clones instead of blocking");
+        pool.restore(a);
+        assert_eq!(pool.idle(), 1);
+        let _b = pool.checkout(&t);
+        assert_eq!(pool.idle(), 0, "restored replica is handed back out");
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let pool = ReplicaPool::new();
+        let t = template();
+        pool.restore(t.clone());
+        pool.restore(t);
+        assert_eq!(pool.idle(), 2);
+        pool.clear();
+        assert_eq!(pool.idle(), 0);
+    }
+}

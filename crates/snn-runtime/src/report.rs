@@ -1,0 +1,117 @@
+//! Result types returned by the engine.
+
+use serde::{Deserialize, Serialize};
+use snn_core::metrics::ConfusionMatrix;
+use snn_core::ops::OpCounts;
+use snn_core::sim::SampleResult;
+
+/// One batch's per-sample results plus the aggregate operation meter.
+///
+/// Per-sample op counts are accumulated in submission order, so the
+/// aggregate is identical whatever the thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// One result per submitted image, in submission order.
+    pub results: Vec<SampleResult>,
+    /// Sum of the batch's operation counts.
+    pub ops: OpCounts,
+}
+
+impl BatchOutcome {
+    /// Total excitatory spikes across the batch.
+    pub fn total_exc_spikes(&self) -> u64 {
+        self.results
+            .iter()
+            .map(|r| u64::from(r.total_exc_spikes()))
+            .sum()
+    }
+
+    /// Total input spikes delivered across the batch.
+    pub fn total_input_spikes(&self) -> u64 {
+        self.results.iter().map(|r| r.input_spikes).sum()
+    }
+}
+
+/// Outcome of evaluating a labelled stream against a class assignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Target-vs-predicted confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Overall accuracy (correct / total).
+    pub accuracy: f64,
+    /// Number of evaluated samples.
+    pub samples: u64,
+    /// Total excitatory spikes emitted during evaluation.
+    pub exc_spikes: u64,
+    /// Total input spikes delivered during evaluation.
+    pub input_spikes: u64,
+    /// Aggregate operation counts of the evaluation run.
+    pub ops: OpCounts,
+}
+
+impl EvalReport {
+    /// Average operation counts per evaluated sample (`E1` in the paper's
+    /// `E = E1 · N` energy model).
+    pub fn avg_sample_ops(&self) -> OpCounts {
+        self.ops.averaged_over(self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(counts: Vec<u32>, input: u64) -> SampleResult {
+        SampleResult {
+            exc_spike_counts: counts,
+            input_spikes: input,
+            retries: 0,
+            steps_run: 10,
+        }
+    }
+
+    #[test]
+    fn batch_outcome_totals() {
+        let outcome = BatchOutcome {
+            results: vec![sample_result(vec![1, 2], 5), sample_result(vec![0, 4], 7)],
+            ops: OpCounts::default(),
+        };
+        assert_eq!(outcome.total_exc_spikes(), 7);
+        assert_eq!(outcome.total_input_spikes(), 12);
+    }
+
+    #[test]
+    fn avg_sample_ops_divides() {
+        let report = EvalReport {
+            confusion: ConfusionMatrix::new(10),
+            accuracy: 0.5,
+            samples: 4,
+            exc_spikes: 0,
+            input_spikes: 0,
+            ops: OpCounts {
+                neuron_updates: 40,
+                kernel_launches: 9,
+                ..Default::default()
+            },
+        };
+        let avg = report.avg_sample_ops();
+        assert_eq!(avg.neuron_updates, 10);
+        assert_eq!(avg.kernel_launches, 2);
+    }
+
+    #[test]
+    fn avg_sample_ops_of_empty_report_is_zero() {
+        let report = EvalReport {
+            confusion: ConfusionMatrix::new(10),
+            accuracy: 0.0,
+            samples: 0,
+            exc_spikes: 0,
+            input_spikes: 0,
+            ops: OpCounts {
+                neuron_updates: 40,
+                ..Default::default()
+            },
+        };
+        assert_eq!(report.avg_sample_ops(), OpCounts::default());
+    }
+}

@@ -79,15 +79,9 @@ fn bench_train_sample_per_method(c: &mut Criterion) {
     let img = gen.sample(3, 0).downsample(2);
     for method in Method::all() {
         group.bench_function(method.label(), |b| {
-            let mut trainer = Trainer::with_compression(
-                method,
-                196,
-                100,
-                PresentConfig::fast(),
-                150.0,
-                4,
-            )
-            .with_max_rate(255.0);
+            let mut trainer =
+                Trainer::with_compression(method, 196, 100, PresentConfig::fast(), 150.0, 4)
+                    .with_max_rate(255.0);
             b.iter(|| black_box(trainer.train_image(&img).total_exc_spikes()))
         });
     }
@@ -98,7 +92,10 @@ fn bench_full_network_step(c: &mut Criterion) {
     use snn_core::network::{Snn, SnnConfig};
     let mut group = c.benchmark_group("network_step");
     for (name, cfg) in [
-        ("inhibitory_layer_400", SnnConfig::with_inhibitory_layer(784, 400)),
+        (
+            "inhibitory_layer_400",
+            SnnConfig::with_inhibitory_layer(784, 400),
+        ),
         ("direct_lateral_400", SnnConfig::direct_lateral(784, 400)),
     ] {
         let mut net = Snn::new(cfg, &mut seeded_rng(5));
@@ -124,6 +121,85 @@ fn bench_synthetic_digit(c: &mut Criterion) {
     });
 }
 
+/// Scalar `run_sample` loop vs `Engine::infer_batch` at batch sizes
+/// 1/8/64 — the speedup the `snn-runtime` subsystem exists to deliver.
+/// Both sides run the identical per-sample work (same seeds, same sparse
+/// kernel); the batched side adds rayon fan-out and replica pooling.
+fn bench_scalar_vs_engine_batch(c: &mut Criterion) {
+    use snn_core::network::SnnConfig;
+    use snn_runtime::{Engine, EngineConfig};
+
+    let gen = SyntheticDigits::new(12);
+    let images: Vec<snn_data::Image> = (0..64)
+        .map(|i| gen.sample((i % 10) as u8, i).downsample(2))
+        .collect();
+    let present = PresentConfig {
+        t_rest_ms: 0.0,
+        retry: None,
+        ..PresentConfig::fast()
+    };
+    let engine = Engine::new(
+        EngineConfig::new(SnnConfig::direct_lateral(196, 100), 12)
+            .with_present(present)
+            .with_max_rate(255.0),
+    );
+    let mut group = c.benchmark_group("infer_throughput");
+    group.sample_size(10);
+    for &batch_size in &[1usize, 8, 64] {
+        let samples = &images[..batch_size];
+        group.bench_with_input(
+            BenchmarkId::new("scalar_run_sample", batch_size),
+            &batch_size,
+            |b, _| {
+                // The seed's original path: one network, one sample at a
+                // time through the scalar simulation loop. θ is restored
+                // before every sample exactly as `Trainer::infer_image`
+                // (and the engine) do, so both sides run identical
+                // per-sample dynamics.
+                let mut net = engine.network().clone();
+                let thetas: Vec<f32> = net.exc.thetas().to_vec();
+                let mut ops = OpCounts::default();
+                b.iter(|| {
+                    let mut spikes = 0u64;
+                    for (i, img) in samples.iter().enumerate() {
+                        net.exc.thetas_mut().copy_from_slice(&thetas);
+                        let rates = PoissonEncoder::new(255.0).rates_hz(img.pixels());
+                        let mut rng = seeded_rng(snn_core::rng::derive_seed(7, i as u64));
+                        let r = run_sample(
+                            &mut net,
+                            &rates,
+                            engine.present(),
+                            None,
+                            &mut rng,
+                            &mut ops,
+                        );
+                        spikes += u64::from(r.total_exc_spikes());
+                    }
+                    black_box(spikes)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_infer_batch", batch_size),
+            &batch_size,
+            |b, _| {
+                b.iter(|| {
+                    let mut spikes = 0u64;
+                    for batch in snn_data::batches(samples, batch_size) {
+                        spikes += engine
+                            .infer_batch(batch, 7)
+                            .iter()
+                            .map(|r| u64::from(r.total_exc_spikes()))
+                            .sum::<u64>();
+                    }
+                    black_box(spikes)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_inference_sample(c: &mut Criterion) {
     let gen = SyntheticDigits::new(7);
     let img = gen.sample(5, 0).downsample(2);
@@ -143,7 +219,11 @@ fn bench_inference_sample(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(20);
     group.bench_function("spikedyn_arch_100n_sample", |b| {
-        b.iter(|| black_box(run_sample(&mut net, &rates, &cfg, None, &mut rng, &mut ops).total_exc_spikes()))
+        b.iter(|| {
+            black_box(
+                run_sample(&mut net, &rates, &cfg, None, &mut rng, &mut ops).total_exc_spikes(),
+            )
+        })
     });
     group.finish();
 }
@@ -157,6 +237,7 @@ criterion_group!(
     bench_train_sample_per_method,
     bench_full_network_step,
     bench_synthetic_digit,
+    bench_scalar_vs_engine_batch,
     bench_inference_sample,
 );
 criterion_main!(benches);

@@ -3,8 +3,14 @@ use spikedyn::eval::{run_dynamic, ProtocolConfig};
 use spikedyn::Method;
 
 fn main() {
-    let n_exc: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
-    let spt: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let n_exc: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let spt: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     for method in Method::all() {
         let mut cfg = ProtocolConfig::fast(method, n_exc);
         cfg.samples_per_task = spt;
@@ -14,12 +20,27 @@ fn main() {
         let r = run_dynamic(&cfg);
         println!(
             "{:9} n{} spt{}  recent: {:?}  avg_recent={:.2} avg_prev={:.2}  [{:.1}s]",
-            method.label(), n_exc, spt,
-            r.recent_task_acc.iter().map(|a| (a * 100.0).round() as i32).collect::<Vec<_>>(),
-            r.avg_recent() * 100.0, r.avg_previous() * 100.0,
+            method.label(),
+            n_exc,
+            spt,
+            r.recent_task_acc
+                .iter()
+                .map(|a| (a * 100.0).round() as i32)
+                .collect::<Vec<_>>(),
+            r.avg_recent() * 100.0,
+            r.avg_previous() * 100.0,
             t0.elapsed().as_secs_f32()
         );
-        println!("  prev/class: {:?}", r.previous_tasks_acc.iter().map(|a| a.map(|x| (x*100.0).round() as i32)).collect::<Vec<_>>());
-        println!("  kernels/sample train={} infer={}", r.train_sample_ops.kernel_launches, r.infer_sample_ops.kernel_launches);
+        println!(
+            "  prev/class: {:?}",
+            r.previous_tasks_acc
+                .iter()
+                .map(|a| a.map(|x| (x * 100.0).round() as i32))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  kernels/sample train={} infer={}",
+            r.train_sample_ops.kernel_launches, r.infer_sample_ops.kernel_launches
+        );
     }
 }

@@ -13,7 +13,8 @@ fn main() {
         scale.compression(),
         scale.seed
     );
-    let experiments: [(&str, fn(&HarnessScale) -> String); 10] = [
+    type Experiment = (&'static str, fn(&HarnessScale) -> String);
+    let experiments: [Experiment; 10] = [
         ("Table I", table01::run),
         ("Fig. 1", fig01::run),
         ("Fig. 4", fig04::run),

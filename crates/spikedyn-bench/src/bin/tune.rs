@@ -2,8 +2,8 @@
 //! Args: theta_plus eta_post tau_decay t_step [g_inh]
 use snn_core::config::PresentConfig;
 use snn_core::metrics::ConfusionMatrix;
-use snn_core::network::{Inhibition, SnnConfig};
 use snn_core::network::Snn;
+use snn_core::network::{Inhibition, SnnConfig};
 use snn_core::rng::{derive_seed, seeded_rng};
 use snn_data::{dynamic_stream, eval_set, SyntheticDigits};
 use spikedyn::arch::ThetaPolicy;
@@ -11,8 +11,17 @@ use spikedyn::learning::{SpikeDynConfig, SpikeDynPlasticity};
 use spikedyn::{Method, Trainer};
 
 fn main() {
-    let args: Vec<f32> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
-    let (tp, ep, td, ts, gi) = (args[0], args[1], args[2], args[3], *args.get(4).unwrap_or(&4.0));
+    let args: Vec<f32> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let (tp, ep, td, ts, gi) = (
+        args[0],
+        args[1],
+        args[2],
+        args[3],
+        *args.get(4).unwrap_or(&4.0),
+    );
     let spt = *args.get(5).unwrap_or(&20.0) as u64;
     let mut scores = Vec::new();
     for seed in [42u64, 7, 1234] {
@@ -22,7 +31,8 @@ fn main() {
             v.into_iter().map(|i| i.downsample(2)).collect()
         };
         // Build SpikeDyn manually with overridden params.
-        let mut tr = Trainer::new(Method::SpikeDyn, 196, n_exc, PresentConfig::fast(), seed).with_max_rate(255.0);
+        let mut tr = Trainer::new(Method::SpikeDyn, 196, n_exc, PresentConfig::fast(), seed)
+            .with_max_rate(255.0);
         // Swap in a custom-built network + rule via rebuild
         let policy = ThetaPolicy::with_theta_plus(100.0, tp);
         let mut cfg_net = SnnConfig::direct_lateral(196, n_exc);
@@ -45,17 +55,40 @@ fn main() {
             let cm = tr.evaluate(&a, &ev);
             recents.push(cm.per_class_accuracy()[task as usize].unwrap_or(0.0));
         }
-        let assign = prep(eval_set(&gen, &(0..10).collect::<Vec<_>>(), 6, 1_000_000, seed));
+        let assign = prep(eval_set(
+            &gen,
+            &(0..10).collect::<Vec<_>>(),
+            6,
+            1_000_000,
+            seed,
+        ));
         let a = tr.fit_assignment(&assign, 10);
-        let ev = prep(eval_set(&gen, &(0..10).collect::<Vec<_>>(), 10, 2_000_000, seed));
+        let ev = prep(eval_set(
+            &gen,
+            &(0..10).collect::<Vec<_>>(),
+            10,
+            2_000_000,
+            seed,
+        ));
         let cm: ConfusionMatrix = tr.evaluate(&a, &ev);
         let recent = recents.iter().sum::<f64>() / 10.0;
         let prev = cm.accuracy();
-        println!("  seed{seed:5}: recent={:5.1} prev={:5.1} {:?}", recent*100.0, prev*100.0,
-                 recents.iter().map(|a| (a*100.0) as i32).collect::<Vec<_>>());
+        println!(
+            "  seed{seed:5}: recent={:5.1} prev={:5.1} {:?}",
+            recent * 100.0,
+            prev * 100.0,
+            recents
+                .iter()
+                .map(|a| (a * 100.0) as i32)
+                .collect::<Vec<_>>()
+        );
         scores.push((recent, prev));
     }
     let ar = scores.iter().map(|s| s.0).sum::<f64>() / 3.0;
     let ap = scores.iter().map(|s| s.1).sum::<f64>() / 3.0;
-    println!("θ+={tp} ηp={ep} τd={td} ts={ts} gi={gi} => RECENT {:.1} PREV {:.1}", ar * 100.0, ap * 100.0);
+    println!(
+        "θ+={tp} ηp={ep} τd={td} ts={ts} gi={gi} => RECENT {:.1} PREV {:.1}",
+        ar * 100.0,
+        ap * 100.0
+    );
 }

@@ -10,8 +10,8 @@
 //!    bits trades the paper's `mem = (Pw + Pn) · BP` footprint against
 //!    accuracy.
 
-use snn_core::rng::{derive_seed, seeded_rng};
 use snn_core::network::Snn;
+use snn_core::rng::{derive_seed, seeded_rng};
 use spikedyn::eval::run_dynamic_with;
 use spikedyn::learning::{SpikeDynConfig, SpikeDynPlasticity};
 use spikedyn::{Method, Trainer};
@@ -56,9 +56,17 @@ pub fn run(scale: &HarnessScale) -> String {
     // --- 1. timestep gating ---
     let mut gating = Table::new(
         "Ablation: timestep-gated vs per-step updates (SpikeDyn, N200)",
-        &["variant", "weight-update ops/sample", "kernels/sample", "avg recent acc %"],
+        &[
+            "variant",
+            "weight-update ops/sample",
+            "kernels/sample",
+            "avg recent acc %",
+        ],
     );
-    for (label, t_step) in [("gated (tstep=10ms)", 10.0f32), ("per-step (tstep=dt)", 1.0)] {
+    for (label, t_step) in [
+        ("gated (tstep=10ms)", 10.0f32),
+        ("per-step (tstep=dt)", 1.0),
+    ] {
         let (mut trainer, cfg) = spikedyn_with(n_exc, scale, |c| SpikeDynConfig {
             t_step_ms: t_step,
             ..c
@@ -80,10 +88,7 @@ pub fn run(scale: &HarnessScale) -> String {
         &["variant", "avg recent acc %", "avg previous acc %"],
     );
     for (label, kp_max) in [("adaptive kp", 4.0f32), ("fixed kp=1", 1.0)] {
-        let (mut trainer, cfg) = spikedyn_with(n_exc, scale, |c| SpikeDynConfig {
-            kp_max,
-            ..c
-        });
+        let (mut trainer, cfg) = spikedyn_with(n_exc, scale, |c| SpikeDynConfig { kp_max, ..c });
         let report = run_dynamic_with(&mut trainer, &cfg);
         rates.row(&[
             label.into(),
@@ -97,7 +102,13 @@ pub fn run(scale: &HarnessScale) -> String {
     // --- 3. wdecay ∝ 1/nexc vs constant ---
     let mut decay = Table::new(
         "Ablation: wdecay ∝ 1/nexc vs constant wdecay across sizes",
-        &["size", "scaled (c/n)", "constant (N400 value)", "avg recent scaled %", "avg recent const %"],
+        &[
+            "size",
+            "scaled (c/n)",
+            "constant (N400 value)",
+            "avg recent scaled %",
+            "avg recent const %",
+        ],
     );
     let constant = SpikeDynConfig::C_WDECAY / scale.n_large as f32;
     for (label, n) in scale.sizes() {
@@ -119,7 +130,12 @@ pub fn run(scale: &HarnessScale) -> String {
     // --- 4. bit-precision (BP) quantisation ---
     let mut quant = Table::new(
         "Ablation: weight bit precision BP vs accuracy (SpikeDyn, N200)",
-        &["BP", "weight memory [KB]", "max quant error", "avg previous acc %"],
+        &[
+            "BP",
+            "weight memory [KB]",
+            "max quant error",
+            "avg previous acc %",
+        ],
     );
     {
         use snn_core::quantize::{quantize_in_place, QuantizedWeights};
@@ -129,7 +145,13 @@ pub fn run(scale: &HarnessScale) -> String {
         let gen = snn_data::SyntheticDigits::new(cfg.seed);
         let prep = |v: Vec<snn_data::Image>| -> Vec<snn_data::Image> {
             v.into_iter()
-                .map(|i| if cfg.downsample > 1 { i.downsample(cfg.downsample) } else { i })
+                .map(|i| {
+                    if cfg.downsample > 1 {
+                        i.downsample(cfg.downsample)
+                    } else {
+                        i
+                    }
+                })
                 .collect()
         };
         let classes: Vec<u8> = cfg.tasks.clone();
@@ -141,8 +163,20 @@ pub fn run(scale: &HarnessScale) -> String {
                 0,
             )));
         }
-        let assign = prep(snn_data::eval_set(&gen, &classes, cfg.assign_per_class, 1_000_000, cfg.seed));
-        let eval = prep(snn_data::eval_set(&gen, &classes, cfg.eval_per_class, 2_000_000, cfg.seed));
+        let assign = prep(snn_data::eval_set(
+            &gen,
+            &classes,
+            cfg.assign_per_class,
+            1_000_000,
+            cfg.seed,
+        ));
+        let eval = prep(snn_data::eval_set(
+            &gen,
+            &classes,
+            cfg.eval_per_class,
+            2_000_000,
+            cfg.seed,
+        ));
         let full_weights = trainer.net.weights.clone();
         for bits in [32u8, 8, 4, 2] {
             trainer.net.weights = full_weights.clone();

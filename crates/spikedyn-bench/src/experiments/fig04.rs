@@ -52,7 +52,12 @@ pub fn run(scale: &HarnessScale) -> String {
     // --- (b) memory at the paper's native 784-input size ---
     let mut mem = Table::new(
         "Fig. 4(b): memory footprint [MB], 784 inputs, FP32",
-        &["size", "exc+inh (analytical)", "proposed (analytical)", "saving"],
+        &[
+            "size",
+            "exc+inh (analytical)",
+            "proposed (analytical)",
+            "saving",
+        ],
     );
     for (label, n_exc) in [("N200", 200usize), ("N400", 400usize)] {
         let with_inh = SnnConfig::with_inhibitory_layer(784, n_exc);
@@ -125,7 +130,9 @@ pub fn run(scale: &HarnessScale) -> String {
     out.push_str(&energy.render());
     let _ = energy.write_csv("fig04c_energy");
     out.push_str(&acc.render());
-    out.push_str("paper shape: proposed arch saves memory & energy with a similar accuracy profile.\n");
+    out.push_str(
+        "paper shape: proposed arch saves memory & energy with a similar accuracy profile.\n",
+    );
     let _ = acc.write_csv("fig04d_accuracy");
     out
 }

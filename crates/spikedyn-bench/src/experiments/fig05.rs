@@ -93,7 +93,14 @@ pub fn run(scale: &HarnessScale) -> String {
             let img = gen.sample(0, 9999).downsample(2);
             let rates = encoder.rates_hz(img.pixels());
             let mut warm = OpCounts::default();
-            run_sample(&mut net, &rates, &present, Some(&mut rule), &mut rng, &mut warm);
+            run_sample(
+                &mut net,
+                &rates,
+                &present,
+                Some(&mut rule),
+                &mut rng,
+                &mut warm,
+            );
         }
 
         // Training: first sample = the paper's single-sample probe.
@@ -102,12 +109,18 @@ pub fn run(scale: &HarnessScale) -> String {
             let img = gen.sample((i % 10) as u8, i).downsample(2);
             let rates = encoder.rates_hz(img.pixels());
             let mut ops = OpCounts::default();
-            run_sample(&mut net, &rates, &present, Some(&mut rule), &mut rng, &mut ops);
+            run_sample(
+                &mut net,
+                &rates,
+                &present,
+                Some(&mut rule),
+                &mut rng,
+                &mut ops,
+            );
             per_sample.push(gpu.energy_j(&ops));
         }
         let estimate = per_sample[0] * N_TRAIN as f64;
-        let actual =
-            per_sample.iter().sum::<f64>() / validation_samples as f64 * N_TRAIN as f64;
+        let actual = per_sample.iter().sum::<f64>() / validation_samples as f64 * N_TRAIN as f64;
         etrain.row(&[
             n.to_string(),
             format!("{:.1}", estimate / 1e3),
@@ -130,8 +143,7 @@ pub fn run(scale: &HarnessScale) -> String {
             per_sample.push(gpu.energy_j(&ops));
         }
         let estimate = per_sample[0] * N_INFER as f64;
-        let actual =
-            per_sample.iter().sum::<f64>() / validation_samples as f64 * N_INFER as f64;
+        let actual = per_sample.iter().sum::<f64>() / validation_samples as f64 * N_INFER as f64;
         einfer.row(&[
             n.to_string(),
             format!("{:.1}", estimate / 1e3),
@@ -163,7 +175,13 @@ pub fn run(scale: &HarnessScale) -> String {
     let result = search(&spec, &constraints, &gpu);
     let mut expl = Table::new(
         "Fig. 5(d,e): exploration duration [s] per candidate (GTX 1080 Ti model)",
-        &["n_exc", "actual run (train)", "algorithm (train)", "actual run (infer)", "algorithm (infer)"],
+        &[
+            "n_exc",
+            "actual run (train)",
+            "algorithm (train)",
+            "actual run (infer)",
+            "algorithm (infer)",
+        ],
     );
     for c in &result.explored {
         let p = gpu.avg_power_w;

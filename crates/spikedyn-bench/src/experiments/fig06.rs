@@ -71,7 +71,18 @@ pub fn run(scale: &HarnessScale) -> String {
     let mut table = Table::new(
         "Fig. 6: recent-task accuracy [%] over the task sequence (SpikeDyn, N400)",
         &[
-            "wdecay/θ", "d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "avg",
+            "wdecay/θ",
+            "d0",
+            "d1",
+            "d2",
+            "d3",
+            "d4",
+            "d5",
+            "d6",
+            "d7",
+            "d8",
+            "d9",
+            "avg",
         ],
     );
     let mut no_decay_avg = 0.0;

@@ -89,11 +89,7 @@ pub fn run(scale: &HarnessScale) -> String {
         for method in Method::all() {
             let report = run_non_dynamic(&scale.protocol(method, n_exc), &checkpoints);
             for &(samples, acc) in &report.checkpoints {
-                table.row(&[
-                    method.label().into(),
-                    samples.to_string(),
-                    pct(acc),
-                ]);
+                table.row(&[method.label().into(), samples.to_string(), pct(acc)]);
             }
         }
         out.push_str(&table.render());

@@ -31,7 +31,11 @@ pub fn run(scale: &HarnessScale) -> String {
         );
         for t in 0..10u8 {
             for p in 0..10u8 {
-                csv.row(&[t.to_string(), p.to_string(), report.confusion.get(t, p).to_string()]);
+                csv.row(&[
+                    t.to_string(),
+                    p.to_string(),
+                    report.confusion.get(t, p).to_string(),
+                ]);
             }
         }
         let _ = csv.write_csv(&format!("fig10_confusion_{label}"));

@@ -20,7 +20,15 @@ pub fn run(scale: &HarnessScale) -> String {
     let mut out = String::new();
     let mut table = Table::new(
         "Fig. 11: energy normalised to Baseline",
-        &["gpu", "size", "phase", "Baseline", "ASP", "SpikeDyn", "SpikeDyn vs ASP"],
+        &[
+            "gpu",
+            "size",
+            "phase",
+            "Baseline",
+            "ASP",
+            "SpikeDyn",
+            "SpikeDyn vs ASP",
+        ],
     );
     let mut spikedyn_vs_asp_train = Vec::new();
     let mut spikedyn_vs_asp_infer = Vec::new();
@@ -89,7 +97,10 @@ mod tests {
         assert!(report.contains("Fig. 11"));
         // Every SpikeDyn-vs-ASP cell must be a saving (negative sign in
         // the rendered column).
-        for line in report.lines().filter(|l| l.contains("training") || l.contains("inference")) {
+        for line in report
+            .lines()
+            .filter(|l| l.contains("training") || l.contains("inference"))
+        {
             assert!(line.contains("-"), "expected a saving in: {line}");
         }
     }

@@ -10,26 +10,36 @@ use crate::scale::HarnessScale;
 pub fn run(_scale: &HarnessScale) -> String {
     let mut table = Table::new(
         "Table I: GPU specifications (paper) + calibrated cost constants (ours)",
-        &[
-            "category",
-            "Jetson Nano",
-            "GTX 1080 Ti",
-            "RTX 2080 Ti",
-        ],
+        &["category", "Jetson Nano", "GTX 1080 Ti", "RTX 2080 Ti"],
     );
     let gpus = all_gpus();
     let col = |f: &dyn Fn(&neuro_energy::GpuSpec) -> String| -> Vec<String> {
-        gpus.iter().map(|g| f(g)).collect()
+        gpus.iter().map(f).collect()
     };
     let rows: Vec<(&str, Vec<String>)> = vec![
         ("Architecture", col(&|g| g.architecture.clone())),
         ("CUDA cores", col(&|g| g.cuda_cores.to_string())),
-        ("Memory", col(&|g| format!("{}GB {}", g.memory_gib, g.memory_type))),
-        ("Interface width", col(&|g| format!("{}-bit", g.interface_bits))),
+        (
+            "Memory",
+            col(&|g| format!("{}GB {}", g.memory_gib, g.memory_type)),
+        ),
+        (
+            "Interface width",
+            col(&|g| format!("{}-bit", g.interface_bits)),
+        ),
         ("Power", col(&|g| format!("{}W", g.tdp_w))),
-        ("Kernel latency (calibrated)", col(&|g| format!("{:.0} µs", g.kernel_latency_us))),
-        ("Elem throughput (calibrated)", col(&|g| format!("{:.1} Gop/s", g.elem_throughput_ops / 1e9))),
-        ("Avg draw during sim (calibrated)", col(&|g| format!("{:.1} W", g.avg_power_w))),
+        (
+            "Kernel latency (calibrated)",
+            col(&|g| format!("{:.0} µs", g.kernel_latency_us)),
+        ),
+        (
+            "Elem throughput (calibrated)",
+            col(&|g| format!("{:.1} Gop/s", g.elem_throughput_ops / 1e9)),
+        ),
+        (
+            "Avg draw during sim (calibrated)",
+            col(&|g| format!("{:.1} W", g.avg_power_w)),
+        ),
     ];
     for (name, cells) in rows {
         table.row(&[

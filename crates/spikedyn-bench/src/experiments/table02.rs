@@ -37,13 +37,27 @@ pub fn meter_paper_scale(n_exc: usize, seed: u64) -> (OpCounts, OpCounts) {
     );
     let mut rule = SpikeDynPlasticity::new(SpikeDynConfig::for_network(n_exc), 784, n_exc);
     let mut train_ops = OpCounts::default();
-    run_sample(&mut net, &rates, &present, Some(&mut rule), &mut rng, &mut train_ops);
+    run_sample(
+        &mut net,
+        &rates,
+        &present,
+        Some(&mut rule),
+        &mut rng,
+        &mut train_ops,
+    );
     let infer_present = PresentConfig {
         t_rest_ms: 0.0,
         ..present
     };
     let mut infer_ops = OpCounts::default();
-    run_sample(&mut net, &rates, &infer_present, None, &mut rng, &mut infer_ops);
+    run_sample(
+        &mut net,
+        &rates,
+        &infer_present,
+        None,
+        &mut rng,
+        &mut infer_ops,
+    );
     (train_ops, infer_ops)
 }
 
@@ -52,8 +66,14 @@ pub fn run(scale: &HarnessScale) -> String {
     let mut table = Table::new(
         "Table II: SpikeDyn processing time on full MNIST (hours; per-image seconds)",
         &[
-            "gpu", "n_exc", "train ours", "train paper", "infer ours", "infer paper",
-            "per-img ours", "per-img paper",
+            "gpu",
+            "n_exc",
+            "train ours",
+            "train paper",
+            "infer ours",
+            "infer paper",
+            "per-img ours",
+            "per-img paper",
         ],
     );
     let refs = table2_reference();

@@ -112,11 +112,7 @@ pub fn spikedyn_network<R: Rng + ?Sized>(
 /// comparison: direct lateral inhibition but with the baseline's threshold
 /// and normalisation settings, so only the inhibitory-layer replacement is
 /// measured (learning improvements come separately from Alg. 2).
-pub fn optimized_arch_network<R: Rng + ?Sized>(
-    n_input: usize,
-    n_exc: usize,
-    rng: &mut R,
-) -> Snn {
+pub fn optimized_arch_network<R: Rng + ?Sized>(n_input: usize, n_exc: usize, rng: &mut R) -> Snn {
     Snn::new(SnnConfig::direct_lateral(n_input, n_exc), rng)
 }
 
@@ -150,7 +146,12 @@ mod tests {
 
     #[test]
     fn network_has_no_inhibitory_population() {
-        let net = spikedyn_network(64, 8, ThetaPolicy::for_presentation(100.0), &mut seeded_rng(1));
+        let net = spikedyn_network(
+            64,
+            8,
+            ThetaPolicy::for_presentation(100.0),
+            &mut seeded_rng(1),
+        );
         assert!(net.inh.is_none());
         assert!(matches!(
             net.config.inhibition,
@@ -178,8 +179,16 @@ mod tests {
     #[test]
     fn memory_saving_vs_baseline_arch() {
         use snn_core::network::SnnConfig;
-        let lateral = spikedyn_network(784, 400, ThetaPolicy::for_presentation(350.0), &mut seeded_rng(4));
-        let baseline = Snn::new(SnnConfig::with_inhibitory_layer(784, 400), &mut seeded_rng(4));
+        let lateral = spikedyn_network(
+            784,
+            400,
+            ThetaPolicy::for_presentation(350.0),
+            &mut seeded_rng(4),
+        );
+        let baseline = Snn::new(
+            SnnConfig::with_inhibitory_layer(784, 400),
+            &mut seeded_rng(4),
+        );
         assert!(lateral.actual_memory_bytes() < baseline.actual_memory_bytes());
     }
 }

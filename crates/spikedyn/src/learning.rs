@@ -187,7 +187,7 @@ impl Plasticity for SpikeDynPlasticity {
         }
 
         let t_step_steps = (self.cfg.t_step_ms / ctx.dt_ms).round().max(1.0) as u32;
-        let at_boundary = ctx.step > 0 && ctx.step % t_step_steps == 0;
+        let at_boundary = ctx.step > 0 && ctx.step.is_multiple_of(t_step_steps);
 
         if at_boundary && ctx.in_presentation {
             // --- gated update (Alg. 2 lines 15–23) ---
@@ -268,7 +268,10 @@ mod tests {
         let c200 = SpikeDynConfig::for_network(200);
         let c400 = SpikeDynConfig::for_network(400);
         assert!((c200.w_decay - 2.0 * c400.w_decay).abs() < 1e-9);
-        assert!((c400.w_decay - 1.0e-2).abs() < 1e-6, "N400 hits Fig. 6's 1e-2");
+        assert!(
+            (c400.w_decay - 1.0e-2).abs() < 1e-6,
+            "N400 hits Fig. 6's 1e-2"
+        );
     }
 
     #[test]
@@ -283,7 +286,11 @@ mod tests {
     #[test]
     fn kd_formula() {
         let rule = SpikeDynPlasticity::new(SpikeDynConfig::for_network(100), 4, 4);
-        assert_eq!(rule.kd(5, 0), 0.0, "no presynaptic activity → no depression");
+        assert_eq!(
+            rule.kd(5, 0),
+            0.0,
+            "no presynaptic activity → no depression"
+        );
         assert!((rule.kd(2, 8) - 0.25).abs() < 1e-6);
     }
 
@@ -298,7 +305,12 @@ mod tests {
 
     #[test]
     fn silent_training_decays_weights_without_updates() {
-        let mut net = spikedyn_network(16, 4, ThetaPolicy::for_presentation(100.0), &mut seeded_rng(1));
+        let mut net = spikedyn_network(
+            16,
+            4,
+            ThetaPolicy::for_presentation(100.0),
+            &mut seeded_rng(1),
+        );
         let mut cfg = SpikeDynConfig::for_network(4);
         cfg.w_decay = 0.5; // exaggerate for the test
         let mut rule = SpikeDynPlasticity::new(cfg, 16, 4);
@@ -306,7 +318,7 @@ mod tests {
         let mut ops = OpCounts::default();
         run_sample(
             &mut net,
-            &vec![0.0; 16],
+            &[0.0; 16],
             &fast(),
             Some(&mut rule),
             &mut seeded_rng(2),
@@ -318,7 +330,12 @@ mod tests {
 
     #[test]
     fn active_training_potentiates_winner() {
-        let mut net = spikedyn_network(16, 4, ThetaPolicy::for_presentation(100.0), &mut seeded_rng(3));
+        let mut net = spikedyn_network(
+            16,
+            4,
+            ThetaPolicy::for_presentation(100.0),
+            &mut seeded_rng(3),
+        );
         // Strongly drive the network so a winner emerges.
         for j in 0..4 {
             for k in 0..16 {
@@ -329,14 +346,17 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![250.0; 16],
+            &[250.0; 16],
             &fast(),
             Some(&mut rule),
             &mut seeded_rng(4),
             &mut ops,
         );
         assert!(res.total_exc_spikes() > 0, "drive must elicit spikes");
-        assert!(rule.updates_applied() > 0, "boundaries must trigger updates");
+        assert!(
+            rule.updates_applied() > 0,
+            "boundaries must trigger updates"
+        );
         // The winner's weights should now exceed the decayed losers'.
         let winner = res.winner().unwrap();
         let loser_max = (0..4)
@@ -353,7 +373,12 @@ mod tests {
     fn gated_updates_are_fewer_than_per_event_updates() {
         // The point of §III-D(4): update *occasions* are bounded by
         // tsim/tstep, far fewer than the number of spike events.
-        let mut net = spikedyn_network(16, 4, ThetaPolicy::for_presentation(100.0), &mut seeded_rng(5));
+        let mut net = spikedyn_network(
+            16,
+            4,
+            ThetaPolicy::for_presentation(100.0),
+            &mut seeded_rng(5),
+        );
         for j in 0..4 {
             for k in 0..16 {
                 net.weights.set(j, k, 0.6);
@@ -363,7 +388,7 @@ mod tests {
         let mut ops = OpCounts::default();
         let res = run_sample(
             &mut net,
-            &vec![300.0; 16],
+            &[300.0; 16],
             &fast(),
             Some(&mut rule),
             &mut seeded_rng(6),
@@ -375,8 +400,8 @@ mod tests {
             "gated updates ({}) must be fewer than spike events ({spike_events})",
             rule.updates_applied()
         );
-        let windows = u64::from(fast().present_steps())
-            / (rule.cfg.t_step_ms / fast().dt_ms) as u64;
+        let windows =
+            u64::from(fast().present_steps()) / (rule.cfg.t_step_ms / fast().dt_ms) as u64;
         assert!(rule.updates_applied() <= windows + 1);
     }
 

@@ -48,8 +48,7 @@ pub mod trainer;
 
 pub use arch::{spikedyn_network, ThetaPolicy};
 pub use eval::{
-    run_dynamic, run_dynamic_with, run_non_dynamic, DynamicReport, NonDynamicReport,
-    ProtocolConfig,
+    run_dynamic, run_dynamic_with, run_non_dynamic, DynamicReport, NonDynamicReport, ProtocolConfig,
 };
 pub use learning::{SpikeDynConfig, SpikeDynPlasticity};
 pub use method::Method;

@@ -4,10 +4,10 @@
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use snn_core::network::Snn;
-use snn_core::sim::Plasticity;
 use snn_baselines::asp::{asp_network, AspConfig, AspPlasticity};
 use snn_baselines::diehl_cook::{baseline_network, DiehlCookConfig, DiehlCookStdp};
+use snn_core::network::Snn;
+use snn_core::sim::Plasticity;
 
 use crate::arch::{spikedyn_network, ThetaPolicy};
 use crate::learning::{SpikeDynConfig, SpikeDynPlasticity};
@@ -94,8 +94,7 @@ impl Method {
                     net.config.adapt = Some(scaled);
                     net.exc.set_adaptive(Some(scaled));
                 }
-                let rule =
-                    AspPlasticity::new(AspConfig::for_input(n_input).compressed(c), n_exc);
+                let rule = AspPlasticity::new(AspConfig::for_input(n_input).compressed(c), n_exc);
                 (net, Box::new(rule))
             }
             Method::SpikeDyn => {

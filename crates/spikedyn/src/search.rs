@@ -10,6 +10,7 @@
 //! [`SearchResult`] carries both cost totals so the harness can reproduce
 //! them.
 
+use neuro_energy::{analytical_memory_bytes, BitPrecision, GpuSpec};
 use serde::{Deserialize, Serialize};
 use snn_core::config::PresentConfig;
 use snn_core::network::SnnConfig;
@@ -17,7 +18,6 @@ use snn_core::ops::OpCounts;
 use snn_core::rng::{derive_seed, seeded_rng};
 use snn_core::sim::run_sample;
 use snn_data::{Image, SyntheticDigits};
-use neuro_energy::{analytical_memory_bytes, BitPrecision, GpuSpec};
 
 use crate::arch::{spikedyn_network, ThetaPolicy};
 use crate::learning::{SpikeDynConfig, SpikeDynPlasticity};
@@ -127,7 +127,7 @@ pub fn spikedyn_memory_bytes(n_input: usize, n_exc: usize, bp: BitPrecision) -> 
 pub fn search(spec: &SearchSpec, constraints: &SearchConstraints, gpu: &GpuSpec) -> SearchResult {
     let gen = SyntheticDigits::new(derive_seed(spec.seed, 0xA1));
     let side = (spec.n_input as f64).sqrt().round() as usize;
-    let probe: Image = if side * side == spec.n_input && snn_data::IMAGE_SIDE % side == 0 {
+    let probe: Image = if side * side == spec.n_input && snn_data::IMAGE_SIDE.is_multiple_of(side) {
         let factor = snn_data::IMAGE_SIDE / side;
         let img = gen.sample(0, 0);
         if factor > 1 {
@@ -199,8 +199,7 @@ pub fn search(spec: &SearchSpec, constraints: &SearchConstraints, gpu: &GpuSpec)
         let t1_train = gpu.time_s(&train_ops);
         let t1_infer = gpu.time_s(&infer_ops);
         search_cost_s += t1_train + t1_infer;
-        exhaustive_cost_s +=
-            t1_train * spec.n_train as f64 + t1_infer * spec.n_infer as f64;
+        exhaustive_cost_s += t1_train * spec.n_train as f64 + t1_infer * spec.n_infer as f64;
 
         let feasible = e_train <= constraints.e_train_j && e_infer <= constraints.e_infer_j;
         let candidate = Candidate {
@@ -287,9 +286,9 @@ mod tests {
             ..loose_constraints()
         };
         let result = search(&spec, &tight, &GpuSpec::gtx_1080_ti());
-        match result.selected {
-            Some(c) => assert!(c.n_exc < largest.n_exc),
-            None => {} // all infeasible is also a valid outcome
+        if let Some(c) = result.selected {
+            // (All-infeasible, i.e. `None`, is also a valid outcome.)
+            assert!(c.n_exc < largest.n_exc);
         }
         // Infeasible candidates are still recorded for Fig. 5-style plots.
         assert_eq!(result.explored.len(), probe.explored.len());
@@ -316,7 +315,10 @@ mod tests {
         for c in &result.explored {
             assert!((c.e_train_j - c.e1_train_j * spec.n_train as f64).abs() < 1e-9);
             assert!((c.e_infer_j - c.e1_infer_j * spec.n_infer as f64).abs() < 1e-9);
-            assert!(c.e1_train_j > c.e1_infer_j, "training costs more than inference");
+            assert!(
+                c.e1_train_j > c.e1_infer_j,
+                "training costs more than inference"
+            );
         }
     }
 

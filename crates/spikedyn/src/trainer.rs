@@ -14,6 +14,7 @@ use snn_core::ops::OpCounts;
 use snn_core::rng::{derive_seed, seeded_rng};
 use snn_core::sim::{run_sample, Plasticity, SampleResult};
 use snn_data::Image;
+use snn_runtime::Engine;
 
 use crate::method::Method;
 
@@ -37,6 +38,13 @@ pub struct Trainer {
     pub infer_ops: OpCounts,
     train_samples_seen: u64,
     infer_samples_seen: u64,
+    /// Root seed of the batched-inference seed tree (stream 3 of the
+    /// master seed; streams 1 and 2 belong to weight init and the
+    /// training-time RNG).
+    infer_master: u64,
+    /// Batched-inference calls so far; each call gets the next seed in the
+    /// tree so repeated runs replay identically.
+    infer_calls: u64,
 }
 
 impl Trainer {
@@ -88,6 +96,8 @@ impl Trainer {
             infer_ops: OpCounts::default(),
             train_samples_seen: 0,
             infer_samples_seen: 0,
+            infer_master: derive_seed(seed, 3),
+            infer_calls: 0,
         }
     }
 
@@ -180,12 +190,51 @@ impl Trainer {
         result
     }
 
-    /// Runs inference over `images` and returns `(label, spike counts)`
-    /// response pairs for assignment or evaluation.
+    /// Snapshots the current learned state into a batched inference
+    /// [`Engine`] (see `snn-runtime`): same inference protocol, encoder
+    /// rate and method `θ` discount as [`Trainer::infer_image`], but
+    /// sample-parallel and with per-sample seed derivation.
+    ///
+    /// A fresh engine is built per call rather than cached: `net` is a
+    /// public field that experiment harnesses replace wholesale (ablation
+    /// and architecture studies), so a cached engine could silently serve
+    /// stale weights. The cost is one network clone per *batch* of
+    /// samples, amortised across the batch; long-lived callers that
+    /// control their own mutation points should hold an `Engine` directly
+    /// and refresh it with `Engine::sync_from`.
+    pub fn engine(&self) -> Engine {
+        Engine::from_network(
+            self.net.clone(),
+            self.infer_present,
+            self.encoder.max_rate_hz(),
+            self.method.infer_theta_scale(),
+        )
+    }
+
+    /// Seed for the next batched-inference call (one per call, derived
+    /// from the trainer's master seed so whole runs replay identically).
+    fn next_batch_seed(&mut self) -> u64 {
+        let seed = derive_seed(self.infer_master, self.infer_calls);
+        self.infer_calls += 1;
+        seed
+    }
+
+    /// Runs batched inference over `images` and returns `(label, spike
+    /// counts)` response pairs for assignment or evaluation.
+    ///
+    /// Goes through the sample-parallel [`Engine`]; results are
+    /// bit-reproducible across runs and thread counts.
     pub fn responses(&mut self, images: &[Image]) -> Vec<(u8, Vec<u32>)> {
-        images
-            .iter()
-            .map(|img| (img.label, self.infer_image(img).exc_spike_counts))
+        let engine = self.engine();
+        let batch_seed = self.next_batch_seed();
+        let outcome = engine.infer_batch_metered(images, batch_seed);
+        self.infer_ops.accumulate(&outcome.ops);
+        self.infer_samples_seen += images.len() as u64;
+        outcome
+            .results
+            .into_iter()
+            .zip(images)
+            .map(|(result, img)| (img.label, result.exc_spike_counts))
             .collect()
     }
 
@@ -200,36 +249,25 @@ impl Trainer {
     }
 
     /// Evaluates a labelled test set against an assignment, producing a
-    /// confusion matrix.
-    pub fn evaluate(
-        &mut self,
-        assignment: &ClassAssignment,
-        images: &[Image],
-    ) -> ConfusionMatrix {
-        let mut cm = ConfusionMatrix::new(assignment.n_classes());
-        for img in images {
-            let result = self.infer_image(img);
-            let predicted = assignment.predict(&result.exc_spike_counts);
-            cm.add(img.label, predicted);
-        }
-        cm
+    /// confusion matrix. Batched through the [`Engine`].
+    pub fn evaluate(&mut self, assignment: &ClassAssignment, images: &[Image]) -> ConfusionMatrix {
+        let engine = self.engine();
+        let batch_seed = self.next_batch_seed();
+        let report = engine.evaluate(images, assignment, batch_seed);
+        self.infer_ops.accumulate(&report.ops);
+        self.infer_samples_seen += report.samples;
+        report.confusion
     }
 
     /// Operation counts of the *average* training sample so far (the `E1`
     /// measurement of the paper's `E = E1 · N` model).
     pub fn avg_train_sample_ops(&self) -> OpCounts {
-        if self.train_samples_seen == 0 {
-            return OpCounts::default();
-        }
-        scale_down(&self.train_ops, self.train_samples_seen)
+        self.train_ops.averaged_over(self.train_samples_seen)
     }
 
     /// Operation counts of the average inference sample so far.
     pub fn avg_infer_sample_ops(&self) -> OpCounts {
-        if self.infer_samples_seen == 0 {
-            return OpCounts::default();
-        }
-        scale_down(&self.infer_ops, self.infer_samples_seen)
+        self.infer_ops.averaged_over(self.infer_samples_seen)
     }
 }
 
@@ -243,21 +281,6 @@ impl std::fmt::Debug for Trainer {
             .field("train_samples_seen", &self.train_samples_seen)
             .field("infer_samples_seen", &self.infer_samples_seen)
             .finish_non_exhaustive()
-    }
-}
-
-fn scale_down(ops: &OpCounts, n: u64) -> OpCounts {
-    OpCounts {
-        neuron_updates: ops.neuron_updates / n,
-        decay_mults: ops.decay_mults / n,
-        exp_evals: ops.exp_evals / n,
-        syn_events: ops.syn_events / n,
-        weight_updates: ops.weight_updates / n,
-        trace_updates: ops.trace_updates / n,
-        comparisons: ops.comparisons / n,
-        spikes: ops.spikes / n,
-        encode_ops: ops.encode_ops / n,
-        kernel_launches: ops.kernel_launches / n,
     }
 }
 
@@ -329,7 +352,8 @@ mod tests {
         // Accuracy is whatever it is at this scale; the structural claim is
         // that predictions land inside the class set.
         for target in [0u8, 1] {
-            let row: u64 = (0..10).map(|p| cm.get(target, p)).sum::<u64>() + cm.unclassified(target);
+            let row: u64 =
+                (0..10).map(|p| cm.get(target, p)).sum::<u64>() + cm.unclassified(target);
             assert_eq!(row, 2);
         }
     }
@@ -342,10 +366,7 @@ mod tests {
         let avg = t.avg_train_sample_ops();
         assert!(avg.kernel_launches > 0);
         assert!(avg.kernel_launches <= t.train_ops.kernel_launches);
-        assert_eq!(
-            avg.kernel_launches,
-            t.train_ops.kernel_launches / 2
-        );
+        assert_eq!(avg.kernel_launches, t.train_ops.kernel_launches / 2);
     }
 
     #[test]
@@ -357,6 +378,42 @@ mod tests {
             t.net.weights.clone()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn responses_go_through_the_batched_engine_bit_identically() {
+        let imgs = small_images(3, &[0, 1]);
+        let mut t = Trainer::new(Method::SpikeDyn, 196, 10, PresentConfig::fast(), 9);
+        t.train_on(&imgs);
+        // The first batched call uses seed derive_seed(infer_master, 0);
+        // replay it through the engine's sequential reference path.
+        let engine = t.engine();
+        let batch_seed = snn_core::rng::derive_seed(t.infer_master, 0);
+        let sequential = engine.infer_sequential(&imgs, batch_seed);
+        let responses = t.responses(&imgs);
+        assert_eq!(responses.len(), imgs.len());
+        for ((label, counts), (img, result)) in responses.iter().zip(imgs.iter().zip(&sequential)) {
+            assert_eq!(*label, img.label);
+            assert_eq!(counts, &result.exc_spike_counts);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_replay_identical_responses() {
+        let imgs = small_images(2, &[0, 1]);
+        let run = || {
+            let mut t = Trainer::new(Method::Baseline, 196, 8, PresentConfig::fast(), 21);
+            t.train_on(&imgs);
+            (t.responses(&imgs), t.responses(&imgs))
+        };
+        let (a1, a2) = run();
+        let (b1, b2) = run();
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+        assert_ne!(
+            a1, a2,
+            "consecutive calls use fresh batch seeds (fresh encoding noise)"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn main() {
             c.mem_bytes / 1024,
             c.e_train_j / 1e3,
             c.e_infer_j / 1e3,
-            if c.feasible { "feasible" } else { "violates budget" }
+            if c.feasible {
+                "feasible"
+            } else {
+                "violates budget"
+            }
         );
     }
     match result.selected {

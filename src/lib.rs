@@ -7,6 +7,7 @@
 //! * [`data`](snn_data) — synthetic MNIST-like digits, IDX parsing, task streams,
 //! * [`baselines`](snn_baselines) — Diehl & Cook and ASP comparison partners,
 //! * [`energy`](neuro_energy) — GPU cost models and the paper's analytical estimators,
+//! * [`runtime`](snn_runtime) — the batched, sample-parallel execution engine,
 //! * [`spikedyn`] — the paper's contribution: architecture, Alg. 1 search, Alg. 2 learning.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
@@ -17,4 +18,5 @@ pub use neuro_energy;
 pub use snn_baselines;
 pub use snn_core;
 pub use snn_data;
+pub use snn_runtime;
 pub use spikedyn;

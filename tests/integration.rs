@@ -84,9 +84,21 @@ fn energy_ordering_matches_paper_claims() {
         let infer: Vec<f64> = metered.iter().map(|(_, i)| gpu.energy_j(i)).collect();
         // Order: [Baseline, Asp, SpikeDyn].
         assert!(train[2] < train[1], "{}: SpikeDyn < ASP training", gpu.name);
-        assert!(train[2] < train[0], "{}: SpikeDyn < Baseline training", gpu.name);
-        assert!(infer[2] < infer[1], "{}: SpikeDyn < ASP inference", gpu.name);
-        assert!(train[1] > train[0], "{}: ASP costs more than Baseline", gpu.name);
+        assert!(
+            train[2] < train[0],
+            "{}: SpikeDyn < Baseline training",
+            gpu.name
+        );
+        assert!(
+            infer[2] < infer[1],
+            "{}: SpikeDyn < ASP inference",
+            gpu.name
+        );
+        assert!(
+            train[1] > train[0],
+            "{}: ASP costs more than Baseline",
+            gpu.name
+        );
     }
 }
 
@@ -132,8 +144,15 @@ fn inference_preserves_all_learned_state() {
         let weights = t.net.weights.clone();
         let thetas = t.net.exc.thetas().to_vec();
         t.infer_image(&train[0]);
-        assert_eq!(t.net.weights, weights, "{method}: weights frozen at inference");
-        assert_eq!(t.net.exc.thetas(), &thetas[..], "{method}: θ restored after inference");
+        assert_eq!(
+            t.net.weights, weights,
+            "{method}: weights frozen at inference"
+        );
+        assert_eq!(
+            t.net.exc.thetas(),
+            &thetas[..],
+            "{method}: θ restored after inference"
+        );
     }
 }
 
@@ -150,7 +169,7 @@ fn real_mnist_is_used_when_present() {
         raw.extend_from_slice(&n.to_be_bytes());
         raw.extend_from_slice(&28u32.to_be_bytes());
         raw.extend_from_slice(&28u32.to_be_bytes());
-        raw.extend(std::iter::repeat(128u8).take((n * 784) as usize));
+        raw.extend(std::iter::repeat_n(128u8, (n * 784) as usize));
         raw
     };
     let labs = |labels: &[u8]| -> Vec<u8> {

@@ -1,0 +1,132 @@
+//! Determinism guarantees of the batched runtime, end to end.
+//!
+//! The workspace promises: same seeds → same results, bit for bit,
+//! regardless of how many worker threads the engine fans out to. These
+//! tests pin that promise at three levels — data streams, engine batches,
+//! and the full dynamic-environment protocol.
+
+use snn_core::config::PresentConfig;
+use snn_core::network::SnnConfig;
+use snn_data::{batches, dynamic_stream, eval_set, non_dynamic_stream, Image, SyntheticDigits};
+use snn_runtime::{Engine, EngineConfig};
+use spikedyn::{run_dynamic, Method, ProtocolConfig};
+
+fn test_images(n: u64) -> Vec<Image> {
+    let gen = SyntheticDigits::new(33);
+    (0..n)
+        .map(|i| gen.sample((i % 10) as u8, i).downsample(2))
+        .collect()
+}
+
+fn fast_engine() -> Engine {
+    Engine::new(
+        EngineConfig::new(SnnConfig::direct_lateral(196, 10), 77)
+            .with_present(PresentConfig {
+                t_rest_ms: 0.0,
+                retry: None,
+                ..PresentConfig::fast()
+            })
+            .with_max_rate(255.0),
+    )
+}
+
+/// Serialises every `RAYON_NUM_THREADS` mutation: the test harness runs
+/// tests in this binary concurrently, and the env var is process-global,
+/// so without this lock one test's setting could land mid-run of another
+/// and the intended thread counts would not be reliably exercised.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` under an explicit `RAYON_NUM_THREADS` setting, restoring the
+/// previous value afterwards.
+fn with_thread_count<T>(threads: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    match threads {
+        Some(n) => std::env::set_var("RAYON_NUM_THREADS", n),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
+#[test]
+fn streams_are_identical_across_runs() {
+    let gen_a = SyntheticDigits::new(5);
+    let gen_b = SyntheticDigits::new(5);
+    assert_eq!(
+        dynamic_stream(&gen_a, &[0, 3, 7], 6, 0),
+        dynamic_stream(&gen_b, &[0, 3, 7], 6, 0)
+    );
+    let classes: Vec<u8> = (0..10).collect();
+    assert_eq!(
+        non_dynamic_stream(&gen_a, &classes, 40, 9, 0),
+        non_dynamic_stream(&gen_b, &classes, 40, 9, 0)
+    );
+    assert_eq!(
+        eval_set(&gen_a, &classes, 3, 1_000_000, 9),
+        eval_set(&gen_b, &classes, 3, 1_000_000, 9)
+    );
+}
+
+#[test]
+fn engine_batches_are_identical_across_thread_counts() {
+    let engine = fast_engine();
+    let images = test_images(17);
+    let default_threads = with_thread_count(None, || engine.infer_batch(&images, 42));
+    let one_thread = with_thread_count(Some("1"), || engine.infer_batch(&images, 42));
+    let three_threads = with_thread_count(Some("3"), || engine.infer_batch(&images, 42));
+    assert_eq!(default_threads, one_thread);
+    assert_eq!(default_threads, three_threads);
+    // And the parallel paths all match the sequential reference, bit for bit.
+    assert_eq!(default_threads, engine.infer_sequential(&images, 42));
+}
+
+#[test]
+fn engine_ops_metering_is_identical_across_thread_counts() {
+    let engine = fast_engine();
+    let images = test_images(11);
+    let a = with_thread_count(Some("1"), || engine.infer_batch_metered(&images, 8));
+    let b = with_thread_count(Some("4"), || engine.infer_batch_metered(&images, 8));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn batched_stream_iteration_covers_everything_once() {
+    let engine = fast_engine();
+    let images = test_images(10);
+    // Feeding the engine batch-by-batch with a shared batch seed must see
+    // every sample exactly once; seeds are per-position *within* each
+    // batch, so concatenating per-batch results equals whole-batch results
+    // only when batch boundaries match — pin the exact contract instead:
+    // each batch of size n gets results identical to an n-sample call.
+    for batch in batches(&images, 4) {
+        let direct = engine.infer_batch(batch, 6);
+        assert_eq!(direct.len(), batch.len());
+        assert_eq!(direct, engine.infer_sequential(batch, 6));
+    }
+}
+
+#[test]
+fn dynamic_protocol_is_identical_across_runs_and_thread_counts() {
+    let cfg = ProtocolConfig {
+        samples_per_task: 3,
+        assign_per_class: 2,
+        eval_per_class: 2,
+        tasks: vec![0, 1],
+        n_exc: 10,
+        ..ProtocolConfig::fast(Method::SpikeDyn, 10)
+    };
+    let baseline = with_thread_count(None, || run_dynamic(&cfg));
+    let one_thread = with_thread_count(Some("1"), || run_dynamic(&cfg));
+    let two_threads = with_thread_count(Some("2"), || run_dynamic(&cfg));
+    assert_eq!(baseline.recent_task_acc, one_thread.recent_task_acc);
+    assert_eq!(baseline.recent_task_acc, two_threads.recent_task_acc);
+    assert_eq!(baseline.confusion, one_thread.confusion);
+    assert_eq!(baseline.confusion, two_threads.confusion);
+    assert_eq!(baseline.train_ops, one_thread.train_ops);
+    assert_eq!(baseline.infer_sample_ops, two_threads.infer_sample_ops);
+}

@@ -1,0 +1,228 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! Provides the types and macros the workspace's bench targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`criterion_group!`], [`criterion_main!`] — backed by a simple
+//! wall-clock harness: per benchmark, a short calibration pass sizes the
+//! iteration count to a ~200 ms measurement window, several samples are
+//! timed, and the best/median/mean nanoseconds per iteration are printed.
+//! No statistics beyond that, no HTML reports, no regression tracking.
+//!
+//! When the bench binary is invoked with `--test` (as `cargo test` does for
+//! bench targets) every benchmark runs exactly one iteration, so benches act
+//! as smoke tests without burning CI minutes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(40);
+/// Samples taken per benchmark.
+const N_SAMPLES: usize = 5;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn matches_filter(name: &str) -> bool {
+    // First free argument (not a flag) filters benchmarks by substring,
+    // mirroring criterion/libtest behaviour.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    match filter {
+        Some(f) => name.contains(&f),
+        None => true,
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only (group name supplies the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    single_iteration: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.single_iteration {
+            black_box(routine());
+            self.iters_done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Calibrate: how many iterations fit in the sample window?
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (SAMPLE_WINDOW.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters_total = 0u64;
+        for _ in 0..N_SAMPLES {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            best = best.min(dt / per_sample as u32);
+            total += dt;
+            iters_total += per_sample;
+        }
+        self.iters_done = iters_total;
+        self.elapsed = total;
+        let mean = total.as_nanos() as f64 / iters_total as f64;
+        println!(
+            "    time: best {:>12} ns/iter, mean {:>12.1} ns/iter ({} iters)",
+            best.as_nanos(),
+            mean,
+            iters_total
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the criterion sample count (accepted for API compatibility;
+    /// this harness keeps its own fixed sample count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    if !matches_filter(name) {
+        return;
+    }
+    println!("bench: {name}");
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        single_iteration: test_mode(),
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("    (no iterations run)");
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from a list of group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

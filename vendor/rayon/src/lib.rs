@@ -1,0 +1,267 @@
+//! Offline subset of the `rayon` API, implemented on scoped OS threads.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of rayon the workspace uses: `slice.par_iter()` with `map`,
+//! `enumerate` and order-preserving `collect`, plus
+//! [`current_num_threads`]. Work is split into one contiguous chunk per
+//! worker inside [`std::thread::scope`] — no work stealing, no global pool.
+//! That is a deliberate trade: the `snn-runtime` engine's units of work
+//! (whole sample simulations) are coarse and uniform, so contiguous
+//! chunking loses little to stealing and keeps the implementation tiny and
+//! auditable.
+//!
+//! Thread count resolution mirrors rayon: the `RAYON_NUM_THREADS`
+//! environment variable when set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. Results are always assembled in
+//! input order, so callers observe identical output for any thread count —
+//! the property the workspace's determinism tests pin.
+
+#![warn(missing_docs)]
+
+/// Number of worker threads parallel operations will use.
+///
+/// `RAYON_NUM_THREADS` (positive integer) wins; otherwise the machine's
+/// available parallelism; 1 on platforms where that is unknown.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..len)` across worker threads, returning results in index order.
+///
+/// The scheduling primitive everything else lowers to. Panics in `f`
+/// propagate to the caller (the scope joins all workers first).
+pub fn parallel_index_map<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let mut per_worker: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let f = &f;
+                s.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(len);
+                    (lo..hi).map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => per_worker.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for v in per_worker {
+        out.extend(v);
+    }
+    out
+}
+
+/// Parallel iterator types for slices.
+pub mod iter {
+    use super::parallel_index_map;
+
+    /// Conversion of `&self` into a parallel iterator (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed item type.
+        type Item: Send + 'a;
+        /// Iterator type produced.
+        type Iter;
+
+        /// Returns a parallel iterator over borrowed items.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Iter<'a, T> {
+            Iter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Iter<'a, T> {
+            Iter { slice: self }
+        }
+    }
+
+    /// Parallel iterator over `&[T]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Iter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> Iter<'a, T> {
+        /// Pairs each item with its index, preserving order.
+        pub fn enumerate(self) -> Enumerate<'a, T> {
+            Enumerate { slice: self.slice }
+        }
+
+        /// Maps each item through `f` in parallel.
+        pub fn map<U, F>(self, f: F) -> Map<'a, T, F>
+        where
+            U: Send,
+            F: Fn(&'a T) -> U + Sync,
+        {
+            Map {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        /// Applies `f` to every item in parallel (no results).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            parallel_index_map(self.slice.len(), |i| f(&self.slice[i]));
+        }
+    }
+
+    /// Enumerated parallel iterator over `&[T]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Enumerate<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> Enumerate<'a, T> {
+        /// Maps each `(index, item)` pair through `f` in parallel.
+        pub fn map<U, F>(self, f: F) -> EnumerateMap<'a, T, F>
+        where
+            U: Send,
+            F: Fn((usize, &'a T)) -> U + Sync,
+        {
+            EnumerateMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel iterator.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, U, F> Map<'a, T, F>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        /// Evaluates the map in parallel and collects results in input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            parallel_index_map(self.slice.len(), |i| (self.f)(&self.slice[i]))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Mapped enumerated parallel iterator.
+    #[derive(Debug, Clone, Copy)]
+    pub struct EnumerateMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, U, F> EnumerateMap<'a, T, F>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn((usize, &'a T)) -> U + Sync,
+    {
+        /// Evaluates the map in parallel and collects results in input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            parallel_index_map(self.slice.len(), |i| (self.f)((i, &self.slice[i])))
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+/// Rayon-style prelude.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_sees_true_indices() {
+        let xs = vec![10u64, 20, 30, 40, 50];
+        let tagged: Vec<(usize, u64)> = xs.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(tagged, vec![(0, 10), (1, 20), (2, 30), (3, 40), (4, 50)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let xs: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(x)).collect();
+        let parallel: Vec<u64> = xs.par_iter().map(|&x| x.wrapping_mul(x)).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let xs: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 63 {
+                    panic!("boom");
+                }
+                x
+            })
+            .collect();
+    }
+}

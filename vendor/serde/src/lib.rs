@@ -1,0 +1,20 @@
+//! Marker-trait stub of `serde` for the offline build.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so reports can be serialized once the real serde is
+//! available, but no code path in the offline environment actually
+//! serializes anything. This stub provides the two names in both the trait
+//! and derive-macro namespaces so the annotations compile; the derives (from
+//! the sibling `serde_derive` stub) expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never auto-implemented by the
+/// no-op derive; present so `T: Serialize` bounds parse).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (never auto-implemented by
+/// the no-op derive; present so `T: Deserialize` bounds parse).
+pub trait Deserialize {}

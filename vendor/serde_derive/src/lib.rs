@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations.
+//!
+//! The workspace only uses serde derives as forward-compatible annotations —
+//! nothing actually serializes (no `serde_json`, no `bincode` in the offline
+//! environment). These derives therefore expand to nothing; the marker
+//! traits live in the sibling `serde` stub. When the real serde becomes
+//! available the stubs drop out without touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde::Serialize` marker stays unimplemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde::Deserialize` marker stays unimplemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
