@@ -167,6 +167,29 @@ impl Plasticity for AspPlasticity {
             ctx.weights.normalize_rows(target, ctx.ops);
         }
     }
+
+    /// The significance traces are ASP's only cross-sample state; they are
+    /// exported as little-endian `f32` bit patterns so restore is exact.
+    fn export_state(&self) -> Vec<u8> {
+        self.activity
+            .iter()
+            .flat_map(|a| a.to_bits().to_le_bytes())
+            .collect()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> snn_core::SnnResult<()> {
+        if bytes.len() != self.activity.len() * 4 {
+            return Err(snn_core::SnnError::DimensionMismatch {
+                expected: self.activity.len() * 4,
+                got: bytes.len(),
+                what: "ASP significance-trace state",
+            });
+        }
+        for (slot, chunk) in self.activity.iter_mut().zip(bytes.chunks_exact(4)) {
+            *slot = f32::from_bits(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(())
+    }
 }
 
 /// Builds the ASP network — the same explicit-inhibitory-layer
@@ -329,6 +352,19 @@ mod tests {
             rule.activity().iter().any(|&a| a > 0.0),
             "driving the network must raise significance"
         );
+    }
+
+    #[test]
+    fn state_export_import_roundtrips_bitwise() {
+        let mut rule = AspPlasticity::new(AspConfig::for_input(8), 3);
+        rule.activity = vec![0.125, 7.25, 1.0e-7];
+        let bytes = rule.export_state();
+        let mut fresh = AspPlasticity::new(AspConfig::for_input(8), 3);
+        fresh.import_state(&bytes).unwrap();
+        let a: Vec<u32> = rule.activity().iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = fresh.activity().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+        assert!(fresh.import_state(&bytes[..5]).is_err(), "bad length");
     }
 
     #[test]

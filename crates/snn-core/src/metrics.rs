@@ -61,6 +61,25 @@ impl ClassAssignment {
         }
     }
 
+    /// Rebuilds an assignment from checkpointed parts (the counterpart of
+    /// [`ClassAssignment::n_classes`] + [`ClassAssignment::assignments`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assigned class is out of range for `n_classes`.
+    pub fn from_parts(n_classes: usize, assigned: Vec<Option<u8>>) -> Self {
+        for a in assigned.iter().flatten() {
+            assert!(
+                (*a as usize) < n_classes,
+                "assigned class {a} out of range for {n_classes} classes"
+            );
+        }
+        ClassAssignment {
+            n_classes,
+            assigned,
+        }
+    }
+
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
@@ -272,6 +291,22 @@ mod tests {
         ];
         let a = ClassAssignment::from_responses(1, 2, responses);
         assert_eq!(a.assignments(), &[Some(1)]);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_accessors() {
+        let r0: &[u32] = &[10, 1, 0];
+        let r1: &[u32] = &[2, 8, 0];
+        let a = ClassAssignment::from_responses(3, 2, vec![(0u8, r0), (1u8, r1)]);
+        let b = ClassAssignment::from_parts(a.n_classes(), a.assignments().to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.predict(&[5, 1, 0]), b.predict(&[5, 1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_out_of_range_class() {
+        let _ = ClassAssignment::from_parts(2, vec![Some(5)]);
     }
 
     #[test]

@@ -209,6 +209,45 @@ impl Snn {
         }
     }
 
+    /// Rebuilds a network from checkpointed learned state: the original
+    /// configuration, the plastic weight buffer (row-major by postsynaptic
+    /// neuron) and the per-neuron adaptation potentials `θ`.
+    ///
+    /// Dynamic state (membranes, conductances, traces, refractory timers)
+    /// starts settled, which matches the state of a live network between
+    /// samples — the only points at which the workspace checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SnnError::DimensionMismatch`] when the weight
+    /// buffer or `θ` vector does not match the configured shape.
+    pub fn from_parts(config: SnnConfig, weights: Vec<f32>, thetas: &[f32]) -> SnnResult<Self> {
+        if thetas.len() != config.n_exc {
+            return Err(crate::SnnError::DimensionMismatch {
+                expected: config.n_exc,
+                got: thetas.len(),
+                what: "theta vector",
+            });
+        }
+        let weights = WeightMatrix::from_rows(config.n_exc, config.n_input, weights, config.w_max)?;
+        let mut exc = LifLayer::new(config.n_exc, config.exc_params, config.adapt);
+        exc.thetas_mut().copy_from_slice(thetas);
+        let inh = match &config.inhibition {
+            Inhibition::InhibitoryLayer { params, .. } => {
+                Some(LifLayer::new(config.n_exc, *params, None))
+            }
+            _ => None,
+        };
+        let traces = TraceSet::new(config.n_input, config.n_exc, config.traces);
+        Ok(Snn {
+            config,
+            exc,
+            inh,
+            weights,
+            traces,
+        })
+    }
+
     /// Number of input channels.
     pub fn n_input(&self) -> usize {
         self.config.n_input
@@ -477,6 +516,44 @@ mod tests {
         }
         assert_eq!(ops_a, ops_b, "op metering must not depend on the path");
         assert_eq!(a.traces.x_pre(), b.traces.x_pre());
+    }
+
+    #[test]
+    fn from_parts_reproduces_learned_state() {
+        let mut rng = seeded_rng(41);
+        let mut net = Snn::new(SnnConfig::direct_lateral(12, 5), &mut rng);
+        net.exc.thetas_mut()[2] = 3.5;
+        let rebuilt = Snn::from_parts(
+            net.config.clone(),
+            net.weights.as_slice().to_vec(),
+            net.exc.thetas(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.weights, net.weights);
+        assert_eq!(rebuilt.exc.thetas(), net.exc.thetas());
+        // Identical state must simulate identically.
+        let mut ops_a = OpCounts::default();
+        let mut ops_b = OpCounts::default();
+        let mut a = net.clone();
+        let mut b = rebuilt;
+        a.settle();
+        for _ in 0..10 {
+            a.deliver_input_spike(1, &mut ops_a);
+            b.deliver_input_spike(1, &mut ops_b);
+            a.step(0.5, &mut ops_a);
+            b.step(0.5, &mut ops_b);
+            let va: Vec<u32> = a.exc.voltages().iter().map(|v| v.to_bits()).collect();
+            let vb: Vec<u32> = b.exc.voltages().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_dimensions() {
+        let cfg = SnnConfig::direct_lateral(4, 3);
+        assert!(Snn::from_parts(cfg.clone(), vec![0.0; 11], &[0.0; 3]).is_err());
+        assert!(Snn::from_parts(cfg.clone(), vec![0.0; 12], &[0.0; 2]).is_err());
+        assert!(Snn::from_parts(cfg, vec![0.0; 12], &[0.0; 3]).is_ok());
     }
 
     #[test]

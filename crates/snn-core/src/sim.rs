@@ -59,6 +59,37 @@ pub trait Plasticity {
 
     /// Called after the last step of each sample (normalisation etc.).
     fn end_sample(&mut self, ctx: &mut PlasticityCtx<'_>);
+
+    /// Serialises the rule's *persistent* (cross-sample) state for
+    /// checkpointing. Per-sample scratch that `begin_sample` resets need
+    /// not be included. Stateless rules return an empty buffer (the
+    /// default).
+    ///
+    /// Each rule defines its own byte layout; the only contract is that
+    /// [`Plasticity::import_state`] on a freshly built rule of the same
+    /// configuration restores behaviour bit-exactly.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Plasticity::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SnnError::DimensionMismatch`] when the buffer does
+    /// not match the rule's expected layout. The default implementation
+    /// (for stateless rules) accepts only an empty buffer.
+    fn import_state(&mut self, bytes: &[u8]) -> crate::SnnResult<()> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::SnnError::DimensionMismatch {
+                expected: 0,
+                got: bytes.len(),
+                what: "plasticity state buffer",
+            })
+        }
+    }
 }
 
 /// Outcome of presenting one sample.

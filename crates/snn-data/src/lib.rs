@@ -17,6 +17,9 @@
 //!   (consecutive task changes, one class at a time, never re-fed) and
 //!   **non-dynamic** (classes shuffled uniformly), plus order-preserving
 //!   [`batches`] iterators that feed the `snn-runtime` batched engine.
+//! * [`scenario`] — streaming drift scenarios beyond the paper's pair
+//!   (gradual drift, recurring tasks, noise bursts, class imbalance) for
+//!   the `snn-online` continual-learning subsystem.
 //!
 //! All generation is keyed by explicit seeds: the same seed always yields
 //! the same dataset, bit for bit.
@@ -26,9 +29,14 @@
 
 pub mod idx;
 pub mod image;
+pub mod scenario;
 pub mod stream;
 pub mod synthetic;
 
 pub use image::{Image, IMAGE_SIDE};
+pub use scenario::{
+    class_imbalance_stream, gradual_drift_stream, noise_burst_stream, recurring_tasks_stream,
+    BurstWindow, Scenario,
+};
 pub use stream::{batches, dynamic_stream, eval_set, non_dynamic_stream, Batches};
 pub use synthetic::{SyntheticConfig, SyntheticDigits};

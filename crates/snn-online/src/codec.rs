@@ -1,0 +1,404 @@
+//! A minimal deterministic binary codec for model snapshots.
+//!
+//! The workspace's vendored `serde` is a no-op stand-in (see
+//! `vendor/README.md`), so snapshots are encoded by hand through this
+//! module instead. The format goals, in order:
+//!
+//! 1. **Bit-exactness** — floats travel as IEEE-754 bit patterns
+//!    (`to_bits`/`from_bits`), never through text, so save → load → save
+//!    yields byte-identical output.
+//! 2. **Explicit failure** — every read is bounds-checked and returns
+//!    [`CodecError`] instead of panicking on truncated or corrupt input.
+//! 3. **Simplicity** — little-endian fixed-width integers, length-prefixed
+//!    sequences, one tag byte per enum/option. No self-description; the
+//!    snapshot's version field gates layout changes.
+
+use std::fmt;
+
+/// Errors produced while decoding a snapshot buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a field could be read.
+    UnexpectedEof {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A tag or value was outside its valid range.
+    Invalid {
+        /// What was being read.
+        what: &'static str,
+        /// The offending raw value.
+        value: u64,
+    },
+    /// Trailing bytes remained after the final field.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof {
+                what,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of snapshot while reading {what}: needed {needed} bytes, {remaining} remaining"
+            ),
+            CodecError::Invalid { what, value } => {
+                write!(f, "invalid value {value} while reading {what}")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after snapshot payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decoding operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f32` as its IEEE-754 bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed raw byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed `f32` slice (bit patterns).
+    pub fn f32_slice(&mut self, v: &[f32]) {
+        self.usize(v.len());
+        for x in v {
+            self.f32(*x);
+        }
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for x in v {
+            self.u64(*x);
+        }
+    }
+
+    /// Writes `Some`/`None` as a tag byte followed by the payload.
+    pub fn option<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+}
+
+/// A bounds-checked little-endian byte source.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn finish(self) -> CodecResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                what,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> CodecResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> CodecResult<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> CodecResult<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` (stored as `u64`), bounds-checked against the
+    /// remaining buffer when used as a length via the slice readers.
+    pub fn usize(&mut self, what: &'static str) -> CodecResult<usize> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid { what, value: v })
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn f32(&mut self, what: &'static str) -> CodecResult<f32> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a bool (rejecting values other than 0/1).
+    pub fn bool(&mut self, what: &'static str) -> CodecResult<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CodecError::Invalid {
+                what,
+                value: u64::from(v),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed raw byte vector.
+    pub fn bytes(&mut self, what: &'static str) -> CodecResult<Vec<u8>> {
+        let n = self.checked_len(what, 1)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `f32` vector.
+    pub fn f32_vec(&mut self, what: &'static str) -> CodecResult<Vec<f32>> {
+        let n = self.checked_len(what, 4)?;
+        (0..n).map(|_| self.f32(what)).collect()
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn u64_vec(&mut self, what: &'static str) -> CodecResult<Vec<u64>> {
+        let n = self.checked_len(what, 8)?;
+        (0..n).map(|_| self.u64(what)).collect()
+    }
+
+    /// Reads a `Some`/`None` tag and the payload when present.
+    pub fn option<T>(
+        &mut self,
+        what: &'static str,
+        mut f: impl FnMut(&mut Self) -> CodecResult<T>,
+    ) -> CodecResult<Option<T>> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            v => Err(CodecError::Invalid {
+                what,
+                value: u64::from(v),
+            }),
+        }
+    }
+
+    /// Reads a sequence length and rejects lengths that could not possibly
+    /// fit in the remaining buffer (corrupt-length defence: prevents
+    /// attempted multi-gigabyte allocations from a flipped bit).
+    fn checked_len(&mut self, what: &'static str, elem_bytes: usize) -> CodecResult<usize> {
+        let n = self.usize(what)?;
+        if n.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(CodecError::UnexpectedEof {
+                what,
+                needed: n.saturating_mul(elem_bytes),
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// FNV-1a 64-bit hash, used as the snapshot integrity checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_is_bit_exact() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f32(-0.0);
+        w.f32(f32::NAN);
+        w.f64(1.0e-300);
+        w.bool(true);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32("d").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.f32("e").unwrap().is_nan());
+        assert_eq!(r.f64("f").unwrap(), 1.0e-300);
+        assert!(r.bool("g").unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn sequences_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.bytes(&[1, 2, 3]);
+        w.f32_slice(&[0.5, -1.25]);
+        w.u64_slice(&[9, 8, 7]);
+        w.option(&Some(42u32), |w, v| w.u32(*v));
+        w.option(&None::<u32>, |w, v| w.u32(*v));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.bytes("a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.f32_vec("b").unwrap(), vec![0.5, -1.25]);
+        assert_eq!(r.u64_vec("c").unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.option("d", |r| r.u32("d")).unwrap(), Some(42));
+        assert_eq!(r.option("e", |r| r.u32("e")).unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.u64(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..3]);
+        assert!(matches!(
+            r.u64("x"),
+            Err(CodecError::UnexpectedEof { what: "x", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // absurd sequence length
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.f32_vec("weights").is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let bytes = [0u8; 4];
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.u8("a").unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes { remaining: 3 }));
+    }
+
+    #[test]
+    fn bad_tags_are_invalid() {
+        let bytes = [9u8];
+        assert!(ByteReader::new(&bytes).bool("flag").is_err());
+        assert!(ByteReader::new(&bytes)
+            .option("opt", |r| r.u8("opt"))
+            .is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+    }
+}

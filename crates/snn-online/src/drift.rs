@@ -1,0 +1,400 @@
+//! Deterministic windowed drift detection.
+//!
+//! The detector watches two per-sample statistics of the stream:
+//!
+//! * the **class-prediction histogram** (which classes the network thinks
+//!   it is seeing, including an "unclassified" bin), and
+//! * the **input-rate statistic** (input spikes delivered per sample —
+//!   sensitive to intensity shifts such as noise bursts even when labels
+//!   do not move).
+//!
+//! A *reference window* captures the stable regime; a *current window*
+//! accumulates the most recent samples. Each time the current window
+//! fills, its normalised histogram is compared against the reference by
+//! total-variation (L1) distance and its mean input rate by relative
+//! change. `patience` consecutive divergent windows raise a
+//! [`DriftEvent`], after which the current window becomes the new
+//! reference. Everything is plain integer/float arithmetic over explicit
+//! state — no randomness, no clocks — so detection is bit-reproducible
+//! and checkpointable.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+
+/// Detector thresholds and window geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Samples per comparison window.
+    pub window: usize,
+    /// Total-variation distance (0..=1) on prediction histograms above
+    /// which a window counts as divergent.
+    pub hist_threshold: f32,
+    /// Relative change in mean input spikes per sample above which a
+    /// window counts as divergent.
+    pub rate_threshold: f32,
+    /// Consecutive divergent windows required to raise a drift event.
+    pub patience: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 24,
+            hist_threshold: 0.35,
+            rate_threshold: 0.3,
+            patience: 1,
+        }
+    }
+}
+
+/// One detected distribution shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// Number of samples the detector had observed when the event fired.
+    pub at_sample: u64,
+    /// Total-variation distance between the window histograms.
+    pub hist_distance: f32,
+    /// Relative change of the mean input rate.
+    pub rate_change: f32,
+}
+
+/// The windowed divergence detector. See the module docs for the scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    n_bins: usize,
+    observed: u64,
+    reference_ready: bool,
+    ref_hist: Vec<u64>,
+    ref_count: u64,
+    ref_rate_sum: u64,
+    cur_hist: Vec<u64>,
+    cur_count: u64,
+    cur_rate_sum: u64,
+    streak: u32,
+    events: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector over `n_classes` prediction classes (one extra
+    /// bin tracks unclassified samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured window is zero.
+    pub fn new(cfg: DriftConfig, n_classes: usize) -> Self {
+        assert!(cfg.window > 0, "drift window must be positive");
+        let n_bins = n_classes + 1;
+        DriftDetector {
+            cfg,
+            n_bins,
+            observed: 0,
+            reference_ready: false,
+            ref_hist: vec![0; n_bins],
+            ref_count: 0,
+            ref_rate_sum: 0,
+            cur_hist: vec![0; n_bins],
+            cur_count: 0,
+            cur_rate_sum: 0,
+            streak: 0,
+            events: 0,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Samples observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Drift events raised so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Feeds one sample's statistics; returns a [`DriftEvent`] when this
+    /// sample completes a window that confirms drift.
+    pub fn observe(&mut self, predicted: Option<u8>, input_spikes: u64) -> Option<DriftEvent> {
+        self.observed += 1;
+        let bin = predicted.map_or(self.n_bins - 1, |c| (c as usize).min(self.n_bins - 1));
+        if !self.reference_ready {
+            self.ref_hist[bin] += 1;
+            self.ref_count += 1;
+            self.ref_rate_sum += input_spikes;
+            if self.ref_count as usize == self.cfg.window {
+                self.reference_ready = true;
+            }
+            return None;
+        }
+        self.cur_hist[bin] += 1;
+        self.cur_count += 1;
+        self.cur_rate_sum += input_spikes;
+        if (self.cur_count as usize) < self.cfg.window {
+            return None;
+        }
+        // Current window full: compare against the reference.
+        let hist_distance = total_variation(
+            &self.ref_hist,
+            self.ref_count,
+            &self.cur_hist,
+            self.cur_count,
+        );
+        let rate_change = relative_change(
+            self.ref_rate_sum as f64 / self.ref_count as f64,
+            self.cur_rate_sum as f64 / self.cur_count as f64,
+        );
+        let divergent =
+            hist_distance > self.cfg.hist_threshold || rate_change > self.cfg.rate_threshold;
+        let mut event = None;
+        if divergent {
+            self.streak += 1;
+            if self.streak >= self.cfg.patience {
+                self.events += 1;
+                event = Some(DriftEvent {
+                    at_sample: self.observed,
+                    hist_distance,
+                    rate_change,
+                });
+                // The shifted regime becomes the new reference.
+                std::mem::swap(&mut self.ref_hist, &mut self.cur_hist);
+                self.ref_count = self.cur_count;
+                self.ref_rate_sum = self.cur_rate_sum;
+                self.streak = 0;
+            }
+        } else {
+            self.streak = 0;
+        }
+        self.cur_hist.fill(0);
+        self.cur_count = 0;
+        self.cur_rate_sum = 0;
+        event
+    }
+
+    /// Serialises the full detector state (configuration included).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.cfg.window);
+        w.f32(self.cfg.hist_threshold);
+        w.f32(self.cfg.rate_threshold);
+        w.u32(self.cfg.patience);
+        w.usize(self.n_bins);
+        w.u64(self.observed);
+        w.bool(self.reference_ready);
+        w.u64_slice(&self.ref_hist);
+        w.u64(self.ref_count);
+        w.u64(self.ref_rate_sum);
+        w.u64_slice(&self.cur_hist);
+        w.u64(self.cur_count);
+        w.u64(self.cur_rate_sum);
+        w.u32(self.streak);
+        w.u64(self.events);
+    }
+
+    /// Restores a detector serialised by [`DriftDetector::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for truncated or inconsistent input.
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        let cfg = DriftConfig {
+            window: r.usize("drift.window")?,
+            hist_threshold: r.f32("drift.hist_threshold")?,
+            rate_threshold: r.f32("drift.rate_threshold")?,
+            patience: r.u32("drift.patience")?,
+        };
+        if cfg.window == 0 {
+            return Err(CodecError::Invalid {
+                what: "drift.window",
+                value: 0,
+            });
+        }
+        let n_bins = r.usize("drift.n_bins")?;
+        let detector = DriftDetector {
+            cfg,
+            n_bins,
+            observed: r.u64("drift.observed")?,
+            reference_ready: r.bool("drift.reference_ready")?,
+            ref_hist: r.u64_vec("drift.ref_hist")?,
+            ref_count: r.u64("drift.ref_count")?,
+            ref_rate_sum: r.u64("drift.ref_rate_sum")?,
+            cur_hist: r.u64_vec("drift.cur_hist")?,
+            cur_count: r.u64("drift.cur_count")?,
+            cur_rate_sum: r.u64("drift.cur_rate_sum")?,
+            streak: r.u32("drift.streak")?,
+            events: r.u64("drift.events")?,
+        };
+        if detector.ref_hist.len() != n_bins || detector.cur_hist.len() != n_bins {
+            return Err(CodecError::Invalid {
+                what: "drift.histogram length",
+                value: detector.ref_hist.len() as u64,
+            });
+        }
+        Ok(detector)
+    }
+}
+
+/// Total-variation distance between two count histograms: half the L1
+/// distance of their normalised forms, in `[0, 1]`.
+fn total_variation(a: &[u64], a_total: u64, b: &[u64], b_total: u64) -> f32 {
+    if a_total == 0 || b_total == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let pa = x as f64 / a_total as f64;
+        let pb = y as f64 / b_total as f64;
+        acc += (pa - pb).abs();
+    }
+    (acc / 2.0) as f32
+}
+
+/// `|b - a| / max(a, 1)` — relative change robust to a silent reference.
+fn relative_change(a: f64, b: f64) -> f32 {
+    ((b - a).abs() / a.max(1.0)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize) -> DriftConfig {
+        DriftConfig {
+            window,
+            hist_threshold: 0.4,
+            rate_threshold: 0.5,
+            patience: 1,
+        }
+    }
+
+    #[test]
+    fn stationary_stream_raises_no_events() {
+        let mut d = DriftDetector::new(cfg(10), 4);
+        for i in 0..200 {
+            let class = (i % 4) as u8;
+            assert!(d.observe(Some(class), 100).is_none());
+        }
+        assert_eq!(d.events(), 0);
+    }
+
+    #[test]
+    fn label_shift_is_detected() {
+        let mut d = DriftDetector::new(cfg(10), 4);
+        for i in 0..20 {
+            d.observe(Some((i % 2) as u8), 100); // classes {0, 1}
+        }
+        let mut fired = None;
+        for i in 0..10 {
+            if let Some(e) = d.observe(Some(2 + (i % 2) as u8), 100) {
+                fired = Some(e); // classes {2, 3}
+            }
+        }
+        let event = fired.expect("label shift must raise an event");
+        assert!(event.hist_distance > 0.4);
+        assert_eq!(d.events(), 1);
+    }
+
+    #[test]
+    fn rate_shift_is_detected_without_label_change() {
+        let mut d = DriftDetector::new(cfg(10), 4);
+        for _ in 0..20 {
+            d.observe(Some(1), 100);
+        }
+        let mut fired = false;
+        for _ in 0..10 {
+            fired |= d.observe(Some(1), 400).is_some();
+        }
+        assert!(fired, "3x input-rate jump must trip the rate detector");
+    }
+
+    #[test]
+    fn patience_requires_consecutive_divergence() {
+        let mut d = DriftDetector::new(
+            DriftConfig {
+                patience: 2,
+                ..cfg(10)
+            },
+            4,
+        );
+        for _ in 0..20 {
+            d.observe(Some(0), 100);
+        }
+        // One divergent window, then a calm one, then two divergent ones.
+        for _ in 0..10 {
+            assert!(d.observe(Some(3), 100).is_none(), "streak 1 of 2");
+        }
+        for _ in 0..10 {
+            assert!(d.observe(Some(0), 100).is_none(), "calm resets streak");
+        }
+        let mut events = 0;
+        for _ in 0..20 {
+            events += u32::from(d.observe(Some(3), 100).is_some());
+        }
+        assert_eq!(events, 1, "second consecutive divergent window fires");
+    }
+
+    #[test]
+    fn reference_updates_after_event() {
+        let mut d = DriftDetector::new(cfg(10), 4);
+        for _ in 0..20 {
+            d.observe(Some(0), 100);
+        }
+        let mut events = 0;
+        for _ in 0..40 {
+            events += u32::from(d.observe(Some(3), 100).is_some());
+        }
+        assert_eq!(
+            events, 1,
+            "after adopting the new regime, no further events fire"
+        );
+    }
+
+    #[test]
+    fn unclassified_samples_use_their_own_bin() {
+        let mut d = DriftDetector::new(cfg(10), 4);
+        for _ in 0..20 {
+            d.observe(Some(0), 100);
+        }
+        let mut fired = false;
+        for _ in 0..10 {
+            fired |= d.observe(None, 100).is_some();
+        }
+        assert!(fired, "collapse to silence is itself a drift signal");
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_mid_window() {
+        let mut d = DriftDetector::new(cfg(7), 6);
+        for i in 0..23 {
+            d.observe(Some((i % 6) as u8), 10 + i);
+        }
+        let mut w = ByteWriter::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = DriftDetector::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, d);
+        // Both continue identically.
+        for i in 0..30 {
+            assert_eq!(
+                d.observe(Some(5), 500 + i),
+                restored.observe(Some(5), 500 + i)
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut d = DriftDetector::new(cfg(5), 3);
+        d.observe(Some(1), 10);
+        let mut w = ByteWriter::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 5, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(DriftDetector::decode(&mut r).is_err());
+        }
+    }
+}

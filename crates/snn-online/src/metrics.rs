@@ -1,0 +1,415 @@
+//! Sliding-window stream metrics: per-task accuracy, forgetting, spike
+//! rates.
+//!
+//! The offline protocols measure accuracy on held-out sets after training;
+//! a streaming learner instead evaluates **prequentially** (predict each
+//! sample before learning from it) and reports statistics over a sliding
+//! window of recent samples. Forgetting per task is the drop from the best
+//! windowed accuracy that task ever reached to its current windowed
+//! accuracy — the streaming analogue of the paper's "previously learned
+//! tasks" metric.
+
+use std::collections::VecDeque;
+
+use crate::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+
+/// One prequential observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// Ground-truth label of the sample.
+    pub label: u8,
+    /// The learner's prediction before training on the sample
+    /// (`None` = network silent / no assignment yet).
+    pub predicted: Option<u8>,
+    /// Excitatory spikes emitted for the sample.
+    pub exc_spikes: u32,
+    /// Input spikes delivered for the sample.
+    pub input_spikes: u64,
+}
+
+/// Minimum window samples of a task before its accuracy is considered
+/// established (and may raise the forgetting baseline).
+const MIN_TASK_SAMPLES: u64 = 5;
+
+/// A bounded window of recent [`WindowRecord`]s with per-task bests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingMetrics {
+    capacity: usize,
+    n_classes: usize,
+    records: VecDeque<WindowRecord>,
+    /// Best windowed accuracy each task has reached (`NaN`-free: tasks
+    /// never established stay at 0 with `best_valid[c] == false`).
+    best_task_acc: Vec<f64>,
+    best_valid: Vec<bool>,
+    total_seen: u64,
+}
+
+impl SlidingMetrics {
+    /// Creates an empty window of `capacity` samples over `n_classes`
+    /// tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, n_classes: usize) -> Self {
+        assert!(capacity > 0, "metric window must be positive");
+        SlidingMetrics {
+            capacity,
+            n_classes,
+            records: VecDeque::with_capacity(capacity),
+            best_task_acc: vec![0.0; n_classes],
+            best_valid: vec![false; n_classes],
+            total_seen: 0,
+        }
+    }
+
+    /// Window capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of classes tracked.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records currently in the window (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total samples ever pushed (not just the window).
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Pushes one observation, evicting the oldest when full, and updates
+    /// the per-task bests.
+    pub fn push(&mut self, record: WindowRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+        self.total_seen += 1;
+        // One sweep updates *every* task's best: evicting another task's
+        // old wrong records can raise this window's accuracy for a task
+        // without a push of that task, and such peaks must still count as
+        // the forgetting baseline.
+        let mut n = vec![0u64; self.n_classes];
+        let mut correct = vec![0u64; self.n_classes];
+        for r in &self.records {
+            let t = r.label as usize;
+            if t < self.n_classes {
+                n[t] += 1;
+                correct[t] += u64::from(r.predicted == Some(r.label));
+            }
+        }
+        for t in 0..self.n_classes {
+            if n[t] >= MIN_TASK_SAMPLES {
+                let acc = correct[t] as f64 / n[t] as f64;
+                if !self.best_valid[t] || acc > self.best_task_acc[t] {
+                    self.best_task_acc[t] = acc;
+                    self.best_valid[t] = true;
+                }
+            }
+        }
+    }
+
+    fn task_accuracy_counted(&self, task: u8) -> (Option<f64>, u64) {
+        let mut n = 0u64;
+        let mut correct = 0u64;
+        for r in &self.records {
+            if r.label == task {
+                n += 1;
+                correct += u64::from(r.predicted == Some(task));
+            }
+        }
+        if n == 0 {
+            (None, 0)
+        } else {
+            (Some(correct as f64 / n as f64), n)
+        }
+    }
+
+    /// Overall windowed accuracy (unclassified counts as wrong); 0 when
+    /// the window is empty.
+    pub fn accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .records
+            .iter()
+            .filter(|r| r.predicted == Some(r.label))
+            .count();
+        correct as f64 / self.records.len() as f64
+    }
+
+    /// Windowed accuracy per task; `None` for tasks absent from the
+    /// window.
+    pub fn per_task_accuracy(&self) -> Vec<Option<f64>> {
+        (0..self.n_classes)
+            .map(|c| self.task_accuracy_counted(c as u8).0)
+            .collect()
+    }
+
+    /// Forgetting per task: best-ever windowed accuracy minus current
+    /// windowed accuracy, clamped at 0. `None` for tasks never established
+    /// (fewer than the minimum samples in any window so far).
+    ///
+    /// A task currently absent from the window but established earlier
+    /// reports its full best as forgetting — it was learned and is now
+    /// gone, the streaming analogue of catastrophic forgetting.
+    pub fn forgetting(&self) -> Vec<Option<f64>> {
+        let current = self.per_task_accuracy();
+        (0..self.n_classes)
+            .map(|c| {
+                if !self.best_valid[c] {
+                    return None;
+                }
+                let cur = current[c].unwrap_or(0.0);
+                Some((self.best_task_acc[c] - cur).max(0.0))
+            })
+            .collect()
+    }
+
+    /// Mean forgetting over established tasks (0 when none established).
+    pub fn mean_forgetting(&self) -> f64 {
+        let vals: Vec<f64> = self.forgetting().into_iter().flatten().collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Mean excitatory spikes per sample over the window.
+    pub fn mean_exc_spikes(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.records.iter().map(|r| u64::from(r.exc_spikes)).sum();
+        total as f64 / self.records.len() as f64
+    }
+
+    /// Mean input spikes per sample over the window.
+    pub fn mean_input_spikes(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.records.iter().map(|r| r.input_spikes).sum();
+        total as f64 / self.records.len() as f64
+    }
+
+    /// Serialises the window contents and bests.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.capacity);
+        w.usize(self.n_classes);
+        w.u64(self.total_seen);
+        w.usize(self.records.len());
+        for r in &self.records {
+            w.u8(r.label);
+            w.option(&r.predicted, |w, p| w.u8(*p));
+            w.u32(r.exc_spikes);
+            w.u64(r.input_spikes);
+        }
+        for (&best, &valid) in self.best_task_acc.iter().zip(&self.best_valid) {
+            w.f64(best);
+            w.bool(valid);
+        }
+    }
+
+    /// Restores a window serialised by [`SlidingMetrics::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for truncated or inconsistent input.
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        let capacity = r.usize("metrics.capacity")?;
+        if capacity == 0 {
+            return Err(CodecError::Invalid {
+                what: "metrics.capacity",
+                value: 0,
+            });
+        }
+        let n_classes = r.usize("metrics.n_classes")?;
+        let total_seen = r.u64("metrics.total_seen")?;
+        let n_records = r.usize("metrics.records")?;
+        if n_records > capacity {
+            return Err(CodecError::Invalid {
+                what: "metrics.records",
+                value: n_records as u64,
+            });
+        }
+        let mut records = VecDeque::with_capacity(capacity);
+        for _ in 0..n_records {
+            records.push_back(WindowRecord {
+                label: r.u8("record.label")?,
+                predicted: r.option("record.predicted", |r| r.u8("record.predicted"))?,
+                exc_spikes: r.u32("record.exc_spikes")?,
+                input_spikes: r.u64("record.input_spikes")?,
+            });
+        }
+        let mut best_task_acc = Vec::with_capacity(n_classes);
+        let mut best_valid = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            best_task_acc.push(r.f64("metrics.best")?);
+            best_valid.push(r.bool("metrics.best_valid")?);
+        }
+        Ok(SlidingMetrics {
+            capacity,
+            n_classes,
+            records,
+            best_task_acc,
+            best_valid,
+            total_seen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: u8, predicted: Option<u8>) -> WindowRecord {
+        WindowRecord {
+            label,
+            predicted,
+            exc_spikes: 10,
+            input_spikes: 100,
+        }
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut m = SlidingMetrics::new(3, 2);
+        for _ in 0..5 {
+            m.push(rec(0, Some(0)));
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.total_seen(), 5);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn per_task_accuracy_and_absence() {
+        let mut m = SlidingMetrics::new(10, 3);
+        m.push(rec(0, Some(0)));
+        m.push(rec(0, Some(1)));
+        m.push(rec(1, Some(1)));
+        let per = m.per_task_accuracy();
+        assert_eq!(per[0], Some(0.5));
+        assert_eq!(per[1], Some(1.0));
+        assert_eq!(per[2], None);
+        assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forgetting_tracks_drop_from_best() {
+        let mut m = SlidingMetrics::new(10, 2);
+        // Establish task 0 at perfect accuracy.
+        for _ in 0..6 {
+            m.push(rec(0, Some(0)));
+        }
+        assert_eq!(m.forgetting()[0], Some(0.0));
+        // Task 0 washes out of the window while task 1 floods in, all
+        // mispredicted as 1-was-0 confusion.
+        for _ in 0..10 {
+            m.push(rec(1, Some(0)));
+        }
+        let f = m.forgetting();
+        assert_eq!(f[0], Some(1.0), "established then absent = fully forgotten");
+        assert_eq!(
+            f[1],
+            Some(0.0),
+            "task 1 established at zero accuracy: nothing to forget"
+        );
+        assert!(m.mean_forgetting() > 0.4);
+    }
+
+    #[test]
+    fn eviction_driven_accuracy_peaks_raise_the_best() {
+        // Task 0: one wrong then five right (best 5/6). Pushing other-task
+        // records evicts the wrong one, lifting task 0 to 6/6 — the best
+        // must follow even though no task-0 record was pushed.
+        let mut m = SlidingMetrics::new(7, 2);
+        m.push(rec(0, Some(1)));
+        for _ in 0..5 {
+            m.push(rec(0, Some(0)));
+        }
+        assert!((m.forgetting()[0].unwrap() - (5.0 / 6.0 - 5.0 / 6.0)).abs() < 1e-12);
+        m.push(rec(1, Some(1))); // evicts the wrong task-0 record
+                                 // Now flood task 1 until task 0 leaves the window entirely.
+        for _ in 0..7 {
+            m.push(rec(1, Some(1)));
+        }
+        assert_eq!(
+            m.forgetting()[0],
+            Some(1.0),
+            "the eviction-driven 100% peak is the forgetting baseline"
+        );
+    }
+
+    #[test]
+    fn unclassified_counts_as_wrong() {
+        let mut m = SlidingMetrics::new(4, 1);
+        m.push(rec(0, None));
+        m.push(rec(0, Some(0)));
+        assert_eq!(m.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn spike_means() {
+        let mut m = SlidingMetrics::new(4, 1);
+        m.push(WindowRecord {
+            label: 0,
+            predicted: None,
+            exc_spikes: 4,
+            input_spikes: 10,
+        });
+        m.push(WindowRecord {
+            label: 0,
+            predicted: None,
+            exc_spikes: 8,
+            input_spikes: 30,
+        });
+        assert_eq!(m.mean_exc_spikes(), 6.0);
+        assert_eq!(m.mean_input_spikes(), 20.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_exactly() {
+        let mut m = SlidingMetrics::new(5, 3);
+        for i in 0..9u8 {
+            m.push(rec(i % 3, if i % 2 == 0 { Some(i % 3) } else { None }));
+        }
+        let mut w = ByteWriter::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let restored = SlidingMetrics::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, m);
+        // And re-encoding is byte-identical.
+        let mut w2 = ByteWriter::new();
+        restored.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_record_overflow() {
+        let mut w = ByteWriter::new();
+        w.usize(2); // capacity
+        w.usize(1); // n_classes
+        w.u64(0); // total_seen
+        w.usize(3); // records > capacity
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(SlidingMetrics::decode(&mut r).is_err());
+    }
+}

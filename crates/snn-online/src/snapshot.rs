@@ -1,0 +1,740 @@
+//! Versioned model snapshots: the durable form of a learner's full state.
+//!
+//! A [`ModelSnapshot`] captures everything a paused [`crate::OnlineLearner`]
+//! needs to resume bit-exactly mid-stream: the trainer's learned state
+//! (weights, `θ`, plasticity state, RNG cursors, op meters — see
+//! [`spikedyn::TrainerState`]), the neuron→class assignment, the labelled
+//! reservoir, the sliding metrics window, the drift detector, and the
+//! adaptive-response countdown.
+//!
+//! ## Container format
+//!
+//! ```text
+//! magic   4 bytes  "SDYN"
+//! version u32      SNAPSHOT_VERSION (layout changes bump this)
+//! payload …        codec-encoded fields (see encode_payload)
+//! check   u64      FNV-1a over magic + version + payload
+//! ```
+//!
+//! The payload encodes floats as IEEE-754 bit patterns, so
+//! save → load → save produces byte-identical files; the checksum turns
+//! silent corruption into a load-time error. The vendored `serde` being a
+//! no-op stand-in (see `vendor/README.md`), the derives on workspace types
+//! carry no behaviour — the layout here is the definition of the format.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use snn_core::config::{PresentConfig, RetryPolicy};
+use snn_core::metrics::ClassAssignment;
+use snn_core::network::{Inhibition, SnnConfig};
+use snn_core::neuron::{AdaptiveThreshold, LifParams};
+use snn_core::ops::OpCounts;
+use snn_core::stdp::{TraceMode, TraceParams};
+use snn_data::Image;
+use spikedyn::{Method, TrainerState};
+
+use crate::codec::{fnv1a, ByteReader, ByteWriter, CodecError, CodecResult};
+use crate::drift::{DriftDetector, DriftEvent};
+use crate::learner::{OnlineConfig, ResponseConfig};
+use crate::metrics::SlidingMetrics;
+
+/// File magic of the snapshot container.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SDYN";
+
+/// Current snapshot layout version. Bump on any payload layout change;
+/// loaders reject other versions explicitly instead of misparsing.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors raised while saving or loading snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The snapshot was written by an unsupported layout version.
+    UnsupportedVersion(u32),
+    /// The integrity checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the content.
+        computed: u64,
+    },
+    /// A payload field failed to decode.
+    Codec(CodecError),
+    /// Filesystem failure during save/load.
+    Io(io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a SpikeDyn snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::Codec(e) => write!(f, "snapshot payload error: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A complete, versioned checkpoint of an online learner. See the module
+/// docs for the container format and [`crate::OnlineLearner::checkpoint`] /
+/// [`crate::OnlineLearner::resume`] for the producing/consuming ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// The learner's full configuration (resume needs no other input).
+    pub config: OnlineConfig,
+    /// Trainer learned + replay state.
+    pub trainer: TrainerState,
+    /// Current neuron→class assignment, if one has been fitted.
+    pub assignment: Option<ClassAssignment>,
+    /// Labelled reservoir used for assignment refreshes, oldest first.
+    pub reservoir: Vec<Image>,
+    /// Sliding prequential metrics window.
+    pub metrics: SlidingMetrics,
+    /// Drift detector state (mid-window counters included).
+    pub drift: DriftDetector,
+    /// Drift events raised so far.
+    pub drift_events: Vec<DriftEvent>,
+    /// Stream samples consumed so far.
+    pub samples_seen: u64,
+    /// Sample count at the last assignment refresh.
+    pub last_assign_at: u64,
+    /// Samples remaining under a boosted adaptive response (0 = neutral).
+    pub response_remaining: u64,
+}
+
+impl ModelSnapshot {
+    /// Serialises the snapshot into its container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes_raw(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        encode_payload(self, &mut w);
+        let mut out = w.into_bytes();
+        let check = fnv1a(&out);
+        out.extend_from_slice(&check.to_le_bytes());
+        out
+    }
+
+    /// Parses a snapshot from its container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on bad magic, unsupported version,
+    /// checksum mismatch, or malformed payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 {
+            return Err(SnapshotError::Codec(CodecError::UnexpectedEof {
+                what: "snapshot container",
+                needed: SNAPSHOT_MAGIC.len() + 4 + 8,
+                remaining: bytes.len(),
+            }));
+        }
+        let (content, check_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(check_bytes.try_into().expect("split_at gives 8 bytes"));
+        let computed = fnv1a(content);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        if content[..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = ByteReader::new(&content[4..]);
+        let version = r.u32("snapshot.version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let snapshot = decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to `path` (atomically: temp file + rename, so a
+    /// crash mid-save never leaves a torn checkpoint behind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        use std::io::Write as _;
+        let bytes = self.to_bytes();
+        // Append (not replace) the extension: `model.sdyn` and `model.bak`
+        // in one directory must not share a staging file.
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        // Flush data blocks before the rename becomes visible, so a power
+        // loss cannot leave a zero-length or partial file at `path`.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and all [`ModelSnapshot::from_bytes`]
+    /// failures.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl ByteWriter {
+    /// Writes raw bytes with no length prefix (container framing only).
+    fn bytes_raw(&mut self, v: &[u8]) {
+        for &b in v {
+            self.u8(b);
+        }
+    }
+}
+
+fn encode_payload(s: &ModelSnapshot, w: &mut ByteWriter) {
+    encode_online_config(&s.config, w);
+    encode_trainer_state(&s.trainer, w);
+    w.option(&s.assignment, |w, a| encode_assignment(a, w));
+    w.usize(s.reservoir.len());
+    for img in &s.reservoir {
+        encode_image(img, w);
+    }
+    s.metrics.encode(w);
+    s.drift.encode(w);
+    w.usize(s.drift_events.len());
+    for e in &s.drift_events {
+        w.u64(e.at_sample);
+        w.f32(e.hist_distance);
+        w.f32(e.rate_change);
+    }
+    w.u64(s.samples_seen);
+    w.u64(s.last_assign_at);
+    w.u64(s.response_remaining);
+}
+
+fn decode_payload(r: &mut ByteReader<'_>) -> CodecResult<ModelSnapshot> {
+    let config = decode_online_config(r)?;
+    let trainer = decode_trainer_state(r)?;
+    let assignment = r.option("snapshot.assignment", decode_assignment)?;
+    let n_reservoir = r.usize("snapshot.reservoir")?;
+    let mut reservoir = Vec::with_capacity(n_reservoir.min(1 << 16));
+    for _ in 0..n_reservoir {
+        reservoir.push(decode_image(r)?);
+    }
+    let metrics = SlidingMetrics::decode(r)?;
+    let drift = DriftDetector::decode(r)?;
+    let n_events = r.usize("snapshot.drift_events")?;
+    let mut drift_events = Vec::with_capacity(n_events.min(1 << 16));
+    for _ in 0..n_events {
+        drift_events.push(DriftEvent {
+            at_sample: r.u64("event.at_sample")?,
+            hist_distance: r.f32("event.hist_distance")?,
+            rate_change: r.f32("event.rate_change")?,
+        });
+    }
+    Ok(ModelSnapshot {
+        config,
+        trainer,
+        assignment,
+        reservoir,
+        metrics,
+        drift,
+        drift_events,
+        samples_seen: r.u64("snapshot.samples_seen")?,
+        last_assign_at: r.u64("snapshot.last_assign_at")?,
+        response_remaining: r.u64("snapshot.response_remaining")?,
+    })
+}
+
+fn encode_method(m: Method, w: &mut ByteWriter) {
+    w.u8(match m {
+        Method::Baseline => 0,
+        Method::Asp => 1,
+        Method::SpikeDyn => 2,
+    });
+}
+
+fn decode_method(r: &mut ByteReader<'_>) -> CodecResult<Method> {
+    match r.u8("method")? {
+        0 => Ok(Method::Baseline),
+        1 => Ok(Method::Asp),
+        2 => Ok(Method::SpikeDyn),
+        v => Err(CodecError::Invalid {
+            what: "method",
+            value: u64::from(v),
+        }),
+    }
+}
+
+fn encode_present(p: &PresentConfig, w: &mut ByteWriter) {
+    w.f32(p.dt_ms);
+    w.f32(p.t_present_ms);
+    w.f32(p.t_rest_ms);
+    w.option(&p.retry, |w, r| {
+        w.u32(r.min_spikes);
+        w.f32(r.rate_scale);
+        w.u32(r.max_retries);
+    });
+}
+
+fn decode_present(r: &mut ByteReader<'_>) -> CodecResult<PresentConfig> {
+    Ok(PresentConfig {
+        dt_ms: r.f32("present.dt_ms")?,
+        t_present_ms: r.f32("present.t_present_ms")?,
+        t_rest_ms: r.f32("present.t_rest_ms")?,
+        retry: r.option("present.retry", |r| {
+            Ok(RetryPolicy {
+                min_spikes: r.u32("retry.min_spikes")?,
+                rate_scale: r.f32("retry.rate_scale")?,
+                max_retries: r.u32("retry.max_retries")?,
+            })
+        })?,
+    })
+}
+
+fn encode_lif(p: &LifParams, w: &mut ByteWriter) {
+    for v in [
+        p.v_rest_mv,
+        p.v_reset_mv,
+        p.v_thresh_mv,
+        p.tau_m_ms,
+        p.refrac_ms,
+        p.e_exc_mv,
+        p.e_inh_mv,
+        p.tau_ge_ms,
+        p.tau_gi_ms,
+    ] {
+        w.f32(v);
+    }
+}
+
+fn decode_lif(r: &mut ByteReader<'_>) -> CodecResult<LifParams> {
+    Ok(LifParams {
+        v_rest_mv: r.f32("lif.v_rest_mv")?,
+        v_reset_mv: r.f32("lif.v_reset_mv")?,
+        v_thresh_mv: r.f32("lif.v_thresh_mv")?,
+        tau_m_ms: r.f32("lif.tau_m_ms")?,
+        refrac_ms: r.f32("lif.refrac_ms")?,
+        e_exc_mv: r.f32("lif.e_exc_mv")?,
+        e_inh_mv: r.f32("lif.e_inh_mv")?,
+        tau_ge_ms: r.f32("lif.tau_ge_ms")?,
+        tau_gi_ms: r.f32("lif.tau_gi_ms")?,
+    })
+}
+
+fn encode_snn_config(c: &SnnConfig, w: &mut ByteWriter) {
+    w.usize(c.n_input);
+    w.usize(c.n_exc);
+    match &c.inhibition {
+        Inhibition::InhibitoryLayer {
+            w_exc_inh,
+            w_inh_exc,
+            params,
+        } => {
+            w.u8(0);
+            w.f32(*w_exc_inh);
+            w.f32(*w_inh_exc);
+            encode_lif(params, w);
+        }
+        Inhibition::DirectLateral { g_inh } => {
+            w.u8(1);
+            w.f32(*g_inh);
+        }
+        Inhibition::None => w.u8(2),
+    }
+    encode_lif(&c.exc_params, w);
+    w.option(&c.adapt, |w, a| {
+        w.f32(a.theta_plus_mv);
+        w.f32(a.tau_theta_ms);
+    });
+    w.f32(c.w_init_max);
+    w.f32(c.w_max);
+    w.f32(c.traces.tau_pre_ms);
+    w.f32(c.traces.tau_post_ms);
+    w.u8(match c.traces.mode {
+        TraceMode::SetToOne => 0,
+        TraceMode::Additive => 1,
+    });
+    w.option(&c.norm_target, |w, t| w.f32(*t));
+}
+
+fn decode_snn_config(r: &mut ByteReader<'_>) -> CodecResult<SnnConfig> {
+    let n_input = r.usize("snn.n_input")?;
+    let n_exc = r.usize("snn.n_exc")?;
+    let inhibition = match r.u8("snn.inhibition")? {
+        0 => Inhibition::InhibitoryLayer {
+            w_exc_inh: r.f32("inh.w_exc_inh")?,
+            w_inh_exc: r.f32("inh.w_inh_exc")?,
+            params: decode_lif(r)?,
+        },
+        1 => Inhibition::DirectLateral {
+            g_inh: r.f32("inh.g_inh")?,
+        },
+        2 => Inhibition::None,
+        v => {
+            return Err(CodecError::Invalid {
+                what: "snn.inhibition",
+                value: u64::from(v),
+            })
+        }
+    };
+    let exc_params = decode_lif(r)?;
+    let adapt = r.option("snn.adapt", |r| {
+        Ok(AdaptiveThreshold {
+            theta_plus_mv: r.f32("adapt.theta_plus_mv")?,
+            tau_theta_ms: r.f32("adapt.tau_theta_ms")?,
+        })
+    })?;
+    let w_init_max = r.f32("snn.w_init_max")?;
+    let w_max = r.f32("snn.w_max")?;
+    let traces = TraceParams {
+        tau_pre_ms: r.f32("traces.tau_pre_ms")?,
+        tau_post_ms: r.f32("traces.tau_post_ms")?,
+        mode: match r.u8("traces.mode")? {
+            0 => TraceMode::SetToOne,
+            1 => TraceMode::Additive,
+            v => {
+                return Err(CodecError::Invalid {
+                    what: "traces.mode",
+                    value: u64::from(v),
+                })
+            }
+        },
+    };
+    let norm_target = r.option("snn.norm_target", |r| r.f32("snn.norm_target"))?;
+    Ok(SnnConfig {
+        n_input,
+        n_exc,
+        inhibition,
+        exc_params,
+        adapt,
+        w_init_max,
+        w_max,
+        traces,
+        norm_target,
+    })
+}
+
+fn encode_ops(o: &OpCounts, w: &mut ByteWriter) {
+    for v in [
+        o.neuron_updates,
+        o.decay_mults,
+        o.exp_evals,
+        o.syn_events,
+        o.weight_updates,
+        o.trace_updates,
+        o.comparisons,
+        o.spikes,
+        o.encode_ops,
+        o.kernel_launches,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_ops(r: &mut ByteReader<'_>) -> CodecResult<OpCounts> {
+    Ok(OpCounts {
+        neuron_updates: r.u64("ops.neuron_updates")?,
+        decay_mults: r.u64("ops.decay_mults")?,
+        exp_evals: r.u64("ops.exp_evals")?,
+        syn_events: r.u64("ops.syn_events")?,
+        weight_updates: r.u64("ops.weight_updates")?,
+        trace_updates: r.u64("ops.trace_updates")?,
+        comparisons: r.u64("ops.comparisons")?,
+        spikes: r.u64("ops.spikes")?,
+        encode_ops: r.u64("ops.encode_ops")?,
+        kernel_launches: r.u64("ops.kernel_launches")?,
+    })
+}
+
+fn encode_trainer_state(t: &TrainerState, w: &mut ByteWriter) {
+    encode_method(t.method, w);
+    encode_snn_config(&t.net_config, w);
+    w.f32_slice(&t.weights);
+    w.f32_slice(&t.thetas);
+    encode_present(&t.present, w);
+    w.f32(t.max_rate_hz);
+    w.f32(t.time_compression);
+    w.f32(t.active_response.lr_boost);
+    w.f32(t.active_response.w_decay_scale);
+    w.u64_slice(&t.rng_state);
+    w.bytes(&t.plasticity_state);
+    encode_ops(&t.train_ops, w);
+    encode_ops(&t.infer_ops, w);
+    w.u64(t.train_samples_seen);
+    w.u64(t.infer_samples_seen);
+    w.u64(t.infer_master);
+    w.u64(t.infer_calls);
+}
+
+fn decode_trainer_state(r: &mut ByteReader<'_>) -> CodecResult<TrainerState> {
+    let method = decode_method(r)?;
+    let net_config = decode_snn_config(r)?;
+    let weights = r.f32_vec("trainer.weights")?;
+    let thetas = r.f32_vec("trainer.thetas")?;
+    let present = decode_present(r)?;
+    let max_rate_hz = r.f32("trainer.max_rate_hz")?;
+    let time_compression = r.f32("trainer.time_compression")?;
+    let active_response = spikedyn::AdaptiveResponse {
+        lr_boost: r.f32("trainer.response.lr_boost")?,
+        w_decay_scale: r.f32("trainer.response.w_decay_scale")?,
+    };
+    let rng_vec = r.u64_vec("trainer.rng_state")?;
+    let rng_state: [u64; 4] = rng_vec
+        .as_slice()
+        .try_into()
+        .map_err(|_| CodecError::Invalid {
+            what: "trainer.rng_state",
+            value: rng_vec.len() as u64,
+        })?;
+    Ok(TrainerState {
+        method,
+        net_config,
+        weights,
+        thetas,
+        present,
+        max_rate_hz,
+        time_compression,
+        active_response,
+        rng_state,
+        plasticity_state: r.bytes("trainer.plasticity_state")?,
+        train_ops: decode_ops(r)?,
+        infer_ops: decode_ops(r)?,
+        train_samples_seen: r.u64("trainer.train_samples_seen")?,
+        infer_samples_seen: r.u64("trainer.infer_samples_seen")?,
+        infer_master: r.u64("trainer.infer_master")?,
+        infer_calls: r.u64("trainer.infer_calls")?,
+    })
+}
+
+fn encode_assignment(a: &ClassAssignment, w: &mut ByteWriter) {
+    w.usize(a.n_classes());
+    w.usize(a.assignments().len());
+    for slot in a.assignments() {
+        w.option(slot, |w, c| w.u8(*c));
+    }
+}
+
+fn decode_assignment(r: &mut ByteReader<'_>) -> CodecResult<ClassAssignment> {
+    let n_classes = r.usize("assignment.n_classes")?;
+    let n_neurons = r.usize("assignment.neurons")?;
+    let mut assigned = Vec::with_capacity(n_neurons.min(1 << 20));
+    for _ in 0..n_neurons {
+        let slot = r.option("assignment.slot", |r| r.u8("assignment.class"))?;
+        if let Some(c) = slot {
+            if c as usize >= n_classes {
+                return Err(CodecError::Invalid {
+                    what: "assignment.class",
+                    value: u64::from(c),
+                });
+            }
+        }
+        assigned.push(slot);
+    }
+    Ok(ClassAssignment::from_parts(n_classes, assigned))
+}
+
+fn encode_image(img: &Image, w: &mut ByteWriter) {
+    w.usize(img.width());
+    w.usize(img.height());
+    w.u8(img.label);
+    w.f32_slice(img.pixels());
+}
+
+fn decode_image(r: &mut ByteReader<'_>) -> CodecResult<Image> {
+    let width = r.usize("image.width")?;
+    let height = r.usize("image.height")?;
+    let label = r.u8("image.label")?;
+    let pixels = r.f32_vec("image.pixels")?;
+    if width.checked_mul(height) != Some(pixels.len()) {
+        return Err(CodecError::Invalid {
+            what: "image.pixels",
+            value: pixels.len() as u64,
+        });
+    }
+    Ok(Image::new(width, height, pixels, label))
+}
+
+fn encode_online_config(c: &OnlineConfig, w: &mut ByteWriter) {
+    encode_method(c.method, w);
+    w.usize(c.n_input);
+    w.usize(c.n_exc);
+    w.usize(c.n_classes);
+    encode_present(&c.present, w);
+    w.f32(c.max_rate_hz);
+    w.f32(c.time_compression);
+    w.u64(c.seed);
+    w.usize(c.batch_size);
+    w.u64(c.assign_every);
+    w.usize(c.reservoir_capacity);
+    w.usize(c.metric_window);
+    w.usize(c.drift.window);
+    w.f32(c.drift.hist_threshold);
+    w.f32(c.drift.rate_threshold);
+    w.u32(c.drift.patience);
+    w.f32(c.response.lr_boost);
+    w.f32(c.response.w_decay_scale);
+    w.u64(c.response.hold_samples);
+}
+
+fn decode_online_config(r: &mut ByteReader<'_>) -> CodecResult<OnlineConfig> {
+    Ok(OnlineConfig {
+        method: decode_method(r)?,
+        n_input: r.usize("online.n_input")?,
+        n_exc: r.usize("online.n_exc")?,
+        n_classes: r.usize("online.n_classes")?,
+        present: decode_present(r)?,
+        max_rate_hz: r.f32("online.max_rate_hz")?,
+        time_compression: r.f32("online.time_compression")?,
+        seed: r.u64("online.seed")?,
+        batch_size: r.usize("online.batch_size")?,
+        assign_every: r.u64("online.assign_every")?,
+        reservoir_capacity: r.usize("online.reservoir_capacity")?,
+        metric_window: r.usize("online.metric_window")?,
+        drift: crate::drift::DriftConfig {
+            window: r.usize("online.drift.window")?,
+            hist_threshold: r.f32("online.drift.hist_threshold")?,
+            rate_threshold: r.f32("online.drift.rate_threshold")?,
+            patience: r.u32("online.drift.patience")?,
+        },
+        response: ResponseConfig {
+            lr_boost: r.f32("online.response.lr_boost")?,
+            w_decay_scale: r.f32("online.response.w_decay_scale")?,
+            hold_samples: r.u64("online.response.hold_samples")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::OnlineLearner;
+    use snn_data::SyntheticDigits;
+
+    fn tiny_learner() -> OnlineLearner {
+        let mut cfg = OnlineConfig::fast(Method::SpikeDyn, 8);
+        cfg.batch_size = 4;
+        cfg.metric_window = 12;
+        cfg.assign_every = 8;
+        OnlineLearner::new(cfg)
+    }
+
+    fn tiny_stream(n: u64) -> Vec<Image> {
+        let gen = SyntheticDigits::new(3);
+        (0..n)
+            .map(|i| gen.sample((i % 3) as u8, i).downsample(2))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_exactly() {
+        let mut learner = tiny_learner();
+        let stream = tiny_stream(12);
+        learner.ingest_batch(&stream[..4]).unwrap();
+        learner.ingest_batch(&stream[4..8]).unwrap();
+        let snap = learner.checkpoint();
+        let bytes = snap.to_bytes();
+        let parsed = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_bytes(), bytes, "re-encoding is byte-identical");
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected() {
+        let mut learner = tiny_learner();
+        learner.ingest_batch(&tiny_stream(4)).unwrap();
+        let bytes = learner.checkpoint().to_bytes();
+
+        // Flip one payload bit: checksum must catch it.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&flipped),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation.
+        assert!(ModelSnapshot::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+
+        // Wrong magic (checksum recomputed so magic is what fails).
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        let body_len = wrong_magic.len() - 8;
+        let check = fnv1a(&wrong_magic[..body_len]);
+        wrong_magic[body_len..].copy_from_slice(&check.to_le_bytes());
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&wrong_magic),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // Unsupported version, checksum fixed up likewise.
+        let mut wrong_version = bytes;
+        wrong_version[4] = 0xFF;
+        let body_len = wrong_version.len() - 8;
+        let check = fnv1a(&wrong_version[..body_len]);
+        wrong_version[body_len..].copy_from_slice(&check.to_le_bytes());
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&wrong_version),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_roundtrips_through_disk() {
+        let mut learner = tiny_learner();
+        learner.ingest_batch(&tiny_stream(8)).unwrap();
+        let snap = learner.checkpoint();
+        let dir = std::env::temp_dir().join("snn-online-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.sdyn");
+        snap.save(&path).unwrap();
+        let loaded = ModelSnapshot::load(&path).unwrap();
+        assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_methods_snapshot() {
+        for method in Method::all() {
+            let mut cfg = OnlineConfig::fast(method, 6);
+            cfg.batch_size = 3;
+            let mut learner = OnlineLearner::new(cfg);
+            learner.ingest_batch(&tiny_stream(3)).unwrap();
+            let snap = learner.checkpoint();
+            let rt = ModelSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(rt, snap, "{method}");
+        }
+    }
+}

@@ -153,6 +153,55 @@ impl Engine {
         self.pool.clear();
     }
 
+    /// Hot-swaps the engine onto new learned state **without rebuilding**:
+    /// the weight buffer (row-major by postsynaptic neuron) and raw
+    /// adaptation potentials `θ` are copied into the existing template and
+    /// into every idle pooled replica, so the next batch runs on the new
+    /// model with zero allocations and a warm replica pool.
+    ///
+    /// This is the serving path for model-snapshot swaps between batches:
+    /// a long-running engine adopts each new checkpoint in O(weights)
+    /// copies. The engine's inference `θ` scale is re-applied to the new
+    /// `θ` values. Architecture (layer sizes, inhibition wiring, protocol)
+    /// cannot change through this call — use [`Engine::sync_from`] or
+    /// rebuild for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnnError::DimensionMismatch`] when `weights` or
+    /// `thetas` do not match the template's shape; the engine state is
+    /// untouched in that case.
+    pub fn hot_swap(&mut self, weights: &[f32], thetas: &[f32]) -> snn_core::SnnResult<()> {
+        if weights.len() != self.template.weights.len() {
+            return Err(snn_core::SnnError::DimensionMismatch {
+                expected: self.template.weights.len(),
+                got: weights.len(),
+                what: "hot-swap weight buffer",
+            });
+        }
+        if thetas.len() != self.template.n_exc() {
+            return Err(snn_core::SnnError::DimensionMismatch {
+                expected: self.template.n_exc(),
+                got: thetas.len(),
+                what: "hot-swap theta vector",
+            });
+        }
+        self.template
+            .weights
+            .as_mut_slice()
+            .copy_from_slice(weights);
+        self.template.exc.thetas_mut().copy_from_slice(thetas);
+        self.scaled_thetas.clear();
+        self.scaled_thetas
+            .extend(thetas.iter().map(|t| t * self.theta_scale));
+        // Replicas only re-synchronise θ per sample; weights must be
+        // refreshed here so pooled replicas serve the new model.
+        self.pool.sync_each(|replica| {
+            replica.weights.as_mut_slice().copy_from_slice(weights);
+        });
+        Ok(())
+    }
+
     /// Simulates one sample on `replica` with the engine's protocol.
     fn run_one(
         &self,
@@ -426,6 +475,69 @@ mod tests {
         let after = engine.infer_batch(&imgs, 5);
         assert_ne!(before, after, "stronger weights must change spiking");
         assert!(engine.pool.idle() > 0);
+    }
+
+    #[test]
+    fn hot_swap_matches_rebuild_and_keeps_pool_warm() {
+        let mut engine = fast_engine(12);
+        let imgs = images(6);
+        engine.infer_batch(&imgs, 3); // warm the pool
+        let idle_before = engine.pool.idle();
+        assert!(idle_before > 0);
+
+        // New learned state: different weights and a non-zero θ.
+        let mut net = engine.network().clone();
+        for j in 0..net.n_exc() {
+            for k in 0..net.n_input() {
+                net.weights.set(j, k, 0.01 * (j + k) as f32);
+            }
+        }
+        for t in net.exc.thetas_mut() {
+            *t = 2.0;
+        }
+
+        let reference =
+            Engine::from_network(net.clone(), *engine.present(), 255.0, 1.0).infer_batch(&imgs, 7);
+        engine
+            .hot_swap(net.weights.as_slice(), net.exc.thetas())
+            .unwrap();
+        assert_eq!(
+            engine.pool.idle(),
+            idle_before,
+            "hot swap must keep pooled replicas"
+        );
+        assert_eq!(
+            engine.infer_batch(&imgs, 7),
+            reference,
+            "hot-swapped engine must serve the new model bit-identically"
+        );
+    }
+
+    #[test]
+    fn hot_swap_applies_theta_scale() {
+        let base = fast_engine(13);
+        let imgs = images(4);
+        let mut scaled = Engine::from_network(base.network().clone(), *base.present(), 255.0, 0.0);
+        let mut net = base.network().clone();
+        for t in net.exc.thetas_mut() {
+            *t = 50.0;
+        }
+        scaled
+            .hot_swap(net.weights.as_slice(), net.exc.thetas())
+            .unwrap();
+        // θ scale 0.0 removes the (huge) adaptation, so results must match
+        // the unswapped engine (same weights, θ effectively zero both ways).
+        assert_eq!(scaled.infer_batch(&imgs, 5), base.infer_batch(&imgs, 5));
+    }
+
+    #[test]
+    fn hot_swap_validates_shapes() {
+        let mut engine = fast_engine(14);
+        let n_exc = engine.network().n_exc();
+        let weights = engine.network().weights.as_slice().to_vec();
+        assert!(engine.hot_swap(&weights[..10], &vec![0.0; n_exc]).is_err());
+        assert!(engine.hot_swap(&weights, &vec![0.0; n_exc + 1]).is_err());
+        assert!(engine.hot_swap(&weights, &vec![0.0; n_exc]).is_ok());
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl ReplicaPool {
             .push(replica);
     }
 
+    /// Applies `f` to every idle replica in place — the hot-swap path:
+    /// when only learned state (weights, `θ`) changes, pooled replicas are
+    /// refreshed instead of dropped, so no re-cloning happens on the next
+    /// batch.
+    pub fn sync_each(&self, mut f: impl FnMut(&mut Snn)) {
+        let mut replicas = self.replicas.lock().expect("replica pool lock poisoned");
+        for replica in replicas.iter_mut() {
+            f(replica);
+        }
+    }
+
     /// Drops every pooled replica (used when the template changes shape).
     pub fn clear(&self) {
         self.replicas

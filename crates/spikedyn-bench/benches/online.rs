@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the online-learning hot paths:
+//! checkpoint save/load latency and per-sample drift-detector overhead,
+//! with one scalar training sample as the simulation-cost yardstick —
+//! the detector must be negligible against it, and checkpointing must be
+//! cheap enough for frequent durability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_data::SyntheticDigits;
+use snn_online::{DriftConfig, DriftDetector, ModelSnapshot, OnlineConfig, OnlineLearner};
+use spikedyn::Method;
+use std::hint::black_box;
+
+/// A trained learner at the paper's small network size (N200), so the
+/// checkpoint carries a realistic weight matrix (196×200).
+fn trained_learner() -> OnlineLearner {
+    let mut cfg = OnlineConfig::fast(Method::SpikeDyn, 200);
+    cfg.batch_size = 8;
+    let gen = SyntheticDigits::new(11);
+    let stream: Vec<_> = (0..16)
+        .map(|i| gen.sample((i % 4) as u8, i).downsample(2))
+        .collect();
+    let mut learner = OnlineLearner::new(cfg);
+    learner.run(stream).expect("stream matches config");
+    learner
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let learner = trained_learner();
+    let snapshot = learner.checkpoint();
+    let bytes = snapshot.to_bytes();
+    c.bench_function("checkpoint_snapshot_n200", |b| {
+        b.iter(|| black_box(learner.checkpoint()))
+    });
+    c.bench_function("checkpoint_encode_n200", |b| {
+        b.iter(|| black_box(snapshot.to_bytes().len()))
+    });
+    c.bench_function("checkpoint_decode_n200", |b| {
+        b.iter(|| black_box(ModelSnapshot::from_bytes(&bytes).unwrap().samples_seen))
+    });
+    c.bench_function("checkpoint_resume_n200", |b| {
+        b.iter(|| {
+            let snap = ModelSnapshot::from_bytes(&bytes).unwrap();
+            black_box(OnlineLearner::resume(snap).unwrap().samples_seen())
+        })
+    });
+}
+
+fn bench_drift_detector(c: &mut Criterion) {
+    let mut detector = DriftDetector::new(DriftConfig::default(), 10);
+    let mut i = 0u64;
+    c.bench_function("drift_observe_per_sample", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(detector.observe(Some((i % 10) as u8), 100 + i % 37))
+        })
+    });
+}
+
+fn bench_train_sample_reference(c: &mut Criterion) {
+    // The yardstick: one scalar training sample at the same scale. The
+    // drift observe above must be orders of magnitude below this.
+    let learner = trained_learner();
+    let mut trainer_state = learner.checkpoint().trainer;
+    trainer_state.infer_calls += 1; // detach from the learner's cursor
+    let mut trainer = spikedyn::Trainer::restore(trainer_state).unwrap();
+    let gen = SyntheticDigits::new(12);
+    let img = gen.sample(3, 0).downsample(2);
+    let mut group = c.benchmark_group("reference");
+    group.sample_size(10);
+    group.bench_function("train_sample_n200", |b| {
+        b.iter(|| black_box(trainer.train_image(&img).steps_run))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checkpoint,
+    bench_drift_detector,
+    bench_train_sample_reference
+);
+criterion_main!(benches);

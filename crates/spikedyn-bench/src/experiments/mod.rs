@@ -8,6 +8,7 @@ pub mod fig06;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod online;
 pub mod table01;
 pub mod table02;
 

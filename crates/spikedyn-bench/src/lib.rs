@@ -17,6 +17,7 @@
 //! | Table I GPU specs | [`experiments::table01`] | `table01_gpus` |
 //! | Table II processing time | [`experiments::table02`] | `table02_time` |
 //! | Ablations (design choices) | [`experiments::ablations`] | `ablations` |
+//! | Online drift scenarios (beyond the paper) | [`experiments::online`] | `online` (`--fast` for the smoke profile) |
 //!
 //! `run_all` executes everything in sequence.
 //!

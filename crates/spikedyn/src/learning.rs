@@ -248,6 +248,25 @@ impl Plasticity for SpikeDynPlasticity {
     }
 
     fn end_sample(&mut self, _ctx: &mut PlasticityCtx<'_>) {}
+
+    /// The spike counters reset every sample; the only cross-sample state
+    /// is the `updates_applied` diagnostic counter (little-endian `u64`),
+    /// exported so ablation metrics survive checkpoint/restore.
+    fn export_state(&self) -> Vec<u8> {
+        self.updates_applied.to_le_bytes().to_vec()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> snn_core::SnnResult<()> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| snn_core::SnnError::DimensionMismatch {
+                expected: 8,
+                got: bytes.len(),
+                what: "SpikeDyn update-counter state",
+            })?;
+        self.updates_applied = u64::from_le_bytes(arr);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -429,5 +448,16 @@ mod tests {
     fn name_is_stable() {
         let rule = SpikeDynPlasticity::new(SpikeDynConfig::for_network(4), 8, 4);
         assert_eq!(rule.name(), "spikedyn");
+    }
+
+    #[test]
+    fn state_export_import_roundtrips() {
+        let mut rule = SpikeDynPlasticity::new(SpikeDynConfig::for_network(4), 8, 4);
+        rule.updates_applied = 123_456_789_012;
+        let bytes = rule.export_state();
+        let mut fresh = SpikeDynPlasticity::new(SpikeDynConfig::for_network(4), 8, 4);
+        fresh.import_state(&bytes).unwrap();
+        assert_eq!(fresh.updates_applied(), 123_456_789_012);
+        assert!(fresh.import_state(&bytes[..3]).is_err());
     }
 }

@@ -53,4 +53,4 @@ pub use eval::{
 pub use learning::{SpikeDynConfig, SpikeDynPlasticity};
 pub use method::Method;
 pub use search::{search, Candidate, SearchConstraints, SearchResult, SearchSpec};
-pub use trainer::Trainer;
+pub use trainer::{AdaptiveResponse, Trainer, TrainerState};

@@ -8,15 +8,93 @@
 use rand::rngs::StdRng;
 use snn_core::config::PresentConfig;
 use snn_core::encoding::PoissonEncoder;
+use snn_core::error::SnnResult;
 use snn_core::metrics::{ClassAssignment, ConfusionMatrix};
-use snn_core::network::Snn;
+use snn_core::network::{Snn, SnnConfig};
 use snn_core::ops::OpCounts;
 use snn_core::rng::{derive_seed, seeded_rng};
 use snn_core::sim::{run_sample, Plasticity, SampleResult};
 use snn_data::Image;
 use snn_runtime::Engine;
 
+use crate::learning::{SpikeDynConfig, SpikeDynPlasticity};
 use crate::method::Method;
+
+/// SpikeDyn's drift response (§III-D applied online): when the environment
+/// shifts, the learning rate is boosted so new features are acquired
+/// quickly, and the weight decay is rescaled so stale features are freed
+/// faster. A factor of 1.0 on both axes is the neutral response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveResponse {
+    /// Multiplier on both STDP learning rates (`ηpre`, `ηpost`).
+    pub lr_boost: f32,
+    /// Multiplier on the dynamic weight-decay rate `wdecay`.
+    pub w_decay_scale: f32,
+}
+
+impl AdaptiveResponse {
+    /// The no-op response (baseline learning dynamics).
+    pub fn neutral() -> Self {
+        AdaptiveResponse {
+            lr_boost: 1.0,
+            w_decay_scale: 1.0,
+        }
+    }
+
+    /// True when this response leaves the rule unchanged.
+    pub fn is_neutral(&self) -> bool {
+        self.lr_boost == 1.0 && self.w_decay_scale == 1.0
+    }
+}
+
+/// A complete, self-describing checkpoint of a [`Trainer`]'s learned and
+/// replay state, captured **between samples** (the only pause points — all
+/// within-sample dynamic state is settled by `run_sample` anyway).
+///
+/// Restoring via [`Trainer::restore`] is bit-exact: the resumed trainer
+/// produces the same weights, the same batched-inference seed sequence and
+/// the same training-time encoding noise as the uninterrupted original.
+/// The learning rule is rebuilt from the method's configuration (custom
+/// rules installed via [`Trainer::set_plasticity`] are restored to the
+/// method default; their persistent state still round-trips through
+/// `plasticity_state`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// The trained method (determines the learning rule on restore).
+    pub method: Method,
+    /// Full network configuration (architecture, θ policy, trace params).
+    pub net_config: SnnConfig,
+    /// Plastic weights, row-major by postsynaptic neuron.
+    pub weights: Vec<f32>,
+    /// Per-neuron adaptation potentials `θ`.
+    pub thetas: Vec<f32>,
+    /// Training presentation protocol (`infer_present` is derived).
+    pub present: PresentConfig,
+    /// Poisson encoder full-intensity rate in Hz.
+    pub max_rate_hz: f32,
+    /// Temporal compression the method constants were built with.
+    pub time_compression: f32,
+    /// The adaptive response active at checkpoint time (restore re-arms
+    /// the boosted rule so training dynamics continue unchanged).
+    pub active_response: AdaptiveResponse,
+    /// Training-time RNG cursor (resume continues the exact stream).
+    pub rng_state: [u64; 4],
+    /// The learning rule's persistent cross-sample state
+    /// ([`Plasticity::export_state`]).
+    pub plasticity_state: Vec<u8>,
+    /// Cumulative training operation counts.
+    pub train_ops: OpCounts,
+    /// Cumulative inference operation counts.
+    pub infer_ops: OpCounts,
+    /// Training samples presented so far.
+    pub train_samples_seen: u64,
+    /// Inference samples presented so far.
+    pub infer_samples_seen: u64,
+    /// Root of the batched-inference seed tree.
+    pub infer_master: u64,
+    /// Batched-inference calls so far (the seed-tree cursor).
+    pub infer_calls: u64,
+}
 
 /// Orchestrates training and evaluation of one method instance.
 pub struct Trainer {
@@ -31,6 +109,14 @@ pub struct Trainer {
     /// inference latency accounting of the paper's Table II).
     pub infer_present: PresentConfig,
     encoder: PoissonEncoder,
+    /// Temporal compression the method constants were rescaled with
+    /// (needed to rebuild the learning rule on restore and for adaptive
+    /// responses).
+    time_compression: f32,
+    /// The adaptive response currently shaping the learning rule (neutral
+    /// unless [`Trainer::apply_adaptive_response`] armed a boost) —
+    /// recorded so checkpoints restore the boosted dynamics exactly.
+    active_response: AdaptiveResponse,
     rng: StdRng,
     /// Cumulative operation counts of all training presentations.
     pub train_ops: OpCounts,
@@ -90,7 +176,8 @@ impl Trainer {
             present,
             infer_present,
             encoder: PoissonEncoder::default(),
-
+            time_compression,
+            active_response: AdaptiveResponse::neutral(),
             rng: seeded_rng(derive_seed(seed, 2)),
             train_ops: OpCounts::default(),
             infer_ops: OpCounts::default(),
@@ -209,6 +296,198 @@ impl Trainer {
             self.encoder.max_rate_hz(),
             self.method.infer_theta_scale(),
         )
+    }
+
+    /// The temporal compression the trainer was built with.
+    pub fn time_compression(&self) -> f32 {
+        self.time_compression
+    }
+
+    /// Captures the trainer's complete learned + replay state. Call only
+    /// between samples (any other point is unreachable from outside the
+    /// trainer anyway). See [`TrainerState`] for the exactness contract.
+    pub fn snapshot_state(&self) -> TrainerState {
+        TrainerState {
+            method: self.method,
+            net_config: self.net.config.clone(),
+            weights: self.net.weights.as_slice().to_vec(),
+            thetas: self.net.exc.thetas().to_vec(),
+            present: self.present,
+            max_rate_hz: self.encoder.max_rate_hz(),
+            time_compression: self.time_compression,
+            active_response: self.active_response,
+            rng_state: self.rng.state(),
+            plasticity_state: self.plasticity.export_state(),
+            train_ops: self.train_ops,
+            infer_ops: self.infer_ops,
+            train_samples_seen: self.train_samples_seen,
+            infer_samples_seen: self.infer_samples_seen,
+            infer_master: self.infer_master,
+            infer_calls: self.infer_calls,
+        }
+    }
+
+    /// Rebuilds a trainer from a [`TrainerState`] checkpoint. The resumed
+    /// trainer continues every random stream (training encoding noise,
+    /// batched-inference seed tree) exactly where the snapshot paused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnnError`] when the checkpoint's configuration,
+    /// weight buffer, `θ` vector or plasticity state are inconsistent.
+    pub fn restore(state: TrainerState) -> SnnResult<Trainer> {
+        state.net_config.validate()?;
+        state.present.validate()?;
+        // Rebuild the method's learning rule at the recorded compression;
+        // the network the builder initialises is discarded — learned state
+        // comes from the snapshot.
+        let mut scratch_rng = seeded_rng(0);
+        let (_, mut plasticity) = state.method.build(
+            state.net_config.n_input,
+            state.net_config.n_exc,
+            state.present.t_present_ms,
+            state.time_compression,
+            &mut scratch_rng,
+        );
+        plasticity.import_state(&state.plasticity_state)?;
+        let net = Snn::from_parts(state.net_config, state.weights, &state.thetas)?;
+        let infer_present = PresentConfig {
+            t_rest_ms: 0.0,
+            ..state.present
+        };
+        let mut trainer = Trainer {
+            net,
+            plasticity,
+            method: state.method,
+            present: state.present,
+            infer_present,
+            encoder: PoissonEncoder::new(state.max_rate_hz),
+            time_compression: state.time_compression,
+            active_response: AdaptiveResponse::neutral(),
+            rng: StdRng::from_state(state.rng_state),
+            train_ops: state.train_ops,
+            infer_ops: state.infer_ops,
+            train_samples_seen: state.train_samples_seen,
+            infer_samples_seen: state.infer_samples_seen,
+            infer_master: state.infer_master,
+            infer_calls: state.infer_calls,
+        };
+        // Re-arm a boosted response so the resumed rule's dynamics match
+        // the checkpointed ones (the builder gave us the neutral rule).
+        if !state.active_response.is_neutral() {
+            trainer.apply_adaptive_response(&state.active_response);
+        }
+        Ok(trainer)
+    }
+
+    /// Applies SpikeDyn's adaptive drift response: rebuilds the Alg. 2 rule
+    /// with boosted learning rates and rescaled weight decay, preserving the
+    /// rule's persistent state. Returns `true` when the response was
+    /// applied; the baseline and ASP methods have no online adaptation
+    /// mechanism (the point of the paper's comparison), so for them this is
+    /// a no-op returning `false`.
+    ///
+    /// Applying [`AdaptiveResponse::neutral`] restores the method-default
+    /// learning dynamics.
+    ///
+    /// The response is defined relative to the *method-default*
+    /// configuration (`SpikeDynConfig::for_network` at this trainer's
+    /// compression): a non-default rule installed via
+    /// [`Trainer::set_plasticity`] is replaced by the default-based one,
+    /// keeping only its persistent state — sweep harnesses that customise
+    /// the rule should not combine it with adaptive responses.
+    pub fn apply_adaptive_response(&mut self, response: &AdaptiveResponse) -> bool {
+        if self.method != Method::SpikeDyn || self.plasticity.name() != "spikedyn" {
+            return false;
+        }
+        let n_exc = self.net.n_exc();
+        let n_input = self.net.n_input();
+        let mut cfg = SpikeDynConfig::for_network(n_exc).compressed(self.time_compression);
+        cfg.eta_post = (cfg.eta_post * response.lr_boost).min(0.5);
+        cfg.eta_pre = (cfg.eta_pre * response.lr_boost).min(0.1);
+        cfg.w_decay *= response.w_decay_scale;
+        let saved = self.plasticity.export_state();
+        let mut rule = SpikeDynPlasticity::new(cfg, n_input, n_exc);
+        rule.import_state(&saved)
+            .expect("spikedyn state layout is stable across rebuilds");
+        self.plasticity = Box::new(rule);
+        self.active_response = *response;
+        true
+    }
+
+    /// The adaptive response currently shaping the learning rule
+    /// (neutral unless [`Trainer::apply_adaptive_response`] armed one).
+    pub fn active_response(&self) -> &AdaptiveResponse {
+        &self.active_response
+    }
+
+    /// Like [`Trainer::responses`], but reuses a caller-held [`Engine`]
+    /// via [`Engine::hot_swap`] instead of building a fresh engine per
+    /// call — the long-running serving path. The engine must have been
+    /// built with this trainer's inference protocol (e.g. by
+    /// [`Trainer::engine`] once, then passed back in for every batch);
+    /// results are then bit-identical to [`Trainer::responses`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnnError::DimensionMismatch`] when the engine's
+    /// network shape differs from the trainer's. The batch-seed cursor is
+    /// not advanced in that case.
+    pub fn responses_with(
+        &mut self,
+        engine: &mut Engine,
+        images: &[Image],
+    ) -> SnnResult<Vec<(u8, Vec<u32>)>> {
+        Ok(self
+            .infer_results_with(engine, images)?
+            .into_iter()
+            .zip(images)
+            .map(|(result, img)| (img.label, result.exc_spike_counts))
+            .collect())
+    }
+
+    /// The full-result form of [`Trainer::responses_with`]: returns every
+    /// per-sample [`SampleResult`] (spike counts *and* input-spike totals),
+    /// which streaming consumers feed to drift detectors and spike-rate
+    /// meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnnError::DimensionMismatch`] when the engine's
+    /// network shape differs from the trainer's. The batch-seed cursor is
+    /// not advanced in that case.
+    pub fn infer_results_with(
+        &mut self,
+        engine: &mut Engine,
+        images: &[Image],
+    ) -> SnnResult<Vec<SampleResult>> {
+        engine.hot_swap(self.net.weights.as_slice(), self.net.exc.thetas())?;
+        let batch_seed = self.next_batch_seed();
+        let outcome = engine.infer_batch_metered(images, batch_seed);
+        self.infer_ops.accumulate(&outcome.ops);
+        self.infer_samples_seen += images.len() as u64;
+        Ok(outcome.results)
+    }
+
+    /// Like [`Trainer::fit_assignment`], but through a caller-held engine
+    /// (see [`Trainer::responses_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnnError::DimensionMismatch`] when the engine's
+    /// network shape differs from the trainer's.
+    pub fn fit_assignment_with(
+        &mut self,
+        engine: &mut Engine,
+        images: &[Image],
+        n_classes: usize,
+    ) -> SnnResult<ClassAssignment> {
+        let responses = self.responses_with(engine, images)?;
+        Ok(ClassAssignment::from_responses(
+            self.net.n_exc(),
+            n_classes,
+            responses.iter().map(|(l, c)| (*l, c.as_slice())),
+        ))
     }
 
     /// Seed for the next batched-inference call (one per call, derived
@@ -414,6 +693,114 @@ mod tests {
             a1, a2,
             "consecutive calls use fresh batch seeds (fresh encoding noise)"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_training_bit_identically() {
+        let imgs = small_images(3, &[0, 1]);
+        for method in Method::all() {
+            // Uninterrupted reference run.
+            let mut full = Trainer::new(method, 196, 8, PresentConfig::fast(), 31);
+            full.train_on(&imgs);
+            let full_resp = full.responses(&imgs);
+
+            // Paused run: train half, snapshot, restore, train the rest.
+            let mut half = Trainer::new(method, 196, 8, PresentConfig::fast(), 31);
+            half.train_on(&imgs[..3]);
+            let state = half.snapshot_state();
+            drop(half);
+            let mut resumed = Trainer::restore(state).unwrap();
+            resumed.train_on(&imgs[3..]);
+            assert_eq!(
+                resumed.net.weights, full.net.weights,
+                "{method}: resumed weights must match uninterrupted run"
+            );
+            let resumed_resp = resumed.responses(&imgs);
+            assert_eq!(
+                resumed_resp, full_resp,
+                "{method}: resumed batched inference must replay the seed tree"
+            );
+            assert_eq!(resumed.snapshot_state(), full.snapshot_state());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let t = Trainer::new(Method::SpikeDyn, 196, 8, PresentConfig::fast(), 5);
+        let mut state = t.snapshot_state();
+        state.weights.truncate(10);
+        assert!(Trainer::restore(state).is_err());
+        let mut state2 = t.snapshot_state();
+        state2.thetas.push(0.0);
+        assert!(Trainer::restore(state2).is_err());
+    }
+
+    #[test]
+    fn adaptive_response_boosts_learning_and_is_reversible() {
+        let imgs = small_images(4, &[0]);
+        let run = |response: Option<AdaptiveResponse>| {
+            let mut t = Trainer::new(Method::SpikeDyn, 196, 8, PresentConfig::fast(), 8);
+            if let Some(r) = response {
+                assert!(t.apply_adaptive_response(&r));
+            }
+            t.train_on(&imgs);
+            t.net.weights.clone()
+        };
+        let base = run(None);
+        let neutral = run(Some(AdaptiveResponse::neutral()));
+        assert_eq!(base, neutral, "neutral response must not change dynamics");
+        let boosted = run(Some(AdaptiveResponse {
+            lr_boost: 4.0,
+            w_decay_scale: 2.0,
+        }));
+        assert_ne!(base, boosted, "boosted response must change learning");
+        // Non-SpikeDyn methods have no adaptation mechanism.
+        let mut baseline = Trainer::new(Method::Baseline, 196, 8, PresentConfig::fast(), 8);
+        assert!(!baseline.apply_adaptive_response(&AdaptiveResponse {
+            lr_boost: 4.0,
+            w_decay_scale: 2.0,
+        }));
+    }
+
+    #[test]
+    fn boosted_response_survives_snapshot_restore() {
+        let imgs = small_images(4, &[0, 1]);
+        let boost = AdaptiveResponse {
+            lr_boost: 4.0,
+            w_decay_scale: 2.0,
+        };
+        let mut live = Trainer::new(Method::SpikeDyn, 196, 8, PresentConfig::fast(), 17);
+        live.apply_adaptive_response(&boost);
+        live.train_on(&imgs[..4]);
+        let state = live.snapshot_state();
+        assert_eq!(state.active_response, boost);
+        let mut restored = Trainer::restore(state).unwrap();
+        assert_eq!(restored.active_response(), &boost);
+        live.train_on(&imgs[4..]);
+        restored.train_on(&imgs[4..]);
+        assert_eq!(
+            restored.net.weights, live.net.weights,
+            "restored trainer must keep the boosted dynamics"
+        );
+    }
+
+    #[test]
+    fn responses_with_matches_per_call_engines() {
+        let imgs = small_images(3, &[0, 1]);
+        let mut a = Trainer::new(Method::SpikeDyn, 196, 10, PresentConfig::fast(), 13);
+        let mut b = Trainer::new(Method::SpikeDyn, 196, 10, PresentConfig::fast(), 13);
+        a.train_on(&imgs);
+        b.train_on(&imgs);
+        let mut engine = b.engine();
+        for _ in 0..3 {
+            let fresh = a.responses(&imgs);
+            let reused = b.responses_with(&mut engine, &imgs).unwrap();
+            assert_eq!(
+                fresh, reused,
+                "hot-swapped engine path must be bit-identical"
+            );
+        }
+        assert_eq!(a.infer_samples_seen(), b.infer_samples_seen());
     }
 
     #[test]

@@ -1,42 +1,112 @@
-//! Continual learning in a dynamic environment: digit classes arrive one
-//! after another and are never re-fed (the paper's §IV protocol). The
-//! example compares all three methods on the most-recently-learned-task
-//! metric and shows SpikeDyn's retention advantage.
+//! Continual learning as a *stream*: digit tasks arrive and recur while an
+//! `snn-online` learner trains, detects drift, and periodically writes
+//! durable checkpoints — then gets killed mid-stream and warm-started from
+//! its last snapshot, finishing with results bit-identical to a learner
+//! that never stopped.
 //!
 //! ```sh
 //! cargo run --release --example continual_learning
 //! ```
 
-use spikedyn::eval::{run_dynamic, ProtocolConfig};
+use snn_data::{Scenario, SyntheticDigits};
+use snn_online::{ModelSnapshot, OnlineConfig, OnlineLearner};
 use spikedyn::Method;
 
 fn main() {
-    println!("dynamic environment: tasks 0..6 presented consecutively, never re-fed\n");
-    for method in Method::all() {
-        let mut cfg = ProtocolConfig::fast(method, 60);
-        cfg.tasks = (0..6).collect();
-        cfg.samples_per_task = 25;
-        cfg.eval_per_class = 8;
-        let report = run_dynamic(&cfg);
+    let gen = SyntheticDigits::new(42);
+    let classes: Vec<u8> = (0..6).collect();
+    let total = 144u64;
+    let scenario = Scenario::RecurringTasks;
+    let stream: Vec<_> = scenario
+        .stream(&gen, &classes, total, 42, 0)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+    println!(
+        "streaming scenario `{scenario}`: {total} samples over tasks {classes:?}, \
+         checkpoint every 48 samples\n"
+    );
+
+    let ckpt_dir = std::path::PathBuf::from("target/online-example");
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+
+    for method in [Method::SpikeDyn, Method::Asp, Method::Baseline] {
+        let mut cfg = OnlineConfig::fast(method, 48);
+        cfg.batch_size = 8;
+        cfg.drift.window = 16;
+
+        // Stream in, periodic checkpoint out.
+        let mut learner = OnlineLearner::new(cfg);
+        let ckpt_path = ckpt_dir.join(format!("{}.sdyn", method.label().to_lowercase()));
+        let mut ckpt_size = 0usize;
+        for (i, chunk) in stream.chunks(8).enumerate() {
+            learner.ingest_batch(chunk).expect("stream matches config");
+            if (i + 1) % 6 == 0 {
+                let snapshot = learner.checkpoint();
+                ckpt_size = snapshot.to_bytes().len();
+                snapshot.save(&ckpt_path).expect("write checkpoint");
+            }
+        }
+        let report = learner.report();
         let accs: Vec<String> = report
-            .recent_task_acc
+            .per_task_accuracy
             .iter()
-            .map(|a| format!("{:3.0}", a * 100.0))
+            .take(classes.len())
+            .map(|a| a.map_or("  -".into(), |a| format!("{:3.0}", a * 100.0)))
             .collect();
         println!(
-            "{:9}  per-task accuracy after learning it: [{}]%  (avg {:.0}%)",
+            "{:9}  windowed accuracy {:3.0}%  per-task [{}]%  forgetting {:4.1}%  \
+             drift events {}  checkpoint {:.1} KiB",
             method.label(),
+            report.accuracy * 100.0,
             accs.join(" "),
-            report.avg_recent() * 100.0
-        );
-        println!(
-            "           retention of all tasks at the end: {:.0}%",
-            report.avg_previous() * 100.0
+            report.mean_forgetting * 100.0,
+            report.drift_events.len(),
+            ckpt_size as f64 / 1024.0,
         );
     }
+
+    // Kill/warm-start drill on SpikeDyn: run half, die, resume from the
+    // snapshot, finish — and verify against the uninterrupted learner.
+    println!("\nwarm-start drill (SpikeDyn): pause at sample 72, reload, finish");
+    let mut cfg = OnlineConfig::fast(Method::SpikeDyn, 48);
+    cfg.batch_size = 8;
+    cfg.drift.window = 16;
+
+    let mut uninterrupted = OnlineLearner::new(cfg.clone());
+    for chunk in stream.chunks(8) {
+        uninterrupted.ingest_batch(chunk).unwrap();
+    }
+
+    let mut first_half = OnlineLearner::new(cfg);
+    for chunk in stream[..72].chunks(8) {
+        first_half.ingest_batch(chunk).unwrap();
+    }
+    let path = ckpt_dir.join("paused.sdyn");
+    first_half
+        .checkpoint()
+        .save(&path)
+        .expect("save checkpoint");
+    drop(first_half); // the "crash"
+
+    let snapshot = ModelSnapshot::load(&path).expect("reload checkpoint");
+    let mut resumed = OnlineLearner::resume(snapshot).expect("warm start");
+    for chunk in stream[72..].chunks(8) {
+        resumed.ingest_batch(chunk).unwrap();
+    }
+    let identical = resumed.checkpoint().to_bytes() == uninterrupted.checkpoint().to_bytes();
     println!(
-        "\nThe baseline's synapses saturate on early tasks (catastrophic forgetting);\n\
-         ASP's weight leak frees capacity; SpikeDyn adds gated updates, adaptive\n\
-         rates and threshold balancing on a cheaper architecture (paper §III)."
+        "resumed learner: {} samples, windowed accuracy {:3.0}%, final checkpoint \
+         bit-identical to uninterrupted run: {identical}",
+        resumed.samples_seen(),
+        resumed.report().accuracy * 100.0,
+    );
+    assert!(identical, "determinism contract violated");
+    println!(
+        "\nEach method keeps learning as tasks recur (task-change drift events above);\n\
+         SpikeDyn does it on the cheaper architecture with gated updates and adaptive\n\
+         responses (paper §III). The learner's full state — weights, θ, RNG cursors,\n\
+         metrics, drift detector — survives process death via versioned snapshots\n\
+         (the snn-online layer, DESIGN.md)."
     );
 }

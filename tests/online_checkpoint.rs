@@ -1,0 +1,158 @@
+//! Workspace-level guarantees of the `snn-online` subsystem:
+//!
+//! * **Snapshot round-trip** (property-based): save → load yields an equal
+//!   snapshot, byte-identical re-encoding, an identical forward pass, and
+//!   an identical *next* checkpoint after further learning.
+//! * **Pause/restore exactness** (pinned): a learner stopped mid-stream,
+//!   persisted through disk, and warm-started produces bit-identical
+//!   predictions and a bit-identical final snapshot to an uninterrupted
+//!   run over the same seeded stream.
+//! * **Hot swap serving**: a long-lived engine adopting a loaded snapshot
+//!   between batches serves the same results as an engine built from the
+//!   live trainer.
+
+use proptest::prelude::*;
+use snn_data::{Image, Scenario, SyntheticDigits};
+use snn_online::{ModelSnapshot, OnlineConfig, OnlineLearner};
+use spikedyn::{Method, Trainer};
+
+/// A tiny 7×7-input configuration so property cases stay fast.
+fn tiny_config(method: Method, seed: u64) -> OnlineConfig {
+    let mut cfg = OnlineConfig::fast(method, 6);
+    cfg.n_input = 49;
+    cfg.seed = seed;
+    cfg.batch_size = 4;
+    cfg.assign_every = 8;
+    cfg.reservoir_capacity = 12;
+    cfg.metric_window = 12;
+    cfg.drift.window = 8;
+    cfg.response.hold_samples = 6;
+    cfg
+}
+
+fn tiny_stream(seed: u64, n: u64) -> Vec<Image> {
+    let gen = SyntheticDigits::new(seed);
+    (0..n)
+        .map(|i| gen.sample((i % 4) as u8, i).downsample(4))
+        .collect()
+}
+
+fn method_from_index(i: u8) -> Method {
+    Method::all()[i as usize % 3]
+}
+
+proptest! {
+    #[test]
+    fn snapshot_roundtrip_preserves_forward_pass_and_next_checkpoint(
+        seed in 0u64..500,
+        method_idx in 0u8..3,
+        prefix_batches in 1usize..4,
+        suffix_batches in 1usize..3,
+    ) {
+        let method = method_from_index(method_idx);
+        let stream = tiny_stream(seed, ((prefix_batches + suffix_batches) * 4) as u64);
+        let mut live = OnlineLearner::new(tiny_config(method, seed));
+        for chunk in stream[..prefix_batches * 4].chunks(4) {
+            live.ingest_batch(chunk).unwrap();
+        }
+
+        // save → load: equal value, byte-identical re-encoding.
+        let snapshot = live.checkpoint();
+        let bytes = snapshot.to_bytes();
+        let loaded = ModelSnapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&loaded, &snapshot);
+        prop_assert_eq!(loaded.to_bytes(), bytes.clone());
+
+        // Identical forward pass and identical next checkpoint.
+        let mut restored = OnlineLearner::resume(loaded).unwrap();
+        for chunk in stream[prefix_batches * 4..].chunks(4) {
+            let live_preds = live.ingest_batch(chunk).unwrap();
+            let restored_preds = restored.ingest_batch(chunk).unwrap();
+            prop_assert_eq!(live_preds, restored_preds);
+        }
+        prop_assert_eq!(
+            restored.checkpoint().to_bytes(),
+            live.checkpoint().to_bytes()
+        );
+    }
+}
+
+#[test]
+fn pause_restore_mid_stream_is_bit_identical_through_disk() {
+    // A drifting stream at the repo's fast scale, paused right around the
+    // drift transition — the hardest point, since detector windows,
+    // response countdowns and assignment cursors are all mid-flight.
+    let gen = SyntheticDigits::new(42);
+    let classes: Vec<u8> = (0..10).collect();
+    let stream: Vec<Image> = Scenario::GradualDrift
+        .stream(&gen, &classes, 64, 42, 0)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+    let mut cfg = OnlineConfig::fast(Method::SpikeDyn, 12);
+    cfg.batch_size = 8;
+    cfg.assign_every = 16;
+    cfg.drift.window = 12;
+
+    let mut uninterrupted = OnlineLearner::new(cfg.clone());
+    let mut expected_preds = Vec::new();
+    for chunk in stream.chunks(8) {
+        expected_preds.extend(uninterrupted.ingest_batch(chunk).unwrap());
+    }
+
+    let mut paused = OnlineLearner::new(cfg);
+    let mut preds = Vec::new();
+    for chunk in stream[..32].chunks(8) {
+        preds.extend(paused.ingest_batch(chunk).unwrap());
+    }
+    let dir = std::env::temp_dir().join("spikedyn-online-checkpoint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pause.sdyn");
+    paused.checkpoint().save(&path).unwrap();
+    drop(paused);
+
+    let mut resumed = OnlineLearner::resume(ModelSnapshot::load(&path).unwrap()).unwrap();
+    for chunk in stream[32..].chunks(8) {
+        preds.extend(resumed.ingest_batch(chunk).unwrap());
+    }
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(preds, expected_preds, "predictions must be bit-identical");
+    assert_eq!(
+        resumed.checkpoint().to_bytes(),
+        uninterrupted.checkpoint().to_bytes(),
+        "final snapshots must be byte-identical"
+    );
+}
+
+#[test]
+fn engine_hot_swaps_onto_a_loaded_snapshot() {
+    // Serving path: a deployed engine adopts a persisted model between
+    // batches, without rebuilding, and serves exactly what a fresh engine
+    // built from the live trainer would.
+    let stream = tiny_stream(7, 16);
+    let mut learner = OnlineLearner::new(tiny_config(Method::SpikeDyn, 7));
+    for chunk in stream.chunks(4) {
+        learner.ingest_batch(chunk).unwrap();
+    }
+    let snapshot = ModelSnapshot::from_bytes(&learner.checkpoint().to_bytes()).unwrap();
+
+    // The "deployment": restore a trainer only to mint a reference engine,
+    // and hot-swap a long-lived engine built from a *different* (fresh)
+    // model state onto the snapshot weights.
+    let restored = Trainer::restore(snapshot.trainer.clone()).unwrap();
+    let reference = restored.engine();
+
+    let fresh = OnlineLearner::new(tiny_config(Method::SpikeDyn, 999));
+    let mut serving = fresh.trainer().engine();
+    serving
+        .hot_swap(&snapshot.trainer.weights, &snapshot.trainer.thetas)
+        .unwrap();
+
+    let probe = tiny_stream(11, 6);
+    assert_eq!(
+        serving.infer_batch(&probe, 123),
+        reference.infer_batch(&probe, 123),
+        "hot-swapped engine must serve the snapshot model bit-identically"
+    );
+}

@@ -175,6 +175,28 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full 256-bit internal state.
+        ///
+        /// Together with [`StdRng::from_state`] this lets long-running
+        /// systems checkpoint an RNG mid-stream and resume it bit-exactly —
+        /// the workspace's online-learning snapshots rely on it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// The all-zero state is invalid for xoshiro and is replaced by the
+        /// same fallback constant `seed_from_u64` uses.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -282,6 +304,24 @@ mod tests {
         7051070477665621255,
         6633766593972829180,
     ];
+
+    #[test]
+    fn state_roundtrip_resumes_stream_exactly() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_all_zero() {
+        let mut r = StdRng::from_state([0; 4]);
+        assert_ne!(r.next_u64(), 0, "fallback state must generate");
+    }
 
     #[test]
     fn different_seeds_differ() {
