@@ -26,7 +26,7 @@ use crate::synapse::WeightMatrix;
 /// Winner-take-all wiring style.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Inhibition {
-    /// Explicit inhibitory population (baseline [2] / ASP [7] architecture).
+    /// Explicit inhibitory population (baseline \[2\] / ASP \[7\] architecture).
     InhibitoryLayer {
         /// Weight of the one-to-one excitatory → inhibitory synapses.
         w_exc_inh: f32,

@@ -17,7 +17,7 @@ use crate::ops::OpCounts;
 ///
 /// Voltages are in millivolts, times in milliseconds. Defaults follow the
 /// excitatory population of Diehl & Cook (2015), the configuration the
-/// paper's baseline [2] uses.
+/// paper's baseline \[2\] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LifParams {
     /// Resting membrane potential.

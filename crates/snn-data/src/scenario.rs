@@ -392,6 +392,106 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_streams_are_empty_for_every_scenario() {
+        let g = gen();
+        let classes: Vec<u8> = (0..10).collect();
+        for s in Scenario::all() {
+            assert!(s.stream(&g, &classes, 0, 1, 0).is_empty(), "{s}");
+        }
+        // The raw generators agree.
+        assert!(gradual_drift_stream(&g, &[0], &[1], 0, 1, 0).is_empty());
+        assert!(recurring_tasks_stream(&g, &[0], 4, 0, 0).is_empty());
+        let burst = BurstWindow {
+            start: 0,
+            len: 0,
+            salt_fraction: 0.5,
+        };
+        assert!(noise_burst_stream(&g, &[0], 0, burst, 1, 0).is_empty());
+        assert!(class_imbalance_stream(&g, &[0], 0, 0.5, 0, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn single_sample_gradual_drift_stays_in_the_old_phase() {
+        // total == 1 exercises the `total <= 1` ramp guard: p_new must be
+        // 0, never 0/0.
+        let g = gen();
+        let stream = gradual_drift_stream(&g, &[2], &[9], 1, 5, 0);
+        assert_eq!(labels(&stream), vec![2]);
+    }
+
+    #[test]
+    fn single_class_scenarios_degenerate_cleanly() {
+        let g = gen();
+        // Scenario::stream with one class: every generator must emit only
+        // that class (gradual drift's mid-split folds both phases onto it).
+        for s in Scenario::all() {
+            let stream = s.stream(&g, &[7], 24, 3, 0);
+            assert_eq!(stream.len(), 24, "{s}");
+            assert!(labels(&stream).iter().all(|&l| l == 7), "{s}");
+        }
+    }
+
+    #[test]
+    fn imbalance_with_only_the_dominant_class_is_pure() {
+        // `minority.is_empty()` path: dominant_p is irrelevant, every draw
+        // is the dominant class — including dominant_p == 0.
+        let g = gen();
+        let stream = class_imbalance_stream(&g, &[4], 4, 0.0, 20, 2, 0);
+        assert!(labels(&stream).iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    fn imbalance_probability_boundaries() {
+        let g = gen();
+        let classes: Vec<u8> = (0..4).collect();
+        // p = 1: only the dominant class ever appears.
+        let all_dominant = class_imbalance_stream(&g, &classes, 2, 1.0, 40, 3, 0);
+        assert!(labels(&all_dominant).iter().all(|&l| l == 2));
+        // p = 0: the dominant class never appears (minorities exist).
+        let none_dominant = class_imbalance_stream(&g, &classes, 2, 0.0, 40, 3, 0);
+        assert!(labels(&none_dominant).iter().all(|&l| l != 2));
+    }
+
+    #[test]
+    fn recurring_tasks_shorter_than_one_cycle_truncate() {
+        // total < cycles × tasks: Scenario::stream clamps the block length
+        // to ≥ 1 instead of panicking on a zero block.
+        let g = gen();
+        let stream = Scenario::RecurringTasks.stream(&g, &(0..10).collect::<Vec<u8>>(), 5, 1, 0);
+        assert_eq!(labels(&stream), vec![0, 1, 2, 3, 4]);
+        // And the raw generator's final block may be short.
+        let raw = recurring_tasks_stream(&g, &[1, 2], 3, 7, 0);
+        assert_eq!(labels(&raw), vec![1, 1, 1, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_burst_window_never_corrupts() {
+        let g = gen();
+        let burst = BurstWindow {
+            start: 5,
+            len: 0,
+            salt_fraction: 1.0,
+        };
+        assert!(!burst.contains(5), "zero-length window contains nothing");
+        let noisy = noise_burst_stream(&g, &[0, 1], 12, burst, 9, 0);
+        // Same seed, salt-free window: identical to a burst that never
+        // overlaps the stream.
+        let clean = noise_burst_stream(
+            &g,
+            &[0, 1],
+            12,
+            BurstWindow {
+                start: 100,
+                len: 10,
+                salt_fraction: 1.0,
+            },
+            9,
+            0,
+        );
+        assert_eq!(noisy, clean);
+    }
+
+    #[test]
     fn index_offset_keeps_streams_disjoint_from_eval_sets() {
         let g = gen();
         let classes: Vec<u8> = (0..4).collect();

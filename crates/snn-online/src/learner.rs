@@ -34,7 +34,7 @@ use snn_core::error::SnnResult;
 use snn_core::metrics::ClassAssignment;
 use snn_core::ops::OpCounts;
 use snn_data::Image;
-use snn_runtime::Engine;
+use snn_runtime::{Engine, PoolHandle};
 use spikedyn::{AdaptiveResponse, Method, Trainer};
 
 use crate::drift::{DriftConfig, DriftDetector, DriftEvent};
@@ -161,6 +161,22 @@ pub struct EnergyReport {
     pub per_sample_j: f64,
 }
 
+/// The externally observable outcome of one [`OnlineLearner::step`]: what
+/// a serving layer reports back to the client that submitted the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Prequential predictions, one per submitted sample (`None` =
+    /// network silent / no assignment fitted yet).
+    pub predictions: Vec<Option<u8>>,
+    /// Drift events raised **during this step** (the cumulative log is
+    /// [`OnlineLearner::drift_events`]).
+    pub drift_events: Vec<DriftEvent>,
+    /// True when a boosted adaptive response is active after this step.
+    pub response_active: bool,
+    /// Total stream samples the learner has consumed after this step.
+    pub samples_seen: u64,
+}
+
 /// The streaming continual learner. See the module docs for the loop.
 #[derive(Debug)]
 pub struct OnlineLearner {
@@ -185,6 +201,22 @@ impl OnlineLearner {
     /// Panics if `batch_size`, `metric_window`, `reservoir_capacity`,
     /// `assign_every` or the drift window is zero.
     pub fn new(config: OnlineConfig) -> Self {
+        Self::new_impl(config, None)
+    }
+
+    /// Like [`OnlineLearner::new`], but the learner's serving engine draws
+    /// replicas from `pool`, shared with other learners (the multi-session
+    /// path: see [`snn_runtime::Engine::from_network_shared`]). Results
+    /// are bit-identical to a private-pool learner with the same config.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`OnlineLearner::new`].
+    pub fn with_pool(config: OnlineConfig, pool: PoolHandle) -> Self {
+        Self::new_impl(config, Some(pool))
+    }
+
+    fn new_impl(config: OnlineConfig, pool: Option<PoolHandle>) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(
             config.reservoir_capacity > 0,
@@ -203,7 +235,10 @@ impl OnlineLearner {
             config.seed,
         )
         .with_max_rate(config.max_rate_hz);
-        let engine = trainer.engine();
+        let engine = match pool {
+            Some(pool) => trainer.engine_with_pool(pool),
+            None => trainer.engine(),
+        };
         let metrics = SlidingMetrics::new(config.metric_window, config.n_classes);
         let drift = DriftDetector::new(config.drift, config.n_classes);
         OnlineLearner {
@@ -367,6 +402,27 @@ impl OnlineLearner {
         Ok(predictions)
     }
 
+    /// The handle form of [`OnlineLearner::ingest_batch`] for external
+    /// drivers (a serving session, a remote client): processes one
+    /// micro-batch and returns everything the driver needs to answer the
+    /// request — predictions, the drift events this step raised, the
+    /// response state and the stream position — without poking at the
+    /// learner's accessors afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OnlineLearner::ingest_batch`] errors.
+    pub fn step(&mut self, batch: &[Image]) -> SnnResult<StepOutcome> {
+        let events_before = self.drift_events.len();
+        let predictions = self.ingest_batch(batch)?;
+        Ok(StepOutcome {
+            predictions,
+            drift_events: self.drift_events[events_before..].to_vec(),
+            response_active: self.response_active(),
+            samples_seen: self.samples_seen,
+        })
+    }
+
     /// Drives the learner over `stream` in batches of
     /// `config.batch_size`, returning the end-of-run report.
     ///
@@ -456,6 +512,87 @@ impl OnlineLearner {
     /// structurally valid but cross-field-corrupt file must fail here, not
     /// panic later inside a batch).
     pub fn resume(snapshot: ModelSnapshot) -> SnnResult<Self> {
+        Self::resume_impl(snapshot, None)
+    }
+
+    /// Like [`OnlineLearner::resume`], but the rebuilt learner's serving
+    /// engine draws replicas from `pool`, shared with other learners (see
+    /// [`OnlineLearner::with_pool`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`OnlineLearner::resume`].
+    pub fn resume_with_pool(snapshot: ModelSnapshot, pool: PoolHandle) -> SnnResult<Self> {
+        Self::resume_impl(snapshot, Some(pool))
+    }
+
+    fn resume_impl(snapshot: ModelSnapshot, pool: Option<PoolHandle>) -> SnnResult<Self> {
+        let (trainer, parts) = Self::validate_and_restore(snapshot)?;
+        let engine = match pool {
+            Some(pool) => trainer.engine_with_pool(pool),
+            None => trainer.engine(),
+        };
+        Ok(OnlineLearner {
+            engine,
+            trainer,
+            config: parts.config,
+            assignment: parts.assignment,
+            reservoir: parts.reservoir,
+            metrics: parts.metrics,
+            drift: parts.drift,
+            drift_events: parts.drift_events,
+            samples_seen: parts.samples_seen,
+            last_assign_at: parts.last_assign_at,
+            response_remaining: parts.response_remaining,
+        })
+    }
+
+    /// Hot-swaps this learner onto `snapshot` **in place**: the snapshot's
+    /// full state replaces the learner's, but the serving engine is kept
+    /// and adopts the new weights through
+    /// [`snn_runtime::Engine::hot_swap`] — no engine rebuild, warm replica
+    /// pool. This is the wire-level model-swap path: a serving session
+    /// receives a snapshot between batches and continues bit-identically
+    /// to a learner resumed from that snapshot.
+    ///
+    /// The snapshot must carry **exactly** this learner's configuration
+    /// (`snapshot.config == self.config`); changing configuration means a
+    /// new session ([`OnlineLearner::resume`]), not a hot swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`snn_core::SnnError::InvalidParameter`] on a configuration
+    /// mismatch, plus every [`OnlineLearner::resume`] validation failure.
+    /// The learner is untouched on error.
+    pub fn adopt(&mut self, snapshot: ModelSnapshot) -> SnnResult<()> {
+        if snapshot.config != self.config {
+            return Err(snn_core::SnnError::InvalidParameter {
+                name: "snapshot config",
+                reason: "hot swap requires the session's exact configuration; \
+                         resume a new learner to change it"
+                    .into(),
+            });
+        }
+        let (trainer, parts) = Self::validate_and_restore(snapshot)?;
+        self.engine
+            .hot_swap(trainer.net.weights.as_slice(), trainer.net.exc.thetas())?;
+        self.trainer = trainer;
+        self.config = parts.config;
+        self.assignment = parts.assignment;
+        self.reservoir = parts.reservoir;
+        self.metrics = parts.metrics;
+        self.drift = parts.drift;
+        self.drift_events = parts.drift_events;
+        self.samples_seen = parts.samples_seen;
+        self.last_assign_at = parts.last_assign_at;
+        self.response_remaining = parts.response_remaining;
+        Ok(())
+    }
+
+    /// Runs every snapshot consistency check and rebuilds the trainer.
+    /// Shared by [`OnlineLearner::resume`] (fresh learner) and
+    /// [`OnlineLearner::adopt`] (in-place hot swap).
+    fn validate_and_restore(snapshot: ModelSnapshot) -> SnnResult<(Trainer, RestoredParts)> {
         for (name, ok) in [
             ("assign_every", snapshot.config.assign_every > 0),
             ("batch_size", snapshot.config.batch_size > 0),
@@ -529,20 +666,35 @@ impl OnlineLearner {
         // `Trainer::restore` re-arms any active boosted response itself
         // (recorded in `TrainerState::active_response`), so the trainer's
         // dynamics already match the checkpoint.
-        Ok(OnlineLearner {
-            engine: trainer.engine(),
+        Ok((
             trainer,
-            config: snapshot.config,
-            assignment: snapshot.assignment,
-            reservoir: snapshot.reservoir.into(),
-            metrics: snapshot.metrics,
-            drift: snapshot.drift,
-            drift_events: snapshot.drift_events,
-            samples_seen: snapshot.samples_seen,
-            last_assign_at: snapshot.last_assign_at,
-            response_remaining: snapshot.response_remaining,
-        })
+            RestoredParts {
+                config: snapshot.config,
+                assignment: snapshot.assignment,
+                reservoir: snapshot.reservoir.into(),
+                metrics: snapshot.metrics,
+                drift: snapshot.drift,
+                drift_events: snapshot.drift_events,
+                samples_seen: snapshot.samples_seen,
+                last_assign_at: snapshot.last_assign_at,
+                response_remaining: snapshot.response_remaining,
+            },
+        ))
     }
+}
+
+/// A validated snapshot's fields minus the trainer state, ready to drop
+/// into a learner (see [`OnlineLearner::validate_and_restore`]).
+struct RestoredParts {
+    config: OnlineConfig,
+    assignment: Option<ClassAssignment>,
+    reservoir: VecDeque<Image>,
+    metrics: SlidingMetrics,
+    drift: DriftDetector,
+    drift_events: Vec<DriftEvent>,
+    samples_seen: u64,
+    last_assign_at: u64,
+    response_remaining: u64,
 }
 
 #[cfg(test)]
@@ -720,6 +872,113 @@ mod tests {
         assert!(
             learner.trainer().active_response().is_neutral(),
             "rule must stay neutral when the hold window is zero"
+        );
+    }
+
+    #[test]
+    fn shared_pool_learner_is_bit_identical_to_private() {
+        let pool: snn_runtime::PoolHandle = std::sync::Arc::new(snn_runtime::ReplicaPool::new());
+        let s = stream(24, 11);
+        let mut private = OnlineLearner::new(tiny_config(Method::SpikeDyn));
+        let mut shared =
+            OnlineLearner::with_pool(tiny_config(Method::SpikeDyn), std::sync::Arc::clone(&pool));
+        for chunk in s.chunks(4) {
+            assert_eq!(
+                shared.ingest_batch(chunk).unwrap(),
+                private.ingest_batch(chunk).unwrap()
+            );
+        }
+        assert_eq!(
+            shared.checkpoint().to_bytes(),
+            private.checkpoint().to_bytes(),
+            "pool sharing must not leak into checkpoints"
+        );
+        // Resume through the shared pool as well.
+        let resumed = OnlineLearner::resume_with_pool(shared.checkpoint(), pool).unwrap();
+        assert_eq!(
+            resumed.checkpoint().to_bytes(),
+            private.checkpoint().to_bytes()
+        );
+    }
+
+    #[test]
+    fn step_reports_only_this_steps_events() {
+        let mut cfg = tiny_config(Method::SpikeDyn);
+        cfg.batch_size = 8;
+        cfg.assign_every = 8;
+        cfg.drift.window = 8;
+        cfg.drift.hist_threshold = 0.0;
+        cfg.drift.rate_threshold = 0.0;
+        cfg.drift.patience = 1;
+        let mut learner = OnlineLearner::new(cfg);
+        let s = stream(32, 13);
+        let mut per_step_events = 0;
+        let mut samples = 0;
+        for chunk in s.chunks(8) {
+            let out = learner.step(chunk).unwrap();
+            assert_eq!(out.predictions.len(), chunk.len());
+            samples += chunk.len() as u64;
+            assert_eq!(out.samples_seen, samples);
+            per_step_events += out.drift_events.len();
+        }
+        assert_eq!(
+            per_step_events,
+            learner.drift_events().len(),
+            "step deltas must partition the cumulative event log"
+        );
+        assert!(per_step_events > 0, "thresholds at zero must raise events");
+    }
+
+    #[test]
+    fn adopt_matches_resume_bit_for_bit() {
+        let s = stream(32, 14);
+        // A source learner checkpointed mid-stream.
+        let mut source = OnlineLearner::new(tiny_config(Method::SpikeDyn));
+        for chunk in s[..16].chunks(4) {
+            source.ingest_batch(chunk).unwrap();
+        }
+        let snap_bytes = source.checkpoint().to_bytes();
+        let snap = || ModelSnapshot::from_bytes(&snap_bytes).unwrap();
+
+        // Reference: resume into a fresh learner, finish the stream.
+        let mut resumed = OnlineLearner::resume(snap()).unwrap();
+
+        // Under test: a *different* learner (same config, own history)
+        // hot-swapped in place onto the snapshot.
+        let mut adopter = OnlineLearner::new(tiny_config(Method::SpikeDyn));
+        adopter.ingest_batch(&stream(8, 99)).unwrap(); // divergent history
+        adopter.adopt(snap()).unwrap();
+        assert_eq!(adopter.samples_seen(), 16);
+
+        for chunk in s[16..].chunks(4) {
+            assert_eq!(
+                adopter.ingest_batch(chunk).unwrap(),
+                resumed.ingest_batch(chunk).unwrap()
+            );
+        }
+        assert_eq!(
+            adopter.checkpoint().to_bytes(),
+            resumed.checkpoint().to_bytes(),
+            "adopt must serve the snapshot exactly like resume"
+        );
+    }
+
+    #[test]
+    fn adopt_rejects_config_mismatch() {
+        let mut source = OnlineLearner::new(tiny_config(Method::SpikeDyn));
+        source.ingest_batch(&stream(4, 15)).unwrap();
+        let snap = source.checkpoint();
+
+        let mut other_cfg = tiny_config(Method::SpikeDyn);
+        other_cfg.batch_size = 2; // any config delta disqualifies a hot swap
+        let mut adopter = OnlineLearner::new(other_cfg);
+        assert!(adopter.adopt(snap.clone()).is_err());
+        let before = adopter.checkpoint().to_bytes();
+        let _ = adopter.adopt(snap);
+        assert_eq!(
+            adopter.checkpoint().to_bytes(),
+            before,
+            "failed adopt must leave the learner untouched"
         );
     }
 

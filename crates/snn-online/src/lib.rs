@@ -28,6 +28,17 @@
 //! consumers that want to swap a deployed engine onto a freshly loaded
 //! snapshot between request batches.
 //!
+//! ## Driving a learner externally
+//!
+//! A session host (the `snn-serve` crate) drives the learner through the
+//! handle API instead of [`OnlineLearner::run`]: [`OnlineLearner::step`]
+//! processes one micro-batch and returns a [`StepOutcome`] with
+//! everything a serving layer reports back per request;
+//! [`OnlineLearner::with_pool`] / [`OnlineLearner::resume_with_pool`]
+//! let many concurrent learners share one warm `snn-runtime` replica
+//! pool; and [`OnlineLearner::adopt`] hot-swaps a *running* learner onto
+//! a received [`ModelSnapshot`] without rebuilding its engine.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -50,7 +61,7 @@
 //! assert_eq!(resumed.samples_seen(), 16);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
@@ -60,6 +71,8 @@ pub mod metrics;
 pub mod snapshot;
 
 pub use drift::{DriftConfig, DriftDetector, DriftEvent};
-pub use learner::{EnergyReport, OnlineConfig, OnlineLearner, OnlineReport, ResponseConfig};
+pub use learner::{
+    EnergyReport, OnlineConfig, OnlineLearner, OnlineReport, ResponseConfig, StepOutcome,
+};
 pub use metrics::{SlidingMetrics, WindowRecord};
 pub use snapshot::{ModelSnapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -25,7 +25,7 @@ use snn_core::rng::{derive_seed, seeded_rng};
 use snn_core::sim::{run_sample, SampleResult};
 use snn_data::Image;
 
-use crate::pool::ReplicaPool;
+use crate::pool::{PoolHandle, ReplicaPool};
 use crate::report::{BatchOutcome, EvalReport};
 
 /// Everything needed to build an [`Engine`] from scratch.
@@ -96,7 +96,12 @@ pub struct Engine {
     theta_scale: f32,
     /// Template `θ` with `theta_scale` pre-applied (what replicas run with).
     scaled_thetas: Vec<f32>,
-    pool: ReplicaPool,
+    pool: PoolHandle,
+    /// True when `pool` is shared with other engines: checkout goes
+    /// through the architecture-matching path and *all* learned state
+    /// (weights, not just `θ`) is re-synced per sample, because a pooled
+    /// replica may have last served a different model.
+    shared: bool,
 }
 
 impl Engine {
@@ -119,6 +124,45 @@ impl Engine {
         max_rate_hz: f32,
         theta_scale: f32,
     ) -> Self {
+        Self::build(
+            net,
+            present,
+            max_rate_hz,
+            theta_scale,
+            std::sync::Arc::new(ReplicaPool::new()),
+            false,
+        )
+    }
+
+    /// Like [`Engine::from_network`], but drawing replicas from a pool
+    /// **shared with other engines** (the multi-session serving path: N
+    /// models of one architecture share one warm replica working set).
+    ///
+    /// In shared mode the engine re-synchronises *all* learned state
+    /// (weights and `θ`) into the replica before every sample instead of
+    /// `θ` only — a pooled replica may have last served a different model.
+    /// The weight copy is O(weights) per sample, negligible against the
+    /// tens of thousands of sequential timesteps one sample simulates.
+    /// Results are bit-identical to a private-pool engine serving the same
+    /// model (pinned by this module's tests).
+    pub fn from_network_shared(
+        net: Snn,
+        present: PresentConfig,
+        max_rate_hz: f32,
+        theta_scale: f32,
+        pool: PoolHandle,
+    ) -> Self {
+        Self::build(net, present, max_rate_hz, theta_scale, pool, true)
+    }
+
+    fn build(
+        net: Snn,
+        present: PresentConfig,
+        max_rate_hz: f32,
+        theta_scale: f32,
+        pool: PoolHandle,
+        shared: bool,
+    ) -> Self {
         let scaled_thetas = net.exc.thetas().iter().map(|t| t * theta_scale).collect();
         Engine {
             template: net,
@@ -126,13 +170,19 @@ impl Engine {
             encoder: PoissonEncoder::new(max_rate_hz),
             theta_scale,
             scaled_thetas,
-            pool: ReplicaPool::new(),
+            pool,
+            shared,
         }
     }
 
     /// The template network (learned weights and `θ` the engine serves).
     pub fn network(&self) -> &Snn {
         &self.template
+    }
+
+    /// True when this engine draws from a pool shared with other engines.
+    pub fn is_shared(&self) -> bool {
+        self.shared
     }
 
     /// The presentation protocol used per sample.
@@ -142,6 +192,11 @@ impl Engine {
 
     /// Replaces the template's learned state with `net`'s (weights and
     /// `θ`), dropping pooled replicas so later batches see the new state.
+    ///
+    /// On a shared pool the replicas are left pooled instead of dropped:
+    /// they may belong to other engines, and shared mode re-syncs every
+    /// replica's full learned state per sample anyway (stale-architecture
+    /// replicas are filtered out at checkout).
     pub fn sync_from(&mut self, net: &Snn) {
         self.scaled_thetas = net
             .exc
@@ -150,7 +205,9 @@ impl Engine {
             .map(|t| t * self.theta_scale)
             .collect();
         self.template = net.clone();
-        self.pool.clear();
+        if !self.shared {
+            self.pool.clear();
+        }
     }
 
     /// Hot-swaps the engine onto new learned state **without rebuilding**:
@@ -194,12 +251,27 @@ impl Engine {
         self.scaled_thetas.clear();
         self.scaled_thetas
             .extend(thetas.iter().map(|t| t * self.theta_scale));
-        // Replicas only re-synchronise θ per sample; weights must be
-        // refreshed here so pooled replicas serve the new model.
-        self.pool.sync_each(|replica| {
-            replica.weights.as_mut_slice().copy_from_slice(weights);
-        });
+        // Private pool: replicas only re-synchronise θ per sample, so
+        // weights must be refreshed here for pooled replicas to serve the
+        // new model. Shared pool: replicas may belong to other engines and
+        // get a full learned-state re-sync per sample anyway.
+        if !self.shared {
+            self.pool.sync_each(|replica| {
+                replica.weights.as_mut_slice().copy_from_slice(weights);
+            });
+        }
         Ok(())
+    }
+
+    /// Checks a replica out of the pool (architecture-matched on a shared
+    /// pool, any replica on a private one — private replicas all share the
+    /// template's architecture by construction).
+    fn checkout(&self) -> Snn {
+        if self.shared {
+            self.pool.checkout_matching(&self.template)
+        } else {
+            self.pool.checkout(&self.template)
+        }
     }
 
     /// Simulates one sample on `replica` with the engine's protocol.
@@ -212,7 +284,15 @@ impl Engine {
     ) -> SampleResult {
         // Re-synchronise learned state: weights never change during
         // inference, but `θ` evolves within a presentation, so it must be
-        // restored from the (scaled) template before every sample.
+        // restored from the (scaled) template before every sample. On a
+        // shared pool the weights are re-synced too — the replica may have
+        // last served a different engine's model.
+        if self.shared {
+            replica
+                .weights
+                .as_mut_slice()
+                .copy_from_slice(self.template.weights.as_slice());
+        }
         replica
             .exc
             .thetas_mut()
@@ -240,7 +320,7 @@ impl Engine {
             .par_iter()
             .enumerate()
             .map(|(i, image)| {
-                let mut replica = self.pool.checkout(&self.template);
+                let mut replica = self.checkout();
                 let mut ops = OpCounts::default();
                 let result = self.run_one(
                     &mut replica,
@@ -272,7 +352,7 @@ impl Engine {
     /// sample at a time on one replica. Exists so tests (and sceptical
     /// callers) can check bit-identity against [`Engine::infer_batch`].
     pub fn infer_sequential(&self, images: &[Image], batch_seed: u64) -> Vec<SampleResult> {
-        let mut replica = self.pool.checkout(&self.template);
+        let mut replica = self.checkout();
         let mut ops = OpCounts::default();
         let results = images
             .iter()
@@ -538,6 +618,88 @@ mod tests {
         assert!(engine.hot_swap(&weights[..10], &vec![0.0; n_exc]).is_err());
         assert!(engine.hot_swap(&weights, &vec![0.0; n_exc + 1]).is_err());
         assert!(engine.hot_swap(&weights, &vec![0.0; n_exc]).is_ok());
+    }
+
+    #[test]
+    fn shared_pool_engine_is_bit_identical_to_private() {
+        let private = fast_engine(20);
+        let shared = Engine::from_network_shared(
+            private.network().clone(),
+            *private.present(),
+            255.0,
+            1.0,
+            std::sync::Arc::new(crate::ReplicaPool::new()),
+        );
+        assert!(shared.is_shared() && !private.is_shared());
+        let imgs = images(8);
+        // Twice: the second round draws warm (possibly weight-stale in the
+        // general shared case) replicas from the pool.
+        for seed in [3, 4] {
+            assert_eq!(
+                shared.infer_batch(&imgs, seed),
+                private.infer_batch(&imgs, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_pool_isolates_engines_with_different_weights() {
+        // Two engines serving different models off ONE pool must each
+        // match an isolated private-pool reference, even when their
+        // batches interleave and replicas migrate between them.
+        let base = fast_engine(21);
+        let mut strong_net = base.network().clone();
+        for j in 0..strong_net.n_exc() {
+            for k in 0..strong_net.n_input() {
+                strong_net.weights.set(j, k, 0.8);
+            }
+        }
+        let imgs = images(6);
+        let ref_weak = base.infer_batch(&imgs, 9);
+        let ref_strong = Engine::from_network(strong_net.clone(), *base.present(), 255.0, 1.0)
+            .infer_batch(&imgs, 9);
+        assert_ne!(ref_weak, ref_strong, "the two models must differ");
+
+        let pool: crate::PoolHandle = std::sync::Arc::new(crate::ReplicaPool::new());
+        let weak = Engine::from_network_shared(
+            base.network().clone(),
+            *base.present(),
+            255.0,
+            1.0,
+            std::sync::Arc::clone(&pool),
+        );
+        let strong = Engine::from_network_shared(
+            strong_net,
+            *base.present(),
+            255.0,
+            1.0,
+            std::sync::Arc::clone(&pool),
+        );
+        for _ in 0..2 {
+            assert_eq!(weak.infer_batch(&imgs, 9), ref_weak);
+            assert_eq!(strong.infer_batch(&imgs, 9), ref_strong);
+        }
+        assert!(pool.idle() > 0, "replicas returned to the shared pool");
+    }
+
+    #[test]
+    fn shared_hot_swap_serves_new_model() {
+        let pool: crate::PoolHandle = std::sync::Arc::new(crate::ReplicaPool::new());
+        let base = fast_engine(22);
+        let mut engine =
+            Engine::from_network_shared(base.network().clone(), *base.present(), 255.0, 1.0, pool);
+        let imgs = images(5);
+        engine.infer_batch(&imgs, 1); // warm the shared pool
+        let mut net = engine.network().clone();
+        for t in net.exc.thetas_mut() {
+            *t = 3.0;
+        }
+        let reference =
+            Engine::from_network(net.clone(), *engine.present(), 255.0, 1.0).infer_batch(&imgs, 2);
+        engine
+            .hot_swap(net.weights.as_slice(), net.exc.thetas())
+            .unwrap();
+        assert_eq!(engine.infer_batch(&imgs, 2), reference);
     }
 
     #[test]

@@ -21,6 +21,16 @@
 //! [`Engine::infer_sequential`] bit for bit and across
 //! `RAYON_NUM_THREADS` settings. See `DESIGN.md` for the full policy.
 //!
+//! ## Shared replica pools
+//!
+//! Several engines can draw from one [`ReplicaPool`] through a
+//! [`PoolHandle`] ([`Engine::from_network_shared`]): the `snn-serve`
+//! session layer uses this so N concurrent sessions share one warm
+//! replica working set bounded by peak concurrency, not session count.
+//! Shared engines re-sync the *full* learned state (weights and `θ`) into
+//! a replica before every sample, so sharing never changes results —
+//! shared and private engines are bit-identical for the same model.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -37,7 +47,7 @@
 //! assert_eq!(results, engine.infer_sequential(&images, 1));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
@@ -45,5 +55,5 @@ pub mod pool;
 pub mod report;
 
 pub use engine::{Engine, EngineConfig};
-pub use pool::ReplicaPool;
+pub use pool::{PoolHandle, ReplicaPool};
 pub use report::{BatchOutcome, EvalReport};

@@ -4,25 +4,59 @@
 //! (the weight matrix of a paper-scale N400 model is ~1.2 MB), so the
 //! engine keeps finished replicas in a pool and hands them back out on the
 //! next batch instead of re-cloning the template for every worker.
+//!
+//! A pool can also be **shared between engines** through a [`PoolHandle`]:
+//! the serving layer hosts many sessions whose models share one
+//! architecture, and a shared pool keeps the replica working set bounded
+//! by peak concurrency instead of session count. Shared checkout goes
+//! through [`ReplicaPool::checkout_matching`], which only hands back
+//! architecture-compatible replicas; the engine's shared mode re-syncs
+//! *all* learned state (weights and `θ`) before every sample, so a replica
+//! last used by a different model can never leak state.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use snn_core::network::Snn;
+
+/// A cloneable, thread-safe handle to a [`ReplicaPool`] shared by several
+/// engines (see [`crate::Engine::from_network_shared`]).
+pub type PoolHandle = Arc<ReplicaPool>;
 
 /// A lock-guarded stack of network replicas.
 ///
 /// Checkout order is unspecified (workers race for the lock); this is safe
 /// because the engine re-synchronises every replica to the template state
 /// before each sample, so replicas are interchangeable by construction.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReplicaPool {
     replicas: Mutex<Vec<Snn>>,
+    /// Idle replicas beyond this are dropped on [`ReplicaPool::restore`].
+    capacity: usize,
+}
+
+impl Default for ReplicaPool {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ReplicaPool {
-    /// Creates an empty pool.
+    /// Creates an empty, unbounded pool (a private engine's pool can
+    /// never exceed its worker count, so no bound is needed).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// Creates an empty pool that keeps at most `capacity` idle replicas
+    /// — the right constructor for a pool **shared across sessions**,
+    /// where heterogeneous architectures would otherwise accumulate
+    /// stale replicas for the server's whole lifetime (mismatched shapes
+    /// are skipped at checkout, never reclaimed).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReplicaPool {
+            replicas: Mutex::new(Vec::new()),
+            capacity,
+        }
     }
 
     /// Takes a replica from the pool, or clones `template` when empty.
@@ -35,12 +69,31 @@ impl ReplicaPool {
         popped.unwrap_or_else(|| template.clone())
     }
 
-    /// Returns a replica to the pool for reuse by later batches.
+    /// Returns a replica to the pool for reuse by later batches; dropped
+    /// instead when the pool already holds `capacity` idle replicas.
     pub fn restore(&self, replica: Snn) {
-        self.replicas
-            .lock()
-            .expect("replica pool lock poisoned")
-            .push(replica);
+        let mut replicas = self.replicas.lock().expect("replica pool lock poisoned");
+        if replicas.len() < self.capacity {
+            replicas.push(replica);
+        }
+    }
+
+    /// Takes a replica whose architecture matches `template`'s (equal
+    /// [`snn_core::network::SnnConfig`]), or clones `template` when no
+    /// compatible replica is pooled. Mismatched replicas are left pooled
+    /// for their own engines.
+    ///
+    /// Unlike [`ReplicaPool::checkout`], this is the safe checkout on a
+    /// pool **shared by engines serving different models**: the caller
+    /// must re-synchronise every piece of learned state (weights *and*
+    /// `θ`) before each sample, which the engine's shared mode does.
+    pub fn checkout_matching(&self, template: &Snn) -> Snn {
+        let mut replicas = self.replicas.lock().expect("replica pool lock poisoned");
+        if let Some(i) = replicas.iter().position(|r| r.config == template.config) {
+            return replicas.swap_remove(i);
+        }
+        drop(replicas);
+        template.clone()
     }
 
     /// Applies `f` to every idle replica in place — the hot-swap path:
@@ -92,6 +145,46 @@ mod tests {
         assert_eq!(pool.idle(), 1);
         let _b = pool.checkout(&t);
         assert_eq!(pool.idle(), 0, "restored replica is handed back out");
+    }
+
+    #[test]
+    fn checkout_matching_skips_incompatible_replicas() {
+        let pool = ReplicaPool::new();
+        let small = template();
+        let big = Snn::new(SnnConfig::direct_lateral(9, 5), &mut seeded_rng(2));
+        pool.restore(big.clone());
+        // The pooled replica has a different architecture: it must stay
+        // pooled and the checkout must clone the template instead.
+        let got = pool.checkout_matching(&small);
+        assert_eq!(got.n_exc(), small.n_exc());
+        assert_eq!(pool.idle(), 1, "incompatible replica stays pooled");
+        // A matching replica is handed back out.
+        let got_big = pool.checkout_matching(&big);
+        assert_eq!(got_big.n_exc(), big.n_exc());
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn bounded_pool_drops_restores_beyond_capacity() {
+        let pool = ReplicaPool::with_capacity(2);
+        for _ in 0..4 {
+            pool.restore(template());
+        }
+        assert_eq!(pool.idle(), 2, "capacity bounds the idle working set");
+        // An unbounded pool keeps everything.
+        let unbounded = ReplicaPool::new();
+        for _ in 0..4 {
+            unbounded.restore(template());
+        }
+        assert_eq!(unbounded.idle(), 4);
+    }
+
+    #[test]
+    fn pool_handle_shares_one_pool() {
+        let handle: PoolHandle = Arc::new(ReplicaPool::new());
+        let other = Arc::clone(&handle);
+        handle.restore(template());
+        assert_eq!(other.idle(), 1, "handles see the same replicas");
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! [`ServeClient`] wraps one TCP connection: each call writes a request
+//! line, blocks for the one response line, and lifts it into typed Rust
+//! values (or [`ClientError::Server`] carrying the wire error code). The
+//! experiment load generator, the integration tests and external tools
+//! all speak through this type, so the protocol has exactly one
+//! client-side encoder/decoder.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use snn_data::Image;
+use snn_online::EnergyReport;
+
+use crate::protocol::{
+    decode_predictions, format_request, hex_decode, parse_response, ProtocolError, Request,
+    Response, SessionSpec, MAX_LINE_BYTES,
+};
+use crate::session::ServerStats;
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(io::Error),
+    /// The response line failed to parse.
+    Protocol(ProtocolError),
+    /// The server answered `err code=… msg=…`.
+    Server {
+        /// Machine-readable error code (see [`crate::ServeError::code`]).
+        code: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The response was `ok` but missing or corrupting an expected field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ClientError::Malformed(what) => write!(f, "malformed ok response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl ClientError {
+    /// The wire error code, when this is a server-side rejection.
+    pub fn server_code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A session report as carried over the wire (the summary slice of
+/// [`snn_online::OnlineReport`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireReport {
+    /// Stream samples the session has consumed.
+    pub samples: u64,
+    /// Windowed prequential accuracy.
+    pub accuracy: f64,
+    /// Mean forgetting over established tasks.
+    pub forgetting: f64,
+    /// Drift events raised so far.
+    pub drift_events: u64,
+    /// Mean excitatory spikes per sample over the window.
+    pub spikes_per_sample: f64,
+}
+
+/// The outcome of one `ingest` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestOutcome {
+    /// Prequential predictions, one per submitted sample.
+    pub predictions: Vec<Option<u8>>,
+    /// Drift events raised by this batch.
+    pub drift_events: u64,
+    /// True while a boosted adaptive response is active.
+    pub response_active: bool,
+    /// The session's stream position after the batch.
+    pub samples_seen: u64,
+}
+
+/// One blocking protocol connection.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the matching response line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, unparseable responses, or an `err`
+    /// response (lifted into [`ClientError::Server`]).
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        let mut line = format_request(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = (&mut self.reader)
+            .take(MAX_LINE_BYTES)
+            .read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        if !reply.ends_with('\n') {
+            // Truncated at the size cap or by a dying server: a cut-short
+            // hex payload can still parse (and would silently corrupt a
+            // checkpoint, then desync every later call on this stream).
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response line truncated",
+            )));
+        }
+        match parse_response(&reply)? {
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Server-wide counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn stats(&mut self) -> ClientResult<ServerStats> {
+        let resp = self.call(&Request::Stats)?;
+        Ok(ServerStats {
+            sessions: field(&resp, "sessions")?,
+            max_sessions: field(&resp, "max_sessions")?,
+            queued_jobs: field(&resp, "queued_jobs")?,
+            ticks: field(&resp, "ticks")?,
+            total_samples: field(&resp, "total_samples")?,
+        })
+    }
+
+    /// Opens a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does (admission and duplicate-id
+    /// rejections arrive as [`ClientError::Server`]).
+    pub fn open(&mut self, id: &str, spec: SessionSpec) -> ClientResult<()> {
+        self.call(&Request::Open {
+            id: id.to_string(),
+            spec,
+        })
+        .map(|_| ())
+    }
+
+    /// Feeds one micro-batch into a session.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does (backpressure arrives as
+    /// [`ClientError::Server`] with code `backpressure`).
+    pub fn ingest(&mut self, id: &str, images: &[Image]) -> ClientResult<IngestOutcome> {
+        let resp = self.call(&Request::Ingest {
+            id: id.to_string(),
+            images: images.to_vec(),
+        })?;
+        let predictions = decode_predictions(
+            resp.get("predictions")
+                .ok_or(ClientError::Malformed("predictions"))?,
+        )?;
+        let response_active = match resp.get("response_active") {
+            Some("1") => true,
+            Some("0") => false,
+            _ => return Err(ClientError::Malformed("response_active")),
+        };
+        Ok(IngestOutcome {
+            predictions,
+            drift_events: field(&resp, "drifts")?,
+            response_active,
+            samples_seen: field(&resp, "samples")?,
+        })
+    }
+
+    /// The session's current prequential report.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn report(&mut self, id: &str) -> ClientResult<WireReport> {
+        let resp = self.call(&Request::Report { id: id.to_string() })?;
+        wire_report(&resp)
+    }
+
+    /// The session's modelled energy totals.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn energy(&mut self, id: &str) -> ClientResult<EnergyReport> {
+        let resp = self.call(&Request::Energy { id: id.to_string() })?;
+        Ok(EnergyReport {
+            train_j: field(&resp, "train_j")?,
+            infer_j: field(&resp, "infer_j")?,
+            per_sample_j: field(&resp, "per_sample_j")?,
+        })
+    }
+
+    /// Serialises the session's full state; the returned bytes are a
+    /// [`snn_online::ModelSnapshot`] container.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn checkpoint(&mut self, id: &str) -> ClientResult<Vec<u8>> {
+        let resp = self.call(&Request::Checkpoint { id: id.to_string() })?;
+        Ok(hex_decode(
+            resp.get("data").ok_or(ClientError::Malformed("data"))?,
+        )?)
+    }
+
+    /// Opens a **new** session restored from snapshot bytes; returns the
+    /// restored stream position.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn restore(&mut self, id: &str, snapshot: &[u8]) -> ClientResult<u64> {
+        let resp = self.call(&Request::Restore {
+            id: id.to_string(),
+            snapshot: snapshot.to_vec(),
+        })?;
+        field(&resp, "samples")
+    }
+
+    /// Hot-swaps a **running** session onto snapshot bytes (same session
+    /// configuration required); returns the adopted stream position.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn swap(&mut self, id: &str, snapshot: &[u8]) -> ClientResult<u64> {
+        let resp = self.call(&Request::Swap {
+            id: id.to_string(),
+            snapshot: snapshot.to_vec(),
+        })?;
+        field(&resp, "samples")
+    }
+
+    /// Closes a session, returning its final report.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn close(&mut self, id: &str) -> ClientResult<WireReport> {
+        let resp = self.call(&Request::Close { id: id.to_string() })?;
+        wire_report(&resp)
+    }
+}
+
+fn wire_report(resp: &Response) -> ClientResult<WireReport> {
+    Ok(WireReport {
+        samples: field(resp, "samples")?,
+        accuracy: field(resp, "accuracy")?,
+        forgetting: field(resp, "forgetting")?,
+        drift_events: field(resp, "drifts")?,
+        spikes_per_sample: field(resp, "spikes_per_sample")?,
+    })
+}
+
+fn field<T: std::str::FromStr>(resp: &Response, key: &'static str) -> ClientResult<T> {
+    resp.get(key)
+        .ok_or(ClientError::Malformed(key))?
+        .parse::<T>()
+        .map_err(|_| ClientError::Malformed(key))
+}

@@ -1,0 +1,290 @@
+//! # snn-serve — multi-session serving layer over `snn-online`
+//!
+//! SpikeDyn (Putra & Shafique, DAC 2021) frames continual learning as an
+//! always-on capability; PR 2's `snn-online` made one learner durable,
+//! but still hosted exactly one `OnlineLearner` behind an in-process
+//! loop. This crate is the layer that makes the repro a *service*: a
+//! thread-per-connection TCP server (`std::net` only — this build
+//! environment has no crates.io) speaking a small line-delimited
+//! protocol, multiplexing **N independent learner sessions** behind
+//! session ids.
+//!
+//! ## What a session gets
+//!
+//! * **Admission control and backpressure** — a hard session cap and a
+//!   bounded per-session job queue that rejects (never buffers) overload;
+//!   see [`ServeLimits`] and `DESIGN.md` §8 for the exact rules.
+//! * **Cross-session micro-batching** — a tick scheduler drains every
+//!   ready session per tick and runs them in parallel over **one shared
+//!   warm `snn-runtime` replica pool**
+//!   ([`snn_runtime::Engine::from_network_shared`]), so the replica
+//!   working set is bounded by peak concurrency, not session count.
+//! * **Durability over the wire** — `checkpoint` streams out the full
+//!   [`snn_online::ModelSnapshot`]; `restore` opens a new session from
+//!   one; `swap` hot-swaps a *running* session onto one without
+//!   rebuilding its engine.
+//! * **Per-session accounting** — prequential accuracy/forgetting/drift
+//!   reports and `neuro-energy` op-meter totals priced on the server's
+//!   device model.
+//!
+//! ## Determinism over the wire
+//!
+//! Serving changes *where* a learner runs, not *what* it computes: a
+//! session fed a stream over TCP — however its ticks interleave with
+//! other sessions — produces bit-identical predictions and checkpoints
+//! to a single-process [`snn_online::OnlineLearner`] fed the same
+//! batches, and a session restored from a wire checkpoint finishes
+//! bit-identical to one that never paused. Pinned by this crate's tests
+//! and the workspace-level `tests/serve_sessions.rs`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer};
+//! use snn_data::SyntheticDigits;
+//!
+//! let server = SnnServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//!
+//! let spec = SessionSpec { n_exc: 6, n_input: 49, batch_size: 4, ..SessionSpec::default() };
+//! client.open("demo", spec).unwrap();
+//! let gen = SyntheticDigits::new(7);
+//! let batch: Vec<_> = (0..4).map(|i| gen.sample(i % 3, i.into()).downsample(4)).collect();
+//! let outcome = client.ingest("demo", &batch).unwrap();
+//! assert_eq!(outcome.predictions.len(), 4);
+//!
+//! let snapshot = client.checkpoint("demo").unwrap(); // full durable state
+//! client.restore("demo-2", &snapshot).unwrap();      // second live session
+//! client.close("demo").unwrap();
+//! client.close("demo-2").unwrap();
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientError, ClientResult, IngestOutcome, ServeClient, WireReport};
+pub use protocol::{ProtocolError, Request, Response, SessionSpec};
+pub use server::{ServerConfig, SnnServer};
+pub use session::{ServeError, ServeLimits, ServerStats, SessionManager};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_data::{Image, SyntheticDigits};
+    use spikedyn::Method;
+
+    fn tiny_spec(seed: u64) -> SessionSpec {
+        SessionSpec {
+            method: Method::SpikeDyn,
+            n_exc: 6,
+            n_input: 49,
+            n_classes: 4,
+            seed,
+            batch_size: 4,
+            assign_every: 8,
+            reservoir_capacity: 8,
+            metric_window: 8,
+            drift_window: 8,
+        }
+    }
+
+    fn stream(seed: u64, n: u64) -> Vec<Image> {
+        let gen = SyntheticDigits::new(seed);
+        (0..n)
+            .map(|i| gen.sample((i % 4) as u8, i).downsample(4))
+            .collect()
+    }
+
+    fn start_server(limits: ServeLimits) -> SnnServer {
+        SnnServer::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                limits,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind an ephemeral port")
+    }
+
+    #[test]
+    fn end_to_end_session_lifecycle_over_tcp() {
+        let server = start_server(ServeLimits::default());
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+
+        client.open("s1", tiny_spec(3)).unwrap();
+        let s = stream(3, 16);
+        let mut positions = Vec::new();
+        for chunk in s.chunks(4) {
+            let outcome = client.ingest("s1", chunk).unwrap();
+            assert_eq!(outcome.predictions.len(), 4);
+            positions.push(outcome.samples_seen);
+        }
+        assert_eq!(positions, vec![4, 8, 12, 16]);
+
+        let report = client.report("s1").unwrap();
+        assert_eq!(report.samples, 16);
+        assert!((0.0..=1.0).contains(&report.accuracy));
+        let energy = client.energy("s1").unwrap();
+        assert!(energy.train_j > 0.0 && energy.infer_j > 0.0);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.total_samples, 16);
+        assert!(stats.ticks >= 4, "each batch is at least one tick");
+
+        let closed = client.close("s1").unwrap();
+        assert_eq!(closed.samples, 16);
+        assert_eq!(client.stats().unwrap().sessions, 0);
+        assert_eq!(
+            client.report("s1").unwrap_err().server_code(),
+            Some("unknown-session")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn served_session_is_bit_identical_to_local_learner() {
+        let server = start_server(ServeLimits::default());
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.open("mirror", tiny_spec(9)).unwrap();
+        let mut local = snn_online::OnlineLearner::new(tiny_spec(9).online_config());
+        for chunk in stream(9, 16).chunks(4) {
+            let served = client.ingest("mirror", chunk).unwrap();
+            let local_preds = local.ingest_batch(chunk).unwrap();
+            assert_eq!(served.predictions, local_preds);
+        }
+        let wire_snapshot = client.checkpoint("mirror").unwrap();
+        assert_eq!(
+            wire_snapshot,
+            local.checkpoint().to_bytes(),
+            "wire checkpoint must equal the local learner's, byte for byte"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_and_input_validation_over_the_wire() {
+        let server = start_server(ServeLimits {
+            max_sessions: 1,
+            queue_capacity: 4,
+            max_batch: 8,
+        });
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.open("only", tiny_spec(1)).unwrap();
+        assert_eq!(
+            client.open("only", tiny_spec(1)).unwrap_err().server_code(),
+            Some("duplicate-session")
+        );
+        assert_eq!(
+            client.open("more", tiny_spec(2)).unwrap_err().server_code(),
+            Some("admission")
+        );
+        // Batch larger than max_batch.
+        assert_eq!(
+            client
+                .ingest("only", &stream(1, 9))
+                .unwrap_err()
+                .server_code(),
+            Some("bad-request")
+        );
+        // Wrong sample shape reaches the learner and comes back typed.
+        let native = SyntheticDigits::new(1).sample(0, 0); // 28×28, session expects 7×7
+        assert_eq!(
+            client.ingest("only", &[native]).unwrap_err().server_code(),
+            Some("learner")
+        );
+        // Garbage snapshots.
+        assert_eq!(
+            client.restore("r", &[1, 2, 3]).unwrap_err().server_code(),
+            Some("snapshot")
+        );
+        assert_eq!(
+            client.swap("only", &[9; 64]).unwrap_err().server_code(),
+            Some("snapshot")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request_not_disconnect() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = start_server(ServeLimits::default());
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        for line in ["nonsense\n", "open\n", "ingest id=x data=zz\n", "ping\n"] {
+            raw.write_all(line.as_bytes()).unwrap();
+            raw.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            if line == "ping\n" {
+                assert!(reply.starts_with("ok "), "got {reply:?}");
+            } else {
+                assert!(
+                    reply.starts_with("err code=bad-request"),
+                    "line {line:?} got {reply:?}"
+                );
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_final_line_is_never_dispatched() {
+        use std::io::Write;
+        let server = start_server(ServeLimits::default());
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.open("keep", tiny_spec(1)).unwrap();
+        // A dying client's partial `close` must not execute: without a
+        // trailing newline the request is dropped at EOF (a cut-short
+        // `close id=keep-x` would otherwise close the wrong session).
+        {
+            let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"close id=keep").unwrap(); // no newline, then RST/EOF
+            raw.flush().unwrap();
+        }
+        // Give the (now EOF'd) connection thread a moment to run.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(
+            client.stats().unwrap().sessions,
+            1,
+            "truncated close must not have executed"
+        );
+        client.close("keep").unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_server() {
+        let server = start_server(ServeLimits::default());
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let mut client = ServeClient::connect(addr).unwrap();
+                    let id = format!("c{s}");
+                    client.open(&id, tiny_spec(s)).unwrap();
+                    for chunk in stream(s, 12).chunks(4) {
+                        client.ingest(&id, chunk).unwrap();
+                    }
+                    let report = client.close(&id).unwrap();
+                    assert_eq!(report.samples, 12);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.sessions, 0);
+        assert_eq!(stats.total_samples, 48);
+        server.shutdown();
+    }
+}

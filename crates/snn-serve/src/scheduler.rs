@@ -1,0 +1,271 @@
+//! The tick scheduler: cross-session micro-batching over one warm pool.
+//!
+//! One scheduler thread loops on `SessionManager::take_work`. Each tick
+//! hands back every *ready* session (learner present, jobs queued) with
+//! its whole queue drained; the tick executes the sessions in parallel
+//! (`rayon`, one worker per session, each session's engine nesting its
+//! own per-batch fan-out inside that worker) while each session's own
+//! jobs run strictly in submission order. Requests from different
+//! sessions that arrive in the same tick therefore proceed concurrently
+//! over the one shared `snn-runtime` replica pool — the serving
+//! analogue of batching — without ever reordering a single session's
+//! stream.
+//!
+//! Parallel session execution cannot perturb results: every learner's
+//! randomness is derived from its own persisted counters and replicas are
+//! fully re-synced per sample (see `snn-runtime`'s shared-pool mode), so
+//! a session's outputs are bit-identical however its ticks interleave
+//! with other sessions'. The integration test pins this by comparing
+//! served sessions against single-process references.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use snn_online::{ModelSnapshot, OnlineLearner};
+
+use crate::session::{Envelope, Job, JobOutput, ServeError, SessionManager};
+
+/// One ready session checked out for a tick: its learner plus the drained
+/// job queue, executed in order.
+#[derive(Debug)]
+pub(crate) struct WorkUnit {
+    pub(crate) id: String,
+    pub(crate) learner: OnlineLearner,
+    pub(crate) jobs: Vec<Envelope>,
+}
+
+/// A processed unit handed back to the registry. `learner: None` means
+/// the session closed during the tick and must be removed; the close
+/// path's replies ride along in `deferred` and are sent only *after* the
+/// registry update, so a client that received its `close` reply can
+/// immediately reuse the id (close is linearizable).
+#[derive(Debug)]
+pub(crate) struct FinishedUnit {
+    pub(crate) id: String,
+    pub(crate) learner: Option<OnlineLearner>,
+    pub(crate) samples_delta: u64,
+    pub(crate) deferred: Vec<(
+        std::sync::mpsc::Sender<crate::session::JobResult>,
+        crate::session::JobResult,
+    )>,
+}
+
+/// Runs the scheduler loop until the manager shuts down and its queues
+/// have drained. Intended to own a dedicated thread.
+pub(crate) fn run(manager: Arc<SessionManager>) {
+    while let Some(units) = manager.take_work() {
+        // The vendored rayon exposes `par_iter` (by-ref) only, so ticks
+        // move their units through take-once slots.
+        let slots: Vec<Mutex<Option<WorkUnit>>> =
+            units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+        let finished: Vec<FinishedUnit> = slots
+            .par_iter()
+            .map(|slot| {
+                let unit = slot
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                execute_unit(unit, &manager)
+            })
+            .collect();
+        manager.finish(finished);
+    }
+}
+
+/// Executes one session's tick: every job in submission order, each reply
+/// sent as soon as its job completes. Jobs queued behind a `Close` are
+/// answered with [`ServeError::SessionClosing`].
+fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
+    let WorkUnit {
+        id,
+        mut learner,
+        jobs,
+    } = unit;
+    let mut closed = false;
+    let mut samples_delta = 0u64;
+    let mut deferred = Vec::new();
+    for Envelope { job, reply } in jobs {
+        if closed {
+            deferred.push((reply, Err(ServeError::SessionClosing(id.clone()))));
+            continue;
+        }
+        let result = match job {
+            Job::Ingest(images) => learner
+                .step(&images)
+                .map(|outcome| {
+                    samples_delta += images.len() as u64;
+                    JobOutput::Ingested(outcome)
+                })
+                .map_err(|e| ServeError::Learner(e.to_string())),
+            Job::Report => Ok(JobOutput::Report(learner.report())),
+            Job::Energy => Ok(JobOutput::Energy(learner.energy(manager.gpu()))),
+            Job::Checkpoint => Ok(JobOutput::Checkpoint(learner.checkpoint().to_bytes())),
+            Job::Swap(bytes) => ModelSnapshot::from_bytes(&bytes)
+                .map_err(|e| ServeError::Snapshot(e.to_string()))
+                .and_then(|snap| {
+                    learner
+                        .adopt(snap)
+                        .map_err(|e| ServeError::Snapshot(e.to_string()))
+                })
+                .map(|()| JobOutput::Swapped {
+                    samples_seen: learner.samples_seen(),
+                }),
+            Job::Close => {
+                closed = true;
+                // The reply must not be visible before the registry drops
+                // the session, or a client could race its own close.
+                deferred.push((reply, Ok(JobOutput::Closed(learner.report()))));
+                continue;
+            }
+        };
+        // A dropped receiver (client went away) is not an error worth
+        // tearing the session down for.
+        let _ = reply.send(result);
+    }
+    FinishedUnit {
+        id,
+        learner: (!closed).then_some(learner),
+        samples_delta,
+        deferred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SessionSpec;
+    use crate::session::{JobResult, ServeLimits};
+    use neuro_energy::GpuSpec;
+    use snn_data::SyntheticDigits;
+    use spikedyn::Method;
+    use std::sync::mpsc;
+
+    fn tiny_spec(seed: u64) -> SessionSpec {
+        SessionSpec {
+            method: Method::SpikeDyn,
+            n_exc: 6,
+            n_input: 49,
+            n_classes: 4,
+            seed,
+            batch_size: 4,
+            assign_every: 8,
+            reservoir_capacity: 8,
+            metric_window: 8,
+            drift_window: 8,
+        }
+    }
+
+    fn batch(seed: u64, n: u64) -> Vec<snn_data::Image> {
+        let gen = SyntheticDigits::new(seed);
+        (0..n)
+            .map(|i| gen.sample((i % 4) as u8, i).downsample(4))
+            .collect()
+    }
+
+    fn start(manager: &Arc<SessionManager>) -> std::thread::JoinHandle<()> {
+        let m = Arc::clone(manager);
+        std::thread::spawn(move || run(m))
+    }
+
+    fn roundtrip(manager: &SessionManager, id: &str, job: Job) -> JobResult {
+        let (tx, rx) = mpsc::channel();
+        manager.submit(id, job, tx).unwrap();
+        rx.recv().expect("scheduler replies to accepted jobs")
+    }
+
+    #[test]
+    fn concurrent_sessions_match_single_process_references() {
+        let manager = Arc::new(SessionManager::new(
+            ServeLimits::default(),
+            GpuSpec::gtx_1080_ti(),
+        ));
+        let scheduler = start(&manager);
+        // Three sessions with different seeds, interleaved submissions.
+        for s in 0..3u64 {
+            manager.open(&format!("s{s}"), &tiny_spec(s)).unwrap();
+        }
+        for round in 0..3usize {
+            for s in 0..3u64 {
+                let stream = batch(s, 12);
+                let out = roundtrip(
+                    &manager,
+                    &format!("s{s}"),
+                    Job::Ingest(stream[round * 4..(round + 1) * 4].to_vec()),
+                );
+                assert!(matches!(out, Ok(JobOutput::Ingested(_))));
+            }
+        }
+        // Each served session must equal a learner fed the same stream
+        // in one process, bit for bit.
+        for s in 0..3u64 {
+            let served = match roundtrip(&manager, &format!("s{s}"), Job::Checkpoint) {
+                Ok(JobOutput::Checkpoint(bytes)) => bytes,
+                other => panic!("unexpected {other:?}"),
+            };
+            let mut reference = OnlineLearner::new(tiny_spec(s).online_config());
+            for chunk in batch(s, 12).chunks(4) {
+                reference.ingest_batch(chunk).unwrap();
+            }
+            assert_eq!(served, reference.checkpoint().to_bytes(), "session s{s}");
+        }
+        manager.shutdown();
+        scheduler.join().unwrap();
+    }
+
+    #[test]
+    fn close_answers_trailing_jobs_and_removes_session() {
+        let manager = Arc::new(SessionManager::new(
+            ServeLimits::default(),
+            GpuSpec::gtx_1080_ti(),
+        ));
+        manager.open("a", &tiny_spec(1)).unwrap();
+        // Queue close + a trailing report before the scheduler runs, so
+        // both land in the same tick. (Submitting after close is already
+        // rejected; this covers the same-tick race.)
+        let (close_tx, close_rx) = mpsc::channel();
+        let (late_tx, late_rx) = mpsc::channel();
+        manager.submit("a", Job::Close, close_tx).unwrap();
+        // Force-queue behind the close by bypassing the closing check:
+        // build the envelope through a fresh session with the same queue…
+        // not possible from outside, so exercise the scheduler directly.
+        let units = manager.take_work().unwrap();
+        let mut unit = units.into_iter().next().unwrap();
+        unit.jobs.push(Envelope {
+            job: Job::Report,
+            reply: late_tx,
+        });
+        let finished = execute_unit(unit, &manager);
+        assert!(finished.learner.is_none(), "closed => learner dropped");
+        manager.finish(vec![finished]);
+        assert!(matches!(close_rx.recv().unwrap(), Ok(JobOutput::Closed(_))));
+        assert!(matches!(
+            late_rx.recv().unwrap(),
+            Err(ServeError::SessionClosing(_))
+        ));
+        assert_eq!(manager.stats().sessions, 0);
+    }
+
+    #[test]
+    fn swap_rejects_garbage_and_keeps_serving() {
+        let manager = Arc::new(SessionManager::new(
+            ServeLimits::default(),
+            GpuSpec::gtx_1080_ti(),
+        ));
+        let scheduler = start(&manager);
+        manager.open("a", &tiny_spec(1)).unwrap();
+        assert!(matches!(
+            roundtrip(&manager, "a", Job::Swap(vec![1, 2, 3])),
+            Err(ServeError::Snapshot(_))
+        ));
+        // The session survives the bad swap.
+        assert!(matches!(
+            roundtrip(&manager, "a", Job::Ingest(batch(1, 4))),
+            Ok(JobOutput::Ingested(_))
+        ));
+        manager.shutdown();
+        scheduler.join().unwrap();
+    }
+}

@@ -1,0 +1,288 @@
+//! The TCP front end: thread-per-connection line server.
+//!
+//! [`SnnServer::start`] binds a listener and spawns two long-lived
+//! threads — the accept loop and the tick scheduler
+//! ([`crate::scheduler`]). Each accepted connection gets its own thread
+//! that reads requests line by line, dispatches them against the shared
+//! [`SessionManager`], and writes one response line per request, in
+//! order. Connection threads hold no session state: a client may spread
+//! one session's requests over several connections or multiplex several
+//! sessions on one connection, and ordering is still per-session FIFO
+//! (the registry queues are the only ordering authority).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use neuro_energy::GpuSpec;
+
+use crate::protocol::{
+    encode_predictions, format_response, hex_encode, parse_request, Request, Response,
+    MAX_LINE_BYTES,
+};
+use crate::scheduler;
+use crate::session::{Job, JobOutput, JobResult, ServeError, ServeLimits, SessionManager};
+
+/// Everything configurable about a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission and queueing limits.
+    pub limits: ServeLimits,
+    /// Device model used to price per-session energy reports.
+    pub gpu: GpuSpec,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            limits: ServeLimits::default(),
+            gpu: GpuSpec::gtx_1080_ti(),
+        }
+    }
+}
+
+/// A running multi-session serving instance. Shuts down (and joins its
+/// accept + scheduler threads) on [`SnnServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct SnnServer {
+    addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+}
+
+impl SnnServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn start(addr: &str, config: ServerConfig) -> io::Result<SnnServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let manager = Arc::new(SessionManager::new(config.limits, config.gpu));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let scheduler_thread = {
+            let manager = Arc::clone(&manager);
+            std::thread::spawn(move || scheduler::run(manager))
+        };
+        let accept_thread = {
+            let manager = Arc::clone(&manager);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, manager, stop))
+        };
+        Ok(SnnServer {
+            addr,
+            manager,
+            stop,
+            accept_thread: Some(accept_thread),
+            scheduler_thread: Some(scheduler_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server-wide counters.
+    pub fn stats(&self) -> crate::session::ServerStats {
+        self.manager.stats()
+    }
+
+    /// Stops accepting connections, drains queued work, and joins the
+    /// server threads. Connections still open keep their sockets but all
+    /// further requests are answered with `err code=shutdown`.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.manager.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SnnServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, manager: Arc<SessionManager>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is nonblocking (so shutdown can interrupt
+                // accept); connections must block on reads.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let manager = Arc::clone(&manager);
+                // Connection threads are detached: they exit on client
+                // disconnect, and post-shutdown requests get error
+                // responses because the registry rejects them.
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &manager);
+                });
+            }
+            // Accept errors are all transient from this loop's point of
+            // view (WouldBlock on an idle listener, ECONNABORTED from a
+            // client resetting mid-handshake, EMFILE under fd pressure):
+            // back off and keep serving — only the stop flag ends the
+            // loop. Exiting here would silently stop accepting while the
+            // rest of the server looks healthy.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Serves one connection until EOF or an unrecoverable socket error.
+fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        let n = (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // client closed the connection
+        }
+        if !line.ends_with('\n') {
+            // The line is incomplete: either it hit the size cap, or the
+            // client died mid-send and this is the truncated tail before
+            // EOF. Never dispatch a truncated line — a cut-short
+            // `close id=session-10` parses as `close id=session-1`.
+            if n as u64 == MAX_LINE_BYTES {
+                write_response(
+                    &mut writer,
+                    &Response::error("bad-request", "line exceeds the protocol size limit"),
+                )?;
+            }
+            return Ok(());
+        }
+        let response = match parse_request(&line) {
+            Ok(request) => dispatch(request, manager),
+            Err(e) => Response::error("bad-request", e.to_string()),
+        };
+        write_response(&mut writer, &response)?;
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut wire = format_response(response);
+    wire.push('\n');
+    writer.write_all(wire.as_bytes())?;
+    writer.flush()
+}
+
+/// Executes one request to completion (for session jobs: submit, then
+/// block this connection thread on the reply channel).
+fn dispatch(request: Request, manager: &SessionManager) -> Response {
+    match request {
+        Request::Ping => Response::ok([("pong", "1")]),
+        Request::Stats => {
+            let s = manager.stats();
+            Response::ok([
+                ("sessions", s.sessions.to_string()),
+                ("max_sessions", s.max_sessions.to_string()),
+                ("queued_jobs", s.queued_jobs.to_string()),
+                ("ticks", s.ticks.to_string()),
+                ("total_samples", s.total_samples.to_string()),
+            ])
+        }
+        Request::Open { id, spec } => match manager.open(&id, &spec) {
+            Ok(()) => Response::ok([("id", id)]),
+            Err(e) => error_response(&e),
+        },
+        Request::Restore { id, snapshot } => match manager.open_restored(&id, &snapshot) {
+            Ok(samples) => Response::ok([("id", id), ("samples", samples.to_string())]),
+            Err(e) => error_response(&e),
+        },
+        Request::Ingest { id, images } => {
+            if images.len() > manager.limits().max_batch {
+                return error_response(&ServeError::BadRequest(format!(
+                    "batch of {} exceeds max_batch {}",
+                    images.len(),
+                    manager.limits().max_batch
+                )));
+            }
+            roundtrip(manager, &id, Job::Ingest(images))
+        }
+        Request::Report { id } => roundtrip(manager, &id, Job::Report),
+        Request::Energy { id } => roundtrip(manager, &id, Job::Energy),
+        Request::Checkpoint { id } => roundtrip(manager, &id, Job::Checkpoint),
+        Request::Swap { id, snapshot } => roundtrip(manager, &id, Job::Swap(snapshot)),
+        Request::Close { id } => roundtrip(manager, &id, Job::Close),
+    }
+}
+
+fn roundtrip(manager: &SessionManager, id: &str, job: Job) -> Response {
+    let (tx, rx) = mpsc::channel();
+    if let Err(e) = manager.submit(id, job, tx) {
+        return error_response(&e);
+    }
+    match rx.recv() {
+        Ok(result) => job_response(id, result),
+        // The scheduler dropped the sender: only possible on shutdown.
+        Err(_) => error_response(&ServeError::Shutdown),
+    }
+}
+
+fn error_response(e: &ServeError) -> Response {
+    Response::error(e.code(), e.to_string())
+}
+
+fn job_response(id: &str, result: JobResult) -> Response {
+    let output = match result {
+        Ok(output) => output,
+        Err(e) => return error_response(&e),
+    };
+    match output {
+        JobOutput::Ingested(outcome) => Response::ok([
+            ("id", id.to_string()),
+            ("predictions", encode_predictions(&outcome.predictions)),
+            ("drifts", outcome.drift_events.len().to_string()),
+            (
+                "response_active",
+                u8::from(outcome.response_active).to_string(),
+            ),
+            ("samples", outcome.samples_seen.to_string()),
+        ]),
+        JobOutput::Report(report) | JobOutput::Closed(report) => Response::ok([
+            ("id", id.to_string()),
+            ("samples", report.samples_seen.to_string()),
+            ("accuracy", report.accuracy.to_string()),
+            ("forgetting", report.mean_forgetting.to_string()),
+            ("drifts", report.drift_events.len().to_string()),
+            ("spikes_per_sample", report.mean_exc_spikes.to_string()),
+        ]),
+        JobOutput::Energy(energy) => Response::ok([
+            ("id", id.to_string()),
+            ("train_j", energy.train_j.to_string()),
+            ("infer_j", energy.infer_j.to_string()),
+            ("per_sample_j", energy.per_sample_j.to_string()),
+        ]),
+        JobOutput::Checkpoint(bytes) => {
+            Response::ok([("id", id.to_string()), ("data", hex_encode(&bytes))])
+        }
+        JobOutput::Swapped { samples_seen } => Response::ok([
+            ("id", id.to_string()),
+            ("samples", samples_seen.to_string()),
+        ]),
+    }
+}

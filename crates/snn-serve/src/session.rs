@@ -1,0 +1,657 @@
+//! Session registry: admission control, bounded per-session queues, and
+//! the hand-off point between connection threads and the scheduler.
+//!
+//! The [`SessionManager`] owns every session's [`OnlineLearner`] plus a
+//! bounded FIFO of pending jobs. Connection threads *submit* jobs and
+//! block on a reply channel; the scheduler *takes* every ready session's
+//! drained queue as one tick of work (`SessionManager::take_work`),
+//! executes ticks cross-session in parallel, and returns learners via
+//! `SessionManager::finish`. A session whose learner is checked out is
+//! simply not ready — its queue keeps absorbing jobs (up to the bound)
+//! and is picked up next tick, so per-session FIFO order is preserved
+//! while different sessions proceed concurrently.
+//!
+//! ## Admission and backpressure rules
+//!
+//! * `open`/`restore` are rejected with [`ServeError::Admission`] once
+//!   `max_sessions` sessions exist (closing sessions count until fully
+//!   removed), and with [`ServeError::DuplicateSession`] on id reuse.
+//! * Each session's queue holds at most `queue_capacity` jobs; a submit
+//!   against a full queue fails *immediately* with
+//!   [`ServeError::Backpressure`] — the server never buffers unboundedly
+//!   and never blocks a connection thread on another session's work.
+//! * After a `close` is accepted the session stops admitting jobs
+//!   ([`ServeError::SessionClosing`]); jobs already queued behind the
+//!   close are answered with the same error.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+use neuro_energy::GpuSpec;
+use snn_data::Image;
+use snn_online::{EnergyReport, ModelSnapshot, OnlineLearner, OnlineReport, StepOutcome};
+use snn_runtime::{PoolHandle, ReplicaPool};
+
+use crate::protocol::SessionSpec;
+use crate::scheduler::{FinishedUnit, WorkUnit};
+
+/// Admission and queueing limits of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Maximum queued jobs per session (backpressure bound).
+    pub queue_capacity: usize,
+    /// Maximum samples per `ingest` request.
+    pub max_batch: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_sessions: 32,
+            queue_capacity: 8,
+            max_batch: 256,
+        }
+    }
+}
+
+/// Server-wide counters, as returned by the `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Currently open sessions (including ones draining towards close).
+    pub sessions: usize,
+    /// Admission limit.
+    pub max_sessions: usize,
+    /// Jobs queued across all sessions right now.
+    pub queued_jobs: usize,
+    /// Scheduler ticks run so far (one tick = one cross-session batch).
+    pub ticks: u64,
+    /// Stream samples ingested across all sessions.
+    pub total_samples: u64,
+}
+
+/// Everything that can go wrong serving a request, with a stable wire
+/// code per variant ([`ServeError::code`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is at its session limit.
+    Admission {
+        /// Open sessions.
+        active: usize,
+        /// The limit.
+        max: usize,
+    },
+    /// The session id is already in use.
+    DuplicateSession(String),
+    /// No session with this id exists.
+    UnknownSession(String),
+    /// The session's job queue is full.
+    Backpressure {
+        /// Jobs pending.
+        depth: usize,
+        /// The queue bound.
+        capacity: usize,
+    },
+    /// The session has a close pending and admits no further jobs.
+    SessionClosing(String),
+    /// The request was structurally valid but semantically unacceptable.
+    BadRequest(String),
+    /// A snapshot payload failed to decode or validate.
+    Snapshot(String),
+    /// The learner rejected the operation (for example a sample whose
+    /// pixel count does not match the session's input layer).
+    Learner(String),
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl ServeError {
+    /// The stable machine-readable code carried on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Admission { .. } => "admission",
+            ServeError::DuplicateSession(_) => "duplicate-session",
+            ServeError::UnknownSession(_) => "unknown-session",
+            ServeError::Backpressure { .. } => "backpressure",
+            ServeError::SessionClosing(_) => "session-closing",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::Snapshot(_) => "snapshot",
+            ServeError::Learner(_) => "learner",
+            ServeError::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Admission { active, max } => {
+                write!(f, "session limit reached ({active}/{max})")
+            }
+            ServeError::DuplicateSession(id) => write!(f, "session {id} already exists"),
+            ServeError::UnknownSession(id) => write!(f, "no session {id}"),
+            ServeError::Backpressure { depth, capacity } => {
+                write!(f, "session queue full ({depth}/{capacity} pending)")
+            }
+            ServeError::SessionClosing(id) => write!(f, "session {id} is closing"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
+            ServeError::Learner(msg) => write!(f, "learner error: {msg}"),
+            ServeError::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One queued unit of session work.
+#[derive(Debug)]
+pub(crate) enum Job {
+    /// Feed a micro-batch.
+    Ingest(Vec<Image>),
+    /// Current prequential report.
+    Report,
+    /// Modelled energy totals.
+    Energy,
+    /// Serialise the session state.
+    Checkpoint,
+    /// Hot-swap onto a snapshot.
+    Swap(Vec<u8>),
+    /// Final report, then remove the session.
+    Close,
+}
+
+/// What a successfully executed [`Job`] produced.
+#[derive(Debug)]
+pub(crate) enum JobOutput {
+    /// Outcome of an ingest step.
+    Ingested(StepOutcome),
+    /// A prequential report.
+    Report(OnlineReport),
+    /// Energy totals.
+    Energy(EnergyReport),
+    /// Serialised snapshot bytes.
+    Checkpoint(Vec<u8>),
+    /// The swap took effect; the session now sits at this stream position.
+    Swapped {
+        /// Samples seen by the adopted state.
+        samples_seen: u64,
+    },
+    /// The session's final report.
+    Closed(OnlineReport),
+}
+
+pub(crate) type JobResult = Result<JobOutput, ServeError>;
+
+/// A job plus the channel its reply goes out on.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub(crate) job: Job,
+    pub(crate) reply: mpsc::Sender<JobResult>,
+}
+
+/// Bounds a wire-supplied session spec before any construction happens:
+/// `OnlineLearner::new` asserts on zero-valued knobs (a panic would kill
+/// the connection thread with no response), and unchecked sizes would let
+/// one hostile `open` drive network allocation to OOM before admission.
+fn validate_spec(spec: &SessionSpec) -> Result<(), ServeError> {
+    let checks = [
+        ("n_exc", spec.n_exc >= 1 && spec.n_exc <= 1 << 14),
+        ("n_input", spec.n_input >= 1 && spec.n_input <= 1 << 16),
+        ("n_classes", spec.n_classes >= 1 && spec.n_classes <= 256),
+        ("batch", spec.batch_size >= 1 && spec.batch_size <= 1 << 16),
+        ("assign_every", spec.assign_every >= 1),
+        // The per-field caps alone still admit a 2^14 × 2^16 weight
+        // matrix (4 GiB); the product cap bounds the whole network to
+        // ≤ 16M synapses (64 MiB) before anything is allocated.
+        (
+            "n_exc*n_input",
+            spec.n_exc.saturating_mul(spec.n_input) <= 1 << 24,
+        ),
+        (
+            "reservoir",
+            spec.reservoir_capacity >= 1 && spec.reservoir_capacity <= 1 << 16,
+        ),
+        (
+            "metric_window",
+            spec.metric_window >= 1 && spec.metric_window <= 1 << 20,
+        ),
+        (
+            "drift_window",
+            spec.drift_window >= 1 && spec.drift_window <= 1 << 20,
+        ),
+    ];
+    for (name, ok) in checks {
+        if !ok {
+            return Err(ServeError::BadRequest(format!(
+                "session spec field {name} is zero or out of range"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct SessionEntry {
+    /// `None` while the scheduler has the learner checked out.
+    learner: Option<OnlineLearner>,
+    queue: VecDeque<Envelope>,
+    closing: bool,
+}
+
+#[derive(Debug)]
+struct Registry {
+    sessions: HashMap<String, SessionEntry>,
+    shutdown: bool,
+    ticks: u64,
+    total_samples: u64,
+}
+
+/// The shared session registry. See the module docs for the rules.
+#[derive(Debug)]
+pub struct SessionManager {
+    state: Mutex<Registry>,
+    work_ready: Condvar,
+    pool: PoolHandle,
+    limits: ServeLimits,
+    gpu: GpuSpec,
+}
+
+impl SessionManager {
+    /// Creates an empty registry with one shared replica pool.
+    pub fn new(limits: ServeLimits, gpu: GpuSpec) -> Self {
+        SessionManager {
+            state: Mutex::new(Registry {
+                sessions: HashMap::new(),
+                shutdown: false,
+                ticks: 0,
+                total_samples: 0,
+            }),
+            work_ready: Condvar::new(),
+            // Bounded to peak concurrent demand: a tick runs up to
+            // `cores` sessions in parallel and each session's engine
+            // fans its batch out over up to `cores` workers (the
+            // vendored rayon spawns scoped threads per call — the
+            // fan-outs nest rather than share), so ~cores² replicas can
+            // be live at once. The clamp keeps the idle working set from
+            // growing with session or stale-architecture count over the
+            // server's lifetime; under oversubscription beyond the cap,
+            // restores drop and later batches re-clone (bounded memory
+            // over clone avoidance).
+            pool: std::sync::Arc::new(ReplicaPool::with_capacity(
+                rayon::current_num_threads()
+                    .saturating_mul(rayon::current_num_threads())
+                    .clamp(8, 128),
+            )),
+            limits,
+            gpu,
+        }
+    }
+
+    /// The manager's limits.
+    pub fn limits(&self) -> &ServeLimits {
+        &self.limits
+    }
+
+    pub(crate) fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Opens a fresh session. The learner is built *outside* the registry
+    /// lock (network init is the expensive part); admission is enforced
+    /// atomically at insert.
+    pub(crate) fn open(&self, id: &str, spec: &SessionSpec) -> Result<(), ServeError> {
+        validate_spec(spec)?;
+        let learner =
+            OnlineLearner::with_pool(spec.online_config(), std::sync::Arc::clone(&self.pool));
+        self.insert(id, learner)
+    }
+
+    /// Opens a new session restored from snapshot bytes.
+    pub(crate) fn open_restored(&self, id: &str, snapshot: &[u8]) -> Result<u64, ServeError> {
+        let snap =
+            ModelSnapshot::from_bytes(snapshot).map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let learner = OnlineLearner::resume_with_pool(snap, std::sync::Arc::clone(&self.pool))
+            .map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let samples = learner.samples_seen();
+        self.insert(id, learner)?;
+        Ok(samples)
+    }
+
+    fn insert(&self, id: &str, learner: OnlineLearner) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("session registry poisoned");
+        if state.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        if state.sessions.contains_key(id) {
+            return Err(ServeError::DuplicateSession(id.to_string()));
+        }
+        if state.sessions.len() >= self.limits.max_sessions {
+            return Err(ServeError::Admission {
+                active: state.sessions.len(),
+                max: self.limits.max_sessions,
+            });
+        }
+        state.sessions.insert(
+            id.to_string(),
+            SessionEntry {
+                learner: Some(learner),
+                queue: VecDeque::new(),
+                closing: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Queues a job on a session, enforcing the backpressure bound. A
+    /// `Close` job flips the session into its closing state.
+    pub(crate) fn submit(
+        &self,
+        id: &str,
+        job: Job,
+        reply: mpsc::Sender<JobResult>,
+    ) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("session registry poisoned");
+        if state.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        let entry = state
+            .sessions
+            .get_mut(id)
+            .ok_or_else(|| ServeError::UnknownSession(id.to_string()))?;
+        if entry.closing {
+            return Err(ServeError::SessionClosing(id.to_string()));
+        }
+        if entry.queue.len() >= self.limits.queue_capacity {
+            return Err(ServeError::Backpressure {
+                depth: entry.queue.len(),
+                capacity: self.limits.queue_capacity,
+            });
+        }
+        if matches!(job, Job::Close) {
+            entry.closing = true;
+        }
+        entry.queue.push_back(Envelope { job, reply });
+        drop(state);
+        self.work_ready.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until at least one session is ready (learner present and
+    /// queue non-empty), then drains **every** ready session's queue as
+    /// one tick of work. Returns `None` only at shutdown with no work
+    /// left, so pending jobs always drain before the scheduler exits.
+    pub(crate) fn take_work(&self) -> Option<Vec<WorkUnit>> {
+        let mut state = self.state.lock().expect("session registry poisoned");
+        loop {
+            let mut units = Vec::new();
+            for (id, entry) in state.sessions.iter_mut() {
+                if entry.learner.is_some() && !entry.queue.is_empty() {
+                    units.push(WorkUnit {
+                        id: id.clone(),
+                        learner: entry.learner.take().expect("checked is_some"),
+                        jobs: entry.queue.drain(..).collect(),
+                    });
+                }
+            }
+            if !units.is_empty() {
+                state.ticks += 1;
+                // Deterministic processing order for logs/tests (HashMap
+                // iteration order is arbitrary).
+                units.sort_by(|a, b| a.id.cmp(&b.id));
+                return Some(units);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .work_ready
+                .wait(state)
+                .expect("session registry poisoned");
+        }
+    }
+
+    /// Returns learners after a tick, removes closed sessions (answering
+    /// any jobs that raced in behind the close), and wakes the scheduler
+    /// if queues refilled while their learners were checked out.
+    pub(crate) fn finish(&self, finished: Vec<FinishedUnit>) {
+        let mut deferred = Vec::new();
+        let mut state = self.state.lock().expect("session registry poisoned");
+        for unit in finished {
+            state.total_samples += unit.samples_delta;
+            match unit.learner {
+                Some(learner) => {
+                    if let Some(entry) = state.sessions.get_mut(&unit.id) {
+                        entry.learner = Some(learner);
+                    }
+                }
+                None => {
+                    if let Some(entry) = state.sessions.remove(&unit.id) {
+                        for envelope in entry.queue {
+                            deferred.push((
+                                envelope.reply,
+                                Err(ServeError::SessionClosing(unit.id.clone())),
+                            ));
+                        }
+                    }
+                }
+            }
+            deferred.extend(unit.deferred);
+        }
+        drop(state);
+        // Close-path replies go out only now, after the registry update:
+        // a client holding its `close` reply can reuse the id at once.
+        for (reply, result) in deferred {
+            let _ = reply.send(result);
+        }
+        self.work_ready.notify_all();
+    }
+
+    /// Current server-wide counters.
+    pub fn stats(&self) -> ServerStats {
+        let state = self.state.lock().expect("session registry poisoned");
+        ServerStats {
+            sessions: state.sessions.len(),
+            max_sessions: self.limits.max_sessions,
+            queued_jobs: state.sessions.values().map(|e| e.queue.len()).sum(),
+            ticks: state.ticks,
+            total_samples: state.total_samples,
+        }
+    }
+
+    /// Flags shutdown: further opens/submits are rejected, and the
+    /// scheduler exits once the remaining queued work has drained.
+    pub fn shutdown(&self) {
+        self.state
+            .lock()
+            .expect("session registry poisoned")
+            .shutdown = true;
+        self.work_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikedyn::Method;
+
+    fn tiny_spec() -> SessionSpec {
+        SessionSpec {
+            method: Method::SpikeDyn,
+            n_exc: 6,
+            n_input: 49,
+            n_classes: 4,
+            seed: 1,
+            batch_size: 4,
+            assign_every: 8,
+            reservoir_capacity: 8,
+            metric_window: 8,
+            drift_window: 8,
+        }
+    }
+
+    fn manager(max_sessions: usize, queue_capacity: usize) -> SessionManager {
+        SessionManager::new(
+            ServeLimits {
+                max_sessions,
+                queue_capacity,
+                max_batch: 64,
+            },
+            GpuSpec::gtx_1080_ti(),
+        )
+    }
+
+    #[test]
+    fn admission_enforced_at_the_limit() {
+        let m = manager(2, 4);
+        m.open("a", &tiny_spec()).unwrap();
+        m.open("b", &tiny_spec()).unwrap();
+        assert!(matches!(
+            m.open("c", &tiny_spec()),
+            Err(ServeError::Admission { active: 2, max: 2 })
+        ));
+        assert!(matches!(
+            m.open("a", &tiny_spec()),
+            Err(ServeError::DuplicateSession(_))
+        ));
+        assert_eq!(m.stats().sessions, 2);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_is_full() {
+        let m = manager(4, 2);
+        m.open("a", &tiny_spec()).unwrap();
+        let (tx, _rx) = mpsc::channel();
+        m.submit("a", Job::Report, tx.clone()).unwrap();
+        m.submit("a", Job::Report, tx.clone()).unwrap();
+        assert!(matches!(
+            m.submit("a", Job::Report, tx.clone()),
+            Err(ServeError::Backpressure {
+                depth: 2,
+                capacity: 2
+            })
+        ));
+        assert!(matches!(
+            m.submit("ghost", Job::Report, tx),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert_eq!(m.stats().queued_jobs, 2);
+    }
+
+    #[test]
+    fn closing_session_admits_no_further_jobs() {
+        let m = manager(4, 4);
+        m.open("a", &tiny_spec()).unwrap();
+        let (tx, _rx) = mpsc::channel();
+        m.submit("a", Job::Close, tx.clone()).unwrap();
+        assert!(matches!(
+            m.submit("a", Job::Report, tx),
+            Err(ServeError::SessionClosing(_))
+        ));
+    }
+
+    #[test]
+    fn take_work_drains_every_ready_session_in_one_tick() {
+        let m = manager(4, 4);
+        m.open("a", &tiny_spec()).unwrap();
+        m.open("b", &tiny_spec()).unwrap();
+        let (tx, _rx) = mpsc::channel();
+        m.submit("a", Job::Report, tx.clone()).unwrap();
+        m.submit("b", Job::Report, tx.clone()).unwrap();
+        m.submit("b", Job::Checkpoint, tx).unwrap();
+        let units = m.take_work().unwrap();
+        assert_eq!(units.len(), 2, "both sessions in one tick");
+        assert_eq!(units[0].id, "a");
+        assert_eq!(units[1].id, "b");
+        assert_eq!(units[1].jobs.len(), 2, "whole queue drained");
+        assert_eq!(m.stats().queued_jobs, 0);
+        assert_eq!(m.stats().ticks, 1);
+    }
+
+    #[test]
+    fn shutdown_unblocks_take_work_after_draining() {
+        let m = std::sync::Arc::new(manager(2, 4));
+        m.open("a", &tiny_spec()).unwrap();
+        let (tx, _rx) = mpsc::channel();
+        m.submit("a", Job::Report, tx).unwrap();
+        m.shutdown();
+        // Pending work still comes out...
+        let units = m.take_work().unwrap();
+        assert_eq!(units.len(), 1);
+        // ...then the queue reports empty-and-done. (The learner is still
+        // checked out, so nothing is ready either way.)
+        assert!(m.take_work().is_none());
+        assert!(matches!(
+            m.open("b", &tiny_spec()),
+            Err(ServeError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn hostile_specs_are_rejected_not_panicked() {
+        // Zero-valued knobs would trip OnlineLearner's asserts; oversized
+        // dimensions would allocate before admission. Both must come back
+        // as bad-request errors.
+        let m = manager(4, 4);
+        let cases: Vec<SessionSpec> = vec![
+            SessionSpec {
+                batch_size: 0,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                reservoir_capacity: 0,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                assign_every: 0,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                metric_window: 0,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                drift_window: 0,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                n_exc: 4_000_000_000,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                n_input: 4_000_000_000,
+                ..tiny_spec()
+            },
+            SessionSpec {
+                n_classes: 0,
+                ..tiny_spec()
+            },
+            // Each dimension inside its cap, product catastrophically big.
+            SessionSpec {
+                n_exc: 1 << 14,
+                n_input: 1 << 16,
+                ..tiny_spec()
+            },
+        ];
+        for spec in cases {
+            assert!(
+                matches!(m.open("h", &spec), Err(ServeError::BadRequest(_))),
+                "spec must be rejected: {spec:?}"
+            );
+        }
+        assert_eq!(m.stats().sessions, 0);
+    }
+
+    #[test]
+    fn rejected_open_does_not_leak_snapshot_sessions() {
+        let m = manager(1, 4);
+        m.open("a", &tiny_spec()).unwrap();
+        assert!(matches!(
+            m.open_restored("b", &[1, 2, 3]),
+            Err(ServeError::Snapshot(_))
+        ));
+        assert_eq!(m.stats().sessions, 1);
+    }
+}

@@ -1,5 +1,5 @@
 //! Hyperparameter tuning harness for SpikeDyn (dev tool).
-//! Args: theta_plus eta_post tau_decay t_step [g_inh]
+//! Args: `theta_plus eta_post tau_decay t_step [g_inh]`
 use snn_core::config::PresentConfig;
 use snn_core::metrics::ConfusionMatrix;
 use snn_core::network::Snn;

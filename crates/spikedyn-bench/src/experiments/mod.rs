@@ -9,6 +9,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod online;
+pub mod serve;
 pub mod table01;
 pub mod table02;
 

@@ -18,8 +18,10 @@
 //! | Table II processing time | [`experiments::table02`] | `table02_time` |
 //! | Ablations (design choices) | [`experiments::ablations`] | `ablations` |
 //! | Online drift scenarios (beyond the paper) | [`experiments::online`] | `online` (`--fast` for the smoke profile) |
+//! | Multi-session serving load (beyond the paper) | [`experiments::serve`] | `serve` (`--fast` for the smoke profile) |
 //!
-//! `run_all` executes everything in sequence.
+//! `run_all` executes everything in sequence (the serve entry at its
+//! smoke profile).
 //!
 //! ## Scale
 //!

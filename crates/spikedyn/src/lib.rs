@@ -10,7 +10,7 @@
 //!   inhibitory layer of prior work is replaced by direct lateral
 //!   inhibition, eliminating an entire population's parameters and
 //!   per-step dynamics.
-//! * [`search`] — **memory- and energy-aware model search** (§III-C,
+//! * [`search`](mod@search) — **memory- and energy-aware model search** (§III-C,
 //!   Alg. 1): candidate sizes are screened with analytical models —
 //!   `mem = (Pw + Pn) · BP` and `E = E1 · N` from a single-sample probe —
 //!   instead of full training runs.

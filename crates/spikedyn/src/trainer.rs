@@ -298,6 +298,21 @@ impl Trainer {
         )
     }
 
+    /// Like [`Trainer::engine`], but drawing replicas from a pool shared
+    /// with other engines (see [`snn_runtime::Engine::from_network_shared`]).
+    /// The multi-session serving layer uses this so concurrent learners
+    /// share one warm replica working set; results are bit-identical to a
+    /// private-pool engine.
+    pub fn engine_with_pool(&self, pool: snn_runtime::PoolHandle) -> Engine {
+        Engine::from_network_shared(
+            self.net.clone(),
+            self.infer_present,
+            self.encoder.max_rate_hz(),
+            self.method.infer_theta_scale(),
+            pool,
+        )
+    }
+
     /// The temporal compression the trainer was built with.
     pub fn time_compression(&self) -> f32 {
         self.time_compression

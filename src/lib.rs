@@ -8,7 +8,9 @@
 //! * [`baselines`](snn_baselines) — Diehl & Cook and ASP comparison partners,
 //! * [`energy`](neuro_energy) — GPU cost models and the paper's analytical estimators,
 //! * [`runtime`](snn_runtime) — the batched, sample-parallel execution engine,
-//! * [`spikedyn`] — the paper's contribution: architecture, Alg. 1 search, Alg. 2 learning.
+//! * [`spikedyn`] — the paper's contribution: architecture, Alg. 1 search, Alg. 2 learning,
+//! * [`online`](snn_online) — the streaming continual learner with durable checkpoints,
+//! * [`serve`](snn_serve) — the multi-session TCP serving layer over `snn-online`.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -18,5 +20,7 @@ pub use neuro_energy;
 pub use snn_baselines;
 pub use snn_core;
 pub use snn_data;
+pub use snn_online;
 pub use snn_runtime;
+pub use snn_serve;
 pub use spikedyn;

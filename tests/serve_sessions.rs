@@ -1,0 +1,161 @@
+//! Workspace-level guarantees of the `snn-serve` layer:
+//!
+//! * **Concurrent multi-session serving**: ≥4 sessions, each training on
+//!   a *different* `snn_data::scenario` drift stream, drive one server
+//!   over TCP at the same time.
+//! * **Checkpoint/restore over the wire extends the PR 2 determinism
+//!   contract**: a session checkpointed mid-stream through the protocol
+//!   and restored into a new session finishes bit-identical to a session
+//!   that never paused — same predictions, same final wire checkpoint.
+//! * **Hot model swap over the wire**: a running session adopted onto a
+//!   received snapshot continues exactly as the snapshot's source.
+
+use snn_data::{Image, Scenario, SyntheticDigits};
+use snn_serve::{ServeClient, ServeLimits, ServerConfig, SessionSpec, SnnServer};
+use spikedyn::Method;
+
+/// A tiny 7×7-input serving profile so four concurrent streams stay fast.
+fn tiny_spec(seed: u64) -> SessionSpec {
+    SessionSpec {
+        method: Method::SpikeDyn,
+        n_exc: 8,
+        n_input: 49,
+        n_classes: 10,
+        seed,
+        batch_size: 4,
+        assign_every: 8,
+        reservoir_capacity: 12,
+        metric_window: 12,
+        drift_window: 8,
+    }
+}
+
+/// The scenario's deterministic stream, downsampled onto the 7×7 profile.
+fn scenario_stream(scenario: Scenario, seed: u64, total: u64) -> Vec<Image> {
+    let gen = SyntheticDigits::new(seed);
+    let classes: Vec<u8> = (0..10).collect();
+    scenario
+        .stream(&gen, &classes, total, seed, 0)
+        .into_iter()
+        .map(|img| img.downsample(4))
+        .collect()
+}
+
+#[test]
+fn four_concurrent_sessions_checkpoint_restore_bit_identical() {
+    let server = SnnServer::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            limits: ServeLimits {
+                max_sessions: 16,
+                ..ServeLimits::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = Scenario::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            std::thread::spawn(move || {
+                let seed = 40 + i as u64;
+                let label = scenario.label();
+                let stream = scenario_stream(scenario, seed, 32);
+                let mut client = ServeClient::connect(addr).expect("connect");
+
+                // Uninterrupted reference session: the whole stream, then
+                // a final checkpoint over the wire.
+                let full_id = format!("full-{label}");
+                client.open(&full_id, tiny_spec(seed)).unwrap();
+                let mut full_preds = Vec::new();
+                for chunk in stream.chunks(4) {
+                    full_preds.extend(client.ingest(&full_id, chunk).unwrap().predictions);
+                }
+                let full_final = client.checkpoint(&full_id).unwrap();
+
+                // Interrupted session: half the stream, checkpoint over
+                // the wire, close.
+                let half_id = format!("half-{label}");
+                client.open(&half_id, tiny_spec(seed)).unwrap();
+                let mut preds = Vec::new();
+                for chunk in stream[..16].chunks(4) {
+                    preds.extend(client.ingest(&half_id, chunk).unwrap().predictions);
+                }
+                let mid = client.checkpoint(&half_id).unwrap();
+                client.close(&half_id).unwrap();
+
+                // Restore into a NEW session and finish the stream.
+                let restored_id = format!("restored-{label}");
+                assert_eq!(client.restore(&restored_id, &mid).unwrap(), 16);
+                for chunk in stream[16..].chunks(4) {
+                    preds.extend(client.ingest(&restored_id, chunk).unwrap().predictions);
+                }
+                let restored_final = client.checkpoint(&restored_id).unwrap();
+
+                assert_eq!(
+                    preds, full_preds,
+                    "{label}: interrupted and uninterrupted predictions must match"
+                );
+                assert_eq!(
+                    restored_final, full_final,
+                    "{label}: final wire checkpoints must be byte-identical"
+                );
+
+                // Hot model swap over the wire: a running session with its
+                // own divergent history adopts the reference snapshot and
+                // must continue exactly as the reference would.
+                let swap_id = format!("swap-{label}");
+                client.open(&swap_id, tiny_spec(seed)).unwrap();
+                client.ingest(&swap_id, &stream[..4]).unwrap(); // divergent history
+                assert_eq!(client.swap(&swap_id, &full_final).unwrap(), 32);
+                assert_eq!(
+                    client.checkpoint(&swap_id).unwrap(),
+                    full_final,
+                    "{label}: swapped session must hold the adopted state exactly"
+                );
+
+                let report = client.close(&full_id).unwrap();
+                assert_eq!(report.samples, 32);
+                client.close(&restored_id).unwrap();
+                client.close(&swap_id).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("scenario session thread");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.sessions, 0, "every session closed");
+    // 4 scenarios × (32 full + 32 interrupted/restored + 4 pre-swap).
+    assert_eq!(stats.total_samples, 4 * (32 + 32 + 4));
+    assert!(stats.ticks > 0);
+    server.shutdown();
+}
+
+#[test]
+fn served_energy_accounting_matches_local_learner() {
+    let server = SnnServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let stream = scenario_stream(Scenario::NoiseBurst, 7, 16);
+
+    client.open("meter", tiny_spec(7)).unwrap();
+    let mut local = snn_online::OnlineLearner::new(tiny_spec(7).online_config());
+    for chunk in stream.chunks(4) {
+        client.ingest("meter", chunk).unwrap();
+        local.ingest_batch(chunk).unwrap();
+    }
+    let served = client.energy("meter").unwrap();
+    let reference = local.energy(&neuro_energy::GpuSpec::gtx_1080_ti());
+    assert_eq!(served.train_j.to_bits(), reference.train_j.to_bits());
+    assert_eq!(served.infer_j.to_bits(), reference.infer_j.to_bits());
+    assert_eq!(
+        served.per_sample_j.to_bits(),
+        reference.per_sample_j.to_bits()
+    );
+    client.close("meter").unwrap();
+    server.shutdown();
+}
