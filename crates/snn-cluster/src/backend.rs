@@ -1,0 +1,220 @@
+//! One backend shard: its address, liveness, a small connection pool,
+//! and — for shards the cluster spawned itself — the owned in-process
+//! [`SnnServer`].
+//!
+//! Connections are plain [`ServeClient`]s, so every one performs the
+//! `hello proto=…` handshake on connect: a backend speaking a different
+//! protocol generation is refused at attach time
+//! ([`ClusterError::ProtoMismatch`]), never silently misparsed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use snn_serve::{ClientError, ServeClient, ServerConfig, SnnServer, PROTO_VERSION};
+
+use crate::ring::ShardId;
+use crate::ClusterError;
+
+/// How many idle connections a shard keeps warm. More concurrent router
+/// connections simply open (and later drop) extras.
+const POOL_KEEP: usize = 8;
+
+/// Health probes get their own short deadline: a probe exists to answer
+/// "is this shard responsive?", so it must never block the health thread
+/// behind a stalled-but-connected peer.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(1);
+
+#[derive(Debug)]
+pub(crate) struct Backend {
+    pub(crate) id: ShardId,
+    pub(crate) addr: SocketAddr,
+    alive: AtomicBool,
+    pool: Mutex<Vec<ServeClient>>,
+    /// Bound on every data-plane read/write to this shard (`None`
+    /// blocks forever). Keeps a stalled shard from hanging router
+    /// connection threads indefinitely.
+    io_timeout: Option<Duration>,
+    /// Whether the shard advertised eviction support (`evict=1` in its
+    /// hello banner). Budgeted sessions are refused placement on shards
+    /// that could never enforce the budget.
+    supports_evict: AtomicBool,
+    /// Present only for shards spawned in-process by the cluster.
+    server: Mutex<Option<SnnServer>>,
+}
+
+impl Backend {
+    /// Starts a fresh in-process `snn-serve` shard on an ephemeral port
+    /// and attaches to it.
+    pub(crate) fn spawn(
+        id: ShardId,
+        config: ServerConfig,
+        io_timeout: Option<Duration>,
+    ) -> Result<Backend, ClusterError> {
+        let server = SnnServer::start("127.0.0.1:0", config).map_err(ClusterError::Io)?;
+        let backend = Backend {
+            id,
+            addr: server.local_addr(),
+            alive: AtomicBool::new(true),
+            pool: Mutex::new(Vec::new()),
+            io_timeout,
+            supports_evict: AtomicBool::new(false),
+            server: Mutex::new(Some(server)),
+        };
+        backend.probe()?;
+        Ok(backend)
+    }
+
+    /// Attaches to an already-running shard, verifying the protocol
+    /// handshake before admitting it to the cluster.
+    pub(crate) fn attach(
+        id: ShardId,
+        addr: SocketAddr,
+        io_timeout: Option<Duration>,
+    ) -> Result<Backend, ClusterError> {
+        let backend = Backend {
+            id,
+            addr,
+            alive: AtomicBool::new(true),
+            pool: Mutex::new(Vec::new()),
+            io_timeout,
+            supports_evict: AtomicBool::new(false),
+            server: Mutex::new(None),
+        };
+        backend.probe()?;
+        Ok(backend)
+    }
+
+    fn probe(&self) -> Result<(), ClusterError> {
+        let mut client = self.connect()?;
+        // Read the versioned banner once more to learn the shard's
+        // capabilities (connect's own handshake discards the fields).
+        if let Ok(banner) = client.call_raw(&format!("hello proto={PROTO_VERSION}")) {
+            if let Ok(resp) = snn_serve::protocol::parse_response(&banner) {
+                self.supports_evict
+                    .store(resp.get("evict") == Some("1"), Ordering::SeqCst);
+            }
+        }
+        self.give_back(client);
+        Ok(())
+    }
+
+    /// Whether the shard advertised eviction support at attach time.
+    pub(crate) fn supports_evict(&self) -> bool {
+        self.supports_evict.load(Ordering::SeqCst)
+    }
+
+    fn connect(&self) -> Result<ServeClient, ClusterError> {
+        let attempt = match self.io_timeout {
+            Some(timeout) => ServeClient::connect_with_timeout(self.addr, timeout),
+            None => ServeClient::connect(self.addr),
+        };
+        match attempt {
+            Ok(client) => Ok(client),
+            Err(ClientError::Server { code, msg }) if code == "proto-mismatch" => {
+                Err(ClusterError::ProtoMismatch {
+                    shard: self.id,
+                    detail: msg,
+                })
+            }
+            Err(ClientError::Io(_)) => Err(ClusterError::ShardDown(self.id)),
+            Err(other) => Err(ClusterError::Backend {
+                shard: self.id,
+                detail: other.to_string(),
+            }),
+        }
+    }
+
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Flags the shard dead and drops its pooled connections. Requests
+    /// routed here now fail fast with [`ClusterError::ShardDown`].
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        self.pool.lock().expect("backend pool poisoned").clear();
+    }
+
+    /// Takes a connection (pooled or fresh). The boolean is `true` when
+    /// the connection came from the pool and may therefore be stale.
+    pub(crate) fn checkout(&self) -> Result<(ServeClient, bool), ClusterError> {
+        if !self.is_alive() {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        if let Some(client) = self.pool.lock().expect("backend pool poisoned").pop() {
+            return Ok((client, true));
+        }
+        Ok((self.connect()?, false))
+    }
+
+    /// Returns a connection to the pool (dropped beyond the keep bound or
+    /// once the shard is dead).
+    pub(crate) fn give_back(&self, client: ServeClient) {
+        if self.is_alive() {
+            let mut pool = self.pool.lock().expect("backend pool poisoned");
+            if pool.len() < POOL_KEEP {
+                pool.push(client);
+            }
+        }
+    }
+
+    /// Forwards one raw request line and returns the raw response line.
+    /// With `idempotent`, a failure on a *pooled* connection (which may
+    /// simply have gone stale) is retried once on a fresh connection.
+    /// Non-idempotent lines (`ingest`, `open`, `swap`, …) are **never**
+    /// resent: a connection that died after the shard applied the
+    /// request would make a blind retry apply it twice, silently forking
+    /// the session's state — the caller surfaces the error and lets the
+    /// client decide.
+    pub(crate) fn call_raw(&self, line: &str, idempotent: bool) -> Result<String, ClusterError> {
+        loop {
+            let (mut client, pooled) = self.checkout()?;
+            match client.call_raw(line) {
+                Ok(reply) => {
+                    self.give_back(client);
+                    return Ok(reply);
+                }
+                Err(_) if pooled && idempotent => continue,
+                Err(e) => {
+                    return Err(ClusterError::Backend {
+                        shard: self.id,
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Health probe: one `ping` round trip on a dedicated connection
+    /// with a short deadline on connect, write and read, so a
+    /// stalled-but-connected shard reads as unhealthy instead of
+    /// hanging the health thread (and with it all failure detection).
+    pub(crate) fn ping(&self) -> bool {
+        let Ok(mut stream) = TcpStream::connect_timeout(&self.addr, PROBE_TIMEOUT) else {
+            return false;
+        };
+        if stream.set_read_timeout(Some(PROBE_TIMEOUT)).is_err()
+            || stream.set_write_timeout(Some(PROBE_TIMEOUT)).is_err()
+            || stream.write_all(b"ping\n").is_err()
+        {
+            return false;
+        }
+        let mut reply = String::new();
+        match BufReader::new(stream).read_line(&mut reply) {
+            Ok(n) if n > 0 => reply.starts_with("ok"),
+            _ => false,
+        }
+    }
+
+    /// Stops an owned in-process server (no-op for attached shards) and
+    /// marks the shard dead.
+    pub(crate) fn stop(&self) {
+        self.mark_dead();
+        if let Some(server) = self.server.lock().expect("backend server poisoned").take() {
+            server.shutdown();
+        }
+    }
+}

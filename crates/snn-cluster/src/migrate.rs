@@ -1,0 +1,90 @@
+//! Live session migration: `checkpoint` on the source shard → `restore`
+//! on the target → `close` on the source.
+//!
+//! The caller holds the session's route lock for the whole sequence, so
+//! no client request can interleave with the move: every sample the
+//! session has seen is inside the checkpoint, and every later sample is
+//! served by the restored copy. Because wire checkpoints are bit-exact
+//! (the PR 2/PR 4 contract), a migrated session finishes **byte-identical**
+//! to one that never moved — pinned by `tests/cluster_shards.rs`.
+//!
+//! Ordering is restore-first: the target must hold a live copy before
+//! the source copy is released. If the restore fails (target admission,
+//! snapshot rejection, target death) the session keeps serving on the
+//! source and the error propagates. After a successful restore the
+//! source `close` is best-effort — its only failure modes leave either
+//! no copy (source died: nothing to close) or an unreachable orphan that
+//! the source frees when it is drained or stopped.
+
+use snn_serve::protocol::{parse_response, Response};
+
+use crate::backend::Backend;
+use crate::ClusterError;
+
+/// Moves session `id` from `from` to `to`. Caller holds the route lock.
+pub(crate) fn migrate_locked(id: &str, from: &Backend, to: &Backend) -> Result<(), ClusterError> {
+    let snapshot_hex = fetch_checkpoint_hex(id, from)?;
+
+    // Restore under the same id on the target (ids are namespaced per
+    // shard process, so the temporary double existence cannot collide).
+    // The snapshot travels as the hex the source produced — no decode or
+    // re-encode on the router.
+    let restore_line = format!("restore id={id} data={snapshot_hex}");
+    let reply = match to.call_raw(&restore_line, false) {
+        Ok(reply) => reply,
+        Err(e) => {
+            // A lost reply may leave an applied restore on the target; a
+            // best-effort close undoes it (unknown-session if it never
+            // applied), so a retried migration cannot hit
+            // duplicate-session forever.
+            let _ = to.call_raw(&format!("close id={id}"), false);
+            return Err(e);
+        }
+    };
+    match parse_response(&reply) {
+        Ok(Response::Ok(_)) => {}
+        Ok(Response::Err { code, msg }) => {
+            return Err(ClusterError::Migration {
+                id: id.to_string(),
+                detail: format!("target shard {} refused restore [{code}]: {msg}", to.id),
+            })
+        }
+        Err(e) => {
+            return Err(ClusterError::Migration {
+                id: id.to_string(),
+                detail: format!("target shard {} answered garbage: {e}", to.id),
+            })
+        }
+    }
+
+    // Best-effort release of the source copy; see the module docs.
+    let _ = from.call_raw(&format!("close id={id}"), false);
+    Ok(())
+}
+
+/// Checkpoints `id` on `from`, returning the snapshot payload still in
+/// its wire hex form.
+fn fetch_checkpoint_hex(id: &str, from: &Backend) -> Result<String, ClusterError> {
+    let reply = from.call_raw(&format!("checkpoint id={id}"), true)?;
+    match parse_response(&reply) {
+        Ok(resp @ Response::Ok(_)) => {
+            resp.get("data")
+                .map(str::to_string)
+                .ok_or_else(|| ClusterError::Migration {
+                    id: id.to_string(),
+                    detail: format!("source shard {} sent a checkpoint with no data", from.id),
+                })
+        }
+        Ok(Response::Err { code, msg }) => Err(ClusterError::Migration {
+            id: id.to_string(),
+            detail: format!(
+                "source shard {} refused checkpoint [{code}]: {msg}",
+                from.id
+            ),
+        }),
+        Err(e) => Err(ClusterError::Migration {
+            id: id.to_string(),
+            detail: format!("source shard {} answered garbage: {e}", from.id),
+        }),
+    }
+}

@@ -1,0 +1,216 @@
+//! The consistent-hash ring that places session ids onto shards.
+//!
+//! Each shard contributes `replicas` virtual points to a ring of 64-bit
+//! hash values; a session id maps to the shard owning the first point at
+//! or after the id's hash (wrapping). The two properties the cluster
+//! relies on — pinned by this module's tests — are:
+//!
+//! * **Uniformity**: with enough virtual points, session load spreads
+//!   evenly across shards.
+//! * **Minimal reshuffle**: adding a shard only moves keys *onto* the new
+//!   shard (roughly a fair share), and removing one only moves the keys
+//!   it owned — every other placement is untouched, which is what makes
+//!   join/leave rebalancing a bounded number of live migrations.
+
+/// Identifier of one backend shard within a cluster.
+pub type ShardId = u64;
+
+/// FNV-1a over `bytes`, finished with a splitmix64 avalanche so short
+/// keys (session ids, shard labels) still spread over the whole ring.
+fn point_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    replicas: usize,
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, ShardId)>,
+}
+
+impl HashRing {
+    /// Creates an empty ring where every shard contributes `replicas`
+    /// virtual points (more points → smoother balance; 64–128 is plenty
+    /// for a handful of shards).
+    pub fn new(replicas: usize) -> Self {
+        HashRing {
+            replicas: replicas.max(1),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a shard's virtual points. Adding a present shard is a no-op.
+    pub fn add(&mut self, shard: ShardId) {
+        if self.contains(shard) {
+            return;
+        }
+        for replica in 0..self.replicas {
+            let key = format!("shard:{shard}:vnode:{replica}");
+            self.points.push((point_hash(key.as_bytes()), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a shard's virtual points. Removing an absent shard is a
+    /// no-op.
+    pub fn remove(&mut self, shard: ShardId) {
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Whether the shard is on the ring.
+    pub fn contains(&self, shard: ShardId) -> bool {
+        self.points.iter().any(|&(_, s)| s == shard)
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn shard_for(&self, key: &str) -> Option<ShardId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = point_hash(key.as_bytes());
+        let idx = self
+            .points
+            .partition_point(|&(point, _)| point < h)
+            // Wrap past the highest point back to the first.
+            % self.points.len();
+        Some(self.points[idx].1)
+    }
+
+    /// The distinct shards on the ring, ascending.
+    pub fn shards(&self) -> Vec<ShardId> {
+        let mut ids: Vec<ShardId> = self.points.iter().map(|&(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("session-{i}")).collect()
+    }
+
+    fn placements(ring: &HashRing, keys: &[String]) -> HashMap<String, ShardId> {
+        keys.iter()
+            .map(|k| (k.clone(), ring.shard_for(k).expect("non-empty ring")))
+            .collect()
+    }
+
+    #[test]
+    fn empty_ring_places_nothing() {
+        let ring = HashRing::new(64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.shard_for("anything"), None);
+        assert!(ring.shards().is_empty());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mut a = HashRing::new(64);
+        let mut b = HashRing::new(64);
+        for s in 0..4 {
+            a.add(s);
+            b.add(s);
+        }
+        for k in keys(200) {
+            assert_eq!(a.shard_for(&k), b.shard_for(&k));
+        }
+    }
+
+    #[test]
+    fn load_spreads_roughly_uniformly() {
+        let mut ring = HashRing::new(128);
+        for s in 0..4 {
+            ring.add(s);
+        }
+        let mut counts: HashMap<ShardId, usize> = HashMap::new();
+        let keys = keys(2000);
+        for k in &keys {
+            *counts.entry(ring.shard_for(k).unwrap()).or_default() += 1;
+        }
+        for s in 0..4 {
+            let share = counts.get(&s).copied().unwrap_or(0) as f64 / keys.len() as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "shard {s} owns {share:.2} of keys — too far from the 0.25 fair share"
+            );
+        }
+    }
+
+    #[test]
+    fn join_moves_only_a_fair_share_and_only_onto_the_new_shard() {
+        let mut ring = HashRing::new(128);
+        for s in 0..3 {
+            ring.add(s);
+        }
+        let keys = keys(1500);
+        let before = placements(&ring, &keys);
+        ring.add(3);
+        let after = placements(&ring, &keys);
+        let mut moved = 0usize;
+        for k in &keys {
+            if before[k] != after[k] {
+                moved += 1;
+                assert_eq!(
+                    after[k], 3,
+                    "a key that moved on join must land on the joining shard"
+                );
+            }
+        }
+        let fair = keys.len() / 4;
+        assert!(moved > 0, "the new shard must take some keys");
+        assert!(
+            moved <= fair * 2,
+            "join moved {moved} keys; expected about the fair share {fair}"
+        );
+    }
+
+    #[test]
+    fn leave_moves_only_the_departing_shards_keys() {
+        let mut ring = HashRing::new(128);
+        for s in 0..4 {
+            ring.add(s);
+        }
+        let keys = keys(1500);
+        let before = placements(&ring, &keys);
+        ring.remove(2);
+        assert!(!ring.contains(2));
+        let after = placements(&ring, &keys);
+        for k in &keys {
+            if before[k] != 2 {
+                assert_eq!(before[k], after[k], "keys off the departing shard stay put");
+            } else {
+                assert_ne!(after[k], 2, "orphaned keys must be re-homed");
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut ring = HashRing::new(16);
+        ring.add(7);
+        let points = ring.shards();
+        ring.add(7);
+        assert_eq!(ring.shards(), points, "double add is a no-op");
+        ring.remove(9);
+        assert_eq!(ring.shards(), points, "removing an absent shard is a no-op");
+    }
+}

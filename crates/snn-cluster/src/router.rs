@@ -1,0 +1,1105 @@
+//! The front-tier router: a thread-per-connection TCP server speaking
+//! the `snn-serve` line protocol to clients and forwarding raw request
+//! lines to the backend shard that owns each session.
+//!
+//! ## Routing rules
+//!
+//! * `open`/`restore` place the session via the consistent-hash ring
+//!   ([`crate::ring::HashRing`]), subject to the cluster-wide session
+//!   cap; the session table then pins the placement (migrations update
+//!   it, the ring only decides *new* placements).
+//! * Session verbs forward to the pinned shard. Requests for a session
+//!   on a dead shard fail fast with `err code=shard-down` (and release
+//!   the id — the shard took the state with it).
+//! * `hello`/`ping`/`stats`/`cluster-stats` are answered by the router
+//!   itself; `stats` aggregates the shards into the exact field set
+//!   `snn-serve` emits, so any protocol client works unchanged against
+//!   a cluster.
+//!
+//! ## Locking discipline
+//!
+//! Two levels: the cluster table (`Inner`) and one mutex per session
+//! route (`Slot`). The table lock is never held while acquiring a route
+//! lock or doing network I/O; route locks are held across the forwarded
+//! round trip (serialising a *single* session's requests — the backend
+//! does that anyway) and may briefly take the table lock. This order is
+//! what lets a migration atomically re-point a session mid-stream.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use snn_serve::protocol::{
+    self, format_response, parse_response, Response, MAX_LINE_BYTES, PROTO_VERSION,
+};
+use snn_serve::ServerConfig;
+
+use crate::backend::Backend;
+use crate::migrate::migrate_locked;
+use crate::ring::{HashRing, ShardId};
+use crate::ClusterError;
+
+/// Admission and health knobs of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterLimits {
+    /// Cluster-wide cap on concurrently routed sessions.
+    pub max_sessions: usize,
+    /// Virtual points per shard on the hash ring.
+    pub replicas: usize,
+    /// How often the health thread pings every shard.
+    pub health_interval: Duration,
+    /// Bound on every data-plane read/write to a shard (`None` blocks
+    /// forever). Health probes use their own short deadline regardless,
+    /// so a stalled shard can never freeze failure detection.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ClusterLimits {
+    fn default() -> Self {
+        ClusterLimits {
+            max_sessions: 256,
+            replicas: 64,
+            health_interval: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Everything configurable about a cluster router.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    /// Admission and health knobs.
+    pub limits: ClusterLimits,
+}
+
+/// One shard's slice of [`ClusterStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// The shard id.
+    pub id: ShardId,
+    /// The shard's address.
+    pub addr: SocketAddr,
+    /// Whether the health checker currently considers the shard alive.
+    pub alive: bool,
+    /// Sessions open on the shard.
+    pub sessions: usize,
+    /// Jobs queued on the shard right now.
+    pub queued_jobs: usize,
+    /// Stream samples the shard has ingested.
+    pub total_samples: u64,
+    /// Modelled joules across every session the shard has hosted.
+    pub total_j: f64,
+}
+
+/// Aggregated cluster counters (`cluster-stats` over the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Per-shard breakdown, ascending by shard id.
+    pub shards: Vec<ShardStats>,
+    /// Sessions the router is currently routing.
+    pub sessions: usize,
+    /// Sessions evicted (over budget or by a shard's idle sweep) whose
+    /// checkpoints are claimable from disk.
+    pub evicted_sessions: usize,
+    /// Jobs queued across all live shards.
+    pub queued_jobs: usize,
+    /// Stream samples ingested across all live shards.
+    pub total_samples: u64,
+    /// Modelled joules across all live shards.
+    pub total_j: f64,
+}
+
+/// Where one session lives, plus its admission contract.
+#[derive(Debug)]
+struct Route {
+    shard: ShardId,
+    /// Evict the session once its joules *since admission* exceed this.
+    budget_j: Option<f64>,
+    /// The cumulative joules the session carried when the router admitted
+    /// it (non-zero for restored checkpoints). Budgets meter new work,
+    /// not history — mirroring the shard's `total_j` discipline.
+    baseline_j: f64,
+    /// Joules spent since admission, as of the last ingest reply. Used
+    /// to keep spend continuous across hot swaps (which replace the
+    /// learner's cumulative counters wholesale).
+    spent_j: f64,
+}
+
+/// One session's routing slot. The mutex serialises that session's
+/// requests against each other and against migrations.
+#[derive(Debug)]
+struct Slot {
+    route: Mutex<Route>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: HashRing,
+    backends: BTreeMap<ShardId, Arc<Backend>>,
+    sessions: HashMap<String, Arc<Slot>>,
+    /// Evicted sessions: id → restore path (as reported by the shard).
+    evicted: HashMap<String, String>,
+    next_shard: ShardId,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct State {
+    limits: ClusterLimits,
+    inner: Mutex<Inner>,
+}
+
+/// A running cluster router. Shuts down (and joins its accept + health
+/// threads, stopping owned shards) on [`Cluster::shutdown`] or drop.
+#[derive(Debug)]
+pub struct Cluster {
+    addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    health_thread: Option<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts routing. The
+    /// cluster starts with zero shards; add some with
+    /// [`Cluster::spawn_shard`] or [`Cluster::attach_shard`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn start(addr: &str, config: ClusterConfig) -> io::Result<Cluster> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            limits: config.limits,
+            inner: Mutex::new(Inner {
+                ring: HashRing::new(config.limits.replicas),
+                backends: BTreeMap::new(),
+                sessions: HashMap::new(),
+                evicted: HashMap::new(),
+                next_shard: 0,
+                shutdown: false,
+            }),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, state, stop))
+        };
+        let health_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || health_loop(state, stop))
+        };
+        Ok(Cluster {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            health_thread: Some(health_thread),
+        })
+    }
+
+    /// The router's bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Spawns a fresh in-process `snn-serve` shard and joins it to the
+    /// ring, live-migrating every session the new ring assigns to it.
+    /// A config without an `evict_dir` gets one under the system temp
+    /// directory so budget eviction always has somewhere to checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shard cannot start or a rebalancing migration fails.
+    pub fn spawn_shard(&self, mut config: ServerConfig) -> Result<ShardId, ClusterError> {
+        let id = self.next_shard_id()?;
+        if config.evict_dir.is_none() {
+            let dir = std::env::temp_dir().join(format!(
+                "snn-cluster-{}-{}-shard{id}",
+                std::process::id(),
+                self.addr.port()
+            ));
+            std::fs::create_dir_all(&dir).map_err(ClusterError::Io)?;
+            config.evict_dir = Some(dir);
+        }
+        let backend = Arc::new(Backend::spawn(id, config, self.state.limits.io_timeout)?);
+        self.join(backend)?;
+        Ok(id)
+    }
+
+    /// Attaches an already-running `snn-serve` shard and joins it to the
+    /// ring (rebalancing as for [`Cluster::spawn_shard`]). The shard must
+    /// speak [`PROTO_VERSION`]; a mismatched backend is refused.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/handshake errors or a failed rebalancing
+    /// migration.
+    pub fn attach_shard(&self, addr: SocketAddr) -> Result<ShardId, ClusterError> {
+        let id = self.next_shard_id()?;
+        let backend = Arc::new(Backend::attach(id, addr, self.state.limits.io_timeout)?);
+        self.join(backend)?;
+        Ok(id)
+    }
+
+    fn next_shard_id(&self) -> Result<ShardId, ClusterError> {
+        let mut inner = self.state.inner.lock().expect("cluster state poisoned");
+        if inner.shutdown {
+            return Err(ClusterError::Shutdown);
+        }
+        let id = inner.next_shard;
+        inner.next_shard += 1;
+        Ok(id)
+    }
+
+    fn join(&self, backend: Arc<Backend>) -> Result<(), ClusterError> {
+        {
+            let mut inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner.backends.insert(backend.id, Arc::clone(&backend));
+            inner.ring.add(backend.id);
+        }
+        self.rebalance()?;
+        Ok(())
+    }
+
+    /// Drains a shard and removes it: the shard leaves the ring, every
+    /// session it holds is live-migrated to its new ring placement, and
+    /// (for spawned shards) the backing server is stopped. A shard that
+    /// is already dead is removed by dropping its sessions instead —
+    /// their state died with it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shard id is unknown or a migration fails (the shard
+    /// then stays attached, minus the ring points).
+    pub fn drain_shard(&self, shard: ShardId) -> Result<usize, ClusterError> {
+        let backend = {
+            let mut inner = self.state.inner.lock().expect("cluster state poisoned");
+            let backend = inner
+                .backends
+                .get(&shard)
+                .cloned()
+                .ok_or(ClusterError::UnknownShard(shard))?;
+            inner.ring.remove(shard);
+            backend
+        };
+        let moved = if backend.is_alive() {
+            self.rebalance()?
+        } else {
+            self.drop_sessions_of(shard)
+        };
+        backend.stop();
+        let mut inner = self.state.inner.lock().expect("cluster state poisoned");
+        inner.backends.remove(&shard);
+        Ok(moved)
+    }
+
+    /// Live-migrates one session to a specific shard (ops/test hook; the
+    /// rebalancer uses the same locked path). A no-op if the session is
+    /// already there.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown session/shard or a failed migration (the session
+    /// keeps serving on its source shard).
+    pub fn migrate_session(&self, id: &str, to: ShardId) -> Result<(), ClusterError> {
+        let slot = {
+            let inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner
+                .sessions
+                .get(id)
+                .cloned()
+                .ok_or_else(|| ClusterError::UnknownSession(id.to_string()))?
+        };
+        let mut route = slot.route.lock().expect("session route poisoned");
+        if route.shard == to {
+            return Ok(());
+        }
+        let (from_backend, to_backend) = {
+            let inner = self.state.inner.lock().expect("cluster state poisoned");
+            (
+                inner
+                    .backends
+                    .get(&route.shard)
+                    .cloned()
+                    .ok_or(ClusterError::UnknownShard(route.shard))?,
+                inner
+                    .backends
+                    .get(&to)
+                    .cloned()
+                    .ok_or(ClusterError::UnknownShard(to))?,
+            )
+        };
+        migrate_locked(id, &from_backend, &to_backend)?;
+        route.shard = to;
+        if route.budget_j.is_some() && !to_backend.supports_evict() {
+            // The target cannot checkpoint an over-budget session;
+            // enforcement is impossible there, so the budget is dropped
+            // rather than silently firing doomed evict calls forever.
+            route.budget_j = None;
+        }
+        Ok(())
+    }
+
+    /// Migrates every session whose ring placement differs from where it
+    /// currently lives (the consequence of a shard joining or leaving).
+    /// Returns how many sessions moved.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failed migration; already-moved sessions stay
+    /// moved, the failed one keeps serving on its source shard.
+    pub fn rebalance(&self) -> Result<usize, ClusterError> {
+        let snapshot: Vec<(String, Arc<Slot>)> = {
+            let inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner
+                .sessions
+                .iter()
+                .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+                .collect()
+        };
+        let mut moved = 0usize;
+        for (id, slot) in snapshot {
+            let mut route = slot.route.lock().expect("session route poisoned");
+            let (target, from_backend, to_backend) = {
+                let inner = self.state.inner.lock().expect("cluster state poisoned");
+                let Some(target) = inner.ring.shard_for(&id) else {
+                    continue; // ringless cluster: nowhere to move anything
+                };
+                if target == route.shard {
+                    continue;
+                }
+                (
+                    target,
+                    inner.backends.get(&route.shard).cloned(),
+                    inner.backends.get(&target).cloned(),
+                )
+            };
+            let (Some(from_backend), Some(to_backend)) = (from_backend, to_backend) else {
+                continue; // backend raced away; the health/drain path owns it
+            };
+            migrate_locked(&id, &from_backend, &to_backend)?;
+            route.shard = target;
+            if route.budget_j.is_some() && !to_backend.supports_evict() {
+                // Same rule as migrate_session: an unenforceable budget
+                // is dropped, not silently voided per ingest.
+                route.budget_j = None;
+            }
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// The shard a session is currently routed to.
+    pub fn session_shard(&self, id: &str) -> Option<ShardId> {
+        let slot = {
+            let inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner.sessions.get(id).cloned()
+        }?;
+        let shard = slot.route.lock().expect("session route poisoned").shard;
+        Some(shard)
+    }
+
+    /// The shard ids currently attached (alive or not), ascending.
+    pub fn shard_ids(&self) -> Vec<ShardId> {
+        let inner = self.state.inner.lock().expect("cluster state poisoned");
+        inner.backends.keys().copied().collect()
+    }
+
+    /// Aggregated cluster counters (the Rust-side `cluster-stats`).
+    pub fn stats(&self) -> ClusterStats {
+        gather_stats(&self.state)
+    }
+
+    /// Stops routing: the accept and health threads are joined and every
+    /// spawned shard's server is shut down. Attached external shards are
+    /// left running.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        {
+            let mut inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner.shutdown = true;
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.health_thread.take() {
+            let _ = t.join();
+        }
+        let backends: Vec<Arc<Backend>> = {
+            let inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner.backends.values().cloned().collect()
+        };
+        for backend in backends {
+            backend.stop();
+        }
+    }
+
+    /// Drops the routing entries of every session on `shard` (their
+    /// state is unrecoverable — the shard died holding it).
+    fn drop_sessions_of(&self, shard: ShardId) -> usize {
+        drop_sessions_of(&self.state, shard);
+        0
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Removes `id` from the session table only if it still maps to this
+/// exact slot (a racing re-open under the same id installs a fresh
+/// `Arc`, which must not be clobbered); optionally records an eviction
+/// tombstone in the same critical section. Returns whether the entry
+/// was removed.
+fn remove_route_if_current(
+    state: &State,
+    id: &str,
+    slot: &Arc<Slot>,
+    tombstone: Option<String>,
+) -> bool {
+    let mut inner = state.inner.lock().expect("cluster state poisoned");
+    let current = matches!(inner.sessions.get(id), Some(current) if Arc::ptr_eq(current, slot));
+    if current {
+        inner.sessions.remove(id);
+        if let Some(path) = tombstone {
+            inner.evicted.insert(id.to_string(), path);
+        }
+    }
+    current
+}
+
+/// Removes every session routed to `shard`, respecting the slot→table
+/// lock order (collect under the table lock, inspect under each slot
+/// lock, then re-check identity before removing).
+fn drop_sessions_of(state: &State, shard: ShardId) {
+    let snapshot: Vec<(String, Arc<Slot>)> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner
+            .sessions
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect()
+    };
+    for (id, slot) in snapshot {
+        let route = slot.route.lock().expect("session route poisoned");
+        if route.shard != shard {
+            continue;
+        }
+        remove_route_if_current(state, &id, &slot, None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept + health threads.
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &state);
+                });
+            }
+            // Same reasoning as snn-serve's accept loop: every accept
+            // error is transient here; only the stop flag ends routing.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Consecutive failed probes before a shard is declared dead. Declaring
+/// death destroys every session routed to the shard, so one transient
+/// probe failure (full accept backlog, ephemeral connect error) must not
+/// be enough.
+const PROBES_TO_KILL: u32 = 3;
+
+fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
+    let mut last_sweep = std::time::Instant::now();
+    let mut failures: HashMap<ShardId, u32> = HashMap::new();
+    while !stop.load(Ordering::SeqCst) {
+        // Nap in small slices so shutdown never waits a full interval.
+        std::thread::sleep(Duration::from_millis(20));
+        let interval = state.limits.health_interval;
+        if last_sweep.elapsed() < interval {
+            continue;
+        }
+        last_sweep = std::time::Instant::now();
+        let backends: Vec<Arc<Backend>> = {
+            let inner = state.inner.lock().expect("cluster state poisoned");
+            inner.backends.values().cloned().collect()
+        };
+        for backend in backends {
+            if !backend.is_alive() {
+                failures.remove(&backend.id);
+                continue;
+            }
+            if backend.ping() {
+                failures.remove(&backend.id);
+                continue;
+            }
+            let strikes = failures.entry(backend.id).or_insert(0);
+            *strikes += 1;
+            if *strikes < PROBES_TO_KILL {
+                continue;
+            }
+            failures.remove(&backend.id);
+            backend.mark_dead();
+            {
+                let mut inner = state.inner.lock().expect("cluster state poisoned");
+                inner.ring.remove(backend.id);
+            }
+            // Their state died with the shard: fail the sessions now
+            // rather than letting clients discover it one timeout at
+            // a time.
+            drop_sessions_of(&state, backend.id);
+        }
+        reconcile(&state);
+    }
+}
+
+/// Shards evict sessions on their own (idle sweeps, operators talking
+/// to a shard directly); if the affected clients never send another
+/// request, the relayed-reply mirror in `handle_session` never fires
+/// and the stale routes would hold cluster admission capacity forever.
+/// This pass compares each live shard's own session count against the
+/// routes pointing at it — only a mismatch triggers per-session probes,
+/// so the steady-state cost is one `stats` round trip per shard per
+/// health interval.
+fn reconcile(state: &State) {
+    let snapshot: Vec<(String, Arc<Slot>)> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner
+            .sessions
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect()
+    };
+    let mut routed: HashMap<ShardId, Vec<(String, Arc<Slot>)>> = HashMap::new();
+    for (id, slot) in snapshot {
+        let shard = slot.route.lock().expect("session route poisoned").shard;
+        routed.entry(shard).or_default().push((id, slot));
+    }
+    let backends: Vec<Arc<Backend>> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner.backends.values().cloned().collect()
+    };
+    for backend in backends {
+        if !backend.is_alive() {
+            continue;
+        }
+        let Some(routes) = routed.get(&backend.id) else {
+            continue;
+        };
+        let shard_sessions = backend
+            .call_raw("stats", true)
+            .ok()
+            .and_then(|reply| parse_response(&reply).ok())
+            .and_then(|resp| resp.get("sessions").and_then(|v| v.parse::<usize>().ok()));
+        let Some(shard_sessions) = shard_sessions else {
+            continue;
+        };
+        if shard_sessions >= routes.len() {
+            continue;
+        }
+        // The shard holds fewer sessions than we route to it: probe each
+        // route under its lock (serialising with in-flight requests and
+        // migrations) and mirror what the shard actually says.
+        for (id, slot) in routes {
+            let route = slot.route.lock().expect("session route poisoned");
+            if route.shard != backend.id {
+                continue; // migrated since the snapshot
+            }
+            let Ok(reply) = backend.call_raw(&format!("report id={id}"), true) else {
+                continue;
+            };
+            if reply.starts_with("ok") {
+                continue;
+            }
+            match parse_response(&reply) {
+                Ok(Response::Err { code, msg }) if code == "session-evicted" => {
+                    remove_route_if_current(state, id, slot, Some(msg));
+                }
+                Ok(Response::Err { code, .. }) if code == "unknown-session" => {
+                    remove_route_if_current(state, id, slot, None);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling.
+
+fn handle_connection(stream: TcpStream, state: &State) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        let n = (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(());
+        }
+        if !line.ends_with('\n') {
+            // Same truncation rule as the shard server: never dispatch a
+            // cut-short line.
+            if n as u64 == MAX_LINE_BYTES {
+                let reply = err_line("bad-request", "line exceeds the protocol size limit");
+                writer.write_all(reply.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            return Ok(());
+        }
+        let reply = route_line(&line, state);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+fn err_line(code: &str, msg: &str) -> String {
+    format_response(&Response::error(code, msg))
+}
+
+fn cluster_err_line(e: &ClusterError) -> String {
+    err_line(e.code(), &e.to_string())
+}
+
+fn find<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Routes one raw request line to its reply line (no trailing newline).
+fn route_line(line: &str, state: &State) -> String {
+    let (verb, fields) = match protocol::tokenize(line) {
+        Ok(parts) => parts,
+        Err(e) => return err_line("bad-request", &e.to_string()),
+    };
+    match verb.as_str() {
+        "hello" => match find(&fields, "proto").map(str::parse::<u32>) {
+            Some(Ok(proto)) if proto == PROTO_VERSION => format_response(&Response::ok([
+                ("proto", PROTO_VERSION.to_string()),
+                ("server", "snn-cluster".to_string()),
+            ])),
+            Some(Ok(proto)) => err_line(
+                "proto-mismatch",
+                &format!("cluster speaks proto {PROTO_VERSION}, client sent {proto}"),
+            ),
+            _ => err_line("bad-request", "hello needs a numeric proto field"),
+        },
+        "ping" => {
+            let draining = state.inner.lock().expect("cluster state poisoned").shutdown;
+            if draining {
+                // Mirror the shard server: a draining router is not a
+                // healthy routing target.
+                err_line("shutdown", "cluster shutting down")
+            } else {
+                format_response(&Response::ok([
+                    ("pong", "1".to_string()),
+                    ("proto", PROTO_VERSION.to_string()),
+                ]))
+            }
+        }
+        "stats" => stats_line(state),
+        "cluster-stats" => cluster_stats_line(state),
+        "open" | "restore" => handle_open(line, &fields, state),
+        "close" | "evict" => handle_release(line, &verb, &fields, state),
+        "ingest" | "report" | "energy" | "checkpoint" | "swap" => {
+            handle_session(line, &verb, &fields, state)
+        }
+        other => err_line("bad-request", &format!("unknown verb {other:?}")),
+    }
+}
+
+/// `open`/`restore`: cluster admission, ring placement, optimistic table
+/// reservation, then forward. The reservation is removed again if the
+/// shard rejects the request.
+fn handle_open(line: &str, fields: &[(String, String)], state: &State) -> String {
+    let Some(id) = find(fields, "id") else {
+        return err_line("bad-request", "missing field id");
+    };
+    if !protocol::valid_session_id(id) {
+        return err_line("bad-request", "invalid session id");
+    }
+    let budget_j = match find(fields, "budget_j") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(b) if b.is_finite() && b > 0.0 => Some(b),
+            _ => return err_line("bad-request", "budget_j must be a positive number"),
+        },
+    };
+    // Create the slot and lock its route *before* publication: a racing
+    // request for the same id then queues behind the open instead of
+    // reaching the shard ahead of the forwarded `open` line. (The lock
+    // is uncontended here — nobody else holds the Arc yet.)
+    let slot = Arc::new(Slot {
+        route: Mutex::new(Route {
+            shard: ShardId::MAX, // placed under the table lock below
+            budget_j,
+            baseline_j: 0.0,
+            spent_j: 0.0,
+        }),
+    });
+    let mut route = slot.route.lock().expect("session route poisoned");
+    let backend = {
+        let mut inner = state.inner.lock().expect("cluster state poisoned");
+        if inner.shutdown {
+            return err_line("shutdown", "cluster shutting down");
+        }
+        if inner.sessions.contains_key(id) {
+            return err_line("duplicate-session", &format!("session {id} already exists"));
+        }
+        if inner.sessions.len() >= state.limits.max_sessions {
+            return err_line(
+                "admission",
+                &format!(
+                    "cluster session limit reached ({}/{})",
+                    inner.sessions.len(),
+                    state.limits.max_sessions
+                ),
+            );
+        }
+        let Some(shard) = inner.ring.shard_for(id) else {
+            return cluster_err_line(&ClusterError::NoShards);
+        };
+        let backend = inner
+            .backends
+            .get(&shard)
+            .cloned()
+            .expect("ring shards are attached backends");
+        if budget_j.is_some() && !backend.supports_evict() {
+            // A budget the placement shard can never enforce (no evict
+            // directory) would be silently void; refuse it up front.
+            return err_line(
+                "bad-request",
+                &format!("shard {shard} has no evict directory and cannot enforce budget_j"),
+            );
+        }
+        route.shard = shard;
+        inner.sessions.insert(id.to_string(), Arc::clone(&slot));
+        // The eviction tombstone (if any) survives until the shard
+        // accepts the open/restore: a rejected restore must not destroy
+        // the client's only pointer to its on-disk checkpoint.
+        backend
+    };
+    let release = |state: &State| {
+        remove_route_if_current(state, id, &slot, None);
+    };
+    match backend.call_raw(line, false) {
+        Ok(reply) => {
+            if reply.starts_with("ok") {
+                // Budgets meter work done *from here on*: a restored
+                // checkpoint's carried joules (total_j on the reply) are
+                // history, not spend.
+                route.baseline_j = parse_response(&reply)
+                    .ok()
+                    .and_then(|r| r.get("total_j").and_then(|v| v.parse::<f64>().ok()))
+                    .unwrap_or(0.0);
+                let mut inner = state.inner.lock().expect("cluster state poisoned");
+                inner.evicted.remove(id);
+            } else {
+                release(state);
+            }
+            reply
+        }
+        Err(e) => {
+            // The reply was lost but the shard may have applied the open;
+            // a best-effort close undoes the possible orphan (it answers
+            // unknown-session if the open never landed), so a client
+            // retrying this id cannot be wedged on duplicate-session.
+            let _ = backend.call_raw(&format!("close id={id}"), false);
+            release(state);
+            cluster_err_line(&e)
+        }
+    }
+}
+
+/// `close`/`evict`: forward, then drop (close) or tombstone (evict) the
+/// routing entry on success.
+fn handle_release(line: &str, verb: &str, fields: &[(String, String)], state: &State) -> String {
+    let Some((id, slot)) = lookup(fields, state) else {
+        return missing_session_line(fields, state);
+    };
+    let route = slot.route.lock().expect("session route poisoned");
+    let Some(backend) = live_backend(&id, route.shard, &slot, state) else {
+        return err_line("shard-down", &format!("shard {} is down", route.shard));
+    };
+    match backend.call_raw(line, false) {
+        Ok(reply) => {
+            if reply.starts_with("ok") {
+                let mut inner = state.inner.lock().expect("cluster state poisoned");
+                inner.sessions.remove(&id);
+                if verb == "evict" {
+                    let path = parse_response(&reply)
+                        .ok()
+                        .and_then(|r| r.get("path").map(str::to_string))
+                        .unwrap_or_default();
+                    inner.evicted.insert(id.clone(), path);
+                }
+            } else {
+                sync_shard_eviction(&id, &slot, &reply, state);
+            }
+            reply
+        }
+        Err(e) => cluster_err_line(&e),
+    }
+}
+
+/// The per-session data-plane verbs: forward to the pinned shard, then
+/// enforce the energy budget after a successful `ingest`.
+fn handle_session(line: &str, verb: &str, fields: &[(String, String)], state: &State) -> String {
+    let Some((id, slot)) = lookup(fields, state) else {
+        return missing_session_line(fields, state);
+    };
+    let mut route = slot.route.lock().expect("session route poisoned");
+    let Some(backend) = live_backend(&id, route.shard, &slot, state) else {
+        return err_line("shard-down", &format!("shard {} is down", route.shard));
+    };
+    let idempotent = matches!(verb, "report" | "energy" | "checkpoint");
+    match backend.call_raw(line, idempotent) {
+        Ok(reply) => {
+            let reply_total_j = || {
+                parse_response(&reply)
+                    .ok()
+                    .and_then(|r| r.get("total_j").and_then(|v| v.parse::<f64>().ok()))
+            };
+            if !reply.starts_with("ok") {
+                sync_shard_eviction(&id, &slot, &reply, state);
+            } else if verb == "ingest" {
+                // The ingest reply carries the session's cumulative
+                // joules, so budget enforcement costs no extra round
+                // trip. Spend is measured from the admission baseline —
+                // a restored checkpoint's history is not billed again.
+                if let Some(spent) = reply_total_j().map(|total| total - route.baseline_j) {
+                    route.spent_j = spent;
+                    if route.budget_j.is_some_and(|budget| spent > budget) {
+                        if let Some(path) = evict_on_shard(&id, &backend) {
+                            // Over budget and checkpointed: release the
+                            // route and leave the tombstone. The in-flight
+                            // ingest reply stands; the *next* request
+                            // answers `session-evicted` with the path.
+                            route.budget_j = None;
+                            let mut inner = state.inner.lock().expect("cluster state poisoned");
+                            inner.sessions.remove(&id);
+                            inner.evicted.insert(id.clone(), path);
+                        }
+                    }
+                }
+            } else if verb == "swap" {
+                // A hot swap replaces the learner's cumulative counters;
+                // rebase so spend stays continuous and the budget cannot
+                // be evaded (or spuriously tripped) by swapping.
+                if let Some(total) = reply_total_j() {
+                    route.baseline_j = total - route.spent_j;
+                }
+            }
+            reply
+        }
+        Err(e) => cluster_err_line(&e),
+    }
+}
+
+/// A shard can evict a session on its own (idle-timeout sweep, or an
+/// operator talking to the shard directly). When such an eviction
+/// surfaces in a relayed reply, mirror it into the router's table —
+/// otherwise the id stays routed forever, leaking cluster capacity and
+/// answering `duplicate-session` to every re-open.
+fn sync_shard_eviction(id: &str, slot: &Arc<Slot>, reply: &str, state: &State) {
+    if !reply.starts_with("err") {
+        return;
+    }
+    let Ok(Response::Err { code, msg }) = parse_response(reply) else {
+        return;
+    };
+    if code != "session-evicted" {
+        return;
+    }
+    // The shard's message is exactly the restore path.
+    remove_route_if_current(state, id, slot, Some(msg));
+}
+
+/// Looks up a session slot by the request's `id` field.
+fn lookup(fields: &[(String, String)], state: &State) -> Option<(String, Arc<Slot>)> {
+    let id = find(fields, "id")?;
+    let inner = state.inner.lock().expect("cluster state poisoned");
+    let slot = inner.sessions.get(id)?;
+    Some((id.to_string(), Arc::clone(slot)))
+}
+
+/// The error line for a request whose session is not in the table:
+/// evicted sessions answer their restore path, everything else is
+/// unknown.
+fn missing_session_line(fields: &[(String, String)], state: &State) -> String {
+    let Some(id) = find(fields, "id") else {
+        return err_line("bad-request", "missing field id");
+    };
+    let inner = state.inner.lock().expect("cluster state poisoned");
+    match inner.evicted.get(id) {
+        Some(path) => err_line("session-evicted", path),
+        None => err_line("unknown-session", &format!("no session {id}")),
+    }
+}
+
+/// Resolves the backend for a route, failing fast (and releasing the
+/// session) when the shard is dead or detached.
+fn live_backend(id: &str, shard: ShardId, slot: &Arc<Slot>, state: &State) -> Option<Arc<Backend>> {
+    let backend = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner.backends.get(&shard).cloned()
+    };
+    match backend {
+        Some(b) if b.is_alive() => Some(b),
+        _ => {
+            // The shard took the session state with it; free the id.
+            remove_route_if_current(state, id, slot, None);
+            None
+        }
+    }
+}
+
+/// Evicts an over-budget session on its shard, returning the restore
+/// path the shard checkpointed to.
+fn evict_on_shard(id: &str, backend: &Backend) -> Option<String> {
+    let evict_reply = backend.call_raw(&format!("evict id={id}"), false).ok()?;
+    match parse_response(&evict_reply).ok()? {
+        resp @ Response::Ok(_) => resp.get("path").map(str::to_string),
+        // A shard without an evict directory cannot honour the budget by
+        // checkpointing; keep serving rather than destroy state.
+        Response::Err { .. } => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats aggregation.
+
+fn shard_snapshot(state: &State) -> Vec<ShardStats> {
+    let backends: Vec<Arc<Backend>> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner.backends.values().cloned().collect()
+    };
+    // One scoped thread per shard: a slow or stalled shard costs the
+    // caller at most one io_timeout in total, not one per shard in
+    // sequence.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = backends
+            .iter()
+            .map(|backend| scope.spawn(move || shard_stats(backend)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard stats thread"))
+            .collect()
+    })
+}
+
+fn shard_stats(backend: &Arc<Backend>) -> ShardStats {
+    let mut stats = ShardStats {
+        id: backend.id,
+        addr: backend.addr,
+        alive: backend.is_alive(),
+        sessions: 0,
+        queued_jobs: 0,
+        total_samples: 0,
+        total_j: 0.0,
+    };
+    if stats.alive {
+        if let Some(resp) = backend
+            .call_raw("stats", true)
+            .ok()
+            .and_then(|reply| parse_response(&reply).ok())
+        {
+            let num = |key: &str| resp.get(key).and_then(|v| v.parse::<u64>().ok());
+            stats.sessions = num("sessions").unwrap_or(0) as usize;
+            stats.queued_jobs = num("queued_jobs").unwrap_or(0) as usize;
+            stats.total_samples = num("total_samples").unwrap_or(0);
+            stats.total_j = resp
+                .get("total_j")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.0);
+        }
+    }
+    stats
+}
+
+fn gather_stats(state: &State) -> ClusterStats {
+    let shards = shard_snapshot(state);
+    let (sessions, evicted_sessions) = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        (inner.sessions.len(), inner.evicted.len())
+    };
+    ClusterStats {
+        sessions,
+        evicted_sessions,
+        queued_jobs: shards.iter().map(|s| s.queued_jobs).sum(),
+        total_samples: shards.iter().map(|s| s.total_samples).sum(),
+        total_j: shards.iter().map(|s| s.total_j).sum(),
+        shards,
+    }
+}
+
+/// The aggregate `stats` line, field-compatible with a single shard's so
+/// any `snn-serve` protocol client works unchanged against a cluster.
+fn stats_line(state: &State) -> String {
+    let stats = gather_stats(state);
+    let ticks: u64 = 0; // ticks are a per-shard notion; see cluster-stats
+    format_response(&Response::ok([
+        ("sessions", stats.sessions.to_string()),
+        ("max_sessions", state.limits.max_sessions.to_string()),
+        ("queued_jobs", stats.queued_jobs.to_string()),
+        ("ticks", ticks.to_string()),
+        ("total_samples", stats.total_samples.to_string()),
+        ("evicted", stats.evicted_sessions.to_string()),
+        ("total_j", stats.total_j.to_string()),
+    ]))
+}
+
+fn cluster_stats_line(state: &State) -> String {
+    let stats = gather_stats(state);
+    let mut pairs: Vec<(String, String)> = vec![
+        ("shards".into(), stats.shards.len().to_string()),
+        (
+            "alive".into(),
+            stats.shards.iter().filter(|s| s.alive).count().to_string(),
+        ),
+        ("sessions".into(), stats.sessions.to_string()),
+        ("evicted".into(), stats.evicted_sessions.to_string()),
+        ("queued_jobs".into(), stats.queued_jobs.to_string()),
+        ("total_samples".into(), stats.total_samples.to_string()),
+        ("total_j".into(), stats.total_j.to_string()),
+    ];
+    for (i, shard) in stats.shards.iter().enumerate() {
+        pairs.push((format!("s{i}_id"), shard.id.to_string()));
+        pairs.push((format!("s{i}_alive"), u8::from(shard.alive).to_string()));
+        pairs.push((format!("s{i}_sessions"), shard.sessions.to_string()));
+        pairs.push((format!("s{i}_queued"), shard.queued_jobs.to_string()));
+        pairs.push((format!("s{i}_samples"), shard.total_samples.to_string()));
+        pairs.push((format!("s{i}_j"), shard.total_j.to_string()));
+    }
+    format_response(&Response::Ok(pairs))
+}

@@ -16,7 +16,7 @@ use snn_online::EnergyReport;
 
 use crate::protocol::{
     decode_predictions, format_request, hex_decode, parse_response, ProtocolError, Request,
-    Response, SessionSpec, MAX_LINE_BYTES,
+    Response, SessionSpec, MAX_LINE_BYTES, PROTO_VERSION,
 };
 use crate::session::ServerStats;
 
@@ -103,6 +103,9 @@ pub struct IngestOutcome {
     pub response_active: bool,
     /// The session's stream position after the batch.
     pub samples_seen: u64,
+    /// The session's cumulative modelled joules (train + infer) after
+    /// the batch.
+    pub total_j: f64,
 }
 
 /// One blocking protocol connection.
@@ -113,18 +116,95 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects to a server.
+    /// Connects to a server and performs the `hello proto=…` version
+    /// handshake, so an incompatible peer fails fast here instead of
+    /// misparsing lines later.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a version mismatch arrives as
+    /// [`ClientError::Server`] with code `proto-mismatch`.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let mut client = Self::connect_unchecked(addr)?;
+        client.hello()?;
+        Ok(client)
+    }
+
+    /// Connects without the version handshake (for peers known to skip
+    /// `hello`, e.g. pre-versioning tooling).
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+    pub fn connect_unchecked(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(ServeClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
         })
+    }
+
+    /// Connects with bounded connect/read/write times (the timeouts
+    /// apply to the handshake too, and stay in force for every later
+    /// call), then performs the version handshake. A routing tier uses
+    /// this so a stalled-but-connected peer cannot hang it forever.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::connect`] does, plus with
+    /// [`std::io::ErrorKind::WouldBlock`]/`TimedOut` i/o errors when the
+    /// peer exceeds `timeout`.
+    pub fn connect_with_timeout(
+        addr: std::net::SocketAddr,
+        timeout: std::time::Duration,
+    ) -> ClientResult<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).ok();
+        let mut client = ServeClient {
+            reader: BufReader::new(stream.try_clone().map_err(ClientError::Io)?),
+            writer: stream,
+        };
+        client.set_io_timeout(Some(timeout))?;
+        client.hello()?;
+        Ok(client)
+    }
+
+    /// Bounds every later read and write on this connection (`None`
+    /// blocks forever, the default). Clones of the socket share the
+    /// setting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<std::time::Duration>) -> ClientResult<()> {
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(ClientError::Io)?;
+        self.writer
+            .set_write_timeout(timeout)
+            .map_err(ClientError::Io)?;
+        Ok(())
+    }
+
+    /// Performs the version handshake; returns the server's protocol
+    /// generation (always [`PROTO_VERSION`] on success — mismatches are
+    /// rejected by the server, and a server banner this client cannot
+    /// read surfaces as [`ClientError::Malformed`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does, plus on a missing or
+    /// non-matching `proto` banner field.
+    pub fn hello(&mut self) -> ClientResult<u32> {
+        let resp = self.call(&Request::Hello {
+            proto: PROTO_VERSION,
+        })?;
+        let proto: u32 = field(&resp, "proto")?;
+        if proto != PROTO_VERSION {
+            return Err(ClientError::Malformed("proto"));
+        }
+        Ok(proto)
     }
 
     /// Sends one request and reads the matching response line.
@@ -134,9 +214,26 @@ impl ServeClient {
     /// Fails on socket errors, unparseable responses, or an `err`
     /// response (lifted into [`ClientError::Server`]).
     pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
-        let mut line = format_request(request);
-        line.push('\n');
+        let reply = self.call_raw(&format_request(request))?;
+        match parse_response(&reply)? {
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Sends one already-formatted request line and returns the raw
+    /// response line (trailing newline stripped, `err` lines included —
+    /// nothing is lifted). This is the forwarding primitive a routing
+    /// tier uses to relay traffic without re-encoding payloads.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors and truncated responses only.
+    pub fn call_raw(&mut self, line: &str) -> ClientResult<String> {
         self.writer.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
         self.writer.flush()?;
         let mut reply = String::new();
         let n = (&mut self.reader)
@@ -157,10 +254,10 @@ impl ServeClient {
                 "response line truncated",
             )));
         }
-        match parse_response(&reply)? {
-            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
-            ok => Ok(ok),
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
         }
+        Ok(reply)
     }
 
     /// Liveness check.
@@ -185,6 +282,8 @@ impl ServeClient {
             queued_jobs: field(&resp, "queued_jobs")?,
             ticks: field(&resp, "ticks")?,
             total_samples: field(&resp, "total_samples")?,
+            evicted_sessions: field(&resp, "evicted")?,
+            total_j: field(&resp, "total_j")?,
         })
     }
 
@@ -227,6 +326,7 @@ impl ServeClient {
             drift_events: field(&resp, "drifts")?,
             response_active,
             samples_seen: field(&resp, "samples")?,
+            total_j: field(&resp, "total_j")?,
         })
     }
 
@@ -293,6 +393,22 @@ impl ServeClient {
             snapshot: snapshot.to_vec(),
         })?;
         field(&resp, "samples")
+    }
+
+    /// Evicts a session: the server checkpoints its full state to disk,
+    /// frees the learner, and answers later requests for the id with
+    /// code `session-evicted` whose message is the returned restore path.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does (`bad-request` when the server
+    /// has no evict directory configured).
+    pub fn evict(&mut self, id: &str) -> ClientResult<String> {
+        let resp = self.call(&Request::Evict { id: id.to_string() })?;
+        Ok(resp
+            .get("path")
+            .ok_or(ClientError::Malformed("path"))?
+            .to_string())
     }
 
     /// Closes a session, returning its final report.

@@ -70,7 +70,7 @@ pub mod server;
 pub mod session;
 
 pub use client::{ClientError, ClientResult, IngestOutcome, ServeClient, WireReport};
-pub use protocol::{ProtocolError, Request, Response, SessionSpec};
+pub use protocol::{ProtocolError, Request, Response, SessionSpec, PROTO_VERSION};
 pub use server::{ServerConfig, SnnServer};
 pub use session::{ServeError, ServeLimits, ServerStats, SessionManager};
 
@@ -176,6 +176,7 @@ mod tests {
             max_sessions: 1,
             queue_capacity: 4,
             max_batch: 8,
+            ..ServeLimits::default()
         });
         let mut client = ServeClient::connect(server.local_addr()).unwrap();
         client.open("only", tiny_spec(1)).unwrap();
@@ -211,6 +212,128 @@ mod tests {
             Some("snapshot")
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn hello_handshake_accepts_matching_and_rejects_mismatched_proto() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = start_server(ServeLimits::default());
+        // ServeClient::connect already performed a successful handshake.
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.hello().unwrap(), protocol::PROTO_VERSION);
+        // A mismatched client is refused with a stable code, on a raw
+        // socket so the typed client cannot paper over it.
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        raw.write_all(b"hello proto=999\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("err code=proto-mismatch"),
+            "got {reply:?}"
+        );
+        // The versioned banner: ok + proto field.
+        raw.write_all(b"hello proto=1\n").unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("ok proto=1"),
+            "versioned banner, got {reply:?}"
+        );
+        server.shutdown();
+    }
+
+    fn evict_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("snn-serve-evict-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create evict dir");
+        dir
+    }
+
+    #[test]
+    fn evicted_session_round_trips_through_its_disk_checkpoint() {
+        let dir = evict_dir("wire");
+        let server = SnnServer::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                evict_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.open("v", tiny_spec(5)).unwrap();
+        let s = stream(5, 8);
+        client.ingest("v", &s[..4]).unwrap();
+        let reference = client.checkpoint("v").unwrap();
+
+        let path = client.evict("v").unwrap();
+        // Later requests carry the restore path as the whole message.
+        let err = client.report("v").unwrap_err();
+        assert_eq!(err.server_code(), Some("session-evicted"));
+        match &err {
+            ClientError::Server { msg, .. } => assert_eq!(msg, &path),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!((stats.sessions, stats.evicted_sessions), (0, 1));
+        assert!(stats.total_j > 0.0, "retired joules still counted");
+
+        // The on-disk checkpoint is the session, bit for bit; restoring
+        // it under the same id supersedes the tombstone.
+        let snap = snn_online::ModelSnapshot::load(std::path::Path::new(&path)).unwrap();
+        assert_eq!(snap.to_bytes(), reference);
+        assert_eq!(client.restore("v", &reference).unwrap(), 4);
+        client.ingest("v", &s[4..]).unwrap();
+        client.close("v").unwrap();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn idle_sessions_are_swept_to_disk() {
+        let dir = evict_dir("idle");
+        let server = SnnServer::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                limits: ServeLimits {
+                    idle_timeout: Some(std::time::Duration::from_millis(40)),
+                    ..ServeLimits::default()
+                },
+                evict_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.open("lazy", tiny_spec(2)).unwrap();
+        client.ingest("lazy", &stream(2, 4)).unwrap();
+        // Wait out the timeout plus sweep latency.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = client.stats().unwrap();
+            if stats.evicted_sessions == 1 {
+                assert_eq!(stats.sessions, 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle sweep never evicted the session"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let err = client.report("lazy").unwrap_err();
+        assert_eq!(err.server_code(), Some("session-evicted"));
+        assert!(
+            std::path::Path::new(&match err {
+                ClientError::Server { msg, .. } => msg,
+                other => panic!("unexpected {other:?}"),
+            })
+            .exists(),
+            "sweep checkpoint exists on disk"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -21,6 +21,12 @@ use snn_data::Image;
 use snn_online::codec::{ByteReader, ByteWriter, CodecError};
 use spikedyn::Method;
 
+/// The protocol generation this build speaks. Mirrors the snapshot
+/// format's `SNAPSHOT_VERSION` discipline: a `hello proto=…` exchange
+/// fails fast on mismatch instead of letting an incompatible peer
+/// misparse lines (see [`Request::Hello`]).
+pub const PROTO_VERSION: u32 = 1;
+
 /// Hard cap on one protocol line in bytes (a paper-scale snapshot is a
 /// few MiB hex-encoded; this bounds hostile allocations, not real use).
 pub const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;
@@ -139,6 +145,13 @@ impl SessionSpec {
 /// One client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version handshake: the client announces the protocol generation
+    /// it speaks; the server answers with a versioned banner
+    /// (`ok proto=… server=…`) or `err code=proto-mismatch`.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        proto: u32,
+    },
     /// Liveness check.
     Ping,
     /// Server-wide statistics.
@@ -185,6 +198,14 @@ pub enum Request {
         id: String,
         /// Raw [`snn_online::ModelSnapshot`] container bytes.
         snapshot: Vec<u8>,
+    },
+    /// Evict a session: checkpoint its full state to the server's evict
+    /// directory, free the in-memory learner, and answer later requests
+    /// for the id with `err code=session-evicted` carrying the restore
+    /// path. The cluster tier uses this to enforce energy budgets.
+    Evict {
+        /// Session id.
+        id: String,
     },
     /// Close a session, returning its final report.
     Close {
@@ -376,8 +397,14 @@ pub fn decode_predictions(s: &str) -> Result<Vec<Option<u8>>, ProtocolError> {
 // Line tokenizer.
 
 /// Splits a line into its verb and `key=value` fields (quoted values may
-/// contain spaces).
-fn tokenize(line: &str) -> Result<(String, Vec<(String, String)>), ProtocolError> {
+/// contain spaces). Public so a routing tier can inspect the verb and
+/// `id` of a request and forward the raw line without decoding (and
+/// re-encoding) multi-megabyte payload fields.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on empty lines or malformed field tokens.
+pub fn tokenize(line: &str) -> Result<(String, Vec<(String, String)>), ProtocolError> {
     let line = line.trim_end_matches(['\r', '\n']);
     // Verb: up to the first space. A leading space means an empty verb.
     let verb_end = line.find(' ').unwrap_or(line.len());
@@ -494,14 +521,20 @@ impl Fields {
     }
 }
 
-fn session_id(fields: &Fields) -> Result<String, ProtocolError> {
-    let id = fields.required("id")?;
-    let valid = !id.is_empty()
+/// Whether `id` is a well-formed session id (non-empty, at most
+/// [`MAX_SESSION_ID`] bytes of `[A-Za-z0-9._-]`). Routing tiers apply
+/// the same rule before reserving table entries for an id.
+pub fn valid_session_id(id: &str) -> bool {
+    !id.is_empty()
         && id.len() <= MAX_SESSION_ID
         && id
             .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
-    if !valid {
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+fn session_id(fields: &Fields) -> Result<String, ProtocolError> {
+    let id = fields.required("id")?;
+    if !valid_session_id(id) {
         return Err(ProtocolError::InvalidValue {
             field: "id".into(),
             value: abbreviate(id),
@@ -543,6 +576,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let (verb, pairs) = tokenize(line)?;
     let fields = Fields::new(pairs);
     match verb.as_str() {
+        "hello" => {
+            let proto = fields.required("proto")?;
+            let proto = proto
+                .parse::<u32>()
+                .map_err(|_| ProtocolError::InvalidValue {
+                    field: "proto".into(),
+                    value: proto.to_string(),
+                })?;
+            Ok(Request::Hello { proto })
+        }
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "open" => {
@@ -588,6 +631,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             id: session_id(&fields)?,
             snapshot: hex_decode(fields.required("data")?)?,
         }),
+        "evict" => Ok(Request::Evict {
+            id: session_id(&fields)?,
+        }),
         "close" => Ok(Request::Close {
             id: session_id(&fields)?,
         }),
@@ -598,6 +644,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 /// Renders a request as its wire line (no trailing newline).
 pub fn format_request(req: &Request) -> String {
     match req {
+        Request::Hello { proto } => format!("hello proto={proto}"),
         Request::Ping => "ping".to_string(),
         Request::Stats => "stats".to_string(),
         Request::Open { id, spec } => format!(
@@ -626,6 +673,7 @@ pub fn format_request(req: &Request) -> String {
         Request::Swap { id, snapshot } => {
             format!("swap id={id} data={}", hex_encode(snapshot))
         }
+        Request::Evict { id } => format!("evict id={id}"),
         Request::Close { id } => format!("close id={id}"),
     }
 }
@@ -735,6 +783,9 @@ mod tests {
             ..SessionSpec::default()
         };
         let requests = vec![
+            Request::Hello {
+                proto: PROTO_VERSION,
+            },
             Request::Ping,
             Request::Stats,
             Request::Open {
@@ -756,6 +807,7 @@ mod tests {
                 id: "s-1".into(),
                 snapshot: vec![9; 33],
             },
+            Request::Evict { id: "s-1".into() },
             Request::Close { id: "s-1".into() },
         ];
         for req in requests {
@@ -811,6 +863,8 @@ mod tests {
             "ingest id=a",                // missing data
             "ingest id=a data=zz",        // bad hex
             "open id=a n_exc=notanumber", // bad integer
+            "hello",                      // missing proto
+            "hello proto=latest",         // non-numeric proto
             "err msg=\"unterminated",
             "ok =v",
         ] {

@@ -37,15 +37,23 @@ pub(crate) struct WorkUnit {
 }
 
 /// A processed unit handed back to the registry. `learner: None` means
-/// the session closed during the tick and must be removed; the close
-/// path's replies ride along in `deferred` and are sent only *after* the
-/// registry update, so a client that received its `close` reply can
-/// immediately reuse the id (close is linearizable).
+/// the session closed (or was evicted) during the tick and must be
+/// removed; the close path's replies ride along in `deferred` and are
+/// sent only *after* the registry update, so a client that received its
+/// `close` reply can immediately reuse the id (close is linearizable).
 #[derive(Debug)]
 pub(crate) struct FinishedUnit {
     pub(crate) id: String,
     pub(crate) learner: Option<OnlineLearner>,
     pub(crate) samples_delta: u64,
+    /// Modelled joules (train + infer) of this session after the tick.
+    pub(crate) joules: f64,
+    /// Net jump in the learner's cumulative joules caused by hot swaps
+    /// this tick (a swap replaces the op counters wholesale); the
+    /// registry shifts the session's accounting baseline by this much.
+    pub(crate) baseline_shift: f64,
+    /// Set when the session was evicted: where its checkpoint landed.
+    pub(crate) evicted: Option<std::path::PathBuf>,
     pub(crate) deferred: Vec<(
         std::sync::mpsc::Sender<crate::session::JobResult>,
         crate::session::JobResult,
@@ -85,11 +93,20 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
         jobs,
     } = unit;
     let mut closed = false;
+    let mut evicted: Option<std::path::PathBuf> = None;
     let mut samples_delta = 0u64;
+    let mut baseline_shift = 0.0f64;
     let mut deferred = Vec::new();
     for Envelope { job, reply } in jobs {
         if closed {
             deferred.push((reply, Err(ServeError::SessionClosing(id.clone()))));
+            continue;
+        }
+        if let Some(path) = &evicted {
+            deferred.push((
+                reply,
+                Err(ServeError::SessionEvicted(path.display().to_string())),
+            ));
             continue;
         }
         let result = match job {
@@ -97,22 +114,50 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
                 .step(&images)
                 .map(|outcome| {
                     samples_delta += images.len() as u64;
-                    JobOutput::Ingested(outcome)
+                    let energy = learner.energy(manager.gpu());
+                    JobOutput::Ingested(outcome, energy.train_j + energy.infer_j)
                 })
                 .map_err(|e| ServeError::Learner(e.to_string())),
             Job::Report => Ok(JobOutput::Report(learner.report())),
             Job::Energy => Ok(JobOutput::Energy(learner.energy(manager.gpu()))),
             Job::Checkpoint => Ok(JobOutput::Checkpoint(learner.checkpoint().to_bytes())),
-            Job::Swap(bytes) => ModelSnapshot::from_bytes(&bytes)
-                .map_err(|e| ServeError::Snapshot(e.to_string()))
-                .and_then(|snap| {
-                    learner
-                        .adopt(snap)
-                        .map_err(|e| ServeError::Snapshot(e.to_string()))
-                })
-                .map(|()| JobOutput::Swapped {
-                    samples_seen: learner.samples_seen(),
-                }),
+            Job::Swap(bytes) => {
+                let pre = learner.energy(manager.gpu());
+                ModelSnapshot::from_bytes(&bytes)
+                    .map_err(|e| ServeError::Snapshot(e.to_string()))
+                    .and_then(|snap| {
+                        learner
+                            .adopt(snap)
+                            .map_err(|e| ServeError::Snapshot(e.to_string()))
+                    })
+                    .map(|()| {
+                        let post = learner.energy(manager.gpu());
+                        let total_j = post.train_j + post.infer_j;
+                        baseline_shift += total_j - (pre.train_j + pre.infer_j);
+                        JobOutput::Swapped {
+                            samples_seen: learner.samples_seen(),
+                            total_j,
+                        }
+                    })
+            }
+            Job::Evict => match manager.evict_path(&id) {
+                None => Err(ServeError::BadRequest(
+                    "eviction is disabled on this server (no evict_dir)".into(),
+                )),
+                Some(path) => match learner.checkpoint().save(&path) {
+                    Ok(()) => {
+                        evicted = Some(path.clone());
+                        // Like close, evict is linearizable: the reply is
+                        // deferred until after the registry update, so a
+                        // client holding it can reuse the id at once.
+                        deferred.push((reply, Ok(JobOutput::Evicted(path))));
+                        continue;
+                    }
+                    // The learner stays live: a failed save must not lose
+                    // session state.
+                    Err(e) => Err(ServeError::Snapshot(format!("eviction save failed: {e}"))),
+                },
+            },
             Job::Close => {
                 closed = true;
                 // The reply must not be visible before the registry drops
@@ -125,10 +170,16 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
         // tearing the session down for.
         let _ = reply.send(result);
     }
+    // The learner is still owned here even when the session closed or
+    // evicted, so the registry always learns the session's final joules.
+    let energy = learner.energy(manager.gpu());
     FinishedUnit {
         id,
-        learner: (!closed).then_some(learner),
+        learner: (!closed && evicted.is_none()).then_some(learner),
         samples_delta,
+        joules: energy.train_j + energy.infer_j,
+        baseline_shift,
+        evicted,
         deferred,
     }
 }
@@ -181,6 +232,7 @@ mod tests {
         let manager = Arc::new(SessionManager::new(
             ServeLimits::default(),
             GpuSpec::gtx_1080_ti(),
+            None,
         ));
         let scheduler = start(&manager);
         // Three sessions with different seeds, interleaved submissions.
@@ -195,7 +247,7 @@ mod tests {
                     &format!("s{s}"),
                     Job::Ingest(stream[round * 4..(round + 1) * 4].to_vec()),
                 );
-                assert!(matches!(out, Ok(JobOutput::Ingested(_))));
+                assert!(matches!(out, Ok(JobOutput::Ingested(..))));
             }
         }
         // Each served session must equal a learner fed the same stream
@@ -220,6 +272,7 @@ mod tests {
         let manager = Arc::new(SessionManager::new(
             ServeLimits::default(),
             GpuSpec::gtx_1080_ti(),
+            None,
         ));
         manager.open("a", &tiny_spec(1)).unwrap();
         // Queue close + a trailing report before the scheduler runs, so
@@ -253,6 +306,7 @@ mod tests {
         let manager = Arc::new(SessionManager::new(
             ServeLimits::default(),
             GpuSpec::gtx_1080_ti(),
+            None,
         ));
         let scheduler = start(&manager);
         manager.open("a", &tiny_spec(1)).unwrap();
@@ -263,7 +317,7 @@ mod tests {
         // The session survives the bad swap.
         assert!(matches!(
             roundtrip(&manager, "a", Job::Ingest(batch(1, 4))),
-            Ok(JobOutput::Ingested(_))
+            Ok(JobOutput::Ingested(..))
         ));
         manager.shutdown();
         scheduler.join().unwrap();

@@ -33,6 +33,10 @@ pub struct ServerConfig {
     pub limits: ServeLimits,
     /// Device model used to price per-session energy reports.
     pub gpu: GpuSpec,
+    /// Directory evicted sessions checkpoint into (one `<id>.sdyn` file
+    /// per victim). `None` disables both the `evict` request and the
+    /// idle-timeout sweep. The directory must already exist.
+    pub evict_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +44,7 @@ impl Default for ServerConfig {
         ServerConfig {
             limits: ServeLimits::default(),
             gpu: GpuSpec::gtx_1080_ti(),
+            evict_dir: None,
         }
     }
 }
@@ -66,7 +71,11 @@ impl SnnServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let manager = Arc::new(SessionManager::new(config.limits, config.gpu));
+        let manager = Arc::new(SessionManager::new(
+            config.limits,
+            config.gpu,
+            config.evict_dir,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
 
         let scheduler_thread = {
@@ -194,7 +203,31 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()>
 /// block this connection thread on the reply channel).
 fn dispatch(request: Request, manager: &SessionManager) -> Response {
     match request {
-        Request::Ping => Response::ok([("pong", "1")]),
+        Request::Hello { proto } => {
+            if proto == crate::protocol::PROTO_VERSION {
+                Response::ok([
+                    ("proto", crate::protocol::PROTO_VERSION.to_string()),
+                    ("server", "snn-serve".to_string()),
+                    ("evict", u8::from(manager.eviction_enabled()).to_string()),
+                ])
+            } else {
+                Response::error(
+                    "proto-mismatch",
+                    format!(
+                        "server speaks proto {}, client sent {proto}",
+                        crate::protocol::PROTO_VERSION
+                    ),
+                )
+            }
+        }
+        // A draining server answers ping with its shutdown state so
+        // health checkers stop routing to it instead of seeing a live
+        // socket and assuming a live shard.
+        Request::Ping if manager.is_shutdown() => error_response(&ServeError::Shutdown),
+        Request::Ping => Response::ok([
+            ("pong", "1".to_string()),
+            ("proto", crate::protocol::PROTO_VERSION.to_string()),
+        ]),
         Request::Stats => {
             let s = manager.stats();
             Response::ok([
@@ -203,6 +236,8 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
                 ("queued_jobs", s.queued_jobs.to_string()),
                 ("ticks", s.ticks.to_string()),
                 ("total_samples", s.total_samples.to_string()),
+                ("evicted", s.evicted_sessions.to_string()),
+                ("total_j", s.total_j.to_string()),
             ])
         }
         Request::Open { id, spec } => match manager.open(&id, &spec) {
@@ -210,7 +245,11 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
             Err(e) => error_response(&e),
         },
         Request::Restore { id, snapshot } => match manager.open_restored(&id, &snapshot) {
-            Ok(samples) => Response::ok([("id", id), ("samples", samples.to_string())]),
+            Ok((samples, total_j)) => Response::ok([
+                ("id", id),
+                ("samples", samples.to_string()),
+                ("total_j", total_j.to_string()),
+            ]),
             Err(e) => error_response(&e),
         },
         Request::Ingest { id, images } => {
@@ -227,6 +266,7 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
         Request::Energy { id } => roundtrip(manager, &id, Job::Energy),
         Request::Checkpoint { id } => roundtrip(manager, &id, Job::Checkpoint),
         Request::Swap { id, snapshot } => roundtrip(manager, &id, Job::Swap(snapshot)),
+        Request::Evict { id } => roundtrip(manager, &id, Job::Evict),
         Request::Close { id } => roundtrip(manager, &id, Job::Close),
     }
 }
@@ -253,7 +293,7 @@ fn job_response(id: &str, result: JobResult) -> Response {
         Err(e) => return error_response(&e),
     };
     match output {
-        JobOutput::Ingested(outcome) => Response::ok([
+        JobOutput::Ingested(outcome, total_j) => Response::ok([
             ("id", id.to_string()),
             ("predictions", encode_predictions(&outcome.predictions)),
             ("drifts", outcome.drift_events.len().to_string()),
@@ -262,6 +302,7 @@ fn job_response(id: &str, result: JobResult) -> Response {
                 u8::from(outcome.response_active).to_string(),
             ),
             ("samples", outcome.samples_seen.to_string()),
+            ("total_j", total_j.to_string()),
         ]),
         JobOutput::Report(report) | JobOutput::Closed(report) => Response::ok([
             ("id", id.to_string()),
@@ -280,9 +321,16 @@ fn job_response(id: &str, result: JobResult) -> Response {
         JobOutput::Checkpoint(bytes) => {
             Response::ok([("id", id.to_string()), ("data", hex_encode(&bytes))])
         }
-        JobOutput::Swapped { samples_seen } => Response::ok([
+        JobOutput::Swapped {
+            samples_seen,
+            total_j,
+        } => Response::ok([
             ("id", id.to_string()),
             ("samples", samples_seen.to_string()),
+            ("total_j", total_j.to_string()),
         ]),
+        JobOutput::Evicted(path) => {
+            Response::ok([("id", id.to_string()), ("path", path.display().to_string())])
+        }
     }
 }

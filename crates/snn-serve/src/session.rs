@@ -25,8 +25,10 @@
 //!   close are answered with the same error.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use neuro_energy::GpuSpec;
 use snn_data::Image;
@@ -45,6 +47,14 @@ pub struct ServeLimits {
     pub queue_capacity: usize,
     /// Maximum samples per `ingest` request.
     pub max_batch: usize,
+    /// Fairness cap: at most this many jobs of one session run per tick;
+    /// the remainder stays queued and round-robins into later ticks, so a
+    /// chatty session cannot stretch a tick's wall-clock for everyone.
+    pub max_jobs_per_tick: usize,
+    /// Evict sessions idle for this long (checkpoint to the server's
+    /// evict directory, free the learner). `None` disables the sweep;
+    /// eviction also requires [`crate::ServerConfig::evict_dir`].
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeLimits {
@@ -53,12 +63,14 @@ impl Default for ServeLimits {
             max_sessions: 32,
             queue_capacity: 8,
             max_batch: 256,
+            max_jobs_per_tick: 4,
+            idle_timeout: None,
         }
     }
 }
 
 /// Server-wide counters, as returned by the `stats` request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerStats {
     /// Currently open sessions (including ones draining towards close).
     pub sessions: usize,
@@ -70,6 +82,14 @@ pub struct ServerStats {
     pub ticks: u64,
     /// Stream samples ingested across all sessions.
     pub total_samples: u64,
+    /// Sessions evicted to disk whose checkpoints are still claimable.
+    pub evicted_sessions: usize,
+    /// Modelled joules (train + infer) expended **on this server** by
+    /// every session it has hosted, including closed and evicted ones —
+    /// the number a cluster tier aggregates per shard. Work a restored
+    /// checkpoint did elsewhere is billed where it ran, so migrating a
+    /// session never double-counts its history.
+    pub total_j: f64,
 }
 
 /// Everything that can go wrong serving a request, with a stable wire
@@ -96,6 +116,11 @@ pub enum ServeError {
     },
     /// The session has a close pending and admits no further jobs.
     SessionClosing(String),
+    /// The session was evicted to disk; the payload is the restore path.
+    /// The wire message for this code is exactly the path (no prose), so
+    /// clients and the cluster tier can recover the checkpoint location
+    /// without parsing free text.
+    SessionEvicted(String),
     /// The request was structurally valid but semantically unacceptable.
     BadRequest(String),
     /// A snapshot payload failed to decode or validate.
@@ -116,6 +141,7 @@ impl ServeError {
             ServeError::UnknownSession(_) => "unknown-session",
             ServeError::Backpressure { .. } => "backpressure",
             ServeError::SessionClosing(_) => "session-closing",
+            ServeError::SessionEvicted(_) => "session-evicted",
             ServeError::BadRequest(_) => "bad-request",
             ServeError::Snapshot(_) => "snapshot",
             ServeError::Learner(_) => "learner",
@@ -136,6 +162,8 @@ impl std::fmt::Display for ServeError {
                 write!(f, "session queue full ({depth}/{capacity} pending)")
             }
             ServeError::SessionClosing(id) => write!(f, "session {id} is closing"),
+            // Deliberately the bare path: see the variant docs.
+            ServeError::SessionEvicted(path) => write!(f, "{path}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
             ServeError::Learner(msg) => write!(f, "learner error: {msg}"),
@@ -159,6 +187,8 @@ pub(crate) enum Job {
     Checkpoint,
     /// Hot-swap onto a snapshot.
     Swap(Vec<u8>),
+    /// Checkpoint to the evict directory, then free the learner.
+    Evict,
     /// Final report, then remove the session.
     Close,
 }
@@ -166,8 +196,10 @@ pub(crate) enum Job {
 /// What a successfully executed [`Job`] produced.
 #[derive(Debug)]
 pub(crate) enum JobOutput {
-    /// Outcome of an ingest step.
-    Ingested(StepOutcome),
+    /// Outcome of an ingest step, plus the session's cumulative modelled
+    /// joules (train + infer) afterwards — carried on the wire so a
+    /// budget-enforcing tier needs no extra `energy` round trip.
+    Ingested(StepOutcome, f64),
     /// A prequential report.
     Report(OnlineReport),
     /// Energy totals.
@@ -178,7 +210,14 @@ pub(crate) enum JobOutput {
     Swapped {
         /// Samples seen by the adopted state.
         samples_seen: u64,
+        /// The session's cumulative joules after adopting the snapshot
+        /// (the adopted state's carried history — budget tiers rebase on
+        /// this).
+        total_j: f64,
     },
+    /// The session's state was checkpointed to this path and its learner
+    /// freed.
+    Evicted(PathBuf),
     /// The session's final report.
     Closed(OnlineReport),
 }
@@ -239,11 +278,28 @@ struct SessionEntry {
     learner: Option<OnlineLearner>,
     queue: VecDeque<Envelope>,
     closing: bool,
+    /// Last submit or tick completion; drives the idle-eviction sweep.
+    last_active: Instant,
+    /// Modelled joules at the end of the session's last tick. Cumulative
+    /// from the learner's birth — op counters survive checkpoints, so a
+    /// restored session carries its history here.
+    joules: f64,
+    /// The learner's joules when this server admitted it. The session's
+    /// contribution to this server's `total_j` is `joules - baseline_j`,
+    /// so restoring or migrating a checkpoint never double-counts the
+    /// energy already billed where the work actually ran.
+    baseline_j: f64,
 }
 
 #[derive(Debug)]
 struct Registry {
     sessions: HashMap<String, SessionEntry>,
+    /// Sessions checkpointed to disk by eviction: id → restore path.
+    /// Cleared when the id is reused by a successful `open`/`restore`.
+    evicted: HashMap<String, PathBuf>,
+    /// Joules expended *on this server* by sessions that have closed or
+    /// been evicted (final minus admission baseline, per session).
+    retired_j: f64,
     shutdown: bool,
     ticks: u64,
     total_samples: u64,
@@ -257,14 +313,19 @@ pub struct SessionManager {
     pool: PoolHandle,
     limits: ServeLimits,
     gpu: GpuSpec,
+    evict_dir: Option<PathBuf>,
 }
 
 impl SessionManager {
-    /// Creates an empty registry with one shared replica pool.
-    pub fn new(limits: ServeLimits, gpu: GpuSpec) -> Self {
+    /// Creates an empty registry with one shared replica pool. Eviction
+    /// (idle-timeout sweeps and the `evict` request) stays disabled
+    /// unless `evict_dir` names a directory to checkpoint victims into.
+    pub fn new(limits: ServeLimits, gpu: GpuSpec, evict_dir: Option<PathBuf>) -> Self {
         SessionManager {
             state: Mutex::new(Registry {
                 sessions: HashMap::new(),
+                evicted: HashMap::new(),
+                retired_j: 0.0,
                 shutdown: false,
                 ticks: 0,
                 total_samples: 0,
@@ -287,6 +348,7 @@ impl SessionManager {
             )),
             limits,
             gpu,
+            evict_dir,
         }
     }
 
@@ -299,6 +361,21 @@ impl SessionManager {
         &self.gpu
     }
 
+    /// Whether this server can evict (an evict directory is configured).
+    /// Advertised in the `hello` banner so routing tiers can refuse
+    /// energy budgets on shards that could never enforce them.
+    pub(crate) fn eviction_enabled(&self) -> bool {
+        self.evict_dir.is_some()
+    }
+
+    /// Where an evicted session's checkpoint lands, or `None` when this
+    /// server was configured without an evict directory.
+    pub(crate) fn evict_path(&self, id: &str) -> Option<PathBuf> {
+        self.evict_dir
+            .as_ref()
+            .map(|d| d.join(format!("{id}.sdyn")))
+    }
+
     /// Opens a fresh session. The learner is built *outside* the registry
     /// lock (network init is the expensive part); admission is enforced
     /// atomically at insert.
@@ -309,18 +386,31 @@ impl SessionManager {
         self.insert(id, learner)
     }
 
-    /// Opens a new session restored from snapshot bytes.
-    pub(crate) fn open_restored(&self, id: &str, snapshot: &[u8]) -> Result<u64, ServeError> {
+    /// Opens a new session restored from snapshot bytes. Returns the
+    /// restored stream position and the cumulative joules the snapshot
+    /// carries (so a budget-enforcing tier can set its baseline without
+    /// an extra round trip).
+    pub(crate) fn open_restored(
+        &self,
+        id: &str,
+        snapshot: &[u8],
+    ) -> Result<(u64, f64), ServeError> {
         let snap =
             ModelSnapshot::from_bytes(snapshot).map_err(|e| ServeError::Snapshot(e.to_string()))?;
         let learner = OnlineLearner::resume_with_pool(snap, std::sync::Arc::clone(&self.pool))
             .map_err(|e| ServeError::Snapshot(e.to_string()))?;
         let samples = learner.samples_seen();
+        let energy = learner.energy(&self.gpu);
+        let total_j = energy.train_j + energy.infer_j;
         self.insert(id, learner)?;
-        Ok(samples)
+        Ok((samples, total_j))
     }
 
     fn insert(&self, id: &str, learner: OnlineLearner) -> Result<(), ServeError> {
+        // Priced outside the lock: a restored learner arrives carrying
+        // the op counters of work done elsewhere.
+        let admitted = learner.energy(&self.gpu);
+        let baseline_j = admitted.train_j + admitted.infer_j;
         let mut state = self.state.lock().expect("session registry poisoned");
         if state.shutdown {
             return Err(ServeError::Shutdown);
@@ -334,12 +424,17 @@ impl SessionManager {
                 max: self.limits.max_sessions,
             });
         }
+        // Reusing an evicted id supersedes the on-disk tombstone.
+        state.evicted.remove(id);
         state.sessions.insert(
             id.to_string(),
             SessionEntry {
                 learner: Some(learner),
                 queue: VecDeque::new(),
                 closing: false,
+                last_active: Instant::now(),
+                joules: baseline_j,
+                baseline_j,
             },
         );
         Ok(())
@@ -357,6 +452,9 @@ impl SessionManager {
         if state.shutdown {
             return Err(ServeError::Shutdown);
         }
+        if let Some(path) = state.evicted.get(id) {
+            return Err(ServeError::SessionEvicted(path.display().to_string()));
+        }
         let entry = state
             .sessions
             .get_mut(id)
@@ -373,6 +471,7 @@ impl SessionManager {
         if matches!(job, Job::Close) {
             entry.closing = true;
         }
+        entry.last_active = Instant::now();
         entry.queue.push_back(Envelope { job, reply });
         drop(state);
         self.work_ready.notify_all();
@@ -380,20 +479,48 @@ impl SessionManager {
     }
 
     /// Blocks until at least one session is ready (learner present and
-    /// queue non-empty), then drains **every** ready session's queue as
-    /// one tick of work. Returns `None` only at shutdown with no work
-    /// left, so pending jobs always drain before the scheduler exits.
+    /// queue non-empty), then takes up to `max_jobs_per_tick` jobs from
+    /// **every** ready session as one tick of work; a longer queue keeps
+    /// its remainder and becomes ready again next tick (round-robin
+    /// across ticks, so one chatty session cannot monopolise a tick).
+    /// With idle eviction configured, sessions idle past the timeout are
+    /// turned into eviction work on the same ticks. Returns `None` only
+    /// at shutdown with no work left, so pending jobs always drain before
+    /// the scheduler exits.
     pub(crate) fn take_work(&self) -> Option<Vec<WorkUnit>> {
+        let per_tick = self.limits.max_jobs_per_tick.max(1);
+        let sweep = match (self.limits.idle_timeout, &self.evict_dir) {
+            (Some(timeout), Some(_)) => Some(timeout),
+            _ => None,
+        };
         let mut state = self.state.lock().expect("session registry poisoned");
         loop {
             let mut units = Vec::new();
             for (id, entry) in state.sessions.iter_mut() {
-                if entry.learner.is_some() && !entry.queue.is_empty() {
+                if entry.learner.is_none() {
+                    continue;
+                }
+                if !entry.queue.is_empty() {
+                    let take = entry.queue.len().min(per_tick);
                     units.push(WorkUnit {
                         id: id.clone(),
                         learner: entry.learner.take().expect("checked is_some"),
-                        jobs: entry.queue.drain(..).collect(),
+                        jobs: entry.queue.drain(..take).collect(),
                     });
+                } else if let Some(timeout) = sweep {
+                    if !entry.closing && entry.last_active.elapsed() >= timeout {
+                        // Synthesised eviction: the reply receiver is
+                        // dropped immediately — nobody waits on a sweep.
+                        let (reply, _) = mpsc::channel();
+                        units.push(WorkUnit {
+                            id: id.clone(),
+                            learner: entry.learner.take().expect("checked is_some"),
+                            jobs: vec![Envelope {
+                                job: Job::Evict,
+                                reply,
+                            }],
+                        });
+                    }
                 }
             }
             if !units.is_empty() {
@@ -406,16 +533,29 @@ impl SessionManager {
             if state.shutdown {
                 return None;
             }
-            state = self
-                .work_ready
-                .wait(state)
-                .expect("session registry poisoned");
+            state = match sweep {
+                // The sweep needs periodic wake-ups even when no job ever
+                // arrives; bound the nap so eviction lags the timeout by
+                // at most ~a quarter of it.
+                Some(timeout) => {
+                    let nap = (timeout / 4).min(Duration::from_millis(250));
+                    self.work_ready
+                        .wait_timeout(state, nap)
+                        .expect("session registry poisoned")
+                        .0
+                }
+                None => self
+                    .work_ready
+                    .wait(state)
+                    .expect("session registry poisoned"),
+            };
         }
     }
 
-    /// Returns learners after a tick, removes closed sessions (answering
-    /// any jobs that raced in behind the close), and wakes the scheduler
-    /// if queues refilled while their learners were checked out.
+    /// Returns learners after a tick, removes closed or evicted sessions
+    /// (answering any jobs that raced in behind the close/evict), and
+    /// wakes the scheduler if queues refilled while their learners were
+    /// checked out.
     pub(crate) fn finish(&self, finished: Vec<FinishedUnit>) {
         let mut deferred = Vec::new();
         let mut state = self.state.lock().expect("session registry poisoned");
@@ -425,15 +565,29 @@ impl SessionManager {
                 Some(learner) => {
                     if let Some(entry) = state.sessions.get_mut(&unit.id) {
                         entry.learner = Some(learner);
+                        entry.joules = unit.joules;
+                        // A hot swap replaces the learner's cumulative op
+                        // counters wholesale; shifting the baseline by the
+                        // jump keeps `joules - baseline_j` — the session's
+                        // spend on THIS server — continuous across it.
+                        entry.baseline_j += unit.baseline_shift;
+                        entry.last_active = Instant::now();
                     }
                 }
                 None => {
+                    if let Some(path) = unit.evicted.clone() {
+                        state.evicted.insert(unit.id.clone(), path);
+                    }
                     if let Some(entry) = state.sessions.remove(&unit.id) {
+                        state.retired_j += unit.joules - (entry.baseline_j + unit.baseline_shift);
                         for envelope in entry.queue {
-                            deferred.push((
-                                envelope.reply,
-                                Err(ServeError::SessionClosing(unit.id.clone())),
-                            ));
+                            let err = match &unit.evicted {
+                                Some(path) => {
+                                    ServeError::SessionEvicted(path.display().to_string())
+                                }
+                                None => ServeError::SessionClosing(unit.id.clone()),
+                            };
+                            deferred.push((envelope.reply, Err(err)));
                         }
                     }
                 }
@@ -458,7 +612,23 @@ impl SessionManager {
             queued_jobs: state.sessions.values().map(|e| e.queue.len()).sum(),
             ticks: state.ticks,
             total_samples: state.total_samples,
+            evicted_sessions: state.evicted.len(),
+            total_j: state.retired_j
+                + state
+                    .sessions
+                    .values()
+                    .map(|e| e.joules - e.baseline_j)
+                    .sum::<f64>(),
         }
+    }
+
+    /// Whether shutdown has been flagged (drives the honest `ping`:
+    /// a draining server is not a healthy serving target).
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.state
+            .lock()
+            .expect("session registry poisoned")
+            .shutdown
     }
 
     /// Flags shutdown: further opens/submits are rejected, and the
@@ -498,8 +668,10 @@ mod tests {
                 max_sessions,
                 queue_capacity,
                 max_batch: 64,
+                ..ServeLimits::default()
             },
             GpuSpec::gtx_1080_ti(),
+            None,
         )
     }
 
@@ -568,6 +740,41 @@ mod tests {
         assert_eq!(units[1].jobs.len(), 2, "whole queue drained");
         assert_eq!(m.stats().queued_jobs, 0);
         assert_eq!(m.stats().ticks, 1);
+    }
+
+    #[test]
+    fn chatty_session_cannot_monopolise_a_tick() {
+        // A session with a deep queue gets at most max_jobs_per_tick jobs
+        // per tick; the quiet session still rides the same tick, and the
+        // chatty remainder round-robins into later ticks.
+        let m = SessionManager::new(
+            ServeLimits {
+                max_sessions: 4,
+                queue_capacity: 8,
+                max_batch: 64,
+                max_jobs_per_tick: 2,
+                idle_timeout: None,
+            },
+            GpuSpec::gtx_1080_ti(),
+            None,
+        );
+        m.open("chatty", &tiny_spec()).unwrap();
+        m.open("quiet", &tiny_spec()).unwrap();
+        let (tx, _rx) = mpsc::channel();
+        for _ in 0..6 {
+            m.submit("chatty", Job::Report, tx.clone()).unwrap();
+        }
+        m.submit("quiet", Job::Report, tx).unwrap();
+
+        let units = m.take_work().unwrap();
+        assert_eq!(units.len(), 2, "both sessions share the tick");
+        let chatty = units.iter().find(|u| u.id == "chatty").unwrap();
+        assert_eq!(chatty.jobs.len(), 2, "chatty capped at max_jobs_per_tick");
+        assert_eq!(
+            m.stats().queued_jobs,
+            4,
+            "the remainder stays queued for later ticks"
+        );
     }
 
     #[test]

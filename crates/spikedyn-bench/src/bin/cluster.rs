@@ -1,0 +1,22 @@
+//! Cluster load generator: aggregate throughput for 1 vs N shards.
+//!
+//! ```sh
+//! cargo run --release --bin cluster              # harness scale (1/2/4 shards)
+//! cargo run --release --bin cluster -- --fast    # seconds-long smoke run
+//! ```
+//! Accepts the shared scale flags (`--spt`, `--seed`, `--n-small`, …).
+
+use spikedyn_bench::experiments::cluster::{run_profile, Profile};
+use spikedyn_bench::HarnessScale;
+
+fn main() {
+    let scale = HarnessScale::from_args();
+    let profile = if std::env::args().any(|a| a == "--fast") {
+        Profile::Smoke
+    } else {
+        Profile::Standard
+    };
+    let t0 = std::time::Instant::now();
+    print!("{}", run_profile(&scale, profile));
+    println!("[cluster done in {:.1}s]", t0.elapsed().as_secs_f32());
+}

@@ -1,7 +1,8 @@
 //! Runs every table/figure reproduction in sequence (the full evaluation
 //! of the paper). Accepts the same scale flags as the individual binaries.
 use spikedyn_bench::experiments::{
-    ablations, fig01, fig04, fig05, fig06, fig09, fig10, fig11, online, serve, table01, table02,
+    ablations, cluster, fig01, fig04, fig05, fig06, fig09, fig10, fig11, online, serve, table01,
+    table02,
 };
 use spikedyn_bench::HarnessScale;
 
@@ -14,7 +15,7 @@ fn main() {
         scale.seed
     );
     type Experiment = (&'static str, fn(&HarnessScale) -> String);
-    let experiments: [Experiment; 12] = [
+    let experiments: [Experiment; 13] = [
         ("Table I", table01::run),
         ("Fig. 1", fig01::run),
         ("Fig. 4", fig04::run),
@@ -26,9 +27,11 @@ fn main() {
         ("Table II", table02::run),
         ("Ablations", ablations::run),
         ("Online", online::run),
-        // Smoke profile: run_all validates the serving layer end to end;
-        // the full-scale load run is `cargo run --release --bin serve`.
+        // Smoke profiles: run_all validates the serving and cluster
+        // layers end to end; the full-scale load runs are the `serve`
+        // and `cluster` binaries.
         ("Serve", serve::run_smoke),
+        ("Cluster", cluster::run_smoke),
     ];
     for (name, f) in experiments {
         let t0 = std::time::Instant::now();

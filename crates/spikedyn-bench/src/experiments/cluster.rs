@@ -1,0 +1,295 @@
+//! Cluster experiment — load-generating the `snn-cluster` router:
+//! aggregate throughput for 1 vs N `snn-serve` shards.
+//!
+//! For each shard count, starts an in-process [`Cluster`], spawns the
+//! shards, opens N concurrent sessions through the router (one client
+//! thread each, cycling the `snn_data::scenario` drift streams), and
+//! drives every stream in micro-batches while timing each `ingest`
+//! round trip. On multi-shard runs every session additionally
+//! **live-migrates itself to another shard halfway through its stream**,
+//! so the scaling numbers include the checkpoint→restore cost of
+//! rebalancing under load (the bit-identity of that move is pinned by
+//! `tests/cluster_shards.rs`, not here).
+//!
+//! Latency and throughput are wall-clock and machine-dependent; the
+//! learner outcomes are deterministic.
+
+use std::time::{Duration, Instant};
+
+use snn_cluster::{Cluster, ClusterConfig};
+use snn_data::{Scenario, SyntheticDigits};
+use snn_serve::{ServeClient, ServerConfig, SessionSpec};
+use spikedyn::Method;
+
+use crate::output::Table;
+use crate::scale::HarnessScale;
+
+/// Scale profile of one cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Harness-scale run.
+    Standard,
+    /// Seconds-long smoke profile (`--fast`), used by CI and `run_all`.
+    Smoke,
+}
+
+fn shard_counts(profile: Profile) -> &'static [usize] {
+    match profile {
+        Profile::Standard => &[1, 2, 4],
+        Profile::Smoke => &[1, 2],
+    }
+}
+
+fn sessions(profile: Profile) -> usize {
+    match profile {
+        Profile::Standard => 8,
+        Profile::Smoke => 4,
+    }
+}
+
+fn samples_per_session(scale: &HarnessScale, profile: Profile) -> u64 {
+    match profile {
+        Profile::Standard => scale.samples_per_task * 3,
+        Profile::Smoke => 32,
+    }
+}
+
+/// The session spec one load-generator client opens (mirrors the `serve`
+/// experiment's profile so 1-shard cluster numbers are comparable to a
+/// bare server).
+pub fn spec(scale: &HarnessScale, profile: Profile, session: usize) -> SessionSpec {
+    SessionSpec {
+        method: Method::SpikeDyn,
+        n_exc: match profile {
+            Profile::Standard => scale.n_small,
+            Profile::Smoke => 12,
+        },
+        n_input: 196,
+        n_classes: 10,
+        seed: scale.seed + session as u64,
+        batch_size: 8,
+        assign_every: 16,
+        reservoir_capacity: 24,
+        metric_window: 24,
+        drift_window: 12,
+    }
+}
+
+struct SessionOutcome {
+    samples: u64,
+    migrations: usize,
+    latencies: Vec<Duration>,
+}
+
+fn drive_session(
+    cluster: &Cluster,
+    scale: &HarnessScale,
+    profile: Profile,
+    session: usize,
+    migrate_midway: bool,
+) -> SessionOutcome {
+    let scenario = Scenario::all()[session % Scenario::all().len()];
+    let spec = spec(scale, profile, session);
+    let id = format!("cl-{session}");
+    let mut client = ServeClient::connect(cluster.local_addr()).expect("connect to router");
+    client.open(&id, spec.clone()).expect("open session");
+
+    let gen = SyntheticDigits::new(spec.seed);
+    let classes: Vec<u8> = (0..10).collect();
+    let total = samples_per_session(scale, profile);
+    let stream: Vec<_> = scenario
+        .stream(&gen, &classes, total, spec.seed, 0)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+
+    let chunks: Vec<&[snn_data::Image]> = stream.chunks(spec.batch_size).collect();
+    let mut latencies = Vec::with_capacity(chunks.len());
+    let mut samples = 0;
+    let mut migrations = 0;
+    for (batch_idx, chunk) in chunks.iter().enumerate() {
+        if migrate_midway && batch_idx == chunks.len() / 2 {
+            // Live-migrate this session to another shard mid-stream; the
+            // load keeps flowing right after.
+            let here = cluster.session_shard(&id).expect("session is routed");
+            let shard_ids = cluster.shard_ids();
+            if let Some(&there) = shard_ids.iter().find(|&&s| s != here) {
+                cluster.migrate_session(&id, there).expect("live migration");
+                migrations += 1;
+            }
+        }
+        let t0 = Instant::now();
+        let outcome = loop {
+            match client.ingest(&id, chunk) {
+                Ok(outcome) => break outcome,
+                Err(e) if e.server_code() == Some("backpressure") => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("ingest failed: {e}"),
+            }
+        };
+        latencies.push(t0.elapsed());
+        samples = outcome.samples_seen;
+    }
+    client.close(&id).expect("close session");
+    SessionOutcome {
+        samples,
+        migrations,
+        latencies,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct RunOutcome {
+    shards: usize,
+    samples: u64,
+    migrations: usize,
+    wall: Duration,
+    latencies: Vec<Duration>,
+    shard_joules: Vec<f64>,
+}
+
+fn run_one(scale: &HarnessScale, profile: Profile, n_shards: usize) -> RunOutcome {
+    let cluster =
+        Cluster::start("127.0.0.1:0", ClusterConfig::default()).expect("bind an ephemeral port");
+    for _ in 0..n_shards {
+        cluster
+            .spawn_shard(ServerConfig::default())
+            .expect("spawn shard");
+    }
+    let n_sessions = sessions(profile);
+    let migrate_midway = n_shards > 1;
+
+    let wall = Instant::now();
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|s| {
+        let cluster = &cluster;
+        let handles: Vec<_> = (0..n_sessions)
+            .map(|i| s.spawn(move || drive_session(cluster, scale, profile, i, migrate_midway)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall.elapsed();
+    let stats = cluster.stats();
+    cluster.shutdown();
+
+    let mut latencies: Vec<Duration> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies.iter().copied())
+        .collect();
+    latencies.sort();
+    RunOutcome {
+        shards: n_shards,
+        samples: outcomes.iter().map(|o| o.samples).sum(),
+        migrations: outcomes.iter().map(|o| o.migrations).sum(),
+        wall,
+        latencies,
+        shard_joules: stats.shards.iter().map(|s| s.total_j).collect(),
+    }
+}
+
+/// Runs the experiment at the given profile and returns the rendered
+/// report.
+pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
+    let runs: Vec<RunOutcome> = shard_counts(profile)
+        .iter()
+        .map(|&n| run_one(scale, profile, n))
+        .collect();
+
+    let mut table = Table::new(
+        "Cluster: aggregate throughput, 1 vs N snn-serve shards (snn-cluster router)",
+        &[
+            "shards",
+            "sessions",
+            "samples",
+            "migrations",
+            "samples/s",
+            "p50 ms",
+            "p95 ms",
+        ],
+    );
+    for run in &runs {
+        table.row(&[
+            run.shards.to_string(),
+            sessions(profile).to_string(),
+            run.samples.to_string(),
+            run.migrations.to_string(),
+            format!(
+                "{:.0}",
+                run.samples as f64 / run.wall.as_secs_f64().max(f64::EPSILON)
+            ),
+            format!(
+                "{:.2}",
+                percentile(&run.latencies, 0.50).as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.2}",
+                percentile(&run.latencies, 0.95).as_secs_f64() * 1e3
+            ),
+        ]);
+    }
+    let mut out = table.render();
+    if let (Some(first), Some(last)) = (runs.first(), runs.last()) {
+        let base = first.samples as f64 / first.wall.as_secs_f64().max(f64::EPSILON);
+        let top = last.samples as f64 / last.wall.as_secs_f64().max(f64::EPSILON);
+        out.push_str(&format!(
+            "aggregate — {} shard(s) {:.0} samples/s vs {} shard(s) {:.0} samples/s \
+             ({:.2}x, wall-clock); {} mid-stream live migration(s); \
+             per-shard joules on the largest run: [{}]\n",
+            first.shards,
+            base,
+            last.shards,
+            top,
+            top / base.max(f64::EPSILON),
+            runs.iter().map(|r| r.migrations).sum::<usize>(),
+            last.shard_joules
+                .iter()
+                .map(|j| format!("{j:.3}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    let _ = table.write_csv("cluster_scaling");
+    out
+}
+
+/// Runs the standard-profile experiment.
+pub fn run(scale: &HarnessScale) -> String {
+    run_profile(scale, Profile::Standard)
+}
+
+/// Runs the smoke-profile experiment (the `run_all` entry point — the
+/// full-scale cluster run is a standalone binary concern).
+pub fn run_smoke(scale: &HarnessScale) -> String {
+    run_profile(scale, Profile::Smoke)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_profile_reports_one_vs_two_shards_and_migrations() {
+        let scale = HarnessScale {
+            samples_per_task: 8,
+            ..Default::default()
+        };
+        let out = run_profile(&scale, Profile::Smoke);
+        assert!(out.contains("=== Cluster"), "missing table:\n{out}");
+        assert!(
+            out.contains("1 shard(s)") && out.contains("2 shard(s)"),
+            "aggregate must compare 1 vs 2 shards:\n{out}"
+        );
+        assert!(out.contains("samples/s"));
+        assert!(
+            out.contains("live migration"),
+            "migration drill must be reported:\n{out}"
+        );
+    }
+}

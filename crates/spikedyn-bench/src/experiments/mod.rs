@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod cluster;
 pub mod fig01;
 pub mod fig04;
 pub mod fig05;

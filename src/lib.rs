@@ -10,7 +10,9 @@
 //! * [`runtime`](snn_runtime) — the batched, sample-parallel execution engine,
 //! * [`spikedyn`] — the paper's contribution: architecture, Alg. 1 search, Alg. 2 learning,
 //! * [`online`](snn_online) — the streaming continual learner with durable checkpoints,
-//! * [`serve`](snn_serve) — the multi-session TCP serving layer over `snn-online`.
+//! * [`serve`](snn_serve) — the multi-session TCP serving layer over `snn-online`,
+//! * [`cluster`](snn_cluster) — the consistent-hash session router sharding
+//!   `snn-serve` with checkpoint-based live migration.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -18,6 +20,7 @@
 
 pub use neuro_energy;
 pub use snn_baselines;
+pub use snn_cluster;
 pub use snn_core;
 pub use snn_data;
 pub use snn_online;

@@ -1,0 +1,173 @@
+//! Workspace-level guarantees of the `snn-cluster` layer:
+//!
+//! * **Migration bit-identity** (the pinned invariant): a session opened
+//!   through the router and live-migrated between two shards mid-stream
+//!   finishes with a wire checkpoint **byte-identical** to the same
+//!   stream served unmigrated on one shard — and to a single-process
+//!   `OnlineLearner`. Serving topology changes *where* a learner runs,
+//!   never *what* it computes.
+//! * **Drain bit-identity**: draining a shard (the shutdown path) moves
+//!   its sessions without perturbing a single bit of their streams.
+//!
+//! Ring-hash unit tests (uniformity, minimal reshuffle on join/leave)
+//! live in `snn-cluster/src/ring.rs`.
+
+use snn_cluster::{Cluster, ClusterConfig};
+use snn_data::{Image, Scenario, SyntheticDigits};
+use snn_serve::{ServeClient, ServerConfig, SessionSpec};
+use spikedyn::Method;
+
+/// A tiny 7×7-input profile so multi-shard streams stay fast.
+fn tiny_spec(seed: u64) -> SessionSpec {
+    SessionSpec {
+        method: Method::SpikeDyn,
+        n_exc: 8,
+        n_input: 49,
+        n_classes: 10,
+        seed,
+        batch_size: 4,
+        assign_every: 8,
+        reservoir_capacity: 12,
+        metric_window: 12,
+        drift_window: 8,
+    }
+}
+
+/// The scenario's deterministic stream, downsampled onto the 7×7 profile.
+fn scenario_stream(scenario: Scenario, seed: u64, total: u64) -> Vec<Image> {
+    let gen = SyntheticDigits::new(seed);
+    let classes: Vec<u8> = (0..10).collect();
+    scenario
+        .stream(&gen, &classes, total, seed, 0)
+        .into_iter()
+        .map(|img| img.downsample(4))
+        .collect()
+}
+
+fn two_shard_cluster() -> Cluster {
+    let cluster = Cluster::start("127.0.0.1:0", ClusterConfig::default()).unwrap();
+    cluster.spawn_shard(ServerConfig::default()).unwrap();
+    cluster.spawn_shard(ServerConfig::default()).unwrap();
+    cluster
+}
+
+#[test]
+fn migrated_session_finishes_bit_identical_to_unmigrated() {
+    let cluster = two_shard_cluster();
+    let mut client = ServeClient::connect(cluster.local_addr()).unwrap();
+
+    for (i, scenario) in [Scenario::GradualDrift, Scenario::RecurringTasks]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = 60 + i as u64;
+        let label = scenario.label();
+        let stream = scenario_stream(scenario, seed, 32);
+
+        // Reference: the same stream served through the same router with
+        // no migration (whatever single shard the ring picks).
+        let fixed_id = format!("fixed-{label}");
+        client.open(&fixed_id, tiny_spec(seed)).unwrap();
+        let mut fixed_preds = Vec::new();
+        for chunk in stream.chunks(4) {
+            fixed_preds.extend(client.ingest(&fixed_id, chunk).unwrap().predictions);
+        }
+        let fixed_final = client.checkpoint(&fixed_id).unwrap();
+
+        // Moving session: half the stream, live-migrate to the *other*
+        // shard mid-stream, then hop back — two migrations, zero pauses
+        // from the client's point of view.
+        let moved_id = format!("moved-{label}");
+        client.open(&moved_id, tiny_spec(seed)).unwrap();
+        let mut moved_preds = Vec::new();
+        for chunk in stream[..16].chunks(4) {
+            moved_preds.extend(client.ingest(&moved_id, chunk).unwrap().predictions);
+        }
+        let first_home = cluster.session_shard(&moved_id).unwrap();
+        let other = cluster
+            .shard_ids()
+            .into_iter()
+            .find(|&s| s != first_home)
+            .expect("two shards");
+        cluster.migrate_session(&moved_id, other).unwrap();
+        assert_eq!(cluster.session_shard(&moved_id), Some(other));
+        for chunk in stream[16..24].chunks(4) {
+            moved_preds.extend(client.ingest(&moved_id, chunk).unwrap().predictions);
+        }
+        cluster.migrate_session(&moved_id, first_home).unwrap();
+        for chunk in stream[24..].chunks(4) {
+            moved_preds.extend(client.ingest(&moved_id, chunk).unwrap().predictions);
+        }
+        let moved_final = client.checkpoint(&moved_id).unwrap();
+
+        assert_eq!(
+            moved_preds, fixed_preds,
+            "{label}: migrated and unmigrated predictions must match"
+        );
+        assert_eq!(
+            moved_final, fixed_final,
+            "{label}: final wire checkpoints must be byte-identical across migration"
+        );
+
+        // Triple-check against a single-process learner: the cluster adds
+        // nothing and loses nothing.
+        let mut local = snn_online::OnlineLearner::new(tiny_spec(seed).online_config());
+        let mut local_preds = Vec::new();
+        for chunk in stream.chunks(4) {
+            local_preds.extend(local.ingest_batch(chunk).unwrap());
+        }
+        assert_eq!(moved_preds, local_preds, "{label}: local reference preds");
+        assert_eq!(
+            moved_final,
+            local.checkpoint().to_bytes(),
+            "{label}: local reference checkpoint"
+        );
+
+        client.close(&fixed_id).unwrap();
+        client.close(&moved_id).unwrap();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn draining_a_shard_mid_stream_perturbs_nothing() {
+    let cluster = two_shard_cluster();
+    let mut client = ServeClient::connect(cluster.local_addr()).unwrap();
+    let n_sessions = 4u64;
+    let streams: Vec<Vec<Image>> = (0..n_sessions)
+        .map(|s| scenario_stream(Scenario::NoiseBurst, 80 + s, 24))
+        .collect();
+
+    for (s, stream) in streams.iter().enumerate() {
+        let id = format!("dr-{s}");
+        client.open(&id, tiny_spec(80 + s as u64)).unwrap();
+        for chunk in stream[..12].chunks(4) {
+            client.ingest(&id, chunk).unwrap();
+        }
+    }
+    // Drain whichever shard currently holds dr-0 (guaranteed non-empty),
+    // then finish every stream on the survivor.
+    let drained = cluster.session_shard("dr-0").unwrap();
+    let moved = cluster.drain_shard(drained).unwrap();
+    assert!(moved >= 1, "dr-0 lived on the drained shard");
+    assert_eq!(cluster.shard_ids().len(), 1);
+
+    for (s, stream) in streams.iter().enumerate() {
+        let id = format!("dr-{s}");
+        for chunk in stream[12..].chunks(4) {
+            client.ingest(&id, chunk).unwrap();
+        }
+        let served = client.checkpoint(&id).unwrap();
+        let mut local = snn_online::OnlineLearner::new(tiny_spec(80 + s as u64).online_config());
+        for chunk in stream.chunks(4) {
+            local.ingest_batch(chunk).unwrap();
+        }
+        assert_eq!(
+            served,
+            local.checkpoint().to_bytes(),
+            "session dr-{s} must be bit-identical after the drain"
+        );
+        client.close(&id).unwrap();
+    }
+    cluster.shutdown();
+}
