@@ -188,6 +188,27 @@ impl Backend {
         }
     }
 
+    /// One request/reply round trip on a dedicated connection with
+    /// `deadline` bounding connect, write and read separately — the
+    /// fan-out scrape path (`stats`, `metrics`), where a slow shard must
+    /// cost its caller at most the deadline, never the data-plane
+    /// `io_timeout`. Like [`Backend::ping`] it skips the `hello`
+    /// handshake (the server answers any verb without one) and returns
+    /// `None` on any transport failure.
+    pub(crate) fn call_with_deadline(&self, line: &str, deadline: Duration) -> Option<String> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, deadline).ok()?;
+        stream.set_read_timeout(Some(deadline)).ok()?;
+        stream.set_write_timeout(Some(deadline)).ok()?;
+        stream.write_all(line.trim_end().as_bytes()).ok()?;
+        stream.write_all(b"\n").ok()?;
+        stream.flush().ok()?;
+        let mut reply = String::new();
+        match BufReader::new(stream).read_line(&mut reply) {
+            Ok(n) if n > 0 => Some(reply.trim_end().to_string()),
+            _ => None,
+        }
+    }
+
     /// Health probe: one `ping` round trip on a dedicated connection
     /// with a short deadline on connect, write and read, so a
     /// stalled-but-connected shard reads as unhealthy instead of

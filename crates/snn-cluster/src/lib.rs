@@ -27,7 +27,12 @@
 //!   router evicts the session to disk, answering later requests with
 //!   `err code=session-evicted` whose message is the restore path.
 //! * **Observability** — `cluster-stats` aggregates per-shard session
-//!   counts, queue depths, samples, and joules.
+//!   counts, queue depths, samples, joules, and scrape latencies;
+//!   `cluster-metrics` scrapes every live shard's `snn-obs` exposition
+//!   on a bounded per-shard deadline and merges it with the router's
+//!   own (relay latency, migration duration/bytes, probe outcomes).
+//!   Relayed lines carry a request id as their final field, so spans
+//!   recorded on different tiers stitch back together by rid.
 //!
 //! ## Quick example
 //!
@@ -63,6 +68,7 @@
 
 mod backend;
 mod migrate;
+mod obs;
 pub mod ring;
 pub mod router;
 

@@ -15,21 +15,67 @@
 //! source `close` is best-effort — its only failure modes leave either
 //! no copy (source died: nothing to close) or an unreachable orphan that
 //! the source frees when it is drained or stopped.
+//!
+//! Every forwarded line carries the migration's `rid` as its final
+//! field, so the source's `serve.exec.checkpoint` span, the target's
+//! `serve.exec.restore` span, and the router's `cluster.migrate` span
+//! all share one request id and a `cluster-metrics` scrape stitches the
+//! move back together across processes.
+
+use std::time::Instant;
 
 use snn_serve::protocol::{parse_response, Response};
 
 use crate::backend::Backend;
+use crate::obs::ClusterObs;
 use crate::ClusterError;
 
 /// Moves session `id` from `from` to `to`. Caller holds the route lock.
-pub(crate) fn migrate_locked(id: &str, from: &Backend, to: &Backend) -> Result<(), ClusterError> {
-    let snapshot_hex = fetch_checkpoint_hex(id, from)?;
+/// `rid` attributes the move's spans (here and on both shards).
+pub(crate) fn migrate_locked(
+    id: &str,
+    from: &Backend,
+    to: &Backend,
+    rid: &str,
+    obs: &ClusterObs,
+) -> Result<(), ClusterError> {
+    let t0 = Instant::now();
+    match migrate_inner(id, from, to, rid) {
+        Ok(bytes) => {
+            let dur = t0.elapsed();
+            obs.migrations.inc();
+            obs.migrate_us.record_duration(dur);
+            obs.migrate_bytes.record(bytes);
+            obs.registry.span(
+                "cluster.migrate",
+                rid,
+                dur,
+                &[
+                    ("id", id.to_string()),
+                    ("from", from.id.to_string()),
+                    ("to", to.id.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            );
+            Ok(())
+        }
+        Err(e) => {
+            obs.migration_fail.inc();
+            Err(e)
+        }
+    }
+}
+
+/// The move itself, returning the decoded snapshot size in bytes.
+fn migrate_inner(id: &str, from: &Backend, to: &Backend, rid: &str) -> Result<u64, ClusterError> {
+    let snapshot_hex = fetch_checkpoint_hex(id, from, rid)?;
+    let bytes = (snapshot_hex.len() / 2) as u64;
 
     // Restore under the same id on the target (ids are namespaced per
     // shard process, so the temporary double existence cannot collide).
     // The snapshot travels as the hex the source produced — no decode or
     // re-encode on the router.
-    let restore_line = format!("restore id={id} data={snapshot_hex}");
+    let restore_line = format!("restore id={id} data={snapshot_hex} rid={rid}");
     let reply = match to.call_raw(&restore_line, false) {
         Ok(reply) => reply,
         Err(e) => {
@@ -37,7 +83,7 @@ pub(crate) fn migrate_locked(id: &str, from: &Backend, to: &Backend) -> Result<(
             // best-effort close undoes it (unknown-session if it never
             // applied), so a retried migration cannot hit
             // duplicate-session forever.
-            let _ = to.call_raw(&format!("close id={id}"), false);
+            let _ = to.call_raw(&format!("close id={id} rid={rid}"), false);
             return Err(e);
         }
     };
@@ -58,14 +104,14 @@ pub(crate) fn migrate_locked(id: &str, from: &Backend, to: &Backend) -> Result<(
     }
 
     // Best-effort release of the source copy; see the module docs.
-    let _ = from.call_raw(&format!("close id={id}"), false);
-    Ok(())
+    let _ = from.call_raw(&format!("close id={id} rid={rid}"), false);
+    Ok(bytes)
 }
 
 /// Checkpoints `id` on `from`, returning the snapshot payload still in
 /// its wire hex form.
-fn fetch_checkpoint_hex(id: &str, from: &Backend) -> Result<String, ClusterError> {
-    let reply = from.call_raw(&format!("checkpoint id={id}"), true)?;
+fn fetch_checkpoint_hex(id: &str, from: &Backend, rid: &str) -> Result<String, ClusterError> {
+    let reply = from.call_raw(&format!("checkpoint id={id} rid={rid}"), true)?;
     match parse_response(&reply) {
         Ok(resp @ Response::Ok(_)) => {
             resp.get("data")

@@ -1,0 +1,126 @@
+//! Router-side observability: one [`snn_obs::Registry`] per [`crate::Cluster`]
+//! plus cached handles for every control-plane metric, so recording is
+//! always a lock-free atomic op (handle lookup happens once, here).
+//!
+//! The registry is per-router, never process-global, for the same reason
+//! `snn-serve`'s is per-manager: the test and experiment harnesses run a
+//! router *and* its in-process shards in one process, and the
+//! `cluster-metrics` fan-out must see each registry separately before
+//! merging them itself.
+//!
+//! Metric names follow the `DESIGN.md` §10 scheme
+//! (`<layer>.<subsystem>.<metric>[_unit]`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use snn_obs::{Counter, Histogram, Registry};
+
+/// Process-wide instance sequence: each router gets a distinct rid
+/// prefix (`c0`, `c1`, …), disjoint from the `s<n>` prefixes shards
+/// mint, so a rid names its minting tier unambiguously.
+static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Cached metric handles of one cluster router.
+#[derive(Debug)]
+pub(crate) struct ClusterObs {
+    pub(crate) registry: Arc<Registry>,
+    /// `cluster.relays` — request lines forwarded to a shard (any verb).
+    pub(crate) relays: Arc<Counter>,
+    /// `cluster.relay_us` — wall time of one relayed round trip,
+    /// including routing, budget enforcement, and the shard's work.
+    pub(crate) relay_us: Arc<Histogram>,
+    /// `cluster.probe.ok` / `.fail` — health-probe outcomes.
+    pub(crate) probe_ok: Arc<Counter>,
+    /// See [`ClusterObs::probe_ok`].
+    pub(crate) probe_fail: Arc<Counter>,
+    /// `cluster.shard_down` — shards declared dead after
+    /// [`crate::router`]'s strike limit of failed probes.
+    pub(crate) shard_down: Arc<Counter>,
+    /// `cluster.rebalances` — ring-driven rebalance passes run.
+    pub(crate) rebalances: Arc<Counter>,
+    /// `cluster.sessions_moved` — sessions live-migrated by rebalances.
+    pub(crate) sessions_moved: Arc<Counter>,
+    /// `cluster.migrations` / `.migration_fail` — live migration
+    /// outcomes (any trigger: rebalance, drain, or the ops hook).
+    pub(crate) migrations: Arc<Counter>,
+    /// See [`ClusterObs::migrations`].
+    pub(crate) migration_fail: Arc<Counter>,
+    /// `cluster.migrate_us` — wall time of one completed migration
+    /// (checkpoint → restore → close).
+    pub(crate) migrate_us: Arc<Histogram>,
+    /// `cluster.migrate_bytes` — decoded snapshot payload per migration.
+    pub(crate) migrate_bytes: Arc<Histogram>,
+    /// `cluster.scrape_us` — per-shard wall time of `stats`/`metrics`
+    /// fan-out scrapes (each bounded by the scrape deadline).
+    pub(crate) scrape_us: Arc<Histogram>,
+    /// `cluster.scrape_fail` — fan-out scrapes of a live shard that
+    /// timed out or answered garbage.
+    pub(crate) scrape_fail: Arc<Counter>,
+}
+
+impl ClusterObs {
+    /// A fresh registry with every control-plane handle pre-created, so
+    /// a scrape of an idle router already shows the full schema.
+    pub(crate) fn new() -> Self {
+        let instance = format!("c{}", INSTANCE_SEQ.fetch_add(1, Ordering::Relaxed));
+        let registry = Arc::new(Registry::new(&instance));
+        ClusterObs {
+            relays: registry.counter("cluster.relays"),
+            relay_us: registry.histogram("cluster.relay_us"),
+            probe_ok: registry.counter("cluster.probe.ok"),
+            probe_fail: registry.counter("cluster.probe.fail"),
+            shard_down: registry.counter("cluster.shard_down"),
+            rebalances: registry.counter("cluster.rebalances"),
+            sessions_moved: registry.counter("cluster.sessions_moved"),
+            migrations: registry.counter("cluster.migrations"),
+            migration_fail: registry.counter("cluster.migration_fail"),
+            migrate_us: registry.histogram("cluster.migrate_us"),
+            migrate_bytes: registry.histogram("cluster.migrate_bytes"),
+            scrape_us: registry.histogram("cluster.scrape_us"),
+            scrape_fail: registry.counter("cluster.scrape_fail"),
+            registry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routers_get_distinct_cluster_rid_prefixes() {
+        let a = ClusterObs::new();
+        let b = ClusterObs::new();
+        assert_ne!(a.registry.instance(), b.registry.instance());
+        assert!(a.registry.instance().starts_with('c'));
+        assert!(a.registry.mint_rid().starts_with("c"));
+    }
+
+    #[test]
+    fn schema_is_fixed_before_any_traffic() {
+        let obs = ClusterObs::new();
+        let snap = obs.registry.snapshot();
+        for name in [
+            "cluster.relays",
+            "cluster.probe.ok",
+            "cluster.probe.fail",
+            "cluster.shard_down",
+            "cluster.rebalances",
+            "cluster.sessions_moved",
+            "cluster.migrations",
+            "cluster.migration_fail",
+            "cluster.scrape_fail",
+        ] {
+            assert!(snap.counters.contains_key(name), "missing {name}");
+        }
+        for name in [
+            "cluster.relay_us",
+            "cluster.migrate_us",
+            "cluster.migrate_bytes",
+            "cluster.scrape_us",
+        ] {
+            assert!(snap.histograms.contains_key(name), "missing {name}");
+        }
+    }
+}

@@ -11,10 +11,16 @@
 //! * Session verbs forward to the pinned shard. Requests for a session
 //!   on a dead shard fail fast with `err code=shard-down` (and release
 //!   the id — the shard took the state with it).
-//! * `hello`/`ping`/`stats`/`cluster-stats` are answered by the router
-//!   itself; `stats` aggregates the shards into the exact field set
-//!   `snn-serve` emits, so any protocol client works unchanged against
-//!   a cluster.
+//! * `hello`/`ping`/`stats`/`cluster-stats`/`metrics`/`cluster-metrics`
+//!   are answered by the router itself; `stats` aggregates the shards
+//!   into the exact field set `snn-serve` emits, so any protocol client
+//!   works unchanged against a cluster. `metrics` exposes the router's
+//!   own registry, `cluster-metrics` scrapes and merges every live
+//!   shard's exposition (see `DESIGN.md` §10).
+//! * Relayed lines carry a request id as their **final** field
+//!   (`… rid=c0-17`): the client's if it sent one, a minted one
+//!   otherwise. Shards attribute their spans to it, so one id follows a
+//!   request across tiers.
 //!
 //! ## Locking discipline
 //!
@@ -31,15 +37,18 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use snn_obs::Snapshot;
 use snn_serve::protocol::{
-    self, format_response, parse_response, Response, MAX_LINE_BYTES, PROTO_VERSION,
+    self, extract_rid, format_response, hex_decode, hex_encode, parse_response, Response,
+    MAX_LINE_BYTES, PROTO_VERSION,
 };
 use snn_serve::ServerConfig;
 
 use crate::backend::Backend;
 use crate::migrate::migrate_locked;
+use crate::obs::ClusterObs;
 use crate::ring::{HashRing, ShardId};
 use crate::ClusterError;
 
@@ -56,6 +65,11 @@ pub struct ClusterLimits {
     /// forever). Health probes use their own short deadline regardless,
     /// so a stalled shard can never freeze failure detection.
     pub io_timeout: Option<Duration>,
+    /// Per-shard deadline on the `stats`/`metrics` fan-out scrapes
+    /// (`cluster-stats`, `cluster-metrics`). Scrapes run one thread per
+    /// shard, so one stalled shard costs a scrape at most this long —
+    /// never the much larger data-plane `io_timeout`.
+    pub scrape_timeout: Duration,
 }
 
 impl Default for ClusterLimits {
@@ -65,6 +79,7 @@ impl Default for ClusterLimits {
             replicas: 64,
             health_interval: Duration::from_millis(500),
             io_timeout: Some(Duration::from_secs(30)),
+            scrape_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -93,6 +108,10 @@ pub struct ShardStats {
     pub total_samples: u64,
     /// Modelled joules across every session the shard has hosted.
     pub total_j: f64,
+    /// Wall time of the `stats` scrape that produced this row, in
+    /// microseconds (bounded by [`ClusterLimits::scrape_timeout`]; zero
+    /// for a shard already marked dead, which is not scraped).
+    pub scrape_us: u64,
 }
 
 /// Aggregated cluster counters (`cluster-stats` over the wire).
@@ -150,6 +169,7 @@ struct Inner {
 #[derive(Debug)]
 struct State {
     limits: ClusterLimits,
+    obs: ClusterObs,
     inner: Mutex<Inner>,
 }
 
@@ -178,6 +198,7 @@ impl Cluster {
         let addr = listener.local_addr()?;
         let state = Arc::new(State {
             limits: config.limits,
+            obs: ClusterObs::new(),
             inner: Mutex::new(Inner {
                 ring: HashRing::new(config.limits.replicas),
                 backends: BTreeMap::new(),
@@ -339,7 +360,8 @@ impl Cluster {
                     .ok_or(ClusterError::UnknownShard(to))?,
             )
         };
-        migrate_locked(id, &from_backend, &to_backend)?;
+        let rid = self.state.obs.registry.mint_rid();
+        migrate_locked(id, &from_backend, &to_backend, &rid, &self.state.obs)?;
         route.shard = to;
         if route.budget_j.is_some() && !to_backend.supports_evict() {
             // The target cannot checkpoint an over-budget session;
@@ -359,6 +381,7 @@ impl Cluster {
     /// Stops at the first failed migration; already-moved sessions stay
     /// moved, the failed one keeps serving on its source shard.
     pub fn rebalance(&self) -> Result<usize, ClusterError> {
+        self.state.obs.rebalances.inc();
         let snapshot: Vec<(String, Arc<Slot>)> = {
             let inner = self.state.inner.lock().expect("cluster state poisoned");
             inner
@@ -387,7 +410,9 @@ impl Cluster {
             let (Some(from_backend), Some(to_backend)) = (from_backend, to_backend) else {
                 continue; // backend raced away; the health/drain path owns it
             };
-            migrate_locked(&id, &from_backend, &to_backend)?;
+            let rid = self.state.obs.registry.mint_rid();
+            migrate_locked(&id, &from_backend, &to_backend, &rid, &self.state.obs)?;
+            self.state.obs.sessions_moved.inc();
             route.shard = target;
             if route.budget_j.is_some() && !to_backend.supports_evict() {
                 // Same rule as migrate_session: an unenforceable budget
@@ -556,15 +581,18 @@ fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
                 continue;
             }
             if backend.ping() {
+                state.obs.probe_ok.inc();
                 failures.remove(&backend.id);
                 continue;
             }
+            state.obs.probe_fail.inc();
             let strikes = failures.entry(backend.id).or_insert(0);
             *strikes += 1;
             if *strikes < PROBES_TO_KILL {
                 continue;
             }
             failures.remove(&backend.id);
+            state.obs.shard_down.inc();
             backend.mark_dead();
             {
                 let mut inner = state.inner.lock().expect("cluster state poisoned");
@@ -728,13 +756,137 @@ fn route_line(line: &str, state: &State) -> String {
         }
         "stats" => stats_line(state),
         "cluster-stats" => cluster_stats_line(state),
-        "open" | "restore" => handle_open(line, &fields, state),
-        "close" | "evict" => handle_release(line, &verb, &fields, state),
-        "ingest" | "report" | "energy" | "checkpoint" | "swap" => {
-            handle_session(line, &verb, &fields, state)
-        }
+        "metrics" => metrics_line(state),
+        "cluster-metrics" => cluster_metrics_line(state),
+        "open" | "restore" | "close" | "evict" | "ingest" | "report" | "energy" | "checkpoint"
+        | "swap" => relay(line, &verb, &fields, state),
         other => err_line("bad-request", &format!("unknown verb {other:?}")),
     }
+}
+
+/// Forwards one data-plane line through its per-verb handler, carrying a
+/// request id: the client's (when the line already ends in `rid=…`) or a
+/// freshly minted one. The rid rides as the **final field** of the
+/// relayed line, so the shard's spans and the router's relay span share
+/// one id and a `cluster-metrics` scrape can stitch a request's path
+/// across processes.
+fn relay(line: &str, verb: &str, fields: &[(String, String)], state: &State) -> String {
+    let obs = &state.obs;
+    obs.relays.inc();
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    let (relay_line, rid) = match extract_rid(trimmed) {
+        Some(rid) => (trimmed.to_string(), rid.to_string()),
+        None => {
+            let rid = obs.registry.mint_rid();
+            (format!("{trimmed} rid={rid}"), rid)
+        }
+    };
+    let t0 = Instant::now();
+    let reply = match verb {
+        "open" | "restore" => handle_open(&relay_line, fields, state),
+        "close" | "evict" => handle_release(&relay_line, verb, fields, state),
+        _ => handle_session(&relay_line, verb, fields, state),
+    };
+    let dur = t0.elapsed();
+    obs.relay_us.record_duration(dur);
+    let mut span_fields = vec![("verb", verb.to_string())];
+    if let Some(id) = find(fields, "id") {
+        span_fields.push(("id", id.to_string()));
+    }
+    obs.registry
+        .span(&format!("cluster.relay.{verb}"), &rid, dur, &span_fields);
+    reply
+}
+
+/// The router's own `metrics` exposition (hex in the `data` field, same
+/// shape as a shard's so [`snn_serve::ServeClient::metrics`] works
+/// against either tier).
+fn metrics_line(state: &State) -> String {
+    format_response(&Response::ok([
+        ("instance", state.obs.registry.instance().to_string()),
+        (
+            "data",
+            hex_encode(router_snapshot(state).render().as_bytes()),
+        ),
+    ]))
+}
+
+/// The router registry's snapshot with point-in-time gauges refreshed.
+fn router_snapshot(state: &State) -> Snapshot {
+    let r = &state.obs.registry;
+    let (sessions, evicted, shards, alive) = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        (
+            inner.sessions.len(),
+            inner.evicted.len(),
+            inner.backends.len(),
+            inner.backends.values().filter(|b| b.is_alive()).count(),
+        )
+    };
+    r.gauge("cluster.sessions").set(sessions as f64);
+    r.gauge("cluster.evicted_sessions").set(evicted as f64);
+    r.gauge("cluster.shards").set(shards as f64);
+    r.gauge("cluster.alive_shards").set(alive as f64);
+    r.snapshot()
+}
+
+/// `cluster-metrics`: scrapes every live shard's `metrics` exposition on
+/// its own deadline-bounded connection, merges them with the router's
+/// own snapshot, and replies with the aggregate (hex in `data`). A slow
+/// or garbled shard costs one deadline and one `cluster.scrape_fail`
+/// tick, never the whole scrape.
+fn cluster_metrics_line(state: &State) -> String {
+    let obs = &state.obs;
+    let backends: Vec<Arc<Backend>> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner.backends.values().cloned().collect()
+    };
+    let deadline = state.limits.scrape_timeout;
+    let scraped: Vec<Option<Snapshot>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = backends
+            .iter()
+            .map(|backend| {
+                scope.spawn(move || {
+                    if !backend.is_alive() {
+                        return None;
+                    }
+                    let t0 = Instant::now();
+                    let snap = scrape_shard_metrics(backend, deadline);
+                    obs.scrape_us.record_duration(t0.elapsed());
+                    if snap.is_none() {
+                        obs.scrape_fail.inc();
+                    }
+                    Some(snap)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("metrics scrape thread"))
+            .collect()
+    });
+    let attempted = scraped.len();
+    let ok = scraped.iter().filter(|s| s.is_some()).count();
+    let mut merged = router_snapshot(state);
+    for snap in scraped.into_iter().flatten() {
+        merged.merge(&snap);
+    }
+    format_response(&Response::ok([
+        ("instance", state.obs.registry.instance().to_string()),
+        ("shards", attempted.to_string()),
+        ("scraped", ok.to_string()),
+        ("failed", (attempted - ok).to_string()),
+        ("data", hex_encode(merged.render().as_bytes())),
+    ]))
+}
+
+/// One shard's `metrics` reply, decoded and parsed (`None` on timeout,
+/// transport failure, or a malformed exposition).
+fn scrape_shard_metrics(backend: &Backend, deadline: Duration) -> Option<Snapshot> {
+    let reply = backend.call_with_deadline("metrics", deadline)?;
+    let resp = parse_response(&reply).ok()?;
+    let text = String::from_utf8(hex_decode(resp.get("data")?).ok()?).ok()?;
+    Snapshot::parse(&text).ok()
 }
 
 /// `open`/`restore`: cluster admission, ring placement, optimistic table
@@ -1003,13 +1155,14 @@ fn shard_snapshot(state: &State) -> Vec<ShardStats> {
         let inner = state.inner.lock().expect("cluster state poisoned");
         inner.backends.values().cloned().collect()
     };
-    // One scoped thread per shard: a slow or stalled shard costs the
-    // caller at most one io_timeout in total, not one per shard in
-    // sequence.
+    // One scoped thread per shard, each on its own deadline-bounded
+    // connection: a slow or stalled shard costs the caller at most one
+    // scrape_timeout in total — never the much larger data-plane
+    // io_timeout, and never one deadline per shard in sequence.
     std::thread::scope(|scope| {
         let handles: Vec<_> = backends
             .iter()
-            .map(|backend| scope.spawn(move || shard_stats(backend)))
+            .map(|backend| scope.spawn(move || shard_stats(backend, state)))
             .collect();
         handles
             .into_iter()
@@ -1018,7 +1171,7 @@ fn shard_snapshot(state: &State) -> Vec<ShardStats> {
     })
 }
 
-fn shard_stats(backend: &Arc<Backend>) -> ShardStats {
+fn shard_stats(backend: &Arc<Backend>, state: &State) -> ShardStats {
     let mut stats = ShardStats {
         id: backend.id,
         addr: backend.addr,
@@ -1027,13 +1180,17 @@ fn shard_stats(backend: &Arc<Backend>) -> ShardStats {
         queued_jobs: 0,
         total_samples: 0,
         total_j: 0.0,
+        scrape_us: 0,
     };
     if stats.alive {
-        if let Some(resp) = backend
-            .call_raw("stats", true)
-            .ok()
-            .and_then(|reply| parse_response(&reply).ok())
-        {
+        let t0 = Instant::now();
+        let resp = backend
+            .call_with_deadline("stats", state.limits.scrape_timeout)
+            .and_then(|reply| parse_response(&reply).ok());
+        let elapsed = t0.elapsed();
+        stats.scrape_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        state.obs.scrape_us.record_duration(elapsed);
+        if let Some(resp) = resp {
             let num = |key: &str| resp.get(key).and_then(|v| v.parse::<u64>().ok());
             stats.sessions = num("sessions").unwrap_or(0) as usize;
             stats.queued_jobs = num("queued_jobs").unwrap_or(0) as usize;
@@ -1042,6 +1199,8 @@ fn shard_stats(backend: &Arc<Backend>) -> ShardStats {
                 .get("total_j")
                 .and_then(|v| v.parse::<f64>().ok())
                 .unwrap_or(0.0);
+        } else {
+            state.obs.scrape_fail.inc();
         }
     }
     stats
@@ -1100,6 +1259,7 @@ fn cluster_stats_line(state: &State) -> String {
         pairs.push((format!("s{i}_queued"), shard.queued_jobs.to_string()));
         pairs.push((format!("s{i}_samples"), shard.total_samples.to_string()));
         pairs.push((format!("s{i}_j"), shard.total_j.to_string()));
+        pairs.push((format!("s{i}_scrape_us"), shard.scrape_us.to_string()));
     }
     format_response(&Response::Ok(pairs))
 }

@@ -1,0 +1,264 @@
+//! The metrics registry: named counters/gauges/histograms, a bounded
+//! span ring, and rid minting.
+//!
+//! One registry per serving instance (an `snn-serve` server or an
+//! `snn-cluster` router). Instances are per-object rather than
+//! process-global because the test and experiment harnesses run many
+//! shards *in one process* — a global registry would conflate them and
+//! a cluster scrape would multiply-count every shard.
+//!
+//! Handle lookup (`counter`/`gauge`/`histogram`) takes a short mutex on
+//! a name map; hot paths call it once at construction, cache the `Arc`,
+//! and then touch only lock-free atomics.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::expo::Snapshot;
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::trace::SpanRecord;
+
+/// How many recent spans a registry retains (older spans are dropped;
+/// counters and histograms carry the long-run aggregate).
+pub const SPAN_RING: usize = 256;
+
+/// Whether `name` is a well-formed metric name: non-empty, at most 128
+/// bytes of `[A-Za-z0-9._-]`, dotted by convention (`layer.subsystem.
+/// metric_unit`).
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// A per-instance metrics registry. See the module docs.
+#[derive(Debug)]
+pub struct Registry {
+    instance: String,
+    birth: Instant,
+    rid_seq: AtomicU64,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl Registry {
+    /// Creates an empty registry. `instance` prefixes minted rids (it
+    /// must satisfy [`crate::valid_rid`]'s alphabet) and identifies this
+    /// registry in merged scrapes.
+    pub fn new(instance: &str) -> Self {
+        assert!(
+            crate::trace::valid_rid(instance),
+            "registry instance must be a valid rid prefix"
+        );
+        Registry {
+            instance: instance.to_string(),
+            birth: Instant::now(),
+            rid_seq: AtomicU64::new(0),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(VecDeque::with_capacity(SPAN_RING)),
+        }
+    }
+
+    /// The instance label rids are minted under.
+    pub fn instance(&self) -> &str {
+        &self.instance
+    }
+
+    /// Mints a fresh request id: `<instance>-<seq>`.
+    pub fn mint_rid(&self) -> String {
+        let n = self.rid_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("{}-{n}", self.instance)
+    }
+
+    /// The counter registered under `name` (created at zero on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("counter map poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge registered under `name` (created at zero on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("gauge map poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram registered under `name` (created empty on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("histogram map poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Records a completed span of `dur` ending now. Reserved keys
+    /// (`rid`, `start_us`, `dur_us`) and values outside the protocol
+    /// token alphabet are sanitised, never rejected — tracing must not
+    /// fail work that succeeded.
+    pub fn span(&self, name: &str, rid: &str, dur: Duration, fields: &[(&str, String)]) {
+        let now_us = self.birth.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let dur_us = dur.as_micros().min(u128::from(u64::MAX)) as u64;
+        let record = SpanRecord {
+            name: sanitize(name),
+            rid: if crate::trace::valid_rid(rid) {
+                rid.to_string()
+            } else {
+                String::new()
+            },
+            start_us: now_us.saturating_sub(dur_us),
+            dur_us,
+            fields: fields
+                .iter()
+                .filter(|(k, _)| !matches!(*k, "rid" | "start_us" | "dur_us"))
+                .map(|(k, v)| (sanitize(k), sanitize(v)))
+                .collect(),
+        };
+        let mut ring = self.spans.lock().expect("span ring poisoned");
+        if ring.len() >= SPAN_RING {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Microseconds since this registry was created (the span clock).
+    pub fn uptime_us(&self) -> u64 {
+        self.birth.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// A point-in-time copy of every metric and the span ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span ring poisoned")
+            .iter()
+            .cloned()
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+/// Replaces every character outside the token alphabet with `_` and
+/// bounds the length, so spans can never break line framing or the
+/// exposition grammar.
+fn sanitize(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .take(128)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new("t0");
+        r.counter("a.b").inc();
+        r.counter("a.b").add(2);
+        assert_eq!(r.counter("a.b").get(), 3);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        r.histogram("h").record(7);
+        assert_eq!(r.histogram("h").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn rids_are_unique_and_prefixed() {
+        let r = Registry::new("s9");
+        let a = r.mint_rid();
+        let b = r.mint_rid();
+        assert_ne!(a, b);
+        assert!(a.starts_with("s9-"));
+        assert!(crate::trace::valid_rid(&a));
+    }
+
+    #[test]
+    fn span_ring_is_bounded_and_sanitised() {
+        let r = Registry::new("t1");
+        for i in 0..(SPAN_RING + 10) {
+            r.span(
+                "x",
+                "t1-1",
+                Duration::from_micros(i as u64),
+                &[
+                    ("k", "has space\"quote".to_string()),
+                    ("rid", "evil".into()),
+                ],
+            );
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), SPAN_RING, "ring stays bounded");
+        let last = snap.spans.last().unwrap();
+        assert_eq!(last.field("k"), Some("has_space_quote"));
+        assert_eq!(last.field("rid"), None, "reserved keys are dropped");
+    }
+
+    #[test]
+    fn invalid_rid_is_recorded_as_unattributed() {
+        let r = Registry::new("t2");
+        r.span("x", "not a rid", Duration::ZERO, &[]);
+        assert_eq!(r.snapshot().spans[0].rid, "");
+    }
+}

@@ -1,0 +1,83 @@
+//! Structured trace spans.
+//!
+//! A span is one completed piece of work — a wire request, a scheduler
+//! job, a live migration — stamped with the request id (`rid`) that
+//! originated it. Rids are minted at the first tier that sees a request
+//! (the `snn-serve` wire layer, or the cluster router for relayed lines)
+//! and propagated as a trailing `rid=` field on forwarded protocol
+//! lines, so one client request's spans share a rid across every layer
+//! and shard it touched.
+
+/// Maximum rid length in bytes.
+pub const MAX_RID: usize = 64;
+
+/// Whether `rid` is a well-formed request id (non-empty, at most
+/// [`MAX_RID`] bytes of `[A-Za-z0-9._-]` — the same token alphabet as
+/// session ids, so a rid can ride any protocol line unquoted).
+pub fn valid_rid(rid: &str) -> bool {
+    !rid.is_empty()
+        && rid.len() <= MAX_RID
+        && rid
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What ran (metric-style dotted name, e.g. `serve.ingest`).
+    pub name: String,
+    /// The originating request id; empty for unattributed work.
+    pub rid: String,
+    /// Start offset in microseconds since the owning registry's birth.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Extra key/value context (e.g. `id`, `bytes`, `from`, `to`).
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// The value of `key` in [`SpanRecord::fields`], if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Canonical span ordering used after merging snapshots, so merge stays
+/// associative (a sorted multiset is order-insensitive).
+pub(crate) fn canonical_cmp(a: &SpanRecord, b: &SpanRecord) -> std::cmp::Ordering {
+    (a.start_us, &a.name, &a.rid, a.dur_us, &a.fields)
+        .cmp(&(b.start_us, &b.name, &b.rid, b.dur_us, &b.fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rid_validation() {
+        assert!(valid_rid("s3-17"));
+        assert!(valid_rid("c0-1.retry_2"));
+        assert!(!valid_rid(""));
+        assert!(!valid_rid("has space"));
+        assert!(!valid_rid("quote\""));
+        assert!(!valid_rid(&"x".repeat(MAX_RID + 1)));
+    }
+
+    #[test]
+    fn field_lookup() {
+        let s = SpanRecord {
+            name: "serve.ingest".into(),
+            rid: "s0-1".into(),
+            start_us: 0,
+            dur_us: 5,
+            fields: vec![("id".into(), "a".into())],
+        };
+        assert_eq!(s.field("id"), Some("a"));
+        assert_eq!(s.field("missing"), None);
+    }
+}

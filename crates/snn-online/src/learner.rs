@@ -27,6 +27,8 @@
 //! caller can observe the learner anyway.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 use neuro_energy::GpuSpec;
 use snn_core::config::PresentConfig;
@@ -34,6 +36,7 @@ use snn_core::error::SnnResult;
 use snn_core::metrics::ClassAssignment;
 use snn_core::ops::OpCounts;
 use snn_data::Image;
+use snn_obs::{Counter, Histogram};
 use snn_runtime::{Engine, PoolHandle};
 use spikedyn::{AdaptiveResponse, Method, Trainer};
 
@@ -177,12 +180,30 @@ pub struct StepOutcome {
     pub samples_seen: u64,
 }
 
+/// Observability handles a hosting layer (an `snn-serve` scheduler) hands
+/// the learner so its lifecycle events land in the host's metrics
+/// registry. Purely additive: counters and histograms are lock-free
+/// `snn-obs` primitives, recording never touches learner state, seeds or
+/// checkpoints, so an observed learner stays bit-identical to an
+/// unobserved one (pinned by `tests/obs_metrics.rs`).
+#[derive(Debug, Clone)]
+pub struct LearnerObs {
+    /// Confirmed drift events (`online.drift_events`).
+    pub drift_events: Arc<Counter>,
+    /// Boosted adaptive responses armed (`online.adaptive_responses`).
+    pub adaptive_responses: Arc<Counter>,
+    /// Time to build a [`ModelSnapshot`] in µs
+    /// (`online.checkpoint.build_us`).
+    pub checkpoint_build_us: Arc<Histogram>,
+}
+
 /// The streaming continual learner. See the module docs for the loop.
 #[derive(Debug)]
 pub struct OnlineLearner {
     config: OnlineConfig,
     trainer: Trainer,
     engine: Engine,
+    obs: Option<LearnerObs>,
     assignment: Option<ClassAssignment>,
     reservoir: VecDeque<Image>,
     metrics: SlidingMetrics,
@@ -245,6 +266,7 @@ impl OnlineLearner {
             config,
             trainer,
             engine,
+            obs: None,
             assignment: None,
             reservoir: VecDeque::new(),
             metrics,
@@ -289,6 +311,24 @@ impl OnlineLearner {
     /// The underlying trainer (read access for harnesses/metering).
     pub fn trainer(&self) -> &Trainer {
         &self.trainer
+    }
+
+    /// Attaches observability handles (see [`LearnerObs`]). The handles
+    /// are never serialised into checkpoints; a resumed or adopted
+    /// learner starts unobserved until the host re-attaches them.
+    pub fn set_obs(&mut self, obs: LearnerObs) {
+        self.obs = Some(obs);
+    }
+
+    /// A point-in-time copy of the serving engine's work counters.
+    pub fn engine_stats(&self) -> snn_runtime::EngineStats {
+        self.engine.stats()
+    }
+
+    /// A point-in-time copy of the serving engine's replica-pool
+    /// counters (the shared pool's aggregate for pooled learners).
+    pub fn pool_stats(&self) -> snn_runtime::PoolStats {
+        self.engine.pool_stats()
     }
 
     /// Processes one micro-batch: predict (batched engine) → detect →
@@ -369,6 +409,9 @@ impl OnlineLearner {
             }
         }
         if !batch_events.is_empty() {
+            if let Some(obs) = &self.obs {
+                obs.drift_events.add(batch_events.len() as u64);
+            }
             self.drift_events.extend(batch_events);
             // hold_samples == 0 means "log drift but never boost": arming
             // with an empty hold window would leave the boosted rule in
@@ -379,6 +422,9 @@ impl OnlineLearner {
                     .apply_adaptive_response(&self.config.response.boosted())
             {
                 self.response_remaining = self.config.response.hold_samples;
+                if let Some(obs) = &self.obs {
+                    obs.adaptive_responses.inc();
+                }
             }
         }
 
@@ -485,7 +531,8 @@ impl OnlineLearner {
     /// [`ModelSnapshot`]. Valid between [`OnlineLearner::ingest_batch`]
     /// calls; the snapshot is self-contained (configuration included).
     pub fn checkpoint(&self) -> ModelSnapshot {
-        ModelSnapshot {
+        let t0 = Instant::now();
+        let snapshot = ModelSnapshot {
             config: self.config.clone(),
             trainer: self.trainer.snapshot_state(),
             assignment: self.assignment.clone(),
@@ -496,7 +543,11 @@ impl OnlineLearner {
             samples_seen: self.samples_seen,
             last_assign_at: self.last_assign_at,
             response_remaining: self.response_remaining,
+        };
+        if let Some(obs) = &self.obs {
+            obs.checkpoint_build_us.record_duration(t0.elapsed());
         }
+        snapshot
     }
 
     /// Rebuilds a learner from a snapshot, warm-starting mid-stream. The
@@ -535,6 +586,7 @@ impl OnlineLearner {
         Ok(OnlineLearner {
             engine,
             trainer,
+            obs: None,
             config: parts.config,
             assignment: parts.assignment,
             reservoir: parts.reservoir,

@@ -72,7 +72,8 @@ pub mod snapshot;
 
 pub use drift::{DriftConfig, DriftDetector, DriftEvent};
 pub use learner::{
-    EnergyReport, OnlineConfig, OnlineLearner, OnlineReport, ResponseConfig, StepOutcome,
+    EnergyReport, LearnerObs, OnlineConfig, OnlineLearner, OnlineReport, ResponseConfig,
+    StepOutcome,
 };
 pub use metrics::{SlidingMetrics, WindowRecord};
 pub use snapshot::{ModelSnapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

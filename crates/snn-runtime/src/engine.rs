@@ -13,6 +13,9 @@
 //! pool overhead is negligible, while within-sample parallelism would fight
 //! the tight step-to-step dependency chain.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +105,28 @@ pub struct Engine {
     /// (weights, not just `θ`) is re-synced per sample, because a pooled
     /// replica may have last served a different model.
     shared: bool,
+    /// Cumulative work counters (relaxed atomics; metering never touches
+    /// replica state or seeds, so it cannot perturb results).
+    meter: EngineMeter,
+}
+
+#[derive(Debug, Default)]
+struct EngineMeter {
+    batches: AtomicU64,
+    samples: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+/// A point-in-time copy of an [`Engine`]'s work counters, covering both
+/// the batched and sequential inference paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Inference batches run (sequential runs count as one batch).
+    pub batches: u64,
+    /// Samples simulated.
+    pub samples: u64,
+    /// Cumulative wall-clock microseconds spent inside inference calls.
+    pub busy_us: u64,
 }
 
 impl Engine {
@@ -172,7 +197,33 @@ impl Engine {
             scaled_thetas,
             pool,
             shared,
+            meter: EngineMeter::default(),
         }
+    }
+
+    /// A point-in-time copy of this engine's work counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            batches: self.meter.batches.load(Ordering::Relaxed),
+            samples: self.meter.samples.load(Ordering::Relaxed),
+            busy_us: self.meter.busy_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time copy of this engine's pool counters (shared
+    /// engines report the shared pool's aggregate).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Records one finished inference call in the work counters.
+    fn meter_run(&self, t0: Instant, samples: usize) {
+        self.meter.batches.fetch_add(1, Ordering::Relaxed);
+        self.meter
+            .samples
+            .fetch_add(samples as u64, Ordering::Relaxed);
+        let busy = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.meter.busy_us.fetch_add(busy, Ordering::Relaxed);
     }
 
     /// The template network (learned weights and `θ` the engine serves).
@@ -316,6 +367,7 @@ impl Engine {
     /// bit-identical to [`Engine::infer_sequential`] for every thread
     /// count, and a prefix of a batch equals the batch of the prefix.
     pub fn infer_batch_metered(&self, images: &[Image], batch_seed: u64) -> BatchOutcome {
+        let t0 = Instant::now();
         let per_sample: Vec<(SampleResult, OpCounts)> = images
             .par_iter()
             .enumerate()
@@ -338,6 +390,7 @@ impl Engine {
             ops.accumulate(&sample_ops);
             results.push(result);
         }
+        self.meter_run(t0, images.len());
         BatchOutcome { results, ops }
     }
 
@@ -352,6 +405,7 @@ impl Engine {
     /// sample at a time on one replica. Exists so tests (and sceptical
     /// callers) can check bit-identity against [`Engine::infer_batch`].
     pub fn infer_sequential(&self, images: &[Image], batch_seed: u64) -> Vec<SampleResult> {
+        let t0 = Instant::now();
         let mut replica = self.checkout();
         let mut ops = OpCounts::default();
         let results = images
@@ -367,6 +421,7 @@ impl Engine {
             })
             .collect();
         self.pool.restore(replica);
+        self.meter_run(t0, images.len());
         results
     }
 

@@ -54,6 +54,6 @@ pub mod engine;
 pub mod pool;
 pub mod report;
 
-pub use engine::{Engine, EngineConfig};
-pub use pool::{PoolHandle, ReplicaPool};
+pub use engine::{Engine, EngineConfig, EngineStats};
+pub use pool::{PoolHandle, PoolStats, ReplicaPool};
 pub use report::{BatchOutcome, EvalReport};

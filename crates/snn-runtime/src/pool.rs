@@ -14,7 +14,9 @@
 //! *all* learned state (weights and `θ`) before every sample, so a replica
 //! last used by a different model can never leak state.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use snn_core::network::Snn;
 
@@ -32,6 +34,34 @@ pub struct ReplicaPool {
     replicas: Mutex<Vec<Snn>>,
     /// Idle replicas beyond this are dropped on [`ReplicaPool::restore`].
     capacity: usize,
+    checkouts: AtomicU64,
+    hits: AtomicU64,
+    wait_us: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's checkout counters. Hits are checkouts
+/// satisfied by a pooled replica (a miss clones the template); `wait_us`
+/// is cumulative time spent acquiring the pool lock — contention, not
+/// simulation work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total checkouts (hits + misses).
+    pub checkouts: u64,
+    /// Checkouts served by a pooled replica instead of a template clone.
+    pub hits: u64,
+    /// Cumulative microseconds workers waited on the pool lock.
+    pub wait_us: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts served from the pool (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.checkouts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.checkouts as f64
+        }
+    }
 }
 
 impl Default for ReplicaPool {
@@ -56,17 +86,44 @@ impl ReplicaPool {
         ReplicaPool {
             replicas: Mutex::new(Vec::new()),
             capacity,
+            checkouts: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            wait_us: AtomicU64::new(0),
         }
     }
 
     /// Takes a replica from the pool, or clones `template` when empty.
     pub fn checkout(&self, template: &Snn) -> Snn {
+        let t0 = Instant::now();
         let popped = self
             .replicas
             .lock()
             .expect("replica pool lock poisoned")
             .pop();
+        self.meter(t0, popped.is_some());
         popped.unwrap_or_else(|| template.clone())
+    }
+
+    /// Records one checkout in the pool counters. Relaxed atomics only —
+    /// metering can never affect which replica a worker gets, so it can
+    /// never perturb results (replicas are interchangeable by
+    /// construction anyway).
+    fn meter(&self, t0: Instant, hit: bool) {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let waited = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.wait_us.fetch_add(waited, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the checkout counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            wait_us: self.wait_us.load(Ordering::Relaxed),
+        }
     }
 
     /// Returns a replica to the pool for reuse by later batches; dropped
@@ -88,11 +145,16 @@ impl ReplicaPool {
     /// must re-synchronise every piece of learned state (weights *and*
     /// `θ`) before each sample, which the engine's shared mode does.
     pub fn checkout_matching(&self, template: &Snn) -> Snn {
+        let t0 = Instant::now();
         let mut replicas = self.replicas.lock().expect("replica pool lock poisoned");
         if let Some(i) = replicas.iter().position(|r| r.config == template.config) {
-            return replicas.swap_remove(i);
+            let replica = replicas.swap_remove(i);
+            drop(replicas);
+            self.meter(t0, true);
+            return replica;
         }
         drop(replicas);
+        self.meter(t0, false);
         template.clone()
     }
 
@@ -185,6 +247,25 @@ mod tests {
         let other = Arc::clone(&handle);
         handle.restore(template());
         assert_eq!(other.idle(), 1, "handles see the same replicas");
+    }
+
+    #[test]
+    fn stats_count_checkouts_and_hits() {
+        let pool = ReplicaPool::new();
+        let t = template();
+        let a = pool.checkout(&t); // miss (empty pool)
+        pool.restore(a);
+        let _b = pool.checkout(&t); // hit
+        let stats = pool.stats();
+        assert_eq!(stats.checkouts, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.hit_rate(), 0.5);
+        // Matching checkout meters too.
+        let big = Snn::new(SnnConfig::direct_lateral(9, 5), &mut seeded_rng(2));
+        let _c = pool.checkout_matching(&big); // miss: no compatible replica
+        assert_eq!(pool.stats().checkouts, 3);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -287,6 +287,30 @@ impl ServeClient {
         })
     }
 
+    /// Scrapes the server's full metrics exposition and parses it into a
+    /// mergeable [`snn_obs::Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does; a reply whose `data` field is
+    /// missing, badly hex-encoded, or not valid exposition text surfaces
+    /// as [`ClientError::Malformed`].
+    pub fn metrics(&mut self) -> ClientResult<snn_obs::Snapshot> {
+        let resp = self.call(&Request::Metrics)?;
+        let Response::Ok(fields) = &resp else {
+            return Err(ClientError::Malformed("metrics reply"));
+        };
+        let hex = fields
+            .iter()
+            .find(|(k, _)| k == "data")
+            .map(|(_, v)| v.as_str())
+            .ok_or(ClientError::Malformed("metrics data field"))?;
+        let bytes = hex_decode(hex).map_err(|_| ClientError::Malformed("metrics data hex"))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| ClientError::Malformed("metrics data utf-8"))?;
+        snn_obs::Snapshot::parse(&text).map_err(|_| ClientError::Malformed("metrics exposition"))
+    }
+
     /// Opens a fresh session.
     ///
     /// # Errors

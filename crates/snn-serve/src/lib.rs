@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub(crate) mod obs;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;

@@ -1,0 +1,171 @@
+//! Server-side observability: one [`snn_obs::Registry`] per server
+//! instance plus cached handles for every hot-path metric, so recording
+//! is always a lock-free atomic op (handle lookup happens once, here).
+//!
+//! The registry is **per [`crate::SessionManager`]**, never
+//! process-global: the test and experiment harnesses run several servers
+//! (cluster shards) in one process, and a cluster-wide scrape must see
+//! each shard's numbers separately before merging them itself.
+//!
+//! Metric names follow the `DESIGN.md` §10 scheme
+//! (`<layer>.<subsystem>.<metric>[_unit]`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use snn_obs::{Counter, Histogram, Registry};
+use snn_online::LearnerObs;
+
+/// Verbs with a dedicated `serve.req.<verb>_us` latency histogram.
+/// Anything else — unknown or hostile verbs included — lands in
+/// `serve.req.other_us`, so a port scanner can never mint unbounded
+/// metric names.
+pub(crate) const VERBS: &[&str] = &[
+    "hello",
+    "ping",
+    "stats",
+    "metrics",
+    "open",
+    "ingest",
+    "report",
+    "energy",
+    "checkpoint",
+    "restore",
+    "swap",
+    "evict",
+    "close",
+];
+
+/// Process-wide instance sequence: each manager gets a distinct rid
+/// prefix (`s0`, `s1`, …) so rids minted by co-hosted shards never
+/// collide.
+static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Cached metric handles of one server instance.
+#[derive(Debug)]
+pub(crate) struct ServeObs {
+    pub(crate) registry: Arc<Registry>,
+    /// `serve.requests` — wire requests handled (any verb, any outcome).
+    pub(crate) requests: Arc<Counter>,
+    /// `serve.admission_rejects` — opens/restores refused at the limit
+    /// (duplicates included).
+    pub(crate) admission_rejects: Arc<Counter>,
+    /// `serve.backpressure_rejects` — submits refused on a full queue.
+    pub(crate) backpressure_rejects: Arc<Counter>,
+    /// `serve.evictions` — sessions checkpointed to disk and freed.
+    pub(crate) evictions: Arc<Counter>,
+    /// `serve.ingest.batch_size` — samples per ingest job.
+    pub(crate) ingest_batch: Arc<Histogram>,
+    /// `serve.tick_us` — scheduler tick wall time.
+    pub(crate) tick_us: Arc<Histogram>,
+    /// `serve.tick.jobs` — jobs executed per tick.
+    pub(crate) tick_jobs: Arc<Histogram>,
+    /// `serve.session.retired_mj` — per-session modelled millijoules
+    /// spent on this server, recorded when the session closes or evicts.
+    pub(crate) retired_mj: Arc<Histogram>,
+    /// `online.checkpoint.encode_us` / `_bytes` — snapshot wire encoding.
+    pub(crate) encode_us: Arc<Histogram>,
+    /// See [`ServeObs::encode_us`].
+    pub(crate) encode_bytes: Arc<Histogram>,
+    /// `online.checkpoint.decode_us` / `_bytes` — snapshot wire decoding
+    /// (restore and swap payloads).
+    pub(crate) decode_us: Arc<Histogram>,
+    /// See [`ServeObs::decode_us`].
+    pub(crate) decode_bytes: Arc<Histogram>,
+    /// `runtime.infer.batches` / `.samples` / `.busy_us` — engine work,
+    /// fed by per-tick deltas of each learner's engine counters.
+    pub(crate) infer_batches: Arc<Counter>,
+    /// See [`ServeObs::infer_batches`].
+    pub(crate) infer_samples: Arc<Counter>,
+    /// See [`ServeObs::infer_batches`].
+    pub(crate) infer_busy_us: Arc<Counter>,
+    verb_us: HashMap<&'static str, Arc<Histogram>>,
+    other_us: Arc<Histogram>,
+}
+
+impl ServeObs {
+    /// A fresh registry with every hot-path handle pre-created. Creating
+    /// the handles eagerly also fixes the exposition's name set, so a
+    /// scrape of an idle server already shows the full schema.
+    pub(crate) fn new() -> Self {
+        let instance = format!("s{}", INSTANCE_SEQ.fetch_add(1, Ordering::Relaxed));
+        let registry = Arc::new(Registry::new(&instance));
+        let verb_us = VERBS
+            .iter()
+            .map(|&v| (v, registry.histogram(&format!("serve.req.{v}_us"))))
+            .collect();
+        ServeObs {
+            requests: registry.counter("serve.requests"),
+            admission_rejects: registry.counter("serve.admission_rejects"),
+            backpressure_rejects: registry.counter("serve.backpressure_rejects"),
+            evictions: registry.counter("serve.evictions"),
+            ingest_batch: registry.histogram("serve.ingest.batch_size"),
+            tick_us: registry.histogram("serve.tick_us"),
+            tick_jobs: registry.histogram("serve.tick.jobs"),
+            retired_mj: registry.histogram("serve.session.retired_mj"),
+            encode_us: registry.histogram("online.checkpoint.encode_us"),
+            encode_bytes: registry.histogram("online.checkpoint.encode_bytes"),
+            decode_us: registry.histogram("online.checkpoint.decode_us"),
+            decode_bytes: registry.histogram("online.checkpoint.decode_bytes"),
+            infer_batches: registry.counter("runtime.infer.batches"),
+            infer_samples: registry.counter("runtime.infer.samples"),
+            infer_busy_us: registry.counter("runtime.infer.busy_us"),
+            other_us: registry.histogram("serve.req.other_us"),
+            verb_us,
+            registry,
+        }
+    }
+
+    /// The latency histogram for `verb` (the `other` bucket for verbs
+    /// outside [`VERBS`]).
+    pub(crate) fn verb_hist(&self, verb: &str) -> &Arc<Histogram> {
+        self.verb_us.get(verb).unwrap_or(&self.other_us)
+    }
+
+    /// The handles a hosted [`snn_online::OnlineLearner`] records its
+    /// lifecycle events through (drift, adaptive responses, checkpoint
+    /// build time).
+    pub(crate) fn learner_obs(&self) -> LearnerObs {
+        LearnerObs {
+            drift_events: self.registry.counter("online.drift_events"),
+            adaptive_responses: self.registry.counter("online.adaptive_responses"),
+            checkpoint_build_us: self.registry.histogram("online.checkpoint.build_us"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_verbs_share_one_histogram() {
+        let obs = ServeObs::new();
+        obs.verb_hist("ingest").record(5);
+        obs.verb_hist("GET / HTTP/1.1").record(7);
+        obs.verb_hist("%%%").record(9);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.histogram("serve.req.ingest_us").count(), 1);
+        assert_eq!(
+            snap.histogram("serve.req.other_us").count(),
+            2,
+            "hostile verbs collapse into one bucket"
+        );
+        // The schema is fixed at construction: every known verb's
+        // histogram exists before any request arrives.
+        for v in VERBS {
+            assert!(
+                snap.histograms.contains_key(&format!("serve.req.{v}_us")),
+                "missing serve.req.{v}_us"
+            );
+        }
+    }
+
+    #[test]
+    fn instances_get_distinct_rid_prefixes() {
+        let a = ServeObs::new();
+        let b = ServeObs::new();
+        assert_ne!(a.registry.instance(), b.registry.instance());
+    }
+}

@@ -156,6 +156,10 @@ pub enum Request {
     Ping,
     /// Server-wide statistics.
     Stats,
+    /// Full metrics scrape: the reply's `data` field carries the
+    /// hex-encoded `snn-obs` text exposition of the server's registry
+    /// (multi-line text cannot ride a single-line response directly).
+    Metrics,
     /// Open a fresh session.
     Open {
         /// Session id (token, ≤ [`MAX_SESSION_ID`] bytes).
@@ -521,6 +525,20 @@ impl Fields {
     }
 }
 
+/// Extracts the propagated request id from a request line, if present.
+///
+/// By the trace-propagation rule (`DESIGN.md` §10) a relaying tier
+/// appends ` rid=<rid>` as the **final** field of a forwarded line, so
+/// only the last space-separated token is inspected — O(rid) even on a
+/// multi-megabyte `ingest` line. Unknown `k=v` fields are already
+/// tolerated by [`parse_request`], so a rid-bearing line stays parseable
+/// by rid-unaware servers.
+pub fn extract_rid(line: &str) -> Option<&str> {
+    let last = line.trim_end_matches(['\r', '\n']).rsplit(' ').next()?;
+    let rid = last.strip_prefix("rid=")?;
+    snn_obs::valid_rid(rid).then_some(rid)
+}
+
 /// Whether `id` is a well-formed session id (non-empty, at most
 /// [`MAX_SESSION_ID`] bytes of `[A-Za-z0-9._-]`). Routing tiers apply
 /// the same rule before reserving table entries for an id.
@@ -588,6 +606,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "open" => {
             let id = session_id(&fields)?;
             let defaults = SessionSpec::default();
@@ -647,6 +666,7 @@ pub fn format_request(req: &Request) -> String {
         Request::Hello { proto } => format!("hello proto={proto}"),
         Request::Ping => "ping".to_string(),
         Request::Stats => "stats".to_string(),
+        Request::Metrics => "metrics".to_string(),
         Request::Open { id, spec } => format!(
             "open id={id} method={} n_exc={} n_input={} n_classes={} seed={} batch={} \
              assign_every={} reservoir={} metric_window={} drift_window={}",
@@ -788,6 +808,7 @@ mod tests {
             },
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Open {
                 id: "s-1".into(),
                 spec,
@@ -814,6 +835,26 @@ mod tests {
             let line = format_request(&req);
             assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
         }
+    }
+
+    #[test]
+    fn rid_rides_as_the_final_field() {
+        assert_eq!(extract_rid("ping rid=c0-7"), Some("c0-7"));
+        assert_eq!(
+            extract_rid("ingest id=a data=0101 rid=s1-42\n"),
+            Some("s1-42")
+        );
+        assert_eq!(extract_rid("ping"), None, "no rid field");
+        assert_eq!(
+            extract_rid("ingest rid=c0-1 id=a data=00"),
+            None,
+            "rid must be the final field"
+        );
+        assert_eq!(extract_rid("ping rid="), None, "empty rid is invalid");
+        assert_eq!(extract_rid("ping rid=\"x y\""), None, "quoted rid rejected");
+        // A rid-bearing line still parses (unknown fields are tolerated).
+        assert_eq!(parse_request("ping rid=c0-7").unwrap(), Request::Ping);
+        assert_eq!(parse_request("metrics rid=c0-8").unwrap(), Request::Metrics);
     }
 
     #[test]

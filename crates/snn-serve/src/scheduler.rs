@@ -64,6 +64,8 @@ pub(crate) struct FinishedUnit {
 /// have drained. Intended to own a dedicated thread.
 pub(crate) fn run(manager: Arc<SessionManager>) {
     while let Some(units) = manager.take_work() {
+        let tick_jobs: usize = units.iter().map(|u| u.jobs.len()).sum();
+        let t0 = std::time::Instant::now();
         // The vendored rayon exposes `par_iter` (by-ref) only, so ticks
         // move their units through take-once slots.
         let slots: Vec<Mutex<Option<WorkUnit>>> =
@@ -79,7 +81,23 @@ pub(crate) fn run(manager: Arc<SessionManager>) {
                 execute_unit(unit, &manager)
             })
             .collect();
+        let obs = manager.obs();
+        obs.tick_us.record_duration(t0.elapsed());
+        obs.tick_jobs.record(tick_jobs as u64);
         manager.finish(finished);
+    }
+}
+
+/// The stable span/metric label of a job kind.
+fn job_kind(job: &Job) -> &'static str {
+    match job {
+        Job::Ingest(_) => "ingest",
+        Job::Report => "report",
+        Job::Energy => "energy",
+        Job::Checkpoint => "checkpoint",
+        Job::Swap(_) => "swap",
+        Job::Evict => "evict",
+        Job::Close => "close",
     }
 }
 
@@ -97,7 +115,9 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
     let mut samples_delta = 0u64;
     let mut baseline_shift = 0.0f64;
     let mut deferred = Vec::new();
-    for Envelope { job, reply } in jobs {
+    let obs = manager.obs();
+    let engine_before = learner.engine_stats();
+    for Envelope { job, rid, reply } in jobs {
         if closed {
             deferred.push((reply, Err(ServeError::SessionClosing(id.clone()))));
             continue;
@@ -109,23 +129,49 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
             ));
             continue;
         }
+        let kind = job_kind(&job);
+        let t0 = std::time::Instant::now();
+        // Records the job's execution span under the rid stamped on the
+        // envelope at the wire layer, so one client request is traceable
+        // from connection thread to scheduler tick.
+        let span = |dur: std::time::Duration| {
+            obs.registry.span(
+                &format!("serve.exec.{kind}"),
+                &rid,
+                dur,
+                &[("id", id.clone())],
+            );
+        };
         let result = match job {
-            Job::Ingest(images) => learner
-                .step(&images)
-                .map(|outcome| {
-                    samples_delta += images.len() as u64;
-                    let energy = learner.energy(manager.gpu());
-                    JobOutput::Ingested(outcome, energy.train_j + energy.infer_j)
-                })
-                .map_err(|e| ServeError::Learner(e.to_string())),
+            Job::Ingest(images) => {
+                obs.ingest_batch.record(images.len() as u64);
+                learner
+                    .step(&images)
+                    .map(|outcome| {
+                        samples_delta += images.len() as u64;
+                        let energy = learner.energy(manager.gpu());
+                        JobOutput::Ingested(outcome, energy.train_j + energy.infer_j)
+                    })
+                    .map_err(|e| ServeError::Learner(e.to_string()))
+            }
             Job::Report => Ok(JobOutput::Report(learner.report())),
             Job::Energy => Ok(JobOutput::Energy(learner.energy(manager.gpu()))),
-            Job::Checkpoint => Ok(JobOutput::Checkpoint(learner.checkpoint().to_bytes())),
+            Job::Checkpoint => {
+                let snapshot = learner.checkpoint();
+                let enc0 = std::time::Instant::now();
+                let bytes = snapshot.to_bytes();
+                obs.encode_us.record_duration(enc0.elapsed());
+                obs.encode_bytes.record(bytes.len() as u64);
+                Ok(JobOutput::Checkpoint(bytes))
+            }
             Job::Swap(bytes) => {
                 let pre = learner.energy(manager.gpu());
+                let dec0 = std::time::Instant::now();
                 ModelSnapshot::from_bytes(&bytes)
                     .map_err(|e| ServeError::Snapshot(e.to_string()))
                     .and_then(|snap| {
+                        obs.decode_us.record_duration(dec0.elapsed());
+                        obs.decode_bytes.record(bytes.len() as u64);
                         learner
                             .adopt(snap)
                             .map_err(|e| ServeError::Snapshot(e.to_string()))
@@ -151,6 +197,7 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
                         // deferred until after the registry update, so a
                         // client holding it can reuse the id at once.
                         deferred.push((reply, Ok(JobOutput::Evicted(path))));
+                        span(t0.elapsed());
                         continue;
                     }
                     // The learner stays live: a failed save must not lose
@@ -163,13 +210,24 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
                 // The reply must not be visible before the registry drops
                 // the session, or a client could race its own close.
                 deferred.push((reply, Ok(JobOutput::Closed(learner.report()))));
+                span(t0.elapsed());
                 continue;
             }
         };
+        span(t0.elapsed());
         // A dropped receiver (client went away) is not an error worth
         // tearing the session down for.
         let _ = reply.send(result);
     }
+    // Engine-work delta of this tick, folded into the server-wide
+    // counters (each learner owns its engine, so deltas never race).
+    let engine_after = learner.engine_stats();
+    obs.infer_batches
+        .add(engine_after.batches - engine_before.batches);
+    obs.infer_samples
+        .add(engine_after.samples - engine_before.samples);
+    obs.infer_busy_us
+        .add(engine_after.busy_us - engine_before.busy_us);
     // The learner is still owned here even when the session closed or
     // evicted, so the registry always learns the session's final joules.
     let energy = learner.energy(manager.gpu());
@@ -223,7 +281,7 @@ mod tests {
 
     fn roundtrip(manager: &SessionManager, id: &str, job: Job) -> JobResult {
         let (tx, rx) = mpsc::channel();
-        manager.submit(id, job, tx).unwrap();
+        manager.submit(id, job, "", tx).unwrap();
         rx.recv().expect("scheduler replies to accepted jobs")
     }
 
@@ -280,7 +338,7 @@ mod tests {
         // rejected; this covers the same-tick race.)
         let (close_tx, close_rx) = mpsc::channel();
         let (late_tx, late_rx) = mpsc::channel();
-        manager.submit("a", Job::Close, close_tx).unwrap();
+        manager.submit("a", Job::Close, "", close_tx).unwrap();
         // Force-queue behind the close by bypassing the closing check:
         // build the envelope through a fresh session with the same queue…
         // not possible from outside, so exercise the scheduler directly.
@@ -288,6 +346,7 @@ mod tests {
         let mut unit = units.into_iter().next().unwrap();
         unit.jobs.push(Envelope {
             job: Job::Report,
+            rid: String::new(),
             reply: late_tx,
         });
         let finished = execute_unit(unit, &manager);

@@ -20,7 +20,7 @@ use std::time::Duration;
 use neuro_energy::GpuSpec;
 
 use crate::protocol::{
-    encode_predictions, format_response, hex_encode, parse_request, Request, Response,
+    encode_predictions, extract_rid, format_response, hex_encode, parse_request, Request, Response,
     MAX_LINE_BYTES,
 };
 use crate::scheduler;
@@ -184,10 +184,33 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
             }
             return Ok(());
         }
+        let obs = manager.obs();
+        obs.requests.inc();
+        // The rid either rode in as the line's final field (a relaying
+        // tier stamped it) or is minted here — the wire layer is where a
+        // request first enters this server's trace.
+        let rid = match extract_rid(&line) {
+            Some(r) => r.to_string(),
+            None => obs.registry.mint_rid(),
+        };
+        let t0 = std::time::Instant::now();
         let response = match parse_request(&line) {
-            Ok(request) => dispatch(request, manager),
+            Ok(request) => dispatch(request, manager, &rid),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
+        let dur = t0.elapsed();
+        let verb = line.split_whitespace().next().unwrap_or("");
+        obs.verb_hist(verb).record_duration(dur);
+        // Unknown verbs collapse to one span name, mirroring the metric
+        // fallback, so hostile input cannot pollute the trace ring with
+        // garbage names.
+        let canonical = if crate::obs::VERBS.contains(&verb) {
+            verb
+        } else {
+            "other"
+        };
+        obs.registry
+            .span(&format!("serve.{canonical}"), &rid, dur, &[]);
         write_response(&mut writer, &response)?;
     }
 }
@@ -201,7 +224,7 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()>
 
 /// Executes one request to completion (for session jobs: submit, then
 /// block this connection thread on the reply channel).
-fn dispatch(request: Request, manager: &SessionManager) -> Response {
+fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
     match request {
         Request::Hello { proto } => {
             if proto == crate::protocol::PROTO_VERSION {
@@ -240,6 +263,12 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
                 ("total_j", s.total_j.to_string()),
             ])
         }
+        // The exposition is multi-line text and responses are single
+        // lines, so it travels hex-encoded in `data` like snapshots do.
+        Request::Metrics => Response::ok([
+            ("instance", manager.obs().registry.instance().to_string()),
+            ("data", hex_encode(manager.metrics_text().as_bytes())),
+        ]),
         Request::Open { id, spec } => match manager.open(&id, &spec) {
             Ok(()) => Response::ok([("id", id)]),
             Err(e) => error_response(&e),
@@ -260,20 +289,20 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
                     manager.limits().max_batch
                 )));
             }
-            roundtrip(manager, &id, Job::Ingest(images))
+            roundtrip(manager, &id, Job::Ingest(images), rid)
         }
-        Request::Report { id } => roundtrip(manager, &id, Job::Report),
-        Request::Energy { id } => roundtrip(manager, &id, Job::Energy),
-        Request::Checkpoint { id } => roundtrip(manager, &id, Job::Checkpoint),
-        Request::Swap { id, snapshot } => roundtrip(manager, &id, Job::Swap(snapshot)),
-        Request::Evict { id } => roundtrip(manager, &id, Job::Evict),
-        Request::Close { id } => roundtrip(manager, &id, Job::Close),
+        Request::Report { id } => roundtrip(manager, &id, Job::Report, rid),
+        Request::Energy { id } => roundtrip(manager, &id, Job::Energy, rid),
+        Request::Checkpoint { id } => roundtrip(manager, &id, Job::Checkpoint, rid),
+        Request::Swap { id, snapshot } => roundtrip(manager, &id, Job::Swap(snapshot), rid),
+        Request::Evict { id } => roundtrip(manager, &id, Job::Evict, rid),
+        Request::Close { id } => roundtrip(manager, &id, Job::Close, rid),
     }
 }
 
-fn roundtrip(manager: &SessionManager, id: &str, job: Job) -> Response {
+fn roundtrip(manager: &SessionManager, id: &str, job: Job, rid: &str) -> Response {
     let (tx, rx) = mpsc::channel();
-    if let Err(e) = manager.submit(id, job, tx) {
+    if let Err(e) = manager.submit(id, job, rid, tx) {
         return error_response(&e);
     }
     match rx.recv() {

@@ -35,6 +35,7 @@ use snn_data::Image;
 use snn_online::{EnergyReport, ModelSnapshot, OnlineLearner, OnlineReport, StepOutcome};
 use snn_runtime::{PoolHandle, ReplicaPool};
 
+use crate::obs::ServeObs;
 use crate::protocol::SessionSpec;
 use crate::scheduler::{FinishedUnit, WorkUnit};
 
@@ -224,10 +225,12 @@ pub(crate) enum JobOutput {
 
 pub(crate) type JobResult = Result<JobOutput, ServeError>;
 
-/// A job plus the channel its reply goes out on.
+/// A job plus the channel its reply goes out on and the request id that
+/// originated it (for trace spans; empty when unattributed).
 #[derive(Debug)]
 pub(crate) struct Envelope {
     pub(crate) job: Job,
+    pub(crate) rid: String,
     pub(crate) reply: mpsc::Sender<JobResult>,
 }
 
@@ -314,6 +317,7 @@ pub struct SessionManager {
     limits: ServeLimits,
     gpu: GpuSpec,
     evict_dir: Option<PathBuf>,
+    obs: ServeObs,
 }
 
 impl SessionManager {
@@ -349,7 +353,13 @@ impl SessionManager {
             limits,
             gpu,
             evict_dir,
+            obs: ServeObs::new(),
         }
+    }
+
+    /// This server's metric registry and cached handles.
+    pub(crate) fn obs(&self) -> &ServeObs {
+        &self.obs
     }
 
     /// The manager's limits.
@@ -381,8 +391,9 @@ impl SessionManager {
     /// atomically at insert.
     pub(crate) fn open(&self, id: &str, spec: &SessionSpec) -> Result<(), ServeError> {
         validate_spec(spec)?;
-        let learner =
+        let mut learner =
             OnlineLearner::with_pool(spec.online_config(), std::sync::Arc::clone(&self.pool));
+        learner.set_obs(self.obs.learner_obs());
         self.insert(id, learner)
     }
 
@@ -395,10 +406,14 @@ impl SessionManager {
         id: &str,
         snapshot: &[u8],
     ) -> Result<(u64, f64), ServeError> {
+        let t0 = Instant::now();
         let snap =
             ModelSnapshot::from_bytes(snapshot).map_err(|e| ServeError::Snapshot(e.to_string()))?;
-        let learner = OnlineLearner::resume_with_pool(snap, std::sync::Arc::clone(&self.pool))
+        let mut learner = OnlineLearner::resume_with_pool(snap, std::sync::Arc::clone(&self.pool))
             .map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        self.obs.decode_us.record_duration(t0.elapsed());
+        self.obs.decode_bytes.record(snapshot.len() as u64);
+        learner.set_obs(self.obs.learner_obs());
         let samples = learner.samples_seen();
         let energy = learner.energy(&self.gpu);
         let total_j = energy.train_j + energy.infer_j;
@@ -416,9 +431,11 @@ impl SessionManager {
             return Err(ServeError::Shutdown);
         }
         if state.sessions.contains_key(id) {
+            self.obs.admission_rejects.inc();
             return Err(ServeError::DuplicateSession(id.to_string()));
         }
         if state.sessions.len() >= self.limits.max_sessions {
+            self.obs.admission_rejects.inc();
             return Err(ServeError::Admission {
                 active: state.sessions.len(),
                 max: self.limits.max_sessions,
@@ -446,6 +463,7 @@ impl SessionManager {
         &self,
         id: &str,
         job: Job,
+        rid: &str,
         reply: mpsc::Sender<JobResult>,
     ) -> Result<(), ServeError> {
         let mut state = self.state.lock().expect("session registry poisoned");
@@ -463,6 +481,7 @@ impl SessionManager {
             return Err(ServeError::SessionClosing(id.to_string()));
         }
         if entry.queue.len() >= self.limits.queue_capacity {
+            self.obs.backpressure_rejects.inc();
             return Err(ServeError::Backpressure {
                 depth: entry.queue.len(),
                 capacity: self.limits.queue_capacity,
@@ -472,7 +491,11 @@ impl SessionManager {
             entry.closing = true;
         }
         entry.last_active = Instant::now();
-        entry.queue.push_back(Envelope { job, reply });
+        entry.queue.push_back(Envelope {
+            job,
+            rid: rid.to_string(),
+            reply,
+        });
         drop(state);
         self.work_ready.notify_all();
         Ok(())
@@ -517,6 +540,9 @@ impl SessionManager {
                             learner: entry.learner.take().expect("checked is_some"),
                             jobs: vec![Envelope {
                                 job: Job::Evict,
+                                // Sweeps originate server-side; mint a rid
+                                // so the eviction span is still traceable.
+                                rid: self.obs.registry.mint_rid(),
                                 reply,
                             }],
                         });
@@ -576,10 +602,15 @@ impl SessionManager {
                 }
                 None => {
                     if let Some(path) = unit.evicted.clone() {
+                        self.obs.evictions.inc();
                         state.evicted.insert(unit.id.clone(), path);
                     }
                     if let Some(entry) = state.sessions.remove(&unit.id) {
-                        state.retired_j += unit.joules - (entry.baseline_j + unit.baseline_shift);
+                        let spent_j = unit.joules - (entry.baseline_j + unit.baseline_shift);
+                        self.obs
+                            .retired_mj
+                            .record((spent_j.max(0.0) * 1e3).round() as u64);
+                        state.retired_j += spent_j;
                         for envelope in entry.queue {
                             let err = match &unit.evicted {
                                 Some(path) => {
@@ -620,6 +651,31 @@ impl SessionManager {
                     .map(|e| e.joules - e.baseline_j)
                     .sum::<f64>(),
         }
+    }
+
+    /// Renders this server's full metrics exposition (`snn-obs` text
+    /// format): the cumulative counters/histograms/spans plus
+    /// point-in-time gauges (session count, queue depth, joules, replica
+    /// pool state) published at scrape time. Served by the `metrics`
+    /// wire verb, hex-encoded into the reply's `data` field.
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let r = &self.obs.registry;
+        r.gauge("serve.sessions").set(stats.sessions as f64);
+        r.gauge("serve.queued_jobs").set(stats.queued_jobs as f64);
+        r.gauge("serve.evicted_sessions")
+            .set(stats.evicted_sessions as f64);
+        r.gauge("serve.ticks").set(stats.ticks as f64);
+        r.gauge("serve.total_samples")
+            .set(stats.total_samples as f64);
+        r.gauge("serve.total_j").set(stats.total_j);
+        let pool = self.pool.stats();
+        r.gauge("runtime.pool.idle").set(self.pool.idle() as f64);
+        r.gauge("runtime.pool.checkouts").set(pool.checkouts as f64);
+        r.gauge("runtime.pool.hits").set(pool.hits as f64);
+        r.gauge("runtime.pool.wait_us").set(pool.wait_us as f64);
+        r.gauge("runtime.pool.hit_rate").set(pool.hit_rate());
+        r.snapshot().render()
     }
 
     /// Whether shutdown has been flagged (drives the honest `ping`:
@@ -696,17 +752,17 @@ mod tests {
         let m = manager(4, 2);
         m.open("a", &tiny_spec()).unwrap();
         let (tx, _rx) = mpsc::channel();
-        m.submit("a", Job::Report, tx.clone()).unwrap();
-        m.submit("a", Job::Report, tx.clone()).unwrap();
+        m.submit("a", Job::Report, "", tx.clone()).unwrap();
+        m.submit("a", Job::Report, "", tx.clone()).unwrap();
         assert!(matches!(
-            m.submit("a", Job::Report, tx.clone()),
+            m.submit("a", Job::Report, "", tx.clone()),
             Err(ServeError::Backpressure {
                 depth: 2,
                 capacity: 2
             })
         ));
         assert!(matches!(
-            m.submit("ghost", Job::Report, tx),
+            m.submit("ghost", Job::Report, "", tx),
             Err(ServeError::UnknownSession(_))
         ));
         assert_eq!(m.stats().queued_jobs, 2);
@@ -717,9 +773,9 @@ mod tests {
         let m = manager(4, 4);
         m.open("a", &tiny_spec()).unwrap();
         let (tx, _rx) = mpsc::channel();
-        m.submit("a", Job::Close, tx.clone()).unwrap();
+        m.submit("a", Job::Close, "", tx.clone()).unwrap();
         assert!(matches!(
-            m.submit("a", Job::Report, tx),
+            m.submit("a", Job::Report, "", tx),
             Err(ServeError::SessionClosing(_))
         ));
     }
@@ -730,9 +786,9 @@ mod tests {
         m.open("a", &tiny_spec()).unwrap();
         m.open("b", &tiny_spec()).unwrap();
         let (tx, _rx) = mpsc::channel();
-        m.submit("a", Job::Report, tx.clone()).unwrap();
-        m.submit("b", Job::Report, tx.clone()).unwrap();
-        m.submit("b", Job::Checkpoint, tx).unwrap();
+        m.submit("a", Job::Report, "", tx.clone()).unwrap();
+        m.submit("b", Job::Report, "", tx.clone()).unwrap();
+        m.submit("b", Job::Checkpoint, "", tx).unwrap();
         let units = m.take_work().unwrap();
         assert_eq!(units.len(), 2, "both sessions in one tick");
         assert_eq!(units[0].id, "a");
@@ -762,9 +818,9 @@ mod tests {
         m.open("quiet", &tiny_spec()).unwrap();
         let (tx, _rx) = mpsc::channel();
         for _ in 0..6 {
-            m.submit("chatty", Job::Report, tx.clone()).unwrap();
+            m.submit("chatty", Job::Report, "", tx.clone()).unwrap();
         }
-        m.submit("quiet", Job::Report, tx).unwrap();
+        m.submit("quiet", Job::Report, "", tx).unwrap();
 
         let units = m.take_work().unwrap();
         assert_eq!(units.len(), 2, "both sessions share the tick");
@@ -782,7 +838,7 @@ mod tests {
         let m = std::sync::Arc::new(manager(2, 4));
         m.open("a", &tiny_spec()).unwrap();
         let (tx, _rx) = mpsc::channel();
-        m.submit("a", Job::Report, tx).unwrap();
+        m.submit("a", Job::Report, "", tx).unwrap();
         m.shutdown();
         // Pending work still comes out...
         let units = m.take_work().unwrap();

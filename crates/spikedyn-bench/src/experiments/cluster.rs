@@ -21,7 +21,7 @@ use snn_data::{Scenario, SyntheticDigits};
 use snn_serve::{ServeClient, ServerConfig, SessionSpec};
 use spikedyn::Method;
 
-use crate::output::Table;
+use crate::output::{json_array, write_bench_json, Json, Table};
 use crate::scale::HarnessScale;
 
 /// Scale profile of one cluster run.
@@ -154,6 +154,30 @@ struct RunOutcome {
     wall: Duration,
     latencies: Vec<Duration>,
     shard_joules: Vec<f64>,
+    /// The merged `cluster-metrics` exposition scraped at the end of the
+    /// run (router registry + every shard's).
+    telemetry: snn_obs::Snapshot,
+}
+
+/// Scrapes one exposition verb (`metrics` or `cluster-metrics`) through
+/// the router and parses it, panicking loudly on any malformation — CI
+/// runs this binary with `--fast`, so a scrape regression fails the
+/// cluster smoke job rather than rotting silently.
+fn scrape_expo(client: &mut ServeClient, verb: &str) -> snn_obs::Snapshot {
+    let reply = client
+        .call_raw(verb)
+        .unwrap_or_else(|e| panic!("{verb} round trip failed: {e}"));
+    let resp = snn_serve::protocol::parse_response(&reply)
+        .unwrap_or_else(|e| panic!("{verb} reply is not a protocol line: {e} ({reply})"));
+    let hex = resp
+        .get("data")
+        .unwrap_or_else(|| panic!("{verb} reply carries no data field: {reply}"));
+    let bytes = snn_serve::protocol::hex_decode(hex)
+        .unwrap_or_else(|e| panic!("{verb} payload is not hex: {e}"));
+    let text =
+        String::from_utf8(bytes).unwrap_or_else(|e| panic!("{verb} payload is not UTF-8: {e}"));
+    snn_obs::Snapshot::parse(&text)
+        .unwrap_or_else(|e| panic!("{verb} exposition is malformed: {e}"))
 }
 
 fn run_one(scale: &HarnessScale, profile: Profile, n_shards: usize) -> RunOutcome {
@@ -177,6 +201,16 @@ fn run_one(scale: &HarnessScale, profile: Profile, n_shards: usize) -> RunOutcom
     });
     let wall = wall.elapsed();
     let stats = cluster.stats();
+    // Smoke-scrape both exposition verbs while the cluster is still up:
+    // the router's own registry must parse, and the fan-out must merge
+    // every shard cleanly. The merged snapshot feeds BENCH_cluster.json.
+    let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
+    let router_only = scrape_expo(&mut scraper, "metrics");
+    assert!(
+        router_only.counters.contains_key("cluster.relays"),
+        "router metrics must expose the relay counter"
+    );
+    let telemetry = scrape_expo(&mut scraper, "cluster-metrics");
     cluster.shutdown();
 
     let mut latencies: Vec<Duration> = outcomes
@@ -191,6 +225,7 @@ fn run_one(scale: &HarnessScale, profile: Profile, n_shards: usize) -> RunOutcom
         wall,
         latencies,
         shard_joules: stats.shards.iter().map(|s| s.total_j).collect(),
+        telemetry,
     }
 }
 
@@ -256,6 +291,39 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         ));
     }
     let _ = table.write_csv("cluster_scaling");
+
+    let run_objects = runs.iter().map(|run| {
+        let migrate_us = run.telemetry.histogram("cluster.migrate_us");
+        let migrate_bytes = run.telemetry.histogram("cluster.migrate_bytes");
+        let mut j = Json::new();
+        j.int("shards", run.shards as u64)
+            .int("sessions", sessions(profile) as u64)
+            .int("samples", run.samples)
+            .num("wall_s", run.wall.as_secs_f64())
+            .num(
+                "throughput_sps",
+                run.samples as f64 / run.wall.as_secs_f64().max(f64::EPSILON),
+            )
+            .num(
+                "ingest_p50_ms",
+                percentile(&run.latencies, 0.50).as_secs_f64() * 1e3,
+            )
+            .num(
+                "ingest_p95_ms",
+                percentile(&run.latencies, 0.95).as_secs_f64() * 1e3,
+            )
+            .int("migrations", run.telemetry.counter("cluster.migrations"))
+            .int("migrate_p50_us", migrate_us.quantile(0.50))
+            .num("migrate_mean_bytes", migrate_bytes.mean())
+            .int("relays", run.telemetry.counter("cluster.relays"))
+            .num("total_j", run.telemetry.gauge("serve.total_j"));
+        j.render()
+    });
+    let mut bench = Json::new();
+    bench
+        .str("experiment", "cluster")
+        .raw("runs", json_array(run_objects));
+    let _ = write_bench_json("cluster", &bench);
     out
 }
 

@@ -20,7 +20,7 @@ use snn_data::{Scenario, SyntheticDigits};
 use snn_serve::{ServeClient, ServeLimits, ServerConfig, SessionSpec, SnnServer};
 use spikedyn::Method;
 
-use crate::output::{pct, Table};
+use crate::output::{pct, write_bench_json, Json, Table};
 use crate::scale::HarnessScale;
 
 /// Scale profile of one serve run.
@@ -162,6 +162,13 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
     });
     let wall = wall.elapsed();
     let stats = server.stats();
+    // Scrape the server's own telemetry before it goes away: the BENCH
+    // artifact's latency percentiles come from the server-side
+    // `serve.req.ingest_us` histogram, not the client-side stopwatch.
+    let scrape = ServeClient::connect(addr)
+        .expect("connect for the metrics scrape")
+        .metrics()
+        .expect("well-formed metrics exposition");
     server.shutdown();
 
     let mut table = Table::new(
@@ -213,6 +220,26 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         all_latencies.len() as f64 / stats.ticks.max(1) as f64,
     ));
     let _ = table.write_csv("serve_load");
+
+    let ingest_us = scrape.histogram("serve.req.ingest_us");
+    let mut bench = Json::new();
+    bench
+        .str("experiment", "serve")
+        .int("sessions", n_sessions as u64)
+        .int("samples", total_samples)
+        .num("wall_s", wall.as_secs_f64())
+        .num(
+            "throughput_sps",
+            total_samples as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        )
+        .int("ingest_p50_us", ingest_us.quantile(0.50))
+        .int("ingest_p95_us", ingest_us.quantile(0.95))
+        .int("ingest_p99_us", ingest_us.quantile(0.99))
+        .int("requests", scrape.counter("serve.requests"))
+        .int("ticks", stats.ticks)
+        .int("drift_events", scrape.counter("online.drift_events"))
+        .num("total_j", scrape.gauge("serve.total_j"));
+    let _ = write_bench_json("serve", &bench);
     out
 }
 

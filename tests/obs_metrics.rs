@@ -1,0 +1,173 @@
+//! Workspace-level guarantees of the `snn-obs` telemetry spine:
+//!
+//! * **Observation never perturbs results** (the pinned invariant): a
+//!   session served through an instrumented `snn-serve` server — with
+//!   `metrics` scrapes interleaved mid-stream — finishes with a wire
+//!   checkpoint **byte-identical** to an unobserved single-process
+//!   [`snn_online::OnlineLearner`] fed the same stream. Telemetry reads
+//!   clocks and bumps atomics; it never touches learner state.
+//! * **Cross-tier trace stitching**: a live migration shows up in a
+//!   `cluster-metrics` scrape as a `cluster.migrate` span carrying its
+//!   duration, payload bytes, and originating request id — and the same
+//!   rid attributes the shard-side spans the migration's forwarded
+//!   `checkpoint`/`restore` lines produced, across process boundaries.
+//!
+//! Unit-level exposition tests (bucket bounds, merge algebra, hammer
+//! concurrency) live in `snn-obs` itself.
+
+use snn_cluster::{Cluster, ClusterConfig};
+use snn_data::{Image, Scenario, SyntheticDigits};
+use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer};
+use spikedyn::Method;
+
+/// A tiny 7×7-input profile so streams stay fast.
+fn tiny_spec(seed: u64) -> SessionSpec {
+    SessionSpec {
+        method: Method::SpikeDyn,
+        n_exc: 8,
+        n_input: 49,
+        n_classes: 10,
+        seed,
+        batch_size: 4,
+        assign_every: 8,
+        reservoir_capacity: 12,
+        metric_window: 12,
+        drift_window: 8,
+    }
+}
+
+/// The scenario's deterministic stream, downsampled onto the 7×7 profile.
+fn scenario_stream(scenario: Scenario, seed: u64, total: u64) -> Vec<Image> {
+    let gen = SyntheticDigits::new(seed);
+    let classes: Vec<u8> = (0..10).collect();
+    scenario
+        .stream(&gen, &classes, total, seed, 0)
+        .into_iter()
+        .map(|img| img.downsample(4))
+        .collect()
+}
+
+#[test]
+fn observed_session_is_bit_identical_to_an_unobserved_learner() {
+    let server =
+        SnnServer::start("127.0.0.1:0", ServerConfig::default()).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let mut scraper = ServeClient::connect(addr).expect("connect scraper");
+
+    let spec = tiny_spec(70);
+    let stream = scenario_stream(Scenario::GradualDrift, 70, 32);
+    client.open("watched", spec.clone()).unwrap();
+
+    // Drive the stream with a metrics scrape after every chunk — the
+    // most adversarial interleaving observation can manage.
+    let mut chunks = 0u64;
+    for chunk in stream.chunks(spec.batch_size) {
+        client.ingest("watched", chunk).unwrap();
+        chunks += 1;
+        let snap = scraper.metrics().expect("mid-stream scrape");
+        assert_eq!(
+            snap.histogram("serve.req.ingest_us").count(),
+            chunks,
+            "every ingest lands in its latency histogram"
+        );
+    }
+    let wire_checkpoint = client.checkpoint("watched").unwrap();
+
+    // The unobserved reference: a bare learner (its `obs` is never set),
+    // fed the same stream in the same chunks.
+    let mut reference = snn_online::OnlineLearner::new(spec.online_config());
+    for chunk in stream.chunks(spec.batch_size) {
+        reference.ingest_batch(chunk).unwrap();
+    }
+    assert_eq!(
+        wire_checkpoint,
+        reference.checkpoint().to_bytes(),
+        "metrics collection must never perturb learner state"
+    );
+
+    // The scrape saw real traffic, attributed to this server's instance.
+    let snap = scraper.metrics().unwrap();
+    assert!(snap.counter("serve.requests") >= chunks);
+    assert!(
+        snap.spans.iter().any(|s| s.name == "serve.ingest"),
+        "wire-level spans are recorded"
+    );
+    client.close("watched").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn cluster_metrics_scrape_reports_migration_with_its_request_id() {
+    let cluster = Cluster::start("127.0.0.1:0", ClusterConfig::default()).unwrap();
+    cluster.spawn_shard(ServerConfig::default()).unwrap();
+    cluster.spawn_shard(ServerConfig::default()).unwrap();
+    let mut client = ServeClient::connect(cluster.local_addr()).unwrap();
+
+    let spec = tiny_spec(71);
+    let stream = scenario_stream(Scenario::RecurringTasks, 71, 16);
+    client.open("mover", spec.clone()).unwrap();
+    client.ingest("mover", &stream[..8]).unwrap();
+
+    let here = cluster.session_shard("mover").unwrap();
+    let there = cluster
+        .shard_ids()
+        .into_iter()
+        .find(|&s| s != here)
+        .unwrap();
+    cluster.migrate_session("mover", there).unwrap();
+    client.ingest("mover", &stream[8..]).unwrap();
+
+    // Scrape the whole cluster while the migrated session is live.
+    let reply = client.call_raw("cluster-metrics").unwrap();
+    let resp = snn_serve::protocol::parse_response(&reply).expect("well-formed reply");
+    assert_eq!(resp.get("shards"), Some("2"));
+    assert_eq!(resp.get("scraped"), Some("2"), "both shards answered");
+    let text = String::from_utf8(
+        snn_serve::protocol::hex_decode(resp.get("data").expect("data field")).unwrap(),
+    )
+    .unwrap();
+    let merged = snn_obs::Snapshot::parse(&text).expect("merged exposition parses");
+
+    // The migration is visible in the merged counters and histograms…
+    assert_eq!(merged.counter("cluster.migrations"), 1);
+    assert_eq!(merged.histogram("cluster.migrate_us").count(), 1);
+    assert!(merged.histogram("cluster.migrate_bytes").mean() > 0.0);
+
+    // …and as a span carrying duration, bytes, and the originating rid.
+    let span = merged
+        .spans
+        .iter()
+        .find(|s| s.name == "cluster.migrate")
+        .expect("cluster.migrate span in the merged scrape");
+    assert!(span.dur_us > 0, "migration duration recorded");
+    let bytes: u64 = span.field("bytes").unwrap().parse().unwrap();
+    assert!(bytes > 0, "migration payload bytes recorded");
+    assert_eq!(span.field("from"), Some(here.to_string().as_str()));
+    assert_eq!(span.field("to"), Some(there.to_string().as_str()));
+    let rid = span.rid.clone();
+    assert!(
+        rid.starts_with('c'),
+        "migrations are router-minted control-plane work: {rid}"
+    );
+
+    // The same rid attributes the shard-side spans produced by the
+    // migration's forwarded checkpoint/restore lines — one id stitches
+    // the move across process boundaries.
+    for name in ["serve.checkpoint", "serve.restore"] {
+        assert!(
+            merged.spans.iter().any(|s| s.name == name && s.rid == rid),
+            "missing shard-side {name} span under rid {rid}"
+        );
+    }
+
+    // Satellite: the stats fan-out reports per-shard scrape latency.
+    let raw = client.call_raw("cluster-stats").unwrap();
+    assert!(
+        raw.contains("s0_scrape_us=") && raw.contains("s1_scrape_us="),
+        "cluster-stats must report per-shard scrape latency: {raw}"
+    );
+
+    client.close("mover").unwrap();
+    cluster.shutdown();
+}
