@@ -1,0 +1,228 @@
+//! Self-healing primitives: shadow replication and restore-from-shadow
+//! failover.
+//!
+//! ## Shadowing
+//!
+//! The router's shadower sweep periodically replicates each session's
+//! checkpoint to a *different* shard than the one serving it — the
+//! session's ring successor ([`crate::ring::HashRing::successor`]). The
+//! push reuses the migration plumbing: `checkpoint` on the home shard,
+//! then the PR 7 `shadow` verb on the holder, which parks the blob in a
+//! bounded store without opening a live session.
+//!
+//! The caller holds the session's route lock for the whole push, so no
+//! client request can interleave: the checkpoint is taken at *exactly*
+//! the sample count the router has observed on relayed replies
+//! (`Route::samples_seen`), which is why the push needs no snapshot
+//! decode — the sequence number it stamps on the wire is provably the
+//! blob's `samples_seen`, and the holder re-validates that invariant
+//! before accepting ([`snn_serve::SessionManager::store_shadow`]).
+//!
+//! ## Failover
+//!
+//! When the health loop declares a shard dead, each affected session is
+//! restored from its shadow onto a live shard — under the same route
+//! lock, so the first post-failover request already lands on the new
+//! copy. The failover replays nothing it cannot prove: the holder's
+//! sequence must equal the one the router parked
+//! ([`ClusterError::ShadowStale`] otherwise), and on any failure the
+//! session falls back to the fail-fast drop the cluster always did.
+//! Samples the client ingested *after* the shadowed checkpoint are lost
+//! by design (their shard died holding them) and are reported to the
+//! client as `replay_gap=` on the next relayed reply — never silently
+//! dropped.
+//!
+//! Every forwarded line carries the operation's `rid` as its final
+//! field, so the home shard's `serve.exec.checkpoint` span, the holder's
+//! store, the target's `serve.exec.restore` span and the router's
+//! `cluster.shadow` / `cluster.failover` spans all stitch together by
+//! request id in a `cluster-metrics` scrape.
+
+use std::time::Instant;
+
+use snn_serve::protocol::{parse_response, Response};
+
+use crate::backend::Backend;
+use crate::migrate::fetch_checkpoint_hex;
+use crate::obs::ClusterObs;
+use crate::ClusterError;
+
+/// Pushes one shadow of session `id` (served by `home`, at exactly
+/// `seq` samples) onto `holder`. Caller holds the route lock, which is
+/// what makes `seq` provably the checkpoint's `samples_seen`.
+pub(crate) fn shadow_locked(
+    id: &str,
+    seq: u64,
+    home: &Backend,
+    holder: &Backend,
+    rid: &str,
+    obs: &ClusterObs,
+) -> Result<(), ClusterError> {
+    let t0 = Instant::now();
+    match shadow_inner(id, seq, home, holder, rid) {
+        Ok(bytes) => {
+            let dur = t0.elapsed();
+            obs.shadows_pushed.inc();
+            obs.shadow_bytes.record(bytes);
+            obs.registry.span(
+                "cluster.shadow",
+                rid,
+                dur,
+                &[
+                    ("id", id.to_string()),
+                    ("home", home.id.to_string()),
+                    ("holder", holder.id.to_string()),
+                    ("seq", seq.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            );
+            Ok(())
+        }
+        Err(e) => {
+            obs.shadow_push_fail.inc();
+            Err(e)
+        }
+    }
+}
+
+/// The push itself, returning the decoded snapshot size in bytes.
+fn shadow_inner(
+    id: &str,
+    seq: u64,
+    home: &Backend,
+    holder: &Backend,
+    rid: &str,
+) -> Result<u64, ClusterError> {
+    let snapshot_hex = fetch_checkpoint_hex(id, home, rid)?;
+    let bytes = (snapshot_hex.len() / 2) as u64;
+    // Storing a shadow is idempotent at equal sequence, so a stale
+    // pooled connection may safely retry.
+    let line = format!("shadow id={id} seq={seq} data={snapshot_hex} rid={rid}");
+    let reply = holder.call_raw(&line, true)?;
+    match parse_response(&reply) {
+        Ok(Response::Ok(_)) => Ok(bytes),
+        Ok(Response::Err { code, msg }) => Err(ClusterError::ShadowStale {
+            id: id.to_string(),
+            detail: format!("holder shard {} refused shadow [{code}]: {msg}", holder.id),
+        }),
+        Err(e) => Err(ClusterError::Backend {
+            shard: holder.id,
+            detail: format!("holder answered garbage to shadow store: {e}"),
+        }),
+    }
+}
+
+/// Restores session `id` from its shadow on `holder` onto the live
+/// shard `target`. Caller holds the route lock (its shard is dead, so
+/// no request can be in flight, but the lock still fences concurrent
+/// failover/reconcile passes). `expect_seq` is the sequence the router
+/// parked last; a holder answering any other sequence — or no shadow at
+/// all — fails the session fast rather than resuming unprovable state.
+///
+/// Returns the restored sequence on success.
+pub(crate) fn failover_locked(
+    id: &str,
+    expect_seq: u64,
+    holder: &Backend,
+    target: &Backend,
+    rid: &str,
+    obs: &ClusterObs,
+) -> Result<u64, ClusterError> {
+    let t0 = Instant::now();
+    match failover_inner(id, expect_seq, holder, target, rid) {
+        Ok(bytes) => {
+            let dur = t0.elapsed();
+            obs.failovers.inc();
+            obs.failover_us.record_duration(dur);
+            obs.failover_bytes.record(bytes);
+            obs.registry.span(
+                "cluster.failover",
+                rid,
+                dur,
+                &[
+                    ("id", id.to_string()),
+                    ("holder", holder.id.to_string()),
+                    ("to", target.id.to_string()),
+                    ("seq", expect_seq.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            );
+            Ok(expect_seq)
+        }
+        Err(e) => {
+            obs.failover_fail.inc();
+            Err(e)
+        }
+    }
+}
+
+/// The restore itself, returning the decoded snapshot size in bytes.
+fn failover_inner(
+    id: &str,
+    expect_seq: u64,
+    holder: &Backend,
+    target: &Backend,
+    rid: &str,
+) -> Result<u64, ClusterError> {
+    // Fetch the shadow (idempotent: a pure read).
+    let reply = holder.call_raw(&format!("shadow id={id} rid={rid}"), true)?;
+    let resp = match parse_response(&reply) {
+        Ok(resp @ Response::Ok(_)) => resp,
+        Ok(Response::Err { code, msg }) => {
+            return Err(ClusterError::ShadowStale {
+                id: id.to_string(),
+                detail: format!("holder shard {} has no shadow [{code}]: {msg}", holder.id),
+            })
+        }
+        Err(e) => {
+            return Err(ClusterError::Backend {
+                shard: holder.id,
+                detail: format!("holder answered garbage to shadow fetch: {e}"),
+            })
+        }
+    };
+    let seq = resp
+        .get("seq")
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| ClusterError::Backend {
+            shard: holder.id,
+            detail: "shadow fetch reply carries no seq".to_string(),
+        })?;
+    if seq != expect_seq {
+        return Err(ClusterError::ShadowStale {
+            id: id.to_string(),
+            detail: format!(
+                "holder shard {} is at seq {seq}, expected {expect_seq}",
+                holder.id
+            ),
+        });
+    }
+    let snapshot_hex = resp.get("data").ok_or_else(|| ClusterError::Backend {
+        shard: holder.id,
+        detail: "shadow fetch reply carries no data".to_string(),
+    })?;
+    let bytes = (snapshot_hex.len() / 2) as u64;
+
+    // Restore on the target — the same non-idempotent discipline as a
+    // migration's restore leg, including the best-effort close that
+    // undoes a possibly-applied restore behind a lost reply.
+    let restore_line = format!("restore id={id} data={snapshot_hex} rid={rid}");
+    let reply = match target.call_raw(&restore_line, false) {
+        Ok(reply) => reply,
+        Err(e) => {
+            let _ = target.call_raw(&format!("close id={id} rid={rid}"), false);
+            return Err(e);
+        }
+    };
+    match parse_response(&reply) {
+        Ok(Response::Ok(_)) => Ok(bytes),
+        Ok(Response::Err { code, msg }) => Err(ClusterError::Migration {
+            id: id.to_string(),
+            detail: format!("target shard {} refused restore [{code}]: {msg}", target.id),
+        }),
+        Err(e) => Err(ClusterError::Migration {
+            id: id.to_string(),
+            detail: format!("target shard {} answered garbage: {e}", target.id),
+        }),
+    }
+}

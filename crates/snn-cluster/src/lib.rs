@@ -67,6 +67,7 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+mod heal;
 mod migrate;
 mod obs;
 pub mod ring;
@@ -112,6 +113,16 @@ pub enum ClusterError {
         /// What happened.
         detail: String,
     },
+    /// A restore-from-shadow failover found no shadow it could prove
+    /// current (absent, rejected, or at a different sequence than the
+    /// router last parked). The session fails fast instead of resuming
+    /// from state it cannot vouch for.
+    ShadowStale {
+        /// The session that could not be failed over.
+        id: String,
+        /// What made the shadow unprovable.
+        detail: String,
+    },
     /// The cluster is shutting down.
     Shutdown,
 }
@@ -128,6 +139,7 @@ impl ClusterError {
             ClusterError::NoShards => "no-shards",
             ClusterError::Backend { .. } => "backend",
             ClusterError::Migration { .. } => "migration",
+            ClusterError::ShadowStale { .. } => "shadow-stale",
             ClusterError::Shutdown => "shutdown",
         }
     }
@@ -149,6 +161,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Migration { id, detail } => {
                 write!(f, "migration of session {id} failed: {detail}")
+            }
+            ClusterError::ShadowStale { id, detail } => {
+                write!(
+                    f,
+                    "failover of session {id} has no provable shadow: {detail}"
+                )
             }
             ClusterError::Shutdown => write!(f, "cluster shutting down"),
         }
@@ -373,6 +391,120 @@ mod tests {
         client.open("after", tiny_spec(99)).unwrap();
         assert_ne!(cluster.session_shard("after"), Some(victim_shard));
         client.ingest("after", &stream(99, 4)).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shadowed_session_survives_its_shard_dying() {
+        // Shadowing on: a session served by a shard that dies resumes
+        // bit-exactly from its last shadowed checkpoint on a live shard,
+        // and the samples ingested after that checkpoint are disclosed
+        // as replay_gap on the next reply — never silently dropped.
+        let cluster = Cluster::start(
+            "127.0.0.1:0",
+            ClusterConfig {
+                limits: ClusterLimits {
+                    health_interval: Duration::from_millis(40),
+                    shadow_interval: Some(Duration::from_millis(30)),
+                    ..ClusterLimits::default()
+                },
+            },
+        )
+        .unwrap();
+        cluster.spawn_shard(ServerConfig::default()).unwrap();
+        // The victim runs outside the cluster so the test can kill it
+        // behind the router's back.
+        let external = SnnServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let victim_shard = cluster.attach_shard(external.local_addr()).unwrap();
+
+        let mut client = ServeClient::connect(cluster.local_addr()).unwrap();
+        let mut doomed = None;
+        for s in 0..32u64 {
+            let id = format!("sh-{s}");
+            client.open(&id, tiny_spec(s)).unwrap();
+            if cluster.session_shard(&id) == Some(victim_shard) {
+                doomed = Some((id, s));
+                break;
+            }
+            client.close(&id).unwrap();
+        }
+        let (doomed, seed) = doomed.expect("some session lands on the victim shard");
+
+        // Phase one: ingest 8 samples and wait until the shadower has
+        // parked them on the other shard.
+        let phase_one = stream(seed, 8);
+        client.ingest(&doomed, &phase_one).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while cluster.session_shadow(&doomed).map(|(_, seq)| seq) != Some(8) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shadower never parked the checkpoint"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let (holder, _) = cluster.session_shadow(&doomed).unwrap();
+        assert_ne!(
+            holder, victim_shard,
+            "a shadow never lives on its home shard"
+        );
+
+        // Phase two: 4 more samples, then kill the shard abruptly. The
+        // sweep may or may not have re-parked them before the kill; what
+        // the failover restores is whatever was parked at kill time.
+        client
+            .ingest(&doomed, &stream(seed, 12)[8..])
+            .unwrap();
+        external.shutdown();
+        let (_, shadow_seq) = cluster.session_shadow(&doomed).unwrap();
+
+        // Wait for death + failover.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while cluster.session_shard(&doomed) == Some(victim_shard) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "failover never re-pointed the session"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            cluster.session_shard(&doomed).is_some(),
+            "session must fail over, not drop"
+        );
+
+        // The first reply after the failover discloses the gap…
+        let raw = client.call_raw(&format!("report id={doomed}")).unwrap();
+        assert!(raw.starts_with("ok"), "failed-over session serves: {raw}");
+        let expect_gap = 12 - shadow_seq;
+        assert!(
+            raw.contains(&format!(" replay_gap={expect_gap}")),
+            "reply must disclose the {expect_gap}-sample gap: {raw}"
+        );
+        // …and exactly once.
+        let raw = client.call_raw(&format!("report id={doomed}")).unwrap();
+        assert!(!raw.contains("replay_gap"), "gap reported once: {raw}");
+
+        // Bit-exactness: the failed-over session is the reference
+        // learner fed exactly the shadowed prefix, with the same
+        // ingest-call partitioning the client used (8 then 4).
+        assert!(
+            shadow_seq == 8 || shadow_seq == 12,
+            "shadow sequences are exactly the checkpointed sample counts: {shadow_seq}"
+        );
+        let full = stream(seed, 12);
+        let mut reference = snn_online::OnlineLearner::new(tiny_spec(seed).online_config());
+        reference.ingest_batch(&full[..8]).unwrap();
+        if shadow_seq == 12 {
+            reference.ingest_batch(&full[8..]).unwrap();
+        }
+        assert_eq!(
+            client.checkpoint(&doomed).unwrap(),
+            reference.checkpoint().to_bytes(),
+            "failover must resume bit-exactly from the shadowed checkpoint"
+        );
+
+        // The stream continues on the survivor.
+        client.ingest(&doomed, &stream(seed, 4)).unwrap();
+        client.close(&doomed).unwrap();
         cluster.shutdown();
     }
 

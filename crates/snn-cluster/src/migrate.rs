@@ -109,8 +109,12 @@ fn migrate_inner(id: &str, from: &Backend, to: &Backend, rid: &str) -> Result<u6
 }
 
 /// Checkpoints `id` on `from`, returning the snapshot payload still in
-/// its wire hex form.
-fn fetch_checkpoint_hex(id: &str, from: &Backend, rid: &str) -> Result<String, ClusterError> {
+/// its wire hex form (shared with the shadower in [`crate::heal`]).
+pub(crate) fn fetch_checkpoint_hex(
+    id: &str,
+    from: &Backend,
+    rid: &str,
+) -> Result<String, ClusterError> {
     let reply = from.call_raw(&format!("checkpoint id={id} rid={rid}"), true)?;
     match parse_response(&reply) {
         Ok(resp @ Response::Ok(_)) => {

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use snn_obs::{Counter, Histogram, Registry};
+use snn_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Process-wide instance sequence: each router gets a distinct rid
 /// prefix (`c0`, `c1`, …), disjoint from the `s<n>` prefixes shards
@@ -57,6 +57,30 @@ pub(crate) struct ClusterObs {
     /// `cluster.scrape_fail` — fan-out scrapes of a live shard that
     /// timed out or answered garbage.
     pub(crate) scrape_fail: Arc<Counter>,
+    /// `cluster.shadows_pushed` / `.shadow_push_fail` — shadow-replica
+    /// pushes by the shadower sweep (checkpoint on the home shard →
+    /// `shadow` store on the ring successor).
+    pub(crate) shadows_pushed: Arc<Counter>,
+    /// See [`ClusterObs::shadows_pushed`].
+    pub(crate) shadow_push_fail: Arc<Counter>,
+    /// `cluster.shadow_bytes` — decoded snapshot payload per shadow push.
+    pub(crate) shadow_bytes: Arc<Histogram>,
+    /// `cluster.shadow_lag` — worst per-session gap, in samples, between
+    /// what a session has ingested and what its shadow replica holds
+    /// (refreshed by each shadower sweep; this is exactly what a
+    /// failover at that instant would report as `replay_gap`).
+    pub(crate) shadow_lag: Arc<Gauge>,
+    /// `cluster.failovers` / `.failover_fail` — restore-from-shadow
+    /// outcomes when a shard is declared dead. A failed failover falls
+    /// back to the fail-fast drop the cluster always did.
+    pub(crate) failovers: Arc<Counter>,
+    /// See [`ClusterObs::failovers`].
+    pub(crate) failover_fail: Arc<Counter>,
+    /// `cluster.failover_us` — wall time of one completed failover
+    /// (shadow fetch → restore → route re-point).
+    pub(crate) failover_us: Arc<Histogram>,
+    /// `cluster.failover_bytes` — decoded snapshot payload per failover.
+    pub(crate) failover_bytes: Arc<Histogram>,
 }
 
 impl ClusterObs {
@@ -79,6 +103,14 @@ impl ClusterObs {
             migrate_bytes: registry.histogram("cluster.migrate_bytes"),
             scrape_us: registry.histogram("cluster.scrape_us"),
             scrape_fail: registry.counter("cluster.scrape_fail"),
+            shadows_pushed: registry.counter("cluster.shadows_pushed"),
+            shadow_push_fail: registry.counter("cluster.shadow_push_fail"),
+            shadow_bytes: registry.histogram("cluster.shadow_bytes"),
+            shadow_lag: registry.gauge("cluster.shadow_lag"),
+            failovers: registry.counter("cluster.failovers"),
+            failover_fail: registry.counter("cluster.failover_fail"),
+            failover_us: registry.histogram("cluster.failover_us"),
+            failover_bytes: registry.histogram("cluster.failover_bytes"),
             registry,
         }
     }
@@ -111,6 +143,10 @@ mod tests {
             "cluster.migrations",
             "cluster.migration_fail",
             "cluster.scrape_fail",
+            "cluster.shadows_pushed",
+            "cluster.shadow_push_fail",
+            "cluster.failovers",
+            "cluster.failover_fail",
         ] {
             assert!(snap.counters.contains_key(name), "missing {name}");
         }
@@ -119,8 +155,15 @@ mod tests {
             "cluster.migrate_us",
             "cluster.migrate_bytes",
             "cluster.scrape_us",
+            "cluster.shadow_bytes",
+            "cluster.failover_us",
+            "cluster.failover_bytes",
         ] {
             assert!(snap.histograms.contains_key(name), "missing {name}");
         }
+        assert!(
+            snap.gauges.contains_key("cluster.shadow_lag"),
+            "missing cluster.shadow_lag"
+        );
     }
 }

@@ -85,6 +85,29 @@ impl HashRing {
         Some(self.points[idx].1)
     }
 
+    /// The ring *successor* of `key`: the first shard, walking the ring
+    /// forward (wrapping) from the point that owns `key`, that is a
+    /// **different** shard than the owner. This is where a session's
+    /// shadow checkpoint lives — deterministic for a fixed membership,
+    /// never the home shard, and (like ownership itself) minimally
+    /// re-resolved when shards join or leave. `None` when the ring holds
+    /// fewer than two distinct shards.
+    pub fn successor(&self, key: &str) -> Option<ShardId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = point_hash(key.as_bytes());
+        let start = self.points.partition_point(|&(point, _)| point < h) % self.points.len();
+        let owner = self.points[start].1;
+        for step in 1..self.points.len() {
+            let (_, shard) = self.points[(start + step) % self.points.len()];
+            if shard != owner {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
     /// The distinct shards on the ring, ascending.
     pub fn shards(&self) -> Vec<ShardId> {
         let mut ids: Vec<ShardId> = self.points.iter().map(|&(_, s)| s).collect();
@@ -199,6 +222,92 @@ mod tests {
                 assert_eq!(before[k], after[k], "keys off the departing shard stay put");
             } else {
                 assert_ne!(after[k], 2, "orphaned keys must be re-homed");
+            }
+        }
+    }
+
+    #[test]
+    fn successor_is_deterministic_and_never_the_home_shard() {
+        let mut ring = HashRing::new(64);
+        for s in 0..4 {
+            ring.add(s);
+        }
+        let clone = ring.clone();
+        for k in keys(500) {
+            let home = ring.shard_for(&k).unwrap();
+            let succ = ring.successor(&k).expect("4-shard ring has successors");
+            assert_ne!(succ, home, "shadow target must differ from home for {k}");
+            assert_eq!(ring.successor(&k), clone.successor(&k), "deterministic");
+        }
+    }
+
+    #[test]
+    fn successor_needs_two_distinct_shards() {
+        let mut ring = HashRing::new(64);
+        assert_eq!(ring.successor("k"), None, "empty ring");
+        ring.add(1);
+        assert_eq!(ring.successor("k"), None, "single shard has no successor");
+        ring.add(2);
+        assert!(ring.successor("k").is_some());
+    }
+
+    #[test]
+    fn successor_re_resolves_minimally_on_join_and_leave() {
+        let mut ring = HashRing::new(128);
+        for s in 0..3 {
+            ring.add(s);
+        }
+        let keys = keys(1500);
+        let before: HashMap<&String, ShardId> = keys
+            .iter()
+            .map(|k| (k, ring.successor(k).unwrap()))
+            .collect();
+        // Join: a successor only changes when the new shard inserts a
+        // point between the key's owner run and its old successor — i.e.
+        // every changed successor now names the joining shard. Some keys
+        // also change because their *owner* changed; skip those (their
+        // shadow moves with the session anyway).
+        let owners_before: HashMap<&String, ShardId> = keys
+            .iter()
+            .map(|k| (k, ring.shard_for(k).unwrap()))
+            .collect();
+        ring.add(3);
+        let mut moved = 0usize;
+        for k in &keys {
+            if ring.shard_for(k).unwrap() != owners_before[k] {
+                continue;
+            }
+            let now = ring.successor(k).unwrap();
+            if now != before[k] {
+                moved += 1;
+                assert_eq!(now, 3, "a re-resolved shadow must target the joiner");
+            }
+        }
+        assert!(
+            moved <= keys.len() / 2,
+            "join re-resolved {moved} of {} shadows — not minimal",
+            keys.len()
+        );
+        // Leave: only keys whose shadow sat on the departing shard (or
+        // whose owner changed) re-resolve.
+        let owners_mid: HashMap<&String, ShardId> = keys
+            .iter()
+            .map(|k| (k, ring.shard_for(k).unwrap()))
+            .collect();
+        let mid: HashMap<&String, ShardId> = keys
+            .iter()
+            .map(|k| (k, ring.successor(k).unwrap()))
+            .collect();
+        ring.remove(2);
+        for k in &keys {
+            if ring.shard_for(k).unwrap() != owners_mid[k] {
+                continue;
+            }
+            let now = ring.successor(k).unwrap();
+            if mid[k] != 2 {
+                assert_eq!(now, mid[k], "shadows off the departing shard stay put");
+            } else {
+                assert_ne!(now, 2, "orphaned shadows must re-home");
             }
         }
     }

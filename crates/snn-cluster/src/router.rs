@@ -47,6 +47,7 @@ use snn_serve::protocol::{
 use snn_serve::ServerConfig;
 
 use crate::backend::Backend;
+use crate::heal::{failover_locked, shadow_locked};
 use crate::migrate::migrate_locked;
 use crate::obs::ClusterObs;
 use crate::ring::{HashRing, ShardId};
@@ -61,6 +62,17 @@ pub struct ClusterLimits {
     pub replicas: usize,
     /// How often the health thread pings every shard.
     pub health_interval: Duration,
+    /// Consecutive failed probes before a shard is declared dead.
+    /// Declaring death destroys (or fails over) every session routed to
+    /// the shard, so one transient probe failure (full accept backlog,
+    /// ephemeral connect error) must not be enough.
+    pub probes_to_kill: u32,
+    /// How often the shadower sweep replicates each session's
+    /// checkpoint to its ring-successor shard. `None` (the default)
+    /// disables shadowing — a dead shard then fails its sessions fast,
+    /// exactly as before PR 7. `Some(_)` additionally arms
+    /// restore-from-shadow failover.
+    pub shadow_interval: Option<Duration>,
     /// Bound on every data-plane read/write to a shard (`None` blocks
     /// forever). Health probes use their own short deadline regardless,
     /// so a stalled shard can never freeze failure detection.
@@ -78,6 +90,8 @@ impl Default for ClusterLimits {
             max_sessions: 256,
             replicas: 64,
             health_interval: Duration::from_millis(500),
+            probes_to_kill: 3,
+            shadow_interval: None,
             io_timeout: Some(Duration::from_secs(30)),
             scrape_timeout: Duration::from_secs(2),
         }
@@ -146,6 +160,21 @@ struct Route {
     /// to keep spend continuous across hot swaps (which replace the
     /// learner's cumulative counters wholesale).
     spent_j: f64,
+    /// Cumulative samples the session has seen, mirrored off every
+    /// relayed reply that reports `samples=` (ingest, swap, restore).
+    /// Under the route lock this is *exactly* the learner's
+    /// `samples_seen`, which is what lets the shadower stamp provable
+    /// sequence numbers without decoding snapshots.
+    samples_seen: u64,
+    /// The last shadow successfully parked: `(holder shard, sequence)`.
+    /// `None` until the first push (or when shadowing is disabled) — a
+    /// shard death then fails the session fast, as pre-PR 7.
+    shadow: Option<(ShardId, u64)>,
+    /// Samples lost by a restore-from-shadow failover (ingested after
+    /// the shadowed checkpoint, died with the shard). Stamped as
+    /// `replay_gap=` on the session's next relayed ok reply, then
+    /// cleared — the loss is reported to the client, never silent.
+    replay_gap: Option<u64>,
 }
 
 /// One session's routing slot. The mutex serialises that session's
@@ -182,6 +211,7 @@ pub struct Cluster {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
+    shadow_thread: Option<JoinHandle<()>>,
 }
 
 impl Cluster {
@@ -219,12 +249,18 @@ impl Cluster {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || health_loop(state, stop))
         };
+        let shadow_thread = state.limits.shadow_interval.map(|interval| {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || shadow_loop(state, stop, interval))
+        });
         Ok(Cluster {
             addr,
             state,
             stop,
             accept_thread: Some(accept_thread),
             health_thread: Some(health_thread),
+            shadow_thread,
         })
     }
 
@@ -363,6 +399,11 @@ impl Cluster {
         let rid = self.state.obs.registry.mint_rid();
         migrate_locked(id, &from_backend, &to_backend, &rid, &self.state.obs)?;
         route.shard = to;
+        if route.shadow.is_some_and(|(h, _)| h == to) {
+            // Restoring the live session on its shadow holder dropped
+            // the parked blob; forget it so a failover never trusts it.
+            route.shadow = None;
+        }
         if route.budget_j.is_some() && !to_backend.supports_evict() {
             // The target cannot checkpoint an over-budget session;
             // enforcement is impossible there, so the budget is dropped
@@ -414,6 +455,11 @@ impl Cluster {
             migrate_locked(&id, &from_backend, &to_backend, &rid, &self.state.obs)?;
             self.state.obs.sessions_moved.inc();
             route.shard = target;
+            if route.shadow.is_some_and(|(h, _)| h == target) {
+                // Same rule as migrate_session: the restore consumed the
+                // parked blob on this shard.
+                route.shadow = None;
+            }
             if route.budget_j.is_some() && !to_backend.supports_evict() {
                 // Same rule as migrate_session: an unenforceable budget
                 // is dropped, not silently voided per ingest.
@@ -432,6 +478,20 @@ impl Cluster {
         }?;
         let shard = slot.route.lock().expect("session route poisoned").shard;
         Some(shard)
+    }
+
+    /// The last shadow the shadower parked for a session: `(holder
+    /// shard, sequence)`. `None` for unknown sessions, before the first
+    /// push, or when shadowing is disabled. Ops/test hook: lets a caller
+    /// wait until a session is protected up to a known sample count
+    /// before injecting faults.
+    pub fn session_shadow(&self, id: &str) -> Option<(ShardId, u64)> {
+        let slot = {
+            let inner = self.state.inner.lock().expect("cluster state poisoned");
+            inner.sessions.get(id).cloned()
+        }?;
+        let shadow = slot.route.lock().expect("session route poisoned").shadow;
+        shadow
     }
 
     /// The shard ids currently attached (alive or not), ascending.
@@ -462,6 +522,9 @@ impl Cluster {
             let _ = t.join();
         }
         if let Some(t) = self.health_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.shadow_thread.take() {
             let _ = t.join();
         }
         let backends: Vec<Arc<Backend>> = {
@@ -554,12 +617,6 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, stop: Arc<AtomicBool>) 
     }
 }
 
-/// Consecutive failed probes before a shard is declared dead. Declaring
-/// death destroys every session routed to the shard, so one transient
-/// probe failure (full accept backlog, ephemeral connect error) must not
-/// be enough.
-const PROBES_TO_KILL: u32 = 3;
-
 fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
     let mut last_sweep = std::time::Instant::now();
     let mut failures: HashMap<ShardId, u32> = HashMap::new();
@@ -588,7 +645,7 @@ fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
             state.obs.probe_fail.inc();
             let strikes = failures.entry(backend.id).or_insert(0);
             *strikes += 1;
-            if *strikes < PROBES_TO_KILL {
+            if *strikes < state.limits.probes_to_kill {
                 continue;
             }
             failures.remove(&backend.id);
@@ -598,10 +655,17 @@ fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
                 let mut inner = state.inner.lock().expect("cluster state poisoned");
                 inner.ring.remove(backend.id);
             }
-            // Their state died with the shard: fail the sessions now
-            // rather than letting clients discover it one timeout at
-            // a time.
-            drop_sessions_of(&state, backend.id);
+            if state.limits.shadow_interval.is_some() {
+                // Shadowed sessions resume from their replicas on live
+                // shards; the rest (never shadowed, stale, or the
+                // restore failed) fail fast as before.
+                failover_sessions_of(&state, backend.id);
+            } else {
+                // Their state died with the shard: fail the sessions
+                // now rather than letting clients discover it one
+                // timeout at a time.
+                drop_sessions_of(&state, backend.id);
+            }
         }
         reconcile(&state);
     }
@@ -673,6 +737,159 @@ fn reconcile(state: &State) {
                     remove_route_if_current(state, id, slot, None);
                 }
                 _ => {}
+            }
+        }
+    }
+}
+
+/// The shadower thread: every `interval`, replicate each session's
+/// checkpoint to its ring-successor shard (see `crate::heal`). Runs only
+/// when [`ClusterLimits::shadow_interval`] is set.
+fn shadow_loop(state: Arc<State>, stop: Arc<AtomicBool>, interval: Duration) {
+    let mut last_sweep = std::time::Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        // Nap in small slices so shutdown never waits a full interval.
+        std::thread::sleep(Duration::from_millis(10));
+        if last_sweep.elapsed() < interval {
+            continue;
+        }
+        last_sweep = std::time::Instant::now();
+        shadow_sweep(&state);
+    }
+}
+
+/// One shadower pass over every routed session. Each push runs under
+/// the session's route lock (serialising with requests, migrations and
+/// failover), and the sweep refreshes the `cluster.shadow_lag` gauge
+/// with the worst per-session sample gap it leaves behind.
+fn shadow_sweep(state: &State) {
+    let snapshot: Vec<(String, Arc<Slot>)> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner
+            .sessions
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect()
+    };
+    let mut max_lag = 0u64;
+    for (id, slot) in snapshot {
+        let mut route = slot.route.lock().expect("session route poisoned");
+        let lag_of = |route: &Route| {
+            route
+                .samples_seen
+                .saturating_sub(route.shadow.map_or(0, |(_, seq)| seq))
+        };
+        // Nothing new to park: the current holder already has this exact
+        // sequence (stores at equal seq are idempotent, so skipping is
+        // purely a traffic optimisation).
+        if route
+            .shadow
+            .is_some_and(|(_, seq)| seq >= route.samples_seen)
+        {
+            max_lag = max_lag.max(lag_of(&route));
+            continue;
+        }
+        let (home, holder) = {
+            let inner = state.inner.lock().expect("cluster state poisoned");
+            // The natural holder is the key's ring successor — never the
+            // key's owner. A session migrated *onto* its own successor
+            // falls back to the ring owner, keeping the invariant that a
+            // shadow never lives on the shard serving the session.
+            let holder_id = match inner.ring.successor(&id) {
+                Some(s) if s != route.shard => Some(s),
+                Some(_) => inner.ring.shard_for(&id).filter(|&o| o != route.shard),
+                None => None,
+            };
+            (
+                inner.backends.get(&route.shard).cloned(),
+                holder_id.and_then(|h| inner.backends.get(&h).cloned()),
+            )
+        };
+        let (Some(home), Some(holder)) = (home, holder) else {
+            // No live (home, holder) pair — e.g. a single-shard ring has
+            // nowhere distinct to replicate to. The lag keeps accruing
+            // and the gauge shows it.
+            max_lag = max_lag.max(lag_of(&route));
+            continue;
+        };
+        if !home.is_alive() || !holder.is_alive() {
+            max_lag = max_lag.max(lag_of(&route));
+            continue;
+        }
+        let rid = state.obs.registry.mint_rid();
+        let seq = route.samples_seen;
+        if shadow_locked(&id, seq, &home, &holder, &rid, &state.obs).is_ok() {
+            route.shadow = Some((holder.id, seq));
+        }
+        max_lag = max_lag.max(lag_of(&route));
+    }
+    state.obs.shadow_lag.set(max_lag as f64);
+}
+
+/// Restores every session routed to the dead shard from its shadow onto
+/// a live shard, under each session's route lock. A session without a
+/// provable shadow (never pushed, holder lost it, sequence mismatch, or
+/// the restore failed) falls back to the fail-fast drop — its next
+/// request answers `unknown-session`, exactly the pre-shadowing
+/// behaviour.
+fn failover_sessions_of(state: &State, dead: ShardId) {
+    let snapshot: Vec<(String, Arc<Slot>)> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner
+            .sessions
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect()
+    };
+    for (id, slot) in snapshot {
+        let mut route = slot.route.lock().expect("session route poisoned");
+        if route.shard != dead {
+            continue;
+        }
+        let Some((holder_id, expect_seq)) = route.shadow else {
+            state.obs.failover_fail.inc();
+            remove_route_if_current(state, &id, &slot, None);
+            continue;
+        };
+        let (holder, target) = {
+            let inner = state.inner.lock().expect("cluster state poisoned");
+            // The dead shard already left the ring, so `shard_for` is a
+            // live placement (possibly the holder itself — restoring
+            // there promotes the shadow to a live session in place).
+            let target = inner
+                .ring
+                .shard_for(&id)
+                .and_then(|t| inner.backends.get(&t).cloned());
+            (inner.backends.get(&holder_id).cloned(), target)
+        };
+        let pair = match (holder, target) {
+            (Some(h), Some(t)) if h.is_alive() && t.is_alive() => Some((h, t)),
+            _ => None,
+        };
+        let Some((holder, target)) = pair else {
+            state.obs.failover_fail.inc();
+            remove_route_if_current(state, &id, &slot, None);
+            continue;
+        };
+        let rid = state.obs.registry.mint_rid();
+        match failover_locked(&id, expect_seq, &holder, &target, &rid, &state.obs) {
+            Ok(seq) => {
+                route.shard = target.id;
+                // Samples past the shadowed checkpoint died with the
+                // shard; report the gap on the next relayed reply.
+                route.replay_gap = Some(route.samples_seen.saturating_sub(seq));
+                route.samples_seen = seq;
+                // Restoring a live session under the id drops the
+                // holder's shadow copy; force a fresh push next sweep.
+                route.shadow = None;
+                if route.budget_j.is_some() && !target.supports_evict() {
+                    // Same rule as migration: an unenforceable budget is
+                    // dropped, not silently voided per ingest.
+                    route.budget_j = None;
+                }
+            }
+            Err(_) => {
+                remove_route_if_current(state, &id, &slot, None);
             }
         }
     }
@@ -916,6 +1133,9 @@ fn handle_open(line: &str, fields: &[(String, String)], state: &State) -> String
             budget_j,
             baseline_j: 0.0,
             spent_j: 0.0,
+            samples_seen: 0,
+            shadow: None,
+            replay_gap: None,
         }),
     });
     let mut route = slot.route.lock().expect("session route poisoned");
@@ -968,11 +1188,19 @@ fn handle_open(line: &str, fields: &[(String, String)], state: &State) -> String
             if reply.starts_with("ok") {
                 // Budgets meter work done *from here on*: a restored
                 // checkpoint's carried joules (total_j on the reply) are
-                // history, not spend.
-                route.baseline_j = parse_response(&reply)
-                    .ok()
-                    .and_then(|r| r.get("total_j").and_then(|v| v.parse::<f64>().ok()))
-                    .unwrap_or(0.0);
+                // history, not spend. The restore reply also reports the
+                // checkpoint's cumulative samples — the starting point
+                // for shadow-sequence accounting.
+                if let Ok(resp) = parse_response(&reply) {
+                    route.baseline_j = resp
+                        .get("total_j")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or(0.0);
+                    route.samples_seen = resp
+                        .get("samples")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0);
+                }
                 let mut inner = state.inner.lock().expect("cluster state poisoned");
                 inner.evicted.remove(id);
             } else {
@@ -998,21 +1226,28 @@ fn handle_release(line: &str, verb: &str, fields: &[(String, String)], state: &S
     let Some((id, slot)) = lookup(fields, state) else {
         return missing_session_line(fields, state);
     };
-    let route = slot.route.lock().expect("session route poisoned");
+    let mut route = slot.route.lock().expect("session route poisoned");
     let Some(backend) = live_backend(&id, route.shard, &slot, state) else {
         return err_line("shard-down", &format!("shard {} is down", route.shard));
     };
     match backend.call_raw(line, false) {
-        Ok(reply) => {
+        Ok(mut reply) => {
             if reply.starts_with("ok") {
-                let mut inner = state.inner.lock().expect("cluster state poisoned");
-                inner.sessions.remove(&id);
-                if verb == "evict" {
-                    let path = parse_response(&reply)
-                        .ok()
-                        .and_then(|r| r.get("path").map(str::to_string))
-                        .unwrap_or_default();
-                    inner.evicted.insert(id.clone(), path);
+                {
+                    let mut inner = state.inner.lock().expect("cluster state poisoned");
+                    inner.sessions.remove(&id);
+                    if verb == "evict" {
+                        let path = parse_response(&reply)
+                            .ok()
+                            .and_then(|r| r.get("path").map(str::to_string))
+                            .unwrap_or_default();
+                        inner.evicted.insert(id.clone(), path);
+                    }
+                }
+                // Even a session released right after a failover is owed
+                // its replay-gap disclosure.
+                if let Some(gap) = route.replay_gap.take() {
+                    reply.push_str(&format!(" replay_gap={gap}"));
                 }
             } else {
                 sync_shard_eviction(&id, &slot, &reply, state);
@@ -1035,11 +1270,16 @@ fn handle_session(line: &str, verb: &str, fields: &[(String, String)], state: &S
     };
     let idempotent = matches!(verb, "report" | "energy" | "checkpoint");
     match backend.call_raw(line, idempotent) {
-        Ok(reply) => {
+        Ok(mut reply) => {
             let reply_total_j = || {
                 parse_response(&reply)
                     .ok()
                     .and_then(|r| r.get("total_j").and_then(|v| v.parse::<f64>().ok()))
+            };
+            let reply_samples = || {
+                parse_response(&reply)
+                    .ok()
+                    .and_then(|r| r.get("samples").and_then(|v| v.parse::<u64>().ok()))
             };
             if !reply.starts_with("ok") {
                 sync_shard_eviction(&id, &slot, &reply, state);
@@ -1069,6 +1309,23 @@ fn handle_session(line: &str, verb: &str, fields: &[(String, String)], state: &S
                 // be evaded (or spuriously tripped) by swapping.
                 if let Some(total) = reply_total_j() {
                     route.baseline_j = total - route.spent_j;
+                }
+            }
+            if reply.starts_with("ok") {
+                // Mirror the session's cumulative sample count (ingest
+                // and swap replies report it) for shadow-sequence and
+                // replay-gap accounting.
+                if matches!(verb, "ingest" | "swap") {
+                    if let Some(samples) = reply_samples() {
+                        route.samples_seen = samples;
+                    }
+                }
+                // A completed failover owes the client one disclosure:
+                // how many ingested samples the dead shard took with it.
+                // Parsers tolerate unknown fields, so the stamp is safe
+                // on every reply shape.
+                if let Some(gap) = route.replay_gap.take() {
+                    reply.push_str(&format!(" replay_gap={gap}"));
                 }
             }
             reply
@@ -1120,6 +1377,12 @@ fn missing_session_line(fields: &[(String, String)], state: &State) -> String {
 
 /// Resolves the backend for a route, failing fast (and releasing the
 /// session) when the shard is dead or detached.
+///
+/// With shadowing enabled the route is kept instead: the health loop's
+/// failover sweep may yet restore the session from its replica, and a
+/// client retrying into the detection window must not race the sweep
+/// into freeing the id (the sweep itself drops whatever it cannot
+/// prove). The client sees `shard-down` until the failover lands.
 fn live_backend(id: &str, shard: ShardId, slot: &Arc<Slot>, state: &State) -> Option<Arc<Backend>> {
     let backend = {
         let inner = state.inner.lock().expect("cluster state poisoned");
@@ -1128,8 +1391,10 @@ fn live_backend(id: &str, shard: ShardId, slot: &Arc<Slot>, state: &State) -> Op
     match backend {
         Some(b) if b.is_alive() => Some(b),
         _ => {
-            // The shard took the session state with it; free the id.
-            remove_route_if_current(state, id, slot, None);
+            if state.limits.shadow_interval.is_none() {
+                // The shard took the session state with it; free the id.
+                remove_route_if_current(state, id, slot, None);
+            }
             None
         }
     }
@@ -1251,6 +1516,24 @@ fn cluster_stats_line(state: &State) -> String {
         ("queued_jobs".into(), stats.queued_jobs.to_string()),
         ("total_samples".into(), stats.total_samples.to_string()),
         ("total_j".into(), stats.total_j.to_string()),
+        (
+            "health_interval_ms".into(),
+            state.limits.health_interval.as_millis().to_string(),
+        ),
+        (
+            "probes_to_kill".into(),
+            state.limits.probes_to_kill.to_string(),
+        ),
+        // 0 reads as "shadowing off": the knob is an interval, and a
+        // zero interval is never configured.
+        (
+            "shadow_interval_ms".into(),
+            state
+                .limits
+                .shadow_interval
+                .map_or(0, |d| d.as_millis())
+                .to_string(),
+        ),
     ];
     for (i, shard) in stats.shards.iter().enumerate() {
         pairs.push((format!("s{i}_id"), shard.id.to_string()));

@@ -177,9 +177,13 @@ impl HistogramSnapshot {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`), reported as the upper bound of the
-    /// bucket where the cumulative count crosses `q` — an overestimate by
-    /// at most one bucket width (≈19 %). Returns 0 when empty.
+    /// The `q`-quantile (`0.0..=1.0`), linearly interpolated *inside* the
+    /// bucket where the cumulative count crosses `q` (assuming samples
+    /// spread uniformly across the bucket). The result always lies within
+    /// that bucket's `[lower, upper]` range, so the worst-case error stays
+    /// one bucket width (≈19 %) — but nearby quantiles that land in the
+    /// same tail bucket no longer collapse to one saturated upper bound.
+    /// Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -190,7 +194,17 @@ impl HistogramSnapshot {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bucket_upper_bound(i);
+                let hi = bucket_upper_bound(i);
+                let lo = if i == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(i - 1) + 1
+                };
+                // 1-based rank of the target sample within this bucket.
+                let pos = target - (seen - c);
+                let fraction = pos as f64 / c as f64;
+                let span = (hi - lo) as f64;
+                return (lo + (span * fraction) as u64).min(hi);
             }
         }
         bucket_upper_bound(HIST_BUCKETS - 1)
@@ -268,6 +282,30 @@ mod tests {
         assert!((99..=128).contains(&p99), "p99 {p99}");
         assert!(snap.quantile(0.0) >= 1);
         assert_eq!(HistogramSnapshot::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn tail_quantiles_separate_within_one_bucket() {
+        // The serve load generator's saturation repro: every latency lands
+        // in the coarse octave bucket ending at 262143, and p95 == p99 ==
+        // 262143 without interpolation. Spread samples across that one
+        // bucket (229376..=262143) and the interpolated quantiles must
+        // separate while staying inside the bucket.
+        let h = Histogram::new();
+        for i in 0..1024u64 {
+            h.record(229_376 + 32 * i); // all land in one bucket
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50);
+        let p95 = snap.quantile(0.95);
+        let p99 = snap.quantile(0.99);
+        assert!(p50 < p95 && p95 < p99, "p50 {p50} p95 {p95} p99 {p99}");
+        for q in [p50, p95, p99] {
+            assert!((229_376..=262_143).contains(&q), "in-bucket bound {q}");
+        }
+        // The extremes stay within the crossing bucket too.
+        assert!(snap.quantile(0.0) >= 229_376);
+        assert_eq!(snap.quantile(1.0), 262_143);
     }
 
     #[test]

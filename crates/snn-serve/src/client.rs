@@ -419,6 +419,37 @@ impl ServeClient {
         field(&resp, "samples")
     }
 
+    /// Stores a shadow checkpoint for `id` on the server **without**
+    /// opening a live session. `seq` must equal the snapshot's
+    /// `samples_seen`; the server rejects mismatches and sequence
+    /// regressions with code `shadow-stale`.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn shadow(&mut self, id: &str, snapshot: &[u8], seq: u64) -> ClientResult<()> {
+        self.call(&Request::Shadow {
+            id: id.to_string(),
+            snapshot: snapshot.to_vec(),
+            seq,
+        })
+        .map(|_| ())
+    }
+
+    /// Fetches the shadow checkpoint stored for `id`, returning its
+    /// stream position and blob. Absent shadows arrive as code
+    /// `unknown-session`.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does.
+    pub fn shadow_fetch(&mut self, id: &str) -> ClientResult<(u64, Vec<u8>)> {
+        let resp = self.call(&Request::ShadowGet { id: id.to_string() })?;
+        let seq = field(&resp, "seq")?;
+        let bytes = hex_decode(resp.get("data").ok_or(ClientError::Malformed("data"))?)?;
+        Ok((seq, bytes))
+    }
+
     /// Evicts a session: the server checkpoints its full state to disk,
     /// frees the learner, and answers later requests for the id with
     /// code `session-evicted` whose message is the returned restore path.

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use snn_obs::{Counter, Histogram, Registry};
+use snn_obs::{Counter, Gauge, Histogram, Registry};
 use snn_online::LearnerObs;
 
 /// Verbs with a dedicated `serve.req.<verb>_us` latency histogram.
@@ -33,6 +33,7 @@ pub(crate) const VERBS: &[&str] = &[
     "checkpoint",
     "restore",
     "swap",
+    "shadow",
     "evict",
     "close",
 ];
@@ -55,6 +56,11 @@ pub(crate) struct ServeObs {
     pub(crate) backpressure_rejects: Arc<Counter>,
     /// `serve.evictions` — sessions checkpointed to disk and freed.
     pub(crate) evictions: Arc<Counter>,
+    /// `serve.shadows` — shadow checkpoints currently parked on this
+    /// server by other shards' routers.
+    pub(crate) shadows: Arc<Gauge>,
+    /// `serve.shadow.store_bytes` — size of each stored shadow blob.
+    pub(crate) shadow_bytes: Arc<Histogram>,
     /// `serve.ingest.batch_size` — samples per ingest job.
     pub(crate) ingest_batch: Arc<Histogram>,
     /// `serve.tick_us` — scheduler tick wall time.
@@ -100,6 +106,8 @@ impl ServeObs {
             admission_rejects: registry.counter("serve.admission_rejects"),
             backpressure_rejects: registry.counter("serve.backpressure_rejects"),
             evictions: registry.counter("serve.evictions"),
+            shadows: registry.gauge("serve.shadows"),
+            shadow_bytes: registry.histogram("serve.shadow.store_bytes"),
             ingest_batch: registry.histogram("serve.ingest.batch_size"),
             tick_us: registry.histogram("serve.tick_us"),
             tick_jobs: registry.histogram("serve.tick.jobs"),

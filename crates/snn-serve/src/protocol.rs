@@ -203,6 +203,28 @@ pub enum Request {
         /// Raw [`snn_online::ModelSnapshot`] container bytes.
         snapshot: Vec<u8>,
     },
+    /// Store a session's shadow checkpoint **without opening a live
+    /// session**: the blob is validated and kept in a bounded in-memory
+    /// store keyed by id, so a routing tier can later `restore` it onto
+    /// this shard if the session's home shard dies. `seq` is the
+    /// snapshot's stream position (`samples_seen`) and must match the
+    /// payload; mismatches fail fast with `shadow-stale`.
+    Shadow {
+        /// Session id the shadow belongs to.
+        id: String,
+        /// Raw [`snn_online::ModelSnapshot`] container bytes.
+        snapshot: Vec<u8>,
+        /// Stream position (`samples_seen`) claimed for the snapshot.
+        seq: u64,
+    },
+    /// Fetch the stored shadow for `id` (same verb, no `data` field):
+    /// the reply carries `seq=` and the blob in `data=`. A failover tier
+    /// uses this to pull the shadow off its holder before restoring it
+    /// onto a live shard.
+    ShadowGet {
+        /// Session id the shadow belongs to.
+        id: String,
+    },
     /// Evict a session: checkpoint its full state to the server's evict
     /// directory, free the in-memory learner, and answer later requests
     /// for the id with `err code=session-evicted` carrying the restore
@@ -650,6 +672,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             id: session_id(&fields)?,
             snapshot: hex_decode(fields.required("data")?)?,
         }),
+        "shadow" => {
+            let id = session_id(&fields)?;
+            if fields.get("data").is_none() {
+                return Ok(Request::ShadowGet { id });
+            }
+            let seq = fields.required("seq")?;
+            let seq = seq
+                .parse::<u64>()
+                .map_err(|_| ProtocolError::InvalidValue {
+                    field: "seq".into(),
+                    value: seq.to_string(),
+                })?;
+            Ok(Request::Shadow {
+                id,
+                snapshot: hex_decode(fields.required("data")?)?,
+                seq,
+            })
+        }
         "evict" => Ok(Request::Evict {
             id: session_id(&fields)?,
         }),
@@ -693,6 +733,10 @@ pub fn format_request(req: &Request) -> String {
         Request::Swap { id, snapshot } => {
             format!("swap id={id} data={}", hex_encode(snapshot))
         }
+        Request::Shadow { id, snapshot, seq } => {
+            format!("shadow id={id} seq={seq} data={}", hex_encode(snapshot))
+        }
+        Request::ShadowGet { id } => format!("shadow id={id}"),
         Request::Evict { id } => format!("evict id={id}"),
         Request::Close { id } => format!("close id={id}"),
     }
@@ -828,6 +872,12 @@ mod tests {
                 id: "s-1".into(),
                 snapshot: vec![9; 33],
             },
+            Request::Shadow {
+                id: "s-1".into(),
+                snapshot: vec![7; 16],
+                seq: 12_345,
+            },
+            Request::ShadowGet { id: "s-1".into() },
             Request::Evict { id: "s-1".into() },
             Request::Close { id: "s-1".into() },
         ];
@@ -903,6 +953,8 @@ mod tests {
             "open id=ok!",                // invalid character
             "ingest id=a",                // missing data
             "ingest id=a data=zz",        // bad hex
+            "shadow id=a data=00",        // missing seq
+            "shadow id=a seq=no data=00", // non-numeric seq
             "open id=a n_exc=notanumber", // bad integer
             "hello",                      // missing proto
             "hello proto=latest",         // non-numeric proto

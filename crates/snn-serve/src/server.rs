@@ -232,6 +232,10 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
                     ("proto", crate::protocol::PROTO_VERSION.to_string()),
                     ("server", "snn-serve".to_string()),
                     ("evict", u8::from(manager.eviction_enabled()).to_string()),
+                    // Capability flag: this build stores shadow
+                    // checkpoints (the `shadow` verb). Routing tiers key
+                    // failover protection off it.
+                    ("shadow", "1".to_string()),
                 ])
             } else {
                 Response::error(
@@ -295,6 +299,20 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
         Request::Energy { id } => roundtrip(manager, &id, Job::Energy, rid),
         Request::Checkpoint { id } => roundtrip(manager, &id, Job::Checkpoint, rid),
         Request::Swap { id, snapshot } => roundtrip(manager, &id, Job::Swap(snapshot), rid),
+        // Shadow store/fetch never touch a live session or the scheduler:
+        // they are direct manager calls against the bounded shadow store.
+        Request::Shadow { id, snapshot, seq } => match manager.store_shadow(&id, seq, snapshot) {
+            Ok(()) => Response::ok([("id", id), ("seq", seq.to_string())]),
+            Err(e) => error_response(&e),
+        },
+        Request::ShadowGet { id } => match manager.fetch_shadow(&id) {
+            Some((seq, bytes)) => Response::ok([
+                ("id", id),
+                ("seq", seq.to_string()),
+                ("data", hex_encode(&bytes)),
+            ]),
+            None => error_response(&ServeError::UnknownSession(id)),
+        },
         Request::Evict { id } => roundtrip(manager, &id, Job::Evict, rid),
         Request::Close { id } => roundtrip(manager, &id, Job::Close, rid),
     }

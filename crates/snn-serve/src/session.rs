@@ -129,6 +129,11 @@ pub enum ServeError {
     /// The learner rejected the operation (for example a sample whose
     /// pixel count does not match the session's input layer).
     Learner(String),
+    /// A shadow payload is out of sequence: its claimed `seq` does not
+    /// match the snapshot's `samples_seen`, or an older shadow arrived
+    /// after a newer one was stored. A failover tier treats this as
+    /// proof it must NOT replay from this blob.
+    ShadowStale(String),
     /// The server is shutting down.
     Shutdown,
 }
@@ -146,6 +151,7 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad-request",
             ServeError::Snapshot(_) => "snapshot",
             ServeError::Learner(_) => "learner",
+            ServeError::ShadowStale(_) => "shadow-stale",
             ServeError::Shutdown => "shutdown",
         }
     }
@@ -168,6 +174,7 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
             ServeError::Learner(msg) => write!(f, "learner error: {msg}"),
+            ServeError::ShadowStale(msg) => write!(f, "stale shadow: {msg}"),
             ServeError::Shutdown => write!(f, "server shutting down"),
         }
     }
@@ -308,6 +315,20 @@ struct Registry {
     total_samples: u64,
 }
 
+/// Bound on shadow checkpoints held per server (the `shadow` verb's
+/// store). A shard shadows roughly its ring predecessor's sessions, so
+/// this sits well above any realistic `max_sessions`; at the bound the
+/// lowest-sequence (oldest-progress) entry is evicted, never the write
+/// rejected — a wedged store would silently stop failover protection.
+pub const SHADOW_CAPACITY: usize = 256;
+
+/// One stored shadow checkpoint: the blob plus its stream position.
+#[derive(Debug)]
+struct ShadowEntry {
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
 /// The shared session registry. See the module docs for the rules.
 #[derive(Debug)]
 pub struct SessionManager {
@@ -317,6 +338,10 @@ pub struct SessionManager {
     limits: ServeLimits,
     gpu: GpuSpec,
     evict_dir: Option<PathBuf>,
+    /// Shadow checkpoints parked here by other shards' routers (id →
+    /// blob + seq). Independent of the session registry: storing a
+    /// shadow opens no live session and touches no learner.
+    shadows: Mutex<HashMap<String, ShadowEntry>>,
     obs: ServeObs,
 }
 
@@ -353,6 +378,7 @@ impl SessionManager {
             limits,
             gpu,
             evict_dir,
+            shadows: Mutex::new(HashMap::new()),
             obs: ServeObs::new(),
         }
     }
@@ -454,6 +480,11 @@ impl SessionManager {
                 baseline_j,
             },
         );
+        drop(state);
+        // A live session on this server supersedes any shadow copy
+        // parked here under the same id (e.g. a failover restored the
+        // session onto its own shadow holder).
+        self.drop_shadow(id);
         Ok(())
     }
 
@@ -632,6 +663,69 @@ impl SessionManager {
             let _ = reply.send(result);
         }
         self.work_ready.notify_all();
+    }
+
+    /// Stores a shadow checkpoint for `id` without opening a session.
+    /// The blob must be a valid [`ModelSnapshot`] whose `samples_seen`
+    /// equals the claimed `seq`, and `seq` must not regress below an
+    /// already-stored shadow for the same id — both violations come back
+    /// as [`ServeError::ShadowStale`], the failover tier's proof that
+    /// this blob must not be replayed.
+    pub(crate) fn store_shadow(
+        &self,
+        id: &str,
+        seq: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), ServeError> {
+        let snap =
+            ModelSnapshot::from_bytes(&bytes).map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        if snap.samples_seen != seq {
+            return Err(ServeError::ShadowStale(format!(
+                "claimed seq {seq} but snapshot sits at {}",
+                snap.samples_seen
+            )));
+        }
+        let mut shadows = self.shadows.lock().expect("shadow store poisoned");
+        if let Some(existing) = shadows.get(id) {
+            if existing.seq > seq {
+                return Err(ServeError::ShadowStale(format!(
+                    "shadow at seq {} already stored, refusing regression to {seq}",
+                    existing.seq
+                )));
+            }
+        } else if shadows.len() >= SHADOW_CAPACITY {
+            // Evict the entry with the least stream progress rather than
+            // rejecting: a full store must not wedge shadowing.
+            if let Some(oldest) = shadows
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| k.clone())
+            {
+                shadows.remove(&oldest);
+            }
+        }
+        self.obs.shadow_bytes.record(bytes.len() as u64);
+        shadows.insert(id.to_string(), ShadowEntry { seq, bytes });
+        self.obs.shadows.set(shadows.len() as f64);
+        Ok(())
+    }
+
+    /// The stored shadow for `id` (seq, blob), if any. The entry stays in
+    /// the store — a failover may retry its restore on another shard.
+    pub(crate) fn fetch_shadow(&self, id: &str) -> Option<(u64, Vec<u8>)> {
+        self.shadows
+            .lock()
+            .expect("shadow store poisoned")
+            .get(id)
+            .map(|e| (e.seq, e.bytes.clone()))
+    }
+
+    /// Drops the stored shadow for `id`, if any (sessions that closed
+    /// cleanly no longer need failover cover).
+    pub(crate) fn drop_shadow(&self, id: &str) {
+        let mut shadows = self.shadows.lock().expect("shadow store poisoned");
+        shadows.remove(id);
+        self.obs.shadows.set(shadows.len() as f64);
     }
 
     /// Current server-wide counters.
@@ -905,6 +999,61 @@ mod tests {
             );
         }
         assert_eq!(m.stats().sessions, 0);
+    }
+
+    #[test]
+    fn shadow_store_validates_payloads_and_sequences() {
+        let m = manager(4, 4);
+        let mut learner = OnlineLearner::new(tiny_spec().online_config());
+        let blob0 = learner.checkpoint().to_bytes(); // samples_seen = 0
+        let gen = snn_data::SyntheticDigits::new(1);
+        let batch: Vec<_> = (0..4u64)
+            .map(|i| gen.sample((i % 4) as u8, i).downsample(4))
+            .collect();
+        learner.ingest_batch(&batch).unwrap();
+        let blob4 = learner.checkpoint().to_bytes(); // samples_seen = 4
+
+        // Garbage never lands in the store.
+        assert!(matches!(
+            m.store_shadow("g", 0, vec![1, 2, 3]),
+            Err(ServeError::Snapshot(_))
+        ));
+        assert!(m.fetch_shadow("g").is_none());
+        // The claimed seq must match the snapshot's stream position.
+        assert!(matches!(
+            m.store_shadow("x", 9, blob4.clone()),
+            Err(ServeError::ShadowStale(_))
+        ));
+        // A valid store round-trips...
+        m.store_shadow("x", 4, blob4.clone()).unwrap();
+        assert_eq!(m.fetch_shadow("x").unwrap(), (4, blob4.clone()));
+        // ...an older shadow can no longer displace it...
+        assert!(matches!(
+            m.store_shadow("x", 0, blob0),
+            Err(ServeError::ShadowStale(_))
+        ));
+        assert_eq!(m.fetch_shadow("x").unwrap().0, 4);
+        // ...and re-storing the same position is idempotent.
+        m.store_shadow("x", 4, blob4).unwrap();
+        // A live session under the id supersedes the parked shadow.
+        m.open("x", &tiny_spec()).unwrap();
+        assert!(m.fetch_shadow("x").is_none());
+    }
+
+    #[test]
+    fn shadow_store_is_bounded_by_least_progress_eviction() {
+        let m = manager(4, 4);
+        let blob = OnlineLearner::new(tiny_spec().online_config())
+            .checkpoint()
+            .to_bytes();
+        let n = SHADOW_CAPACITY + 8;
+        for i in 0..n {
+            m.store_shadow(&format!("sh-{i}"), 0, blob.clone()).unwrap();
+        }
+        let held = (0..n)
+            .filter(|i| m.fetch_shadow(&format!("sh-{i}")).is_some())
+            .count();
+        assert_eq!(held, SHADOW_CAPACITY, "full store evicts, never wedges");
     }
 
     #[test]

@@ -11,14 +11,22 @@
 //! rebalancing under load (the bit-identity of that move is pinned by
 //! `tests/cluster_shards.rs`, not here).
 //!
+//! After the scaling runs, a **chaos drill** starts a shadowing cluster
+//! (one spawned shard plus one externally-owned victim), drives every
+//! session to its halfway mark, kills the victim abruptly, and requires
+//! every session to finish through the restore-from-shadow failover —
+//! zero dropped sessions, at least one failover, and the observed
+//! shadow-lag/failover-latency numbers land in `BENCH_cluster.json`.
+//!
 //! Latency and throughput are wall-clock and machine-dependent; the
 //! learner outcomes are deterministic.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use snn_cluster::{Cluster, ClusterConfig};
+use snn_cluster::{Cluster, ClusterConfig, ClusterLimits};
 use snn_data::{Scenario, SyntheticDigits};
-use snn_serve::{ServeClient, ServerConfig, SessionSpec};
+use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer};
 use spikedyn::Method;
 
 use crate::output::{json_array, write_bench_json, Json, Table};
@@ -229,6 +237,197 @@ fn run_one(scale: &HarnessScale, profile: Profile, n_shards: usize) -> RunOutcom
     }
 }
 
+/// Samples per session in the chaos drill — a correctness exercise, not
+/// a throughput measurement, so it stays smoke-sized at every profile.
+const CHAOS_SAMPLES: u64 = 32;
+
+struct ChaosOutcome {
+    sessions: usize,
+    finished: usize,
+    failovers: u64,
+    failover_p50_us: u64,
+    max_shadow_lag: f64,
+}
+
+/// One chaos load generator: opens a session, ingests its stream in
+/// batches, and **holds at the halfway mark until the victim shard has
+/// been killed** — so every session provably crosses the kill
+/// mid-stream. Any error (dead backend, failover window, backpressure)
+/// is retried against a deadline; returns whether the session finished.
+fn drive_chaos_session(
+    cluster: &Cluster,
+    scale: &HarnessScale,
+    profile: Profile,
+    session: usize,
+    opened: &AtomicUsize,
+    ingested: &AtomicU64,
+    killed: &AtomicBool,
+) -> bool {
+    let spec = spec(scale, profile, session);
+    let id = format!("ch-{session}");
+    let mut client = ServeClient::connect(cluster.local_addr()).expect("connect to router");
+    client.open(&id, spec.clone()).expect("open chaos session");
+    opened.fetch_add(1, Ordering::SeqCst);
+
+    let gen = SyntheticDigits::new(spec.seed);
+    let classes: Vec<u8> = (0..10).collect();
+    let scenario = Scenario::all()[session % Scenario::all().len()];
+    let stream: Vec<_> = scenario
+        .stream(&gen, &classes, CHAOS_SAMPLES, spec.seed, 0)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+    let chunks: Vec<&[snn_data::Image]> = stream.chunks(spec.batch_size).collect();
+    for (batch_idx, chunk) in chunks.iter().enumerate() {
+        if batch_idx == chunks.len() / 2 {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !killed.load(Ordering::SeqCst) {
+                assert!(
+                    Instant::now() < deadline,
+                    "the drill never killed the victim"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match client.ingest(&id, chunk) {
+                Ok(_) => break,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("chaos session {id} never recovered: {e}");
+                    return false;
+                }
+            }
+        }
+        ingested.fetch_add(chunk.len() as u64, Ordering::SeqCst);
+    }
+    client.close(&id).is_ok()
+}
+
+/// The chaos drill: kill a shard mid-stream under load and require every
+/// session to finish through the restore-from-shadow failover.
+fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
+    let cluster = Cluster::start(
+        "127.0.0.1:0",
+        ClusterConfig {
+            limits: ClusterLimits {
+                health_interval: Duration::from_millis(40),
+                probes_to_kill: 2,
+                shadow_interval: Some(Duration::from_millis(25)),
+                ..ClusterLimits::default()
+            },
+        },
+    )
+    .expect("bind an ephemeral port");
+    cluster.spawn_shard(ServerConfig::default()).expect("spawn");
+    // The victim runs outside the cluster so the drill can kill it
+    // behind the router's back — exactly what a crashed shard looks like.
+    let victim_server =
+        SnnServer::start("127.0.0.1:0", ServerConfig::default()).expect("start victim");
+    let victim = cluster
+        .attach_shard(victim_server.local_addr())
+        .expect("attach victim");
+
+    let n_sessions = sessions(profile);
+    let opened = AtomicUsize::new(0);
+    let ingested = AtomicU64::new(0);
+    let killed = AtomicBool::new(false);
+    let total = n_sessions as u64 * CHAOS_SAMPLES;
+
+    let (finished, max_shadow_lag) = std::thread::scope(|s| {
+        let cluster = &cluster;
+        let (opened, ingested, killed) = (&opened, &ingested, &killed);
+        let handles: Vec<_> = (0..n_sessions)
+            .map(|i| {
+                s.spawn(move || {
+                    drive_chaos_session(cluster, scale, profile, i, opened, ingested, killed)
+                })
+            })
+            .collect();
+
+        // Wait for every session to open, then make sure at least one
+        // lives on the victim (the ring may have placed none there).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while opened.load(Ordering::SeqCst) < n_sessions {
+            assert!(Instant::now() < deadline, "chaos sessions never opened");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if !(0..n_sessions)
+            .map(|i| format!("ch-{i}"))
+            .any(|id| cluster.session_shard(&id) == Some(victim))
+        {
+            cluster
+                .migrate_session("ch-0", victim)
+                .expect("seed the victim shard");
+        }
+        // Don't pull the trigger before EVERY session on the victim has
+        // a parked shadow — an un-shadowed session fails fast by design,
+        // and the drill requires zero dropped sessions — and before real
+        // load is flowing. (No migrations run here, so the set of
+        // victim-resident sessions is stable.)
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let armed = (0..n_sessions)
+                .map(|i| format!("ch-{i}"))
+                .filter(|id| cluster.session_shard(id) == Some(victim))
+                .all(|id| cluster.session_shadow(&id).is_some())
+                && ingested.load(Ordering::SeqCst) >= total / 4;
+            if armed {
+                break;
+            }
+            assert!(Instant::now() < deadline, "chaos drill never armed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        victim_server.shutdown();
+        killed.store(true, Ordering::SeqCst);
+
+        // Sample the shadow-lag gauge while the drivers ride out the
+        // failover; the max observed is the headline number.
+        let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
+        let mut max_lag = 0.0f64;
+        loop {
+            let snap = scrape_expo(&mut scraper, "metrics");
+            max_lag = max_lag.max(snap.gauge("cluster.shadow_lag"));
+            if handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let finished = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        (finished, max_lag)
+    });
+
+    // The merged scrape must still work after a shard death: the dead
+    // shard left the pool, the router's failover telemetry remains.
+    let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
+    let telemetry = scrape_expo(&mut scraper, "cluster-metrics");
+    cluster.shutdown();
+
+    let outcome = ChaosOutcome {
+        sessions: n_sessions,
+        finished,
+        failovers: telemetry.counter("cluster.failovers"),
+        failover_p50_us: telemetry.histogram("cluster.failover_us").quantile(0.50),
+        max_shadow_lag,
+    };
+    assert_eq!(
+        outcome.finished, outcome.sessions,
+        "chaos drill dropped sessions"
+    );
+    assert!(
+        outcome.failovers >= 1,
+        "the kill must exercise at least one failover"
+    );
+    outcome
+}
+
 /// Runs the experiment at the given profile and returns the rendered
 /// report.
 pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
@@ -292,6 +491,17 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
     }
     let _ = table.write_csv("cluster_scaling");
 
+    let chaos = run_chaos(scale, profile);
+    out.push_str(&format!(
+        "chaos — shard killed mid-stream: {}/{} sessions finished, \
+         {} failover(s) (p50 {} µs), max shadow lag {:.0} sample(s)\n",
+        chaos.finished,
+        chaos.sessions,
+        chaos.failovers,
+        chaos.failover_p50_us,
+        chaos.max_shadow_lag,
+    ));
+
     let run_objects = runs.iter().map(|run| {
         let migrate_us = run.telemetry.histogram("cluster.migrate_us");
         let migrate_bytes = run.telemetry.histogram("cluster.migrate_bytes");
@@ -316,13 +526,33 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
             .int("migrate_p50_us", migrate_us.quantile(0.50))
             .num("migrate_mean_bytes", migrate_bytes.mean())
             .int("relays", run.telemetry.counter("cluster.relays"))
-            .num("total_j", run.telemetry.gauge("serve.total_j"));
+            .num("total_j", run.telemetry.gauge("serve.total_j"))
+            // Zero in the scaling runs (no shadowing, nothing dies);
+            // the chaos drill's numbers live in the `chaos` object.
+            .int("failovers", run.telemetry.counter("cluster.failovers"))
+            .int(
+                "failover_p50_us",
+                run.telemetry
+                    .histogram("cluster.failover_us")
+                    .quantile(0.50),
+            )
+            .num("max_shadow_lag", run.telemetry.gauge("cluster.shadow_lag"));
         j.render()
     });
+    let chaos_json = {
+        let mut j = Json::new();
+        j.int("sessions", chaos.sessions as u64)
+            .int("finished", chaos.finished as u64)
+            .int("failovers", chaos.failovers)
+            .int("failover_p50_us", chaos.failover_p50_us)
+            .num("max_shadow_lag", chaos.max_shadow_lag);
+        j.render()
+    };
     let mut bench = Json::new();
     bench
         .str("experiment", "cluster")
-        .raw("runs", json_array(run_objects));
+        .raw("runs", json_array(run_objects))
+        .raw("chaos", chaos_json);
     let _ = write_bench_json("cluster", &bench);
     out
 }
@@ -358,6 +588,14 @@ mod tests {
         assert!(
             out.contains("live migration"),
             "migration drill must be reported:\n{out}"
+        );
+        assert!(
+            out.contains("chaos — shard killed mid-stream"),
+            "chaos drill must be reported:\n{out}"
+        );
+        assert!(
+            out.contains("failover(s)"),
+            "chaos drill must report failovers:\n{out}"
         );
     }
 }

@@ -12,7 +12,10 @@
 //! * [`online`](snn_online) — the streaming continual learner with durable checkpoints,
 //! * [`serve`](snn_serve) — the multi-session TCP serving layer over `snn-online`,
 //! * [`cluster`](snn_cluster) — the consistent-hash session router sharding
-//!   `snn-serve` with checkpoint-based live migration.
+//!   `snn-serve` with checkpoint-based live migration, replica shadowing,
+//!   and restore-from-shadow failover,
+//! * [`heal`](snn_heal) — the self-healing control plane: a hysteresis
+//!   autoscaler growing and draining the shard pool from load snapshots.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -23,6 +26,7 @@ pub use snn_baselines;
 pub use snn_cluster;
 pub use snn_core;
 pub use snn_data;
+pub use snn_heal;
 pub use snn_online;
 pub use snn_runtime;
 pub use snn_serve;
