@@ -451,9 +451,7 @@ mod tests {
         // Phase two: 4 more samples, then kill the shard abruptly. The
         // sweep may or may not have re-parked them before the kill; what
         // the failover restores is whatever was parked at kill time.
-        client
-            .ingest(&doomed, &stream(seed, 12)[8..])
-            .unwrap();
+        client.ingest(&doomed, &stream(seed, 12)[8..]).unwrap();
         external.shutdown();
         let (_, shadow_seq) = cluster.session_shadow(&doomed).unwrap();
 

@@ -55,8 +55,15 @@ pub(crate) struct ClusterObs {
     /// fan-out scrapes (each bounded by the scrape deadline).
     pub(crate) scrape_us: Arc<Histogram>,
     /// `cluster.scrape_fail` — fan-out scrapes of a live shard that
-    /// timed out or answered garbage.
+    /// timed out or answered garbage. Each failure also ticks a dynamic
+    /// per-shard counter (`cluster.scrape_fail.s<id>`) and a journal
+    /// event naming the shard, so the culprit is never anonymous.
     pub(crate) scrape_fail: Arc<Counter>,
+    /// `cluster.subscribe.drops` — `push` frames dropped because a
+    /// router subscriber drained slower than the sampling interval (the
+    /// stream never blocks the sampler; subscribers detect the loss by
+    /// `seq` gaps).
+    pub(crate) subscribe_drops: Arc<Counter>,
     /// `cluster.shadows_pushed` / `.shadow_push_fail` — shadow-replica
     /// pushes by the shadower sweep (checkpoint on the home shard →
     /// `shadow` store on the ring successor).
@@ -103,6 +110,7 @@ impl ClusterObs {
             migrate_bytes: registry.histogram("cluster.migrate_bytes"),
             scrape_us: registry.histogram("cluster.scrape_us"),
             scrape_fail: registry.counter("cluster.scrape_fail"),
+            subscribe_drops: registry.counter("cluster.subscribe.drops"),
             shadows_pushed: registry.counter("cluster.shadows_pushed"),
             shadow_push_fail: registry.counter("cluster.shadow_push_fail"),
             shadow_bytes: registry.histogram("cluster.shadow_bytes"),
@@ -143,6 +151,7 @@ mod tests {
             "cluster.migrations",
             "cluster.migration_fail",
             "cluster.scrape_fail",
+            "cluster.subscribe.drops",
             "cluster.shadows_pushed",
             "cluster.shadow_push_fail",
             "cluster.failovers",

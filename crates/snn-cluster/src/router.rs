@@ -35,11 +35,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use snn_obs::Snapshot;
+use snn_obs::{JournalSnapshot, Snapshot};
 use snn_serve::protocol::{
     self, extract_rid, format_response, hex_decode, hex_encode, parse_response, Response,
     MAX_LINE_BYTES, PROTO_VERSION,
@@ -122,6 +122,9 @@ pub struct ShardStats {
     pub total_samples: u64,
     /// Modelled joules across every session the shard has hosted.
     pub total_j: f64,
+    /// Whole seconds the shard's server has been up, as reported by its
+    /// `stats` reply (zero for dead shards or pre-uptime servers).
+    pub uptime_s: u64,
     /// Wall time of the `stats` scrape that produced this row, in
     /// microseconds (bounded by [`ClusterLimits::scrape_timeout`]; zero
     /// for a shard already marked dead, which is not scraped).
@@ -191,6 +194,14 @@ struct Inner {
     sessions: HashMap<String, Arc<Slot>>,
     /// Evicted sessions: id → restore path (as reported by the shard).
     evicted: HashMap<String, String>,
+    /// The last flight-recorder journal captured from each live shard by
+    /// the health loop's black-box sweep (refreshed every interval), so
+    /// a shard that dies without warning still left its journal behind.
+    journal_cache: HashMap<ShardId, String>,
+    /// Post-mortem store: the last captured journal of every shard that
+    /// was declared dead, frozen at death time and merged into
+    /// `cluster-journal` replies.
+    victim_journals: HashMap<ShardId, String>,
     next_shard: ShardId,
     shutdown: bool,
 }
@@ -198,6 +209,10 @@ struct Inner {
 #[derive(Debug)]
 struct State {
     limits: ClusterLimits,
+    /// The router's bound address; wire-driven shard spawns name their
+    /// evict directories after its port, exactly as the Rust-side
+    /// [`Cluster::spawn_shard`] does.
+    addr: SocketAddr,
     obs: ClusterObs,
     inner: Mutex<Inner>,
 }
@@ -228,12 +243,15 @@ impl Cluster {
         let addr = listener.local_addr()?;
         let state = Arc::new(State {
             limits: config.limits,
+            addr,
             obs: ClusterObs::new(),
             inner: Mutex::new(Inner {
                 ring: HashRing::new(config.limits.replicas),
                 backends: BTreeMap::new(),
                 sessions: HashMap::new(),
                 evicted: HashMap::new(),
+                journal_cache: HashMap::new(),
+                victim_journals: HashMap::new(),
                 next_shard: 0,
                 shutdown: false,
             }),
@@ -277,20 +295,8 @@ impl Cluster {
     /// # Errors
     ///
     /// Fails if the shard cannot start or a rebalancing migration fails.
-    pub fn spawn_shard(&self, mut config: ServerConfig) -> Result<ShardId, ClusterError> {
-        let id = self.next_shard_id()?;
-        if config.evict_dir.is_none() {
-            let dir = std::env::temp_dir().join(format!(
-                "snn-cluster-{}-{}-shard{id}",
-                std::process::id(),
-                self.addr.port()
-            ));
-            std::fs::create_dir_all(&dir).map_err(ClusterError::Io)?;
-            config.evict_dir = Some(dir);
-        }
-        let backend = Arc::new(Backend::spawn(id, config, self.state.limits.io_timeout)?);
-        self.join(backend)?;
-        Ok(id)
+    pub fn spawn_shard(&self, config: ServerConfig) -> Result<ShardId, ClusterError> {
+        spawn_shard_on(&self.state, config)
     }
 
     /// Attaches an already-running `snn-serve` shard and joins it to the
@@ -302,30 +308,10 @@ impl Cluster {
     /// Fails on connection/handshake errors or a failed rebalancing
     /// migration.
     pub fn attach_shard(&self, addr: SocketAddr) -> Result<ShardId, ClusterError> {
-        let id = self.next_shard_id()?;
+        let id = next_shard_id(&self.state)?;
         let backend = Arc::new(Backend::attach(id, addr, self.state.limits.io_timeout)?);
-        self.join(backend)?;
+        join_backend(&self.state, backend)?;
         Ok(id)
-    }
-
-    fn next_shard_id(&self) -> Result<ShardId, ClusterError> {
-        let mut inner = self.state.inner.lock().expect("cluster state poisoned");
-        if inner.shutdown {
-            return Err(ClusterError::Shutdown);
-        }
-        let id = inner.next_shard;
-        inner.next_shard += 1;
-        Ok(id)
-    }
-
-    fn join(&self, backend: Arc<Backend>) -> Result<(), ClusterError> {
-        {
-            let mut inner = self.state.inner.lock().expect("cluster state poisoned");
-            inner.backends.insert(backend.id, Arc::clone(&backend));
-            inner.ring.add(backend.id);
-        }
-        self.rebalance()?;
-        Ok(())
     }
 
     /// Drains a shard and removes it: the shard leaves the ring, every
@@ -339,25 +325,7 @@ impl Cluster {
     /// Fails if the shard id is unknown or a migration fails (the shard
     /// then stays attached, minus the ring points).
     pub fn drain_shard(&self, shard: ShardId) -> Result<usize, ClusterError> {
-        let backend = {
-            let mut inner = self.state.inner.lock().expect("cluster state poisoned");
-            let backend = inner
-                .backends
-                .get(&shard)
-                .cloned()
-                .ok_or(ClusterError::UnknownShard(shard))?;
-            inner.ring.remove(shard);
-            backend
-        };
-        let moved = if backend.is_alive() {
-            self.rebalance()?
-        } else {
-            self.drop_sessions_of(shard)
-        };
-        backend.stop();
-        let mut inner = self.state.inner.lock().expect("cluster state poisoned");
-        inner.backends.remove(&shard);
-        Ok(moved)
+        drain_shard_on(&self.state, shard)
     }
 
     /// Live-migrates one session to a specific shard (ops/test hook; the
@@ -422,52 +390,7 @@ impl Cluster {
     /// Stops at the first failed migration; already-moved sessions stay
     /// moved, the failed one keeps serving on its source shard.
     pub fn rebalance(&self) -> Result<usize, ClusterError> {
-        self.state.obs.rebalances.inc();
-        let snapshot: Vec<(String, Arc<Slot>)> = {
-            let inner = self.state.inner.lock().expect("cluster state poisoned");
-            inner
-                .sessions
-                .iter()
-                .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
-                .collect()
-        };
-        let mut moved = 0usize;
-        for (id, slot) in snapshot {
-            let mut route = slot.route.lock().expect("session route poisoned");
-            let (target, from_backend, to_backend) = {
-                let inner = self.state.inner.lock().expect("cluster state poisoned");
-                let Some(target) = inner.ring.shard_for(&id) else {
-                    continue; // ringless cluster: nowhere to move anything
-                };
-                if target == route.shard {
-                    continue;
-                }
-                (
-                    target,
-                    inner.backends.get(&route.shard).cloned(),
-                    inner.backends.get(&target).cloned(),
-                )
-            };
-            let (Some(from_backend), Some(to_backend)) = (from_backend, to_backend) else {
-                continue; // backend raced away; the health/drain path owns it
-            };
-            let rid = self.state.obs.registry.mint_rid();
-            migrate_locked(&id, &from_backend, &to_backend, &rid, &self.state.obs)?;
-            self.state.obs.sessions_moved.inc();
-            route.shard = target;
-            if route.shadow.is_some_and(|(h, _)| h == target) {
-                // Same rule as migrate_session: the restore consumed the
-                // parked blob on this shard.
-                route.shadow = None;
-            }
-            if route.budget_j.is_some() && !to_backend.supports_evict() {
-                // Same rule as migrate_session: an unenforceable budget
-                // is dropped, not silently voided per ingest.
-                route.budget_j = None;
-            }
-            moved += 1;
-        }
-        Ok(moved)
+        rebalance_on(&self.state)
     }
 
     /// The shard a session is currently routed to.
@@ -535,13 +458,6 @@ impl Cluster {
             backend.stop();
         }
     }
-
-    /// Drops the routing entries of every session on `shard` (their
-    /// state is unrecoverable — the shard died holding it).
-    fn drop_sessions_of(&self, shard: ShardId) -> usize {
-        drop_sessions_of(&self.state, shard);
-        0
-    }
 }
 
 impl Drop for Cluster {
@@ -594,6 +510,123 @@ fn drop_sessions_of(state: &State, shard: ShardId) {
 }
 
 // ---------------------------------------------------------------------------
+// Control-plane operations over `&State`, shared by the Rust-side
+// `Cluster` methods and the wire verbs (`cluster-grow`, `cluster-drain`),
+// which only ever hold the state a connection thread borrows.
+
+fn next_shard_id(state: &State) -> Result<ShardId, ClusterError> {
+    let mut inner = state.inner.lock().expect("cluster state poisoned");
+    if inner.shutdown {
+        return Err(ClusterError::Shutdown);
+    }
+    let id = inner.next_shard;
+    inner.next_shard += 1;
+    Ok(id)
+}
+
+fn join_backend(state: &State, backend: Arc<Backend>) -> Result<(), ClusterError> {
+    {
+        let mut inner = state.inner.lock().expect("cluster state poisoned");
+        inner.backends.insert(backend.id, Arc::clone(&backend));
+        inner.ring.add(backend.id);
+    }
+    rebalance_on(state)?;
+    Ok(())
+}
+
+/// See [`Cluster::spawn_shard`], whose contract this implements.
+fn spawn_shard_on(state: &State, mut config: ServerConfig) -> Result<ShardId, ClusterError> {
+    let id = next_shard_id(state)?;
+    if config.evict_dir.is_none() {
+        let dir = std::env::temp_dir().join(format!(
+            "snn-cluster-{}-{}-shard{id}",
+            std::process::id(),
+            state.addr.port()
+        ));
+        std::fs::create_dir_all(&dir).map_err(ClusterError::Io)?;
+        config.evict_dir = Some(dir);
+    }
+    let backend = Arc::new(Backend::spawn(id, config, state.limits.io_timeout)?);
+    join_backend(state, backend)?;
+    Ok(id)
+}
+
+/// See [`Cluster::rebalance`], whose contract this implements.
+fn rebalance_on(state: &State) -> Result<usize, ClusterError> {
+    state.obs.rebalances.inc();
+    let snapshot: Vec<(String, Arc<Slot>)> = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        inner
+            .sessions
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect()
+    };
+    let mut moved = 0usize;
+    for (id, slot) in snapshot {
+        let mut route = slot.route.lock().expect("session route poisoned");
+        let (target, from_backend, to_backend) = {
+            let inner = state.inner.lock().expect("cluster state poisoned");
+            let Some(target) = inner.ring.shard_for(&id) else {
+                continue; // ringless cluster: nowhere to move anything
+            };
+            if target == route.shard {
+                continue;
+            }
+            (
+                target,
+                inner.backends.get(&route.shard).cloned(),
+                inner.backends.get(&target).cloned(),
+            )
+        };
+        let (Some(from_backend), Some(to_backend)) = (from_backend, to_backend) else {
+            continue; // backend raced away; the health/drain path owns it
+        };
+        let rid = state.obs.registry.mint_rid();
+        migrate_locked(&id, &from_backend, &to_backend, &rid, &state.obs)?;
+        state.obs.sessions_moved.inc();
+        route.shard = target;
+        if route.shadow.is_some_and(|(h, _)| h == target) {
+            // Same rule as migrate_session: the restore consumed the
+            // parked blob on this shard.
+            route.shadow = None;
+        }
+        if route.budget_j.is_some() && !to_backend.supports_evict() {
+            // Same rule as migrate_session: an unenforceable budget
+            // is dropped, not silently voided per ingest.
+            route.budget_j = None;
+        }
+        moved += 1;
+    }
+    Ok(moved)
+}
+
+/// See [`Cluster::drain_shard`], whose contract this implements.
+fn drain_shard_on(state: &State, shard: ShardId) -> Result<usize, ClusterError> {
+    let backend = {
+        let mut inner = state.inner.lock().expect("cluster state poisoned");
+        let backend = inner
+            .backends
+            .get(&shard)
+            .cloned()
+            .ok_or(ClusterError::UnknownShard(shard))?;
+        inner.ring.remove(shard);
+        backend
+    };
+    let moved = if backend.is_alive() {
+        rebalance_on(state)?
+    } else {
+        drop_sessions_of(state, shard);
+        0
+    };
+    backend.stop();
+    let mut inner = state.inner.lock().expect("cluster state poisoned");
+    inner.backends.remove(&shard);
+    inner.journal_cache.remove(&shard);
+    Ok(moved)
+}
+
+// ---------------------------------------------------------------------------
 // Accept + health threads.
 
 fn accept_loop(listener: TcpListener, state: Arc<State>, stop: Arc<AtomicBool>) {
@@ -620,6 +653,11 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, stop: Arc<AtomicBool>) 
 fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
     let mut last_sweep = std::time::Instant::now();
     let mut failures: HashMap<ShardId, u32> = HashMap::new();
+    // The "death rid" per striking shard: minted at the first failed
+    // probe and carried by every probe-fail, the shard-down verdict, and
+    // (as `cause=`) each resulting failover — one id stitches the whole
+    // incident through the merged journal.
+    let mut death_rids: HashMap<ShardId, String> = HashMap::new();
     while !stop.load(Ordering::SeqCst) {
         // Nap in small slices so shutdown never waits a full interval.
         std::thread::sleep(Duration::from_millis(20));
@@ -635,31 +673,65 @@ fn health_loop(state: Arc<State>, stop: Arc<AtomicBool>) {
         for backend in backends {
             if !backend.is_alive() {
                 failures.remove(&backend.id);
+                death_rids.remove(&backend.id);
                 continue;
             }
             if backend.ping() {
                 state.obs.probe_ok.inc();
                 failures.remove(&backend.id);
+                death_rids.remove(&backend.id);
+                // Black-box sweep: refresh the cached copy of the
+                // shard's flight recorder while it is still answering,
+                // so a death in the next interval leaves a journal
+                // behind for the post-mortem.
+                if let Some(text) = fetch_shard_journal(&backend, state.limits.scrape_timeout) {
+                    let mut inner = state.inner.lock().expect("cluster state poisoned");
+                    inner.journal_cache.insert(backend.id, text);
+                }
                 continue;
             }
             state.obs.probe_fail.inc();
             let strikes = failures.entry(backend.id).or_insert(0);
             *strikes += 1;
+            let rid = death_rids
+                .entry(backend.id)
+                .or_insert_with(|| state.obs.registry.mint_rid())
+                .clone();
+            state.obs.registry.journal_event(
+                "cluster.probe_fail",
+                &rid,
+                &[
+                    ("shard", backend.id.to_string()),
+                    ("strike", strikes.to_string()),
+                ],
+            );
             if *strikes < state.limits.probes_to_kill {
                 continue;
             }
             failures.remove(&backend.id);
+            death_rids.remove(&backend.id);
             state.obs.shard_down.inc();
+            state.obs.registry.journal_event(
+                "cluster.shard_down",
+                &rid,
+                &[("shard", backend.id.to_string())],
+            );
             backend.mark_dead();
             {
                 let mut inner = state.inner.lock().expect("cluster state poisoned");
                 inner.ring.remove(backend.id);
+                // Freeze the victim's last captured journal: its own
+                // process may be gone, but the black-box copy survives
+                // and rides in every later `cluster-journal` merge.
+                if let Some(text) = inner.journal_cache.remove(&backend.id) {
+                    inner.victim_journals.insert(backend.id, text);
+                }
             }
             if state.limits.shadow_interval.is_some() {
                 // Shadowed sessions resume from their replicas on live
                 // shards; the rest (never shadowed, stale, or the
                 // restore failed) fail fast as before.
-                failover_sessions_of(&state, backend.id);
+                failover_sessions_of(&state, backend.id, &rid);
             } else {
                 // Their state died with the shard: fail the sessions
                 // now rather than letting clients discover it one
@@ -832,7 +904,18 @@ fn shadow_sweep(state: &State) {
 /// the restore failed) falls back to the fail-fast drop — its next
 /// request answers `unknown-session`, exactly the pre-shadowing
 /// behaviour.
-fn failover_sessions_of(state: &State, dead: ShardId) {
+fn failover_sessions_of(state: &State, dead: ShardId, cause: &str) {
+    // A failed failover (no shadow, dead holder/target, or a refused
+    // restore) drops the session exactly as before; the journal records
+    // the failure under the incident's death rid so the post-mortem
+    // explains the loss.
+    let journal_fail = |id: &str| {
+        state.obs.registry.journal_event(
+            "cluster.failover_fail",
+            "",
+            &[("id", id.to_string()), ("cause", cause.to_string())],
+        );
+    };
     let snapshot: Vec<(String, Arc<Slot>)> = {
         let inner = state.inner.lock().expect("cluster state poisoned");
         inner
@@ -848,6 +931,7 @@ fn failover_sessions_of(state: &State, dead: ShardId) {
         }
         let Some((holder_id, expect_seq)) = route.shadow else {
             state.obs.failover_fail.inc();
+            journal_fail(&id);
             remove_route_if_current(state, &id, &slot, None);
             continue;
         };
@@ -868,12 +952,29 @@ fn failover_sessions_of(state: &State, dead: ShardId) {
         };
         let Some((holder, target)) = pair else {
             state.obs.failover_fail.inc();
+            journal_fail(&id);
             remove_route_if_current(state, &id, &slot, None);
             continue;
         };
         let rid = state.obs.registry.mint_rid();
         match failover_locked(&id, expect_seq, &holder, &target, &rid, &state.obs) {
             Ok(seq) => {
+                // The failover's own rid (which the target shard's
+                // `serve.restore` journal entry also carries, relayed on
+                // the restore line) plus `cause=` — the death rid — is
+                // what lets a post-mortem chain probe strikes to the
+                // verdict to the recovery, across tiers.
+                state.obs.registry.journal_event(
+                    "cluster.failover",
+                    &rid,
+                    &[
+                        ("id", id.clone()),
+                        ("cause", cause.to_string()),
+                        ("from", dead.to_string()),
+                        ("to", target.id.to_string()),
+                        ("seq", seq.to_string()),
+                    ],
+                );
                 route.shard = target.id;
                 // Samples past the shadowed checkpoint died with the
                 // shard; report the gap on the next relayed reply.
@@ -889,6 +990,7 @@ fn failover_sessions_of(state: &State, dead: ShardId) {
                 }
             }
             Err(_) => {
+                journal_fail(&id);
                 remove_route_if_current(state, &id, &slot, None);
             }
         }
@@ -917,6 +1019,28 @@ fn handle_connection(stream: TcpStream, state: &State) -> io::Result<()> {
                 writer.flush()?;
             }
             return Ok(());
+        }
+        // `subscribe` upgrades the connection to a one-way push stream
+        // and never returns to request/reply, so it is dispatched here —
+        // the only verb that needs the writer, not just a reply line.
+        if let Ok((verb, fields)) = protocol::tokenize(&line) {
+            if verb == "subscribe" {
+                let interval_ms = match find(&fields, "interval_ms") {
+                    None => 200,
+                    Some(raw) => match raw.parse::<u64>() {
+                        Ok(ms) => ms,
+                        Err(_) => {
+                            let reply =
+                                err_line("bad-request", "interval_ms must be a non-negative int");
+                            writer.write_all(reply.as_bytes())?;
+                            writer.write_all(b"\n")?;
+                            writer.flush()?;
+                            continue;
+                        }
+                    },
+                };
+                return serve_cluster_subscription(&mut writer, state, interval_ms);
+            }
         }
         let reply = route_line(&line, state);
         writer.write_all(reply.as_bytes())?;
@@ -951,6 +1075,8 @@ fn route_line(line: &str, state: &State) -> String {
             Some(Ok(proto)) if proto == PROTO_VERSION => format_response(&Response::ok([
                 ("proto", PROTO_VERSION.to_string()),
                 ("server", "snn-cluster".to_string()),
+                ("journal", "1".to_string()),
+                ("subscribe", "1".to_string()),
             ])),
             Some(Ok(proto)) => err_line(
                 "proto-mismatch",
@@ -975,6 +1101,10 @@ fn route_line(line: &str, state: &State) -> String {
         "cluster-stats" => cluster_stats_line(state),
         "metrics" => metrics_line(state),
         "cluster-metrics" => cluster_metrics_line(state),
+        "journal" => journal_line(state),
+        "cluster-journal" => cluster_journal_line(state),
+        "cluster-grow" => cluster_grow_line(state),
+        "cluster-drain" => cluster_drain_line(state, &fields),
         "open" | "restore" | "close" | "evict" | "ingest" | "report" | "energy" | "checkpoint"
         | "swap" => relay(line, &verb, &fields, state),
         other => err_line("bad-request", &format!("unknown verb {other:?}")),
@@ -1044,6 +1174,12 @@ fn router_snapshot(state: &State) -> Snapshot {
     r.gauge("cluster.evicted_sessions").set(evicted as f64);
     r.gauge("cluster.shards").set(shards as f64);
     r.gauge("cluster.alive_shards").set(alive as f64);
+    // Build/version info rides as an info-style gauge (the version is
+    // part of the name, the value is always 1) plus the router's uptime,
+    // so every scrape answers "what build, up how long" for free.
+    r.gauge(&format!("build.info.{}", env!("CARGO_PKG_VERSION")))
+        .set(1.0);
+    r.gauge("cluster.uptime_s").set(r.uptime_us() as f64 / 1e6);
     r.snapshot()
 }
 
@@ -1053,7 +1189,21 @@ fn router_snapshot(state: &State) -> Snapshot {
 /// or garbled shard costs one deadline and one `cluster.scrape_fail`
 /// tick, never the whole scrape.
 fn cluster_metrics_line(state: &State) -> String {
-    let obs = &state.obs;
+    let (attempted, ok, merged) = merged_metrics(state);
+    format_response(&Response::ok([
+        ("instance", state.obs.registry.instance().to_string()),
+        ("shards", attempted.to_string()),
+        ("scraped", ok.to_string()),
+        ("failed", (attempted - ok).to_string()),
+        ("data", hex_encode(merged.render().as_bytes())),
+    ]))
+}
+
+/// The cluster-wide merged exposition behind `cluster-metrics` and the
+/// router's `subscribe` stream: every live shard scraped on its own
+/// deadline, merged with the router's snapshot. Returns
+/// `(live shards attempted, scrapes that succeeded, merged snapshot)`.
+fn merged_metrics(state: &State) -> (usize, usize, Snapshot) {
     let backends: Vec<Arc<Backend>> = {
         let inner = state.inner.lock().expect("cluster state poisoned");
         inner.backends.values().cloned().collect()
@@ -1069,9 +1219,9 @@ fn cluster_metrics_line(state: &State) -> String {
                     }
                     let t0 = Instant::now();
                     let snap = scrape_shard_metrics(backend, deadline);
-                    obs.scrape_us.record_duration(t0.elapsed());
+                    state.obs.scrape_us.record_duration(t0.elapsed());
                     if snap.is_none() {
-                        obs.scrape_fail.inc();
+                        record_scrape_fail(state, backend.id);
                     }
                     Some(snap)
                 })
@@ -1088,13 +1238,24 @@ fn cluster_metrics_line(state: &State) -> String {
     for snap in scraped.into_iter().flatten() {
         merged.merge(&snap);
     }
-    format_response(&Response::ok([
-        ("instance", state.obs.registry.instance().to_string()),
-        ("shards", attempted.to_string()),
-        ("scraped", ok.to_string()),
-        ("failed", (attempted - ok).to_string()),
-        ("data", hex_encode(merged.render().as_bytes())),
-    ]))
+    (attempted, ok, merged)
+}
+
+/// Records a failed fan-out scrape of a live shard, attributing the
+/// failure to the shard that caused it: the aggregate counter keeps its
+/// historical name, a per-shard counter (`cluster.scrape_fail.s<id>`)
+/// pins the culprit, and a journal event preserves it for post-mortems.
+fn record_scrape_fail(state: &State, shard: ShardId) {
+    state.obs.scrape_fail.inc();
+    state
+        .obs
+        .registry
+        .counter(&format!("cluster.scrape_fail.s{shard}"))
+        .inc();
+    state
+        .obs
+        .registry
+        .journal_event("cluster.scrape_fail", "", &[("shard", shard.to_string())]);
 }
 
 /// One shard's `metrics` reply, decoded and parsed (`None` on timeout,
@@ -1104,6 +1265,215 @@ fn scrape_shard_metrics(backend: &Backend, deadline: Duration) -> Option<Snapsho
     let resp = parse_response(&reply).ok()?;
     let text = String::from_utf8(hex_decode(resp.get("data")?).ok()?).ok()?;
     Snapshot::parse(&text).ok()
+}
+
+/// One shard's `journal` reply, decoded to the raw journal text (`None`
+/// on timeout, transport failure, a malformed reply, or a shard that
+/// predates the verb — black-box capture is strictly best-effort).
+fn fetch_shard_journal(backend: &Backend, deadline: Duration) -> Option<String> {
+    let reply = backend.call_with_deadline("journal", deadline)?;
+    let resp = parse_response(&reply).ok()?;
+    String::from_utf8(hex_decode(resp.get("data")?).ok()?).ok()
+}
+
+/// `journal`: the router's own flight recorder (hex in `data`, the same
+/// shape as a shard's so [`snn_serve::ServeClient::journal`] works
+/// against either tier).
+fn journal_line(state: &State) -> String {
+    format_response(&Response::ok([
+        ("instance", state.obs.registry.instance().to_string()),
+        (
+            "data",
+            hex_encode(state.obs.registry.journal_snapshot().render().as_bytes()),
+        ),
+    ]))
+}
+
+/// `cluster-journal`: the merged cluster-wide flight recorder — the
+/// router's own journal, every live shard's fetched now on a bounded
+/// deadline, and the frozen post-mortem copies of dead shards. The
+/// merge is ordered by event timestamp, so the tail of the reply reads
+/// as the cluster's last moments in causal order.
+fn cluster_journal_line(state: &State) -> String {
+    let mut merged = state.obs.registry.journal_snapshot();
+    let (backends, victims): (Vec<Arc<Backend>>, Vec<String>) = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        (
+            inner.backends.values().cloned().collect(),
+            inner.victim_journals.values().cloned().collect(),
+        )
+    };
+    let deadline = state.limits.scrape_timeout;
+    let mut attempted = 0usize;
+    let mut ok = 0usize;
+    for backend in backends {
+        if !backend.is_alive() {
+            continue;
+        }
+        attempted += 1;
+        match fetch_shard_journal(&backend, deadline).and_then(|t| JournalSnapshot::parse(&t).ok())
+        {
+            Some(snap) => {
+                merged.merge(&snap);
+                ok += 1;
+            }
+            None => record_scrape_fail(state, backend.id),
+        }
+    }
+    for text in victims {
+        if let Ok(snap) = JournalSnapshot::parse(&text) {
+            merged.merge(&snap);
+        }
+    }
+    format_response(&Response::ok([
+        ("instance", state.obs.registry.instance().to_string()),
+        ("shards", attempted.to_string()),
+        ("scraped", ok.to_string()),
+        ("data", hex_encode(merged.render().as_bytes())),
+    ]))
+}
+
+/// `cluster-grow`: spawns a default-configured shard and joins it to the
+/// ring — the wire half of [`Cluster::spawn_shard`], which is what lets
+/// an autoscaler run against the router without holding `&Cluster`.
+fn cluster_grow_line(state: &State) -> String {
+    match spawn_shard_on(state, ServerConfig::default()) {
+        Ok(id) => {
+            let rid = state.obs.registry.mint_rid();
+            state
+                .obs
+                .registry
+                .journal_event("cluster.grow", &rid, &[("shard", id.to_string())]);
+            format_response(&Response::ok([("shard", id.to_string())]))
+        }
+        Err(e) => cluster_err_line(&e),
+    }
+}
+
+/// `cluster-drain`: drains one shard (an explicit `shard=` or the live
+/// shard routing the fewest sessions) — the wire half of
+/// [`Cluster::drain_shard`].
+fn cluster_drain_line(state: &State, fields: &[(String, String)]) -> String {
+    let shard = match find(fields, "shard") {
+        Some(raw) => match raw.parse::<ShardId>() {
+            Ok(s) => s,
+            Err(_) => return err_line("bad-request", "shard must be a numeric shard id"),
+        },
+        None => match least_loaded_shard(state) {
+            Some(s) => s,
+            None => return cluster_err_line(&ClusterError::NoShards),
+        },
+    };
+    match drain_shard_on(state, shard) {
+        Ok(moved) => {
+            let rid = state.obs.registry.mint_rid();
+            state.obs.registry.journal_event(
+                "cluster.drain",
+                &rid,
+                &[("shard", shard.to_string()), ("moved", moved.to_string())],
+            );
+            format_response(&Response::ok([
+                ("drained", shard.to_string()),
+                ("moved", moved.to_string()),
+            ]))
+        }
+        Err(e) => cluster_err_line(&e),
+    }
+}
+
+/// The live shard currently routing the fewest sessions — the wire
+/// drain's default victim, mirroring `snn-heal`'s in-process pool.
+fn least_loaded_shard(state: &State) -> Option<ShardId> {
+    let (mut counts, slots): (BTreeMap<ShardId, usize>, Vec<Arc<Slot>>) = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        (
+            inner
+                .backends
+                .values()
+                .filter(|b| b.is_alive())
+                .map(|b| (b.id, 0usize))
+                .collect(),
+            inner.sessions.values().cloned().collect(),
+        )
+    };
+    for slot in slots {
+        let shard = slot.route.lock().expect("session route poisoned").shard;
+        if let Some(n) = counts.get_mut(&shard) {
+            *n += 1;
+        }
+    }
+    counts.into_iter().min_by_key(|&(_, n)| n).map(|(id, _)| id)
+}
+
+/// How many frames a router subscription buffers before a slow consumer
+/// starts losing them (mirrors the shard server's policy: drop, count,
+/// never block the sampler or the data plane).
+const SUBSCRIBE_BUFFER: usize = 8;
+
+/// `subscribe` against the router: periodic `push` frames carrying the
+/// merged cluster-wide exposition plus the router's own journal delta.
+/// Framing, buffering, and slow-consumer policy are identical to the
+/// shard server's, so [`snn_serve::ServeClient::subscribe`] works
+/// against either tier.
+fn serve_cluster_subscription(
+    writer: &mut TcpStream,
+    state: &State,
+    interval_ms: u64,
+) -> io::Result<()> {
+    let interval = Duration::from_millis(interval_ms.clamp(10, 10_000));
+    let banner = format_response(&Response::ok([(
+        "interval_ms",
+        interval.as_millis().to_string(),
+    )]));
+    writer.write_all(banner.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let (tx, rx) = mpsc::sync_channel::<String>(SUBSCRIBE_BUFFER);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut seq = 0u64;
+            let mut prev_total = state.obs.registry.journal_snapshot().total;
+            loop {
+                if state.inner.lock().expect("cluster state poisoned").shutdown {
+                    return; // dropping tx ends the writer loop cleanly
+                }
+                std::thread::sleep(interval);
+                let (_, _, metrics) = merged_metrics(state);
+                let mut journal = state.obs.registry.journal_snapshot();
+                // Delta framing, as on the shard tier: only events born
+                // since the last frame ride along.
+                let fresh = (journal.total - prev_total).min(journal.events.len() as u64);
+                prev_total = journal.total;
+                journal
+                    .events
+                    .drain(..journal.events.len() - fresh as usize);
+                let frame = format!(
+                    "push seq={seq} data={} journal={}\n",
+                    hex_encode(metrics.render().as_bytes()),
+                    hex_encode(journal.render().as_bytes()),
+                );
+                seq += 1;
+                match tx.try_send(frame) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(_)) => state.obs.subscribe_drops.inc(),
+                    Err(mpsc::TrySendError::Disconnected(_)) => return,
+                }
+            }
+        });
+        // The writer loop runs on the connection thread; a write error
+        // (subscriber gone) drops `rx`, which the sampler sees on its
+        // next try_send and exits — the scope then joins it.
+        for frame in rx {
+            if writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    Ok(())
 }
 
 /// `open`/`restore`: cluster admission, ring placement, optimistic table
@@ -1445,6 +1815,7 @@ fn shard_stats(backend: &Arc<Backend>, state: &State) -> ShardStats {
         queued_jobs: 0,
         total_samples: 0,
         total_j: 0.0,
+        uptime_s: 0,
         scrape_us: 0,
     };
     if stats.alive {
@@ -1464,8 +1835,9 @@ fn shard_stats(backend: &Arc<Backend>, state: &State) -> ShardStats {
                 .get("total_j")
                 .and_then(|v| v.parse::<f64>().ok())
                 .unwrap_or(0.0);
+            stats.uptime_s = num("uptime_s").unwrap_or(0);
         } else {
-            state.obs.scrape_fail.inc();
+            record_scrape_fail(state, backend.id);
         }
     }
     stats
@@ -1511,6 +1883,7 @@ fn cluster_stats_line(state: &State) -> String {
             "alive".into(),
             stats.shards.iter().filter(|s| s.alive).count().to_string(),
         ),
+        ("version".into(), env!("CARGO_PKG_VERSION").to_string()),
         ("sessions".into(), stats.sessions.to_string()),
         ("evicted".into(), stats.evicted_sessions.to_string()),
         ("queued_jobs".into(), stats.queued_jobs.to_string()),
@@ -1542,6 +1915,7 @@ fn cluster_stats_line(state: &State) -> String {
         pairs.push((format!("s{i}_queued"), shard.queued_jobs.to_string()));
         pairs.push((format!("s{i}_samples"), shard.total_samples.to_string()));
         pairs.push((format!("s{i}_j"), shard.total_j.to_string()));
+        pairs.push((format!("s{i}_uptime_s"), shard.uptime_s.to_string()));
         pairs.push((format!("s{i}_scrape_us"), shard.scrape_us.to_string()));
     }
     format_response(&Response::Ok(pairs))

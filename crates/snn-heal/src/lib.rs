@@ -22,6 +22,11 @@
 //! [`snn_cluster::Cluster`]: grow spawns a shard (the ring rebalance
 //! live-migrates a fair share of sessions onto it), shrink drains the
 //! live shard with the fewest sessions (live-migrating them off).
+//! [`WirePool`] is the same loop untethered from the process: it reads
+//! load from the router's `cluster-metrics` verb (through `snn-slo`'s
+//! [`load_view`]) and scales through `cluster-grow`/`cluster-drain`,
+//! so the healer needs only the router's address, never a [`Cluster`]
+//! handle.
 //!
 //! ```
 //! use snn_heal::{Autoscaler, AutoscalerPolicy, LoadSnapshot, ScaleAction};
@@ -38,11 +43,16 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use snn_cluster::{Cluster, ClusterError};
-use snn_serve::ServerConfig;
+use snn_serve::protocol::hex_decode;
+use snn_serve::{ServeClient, ServerConfig};
+use snn_slo::{load_view, LoadView};
 
 /// One observation of a shard pool's load, the autoscaler's only input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +67,20 @@ pub struct LoadSnapshot {
     /// differentiates consecutive observations into a burn *rate*; the
     /// raw counter itself is monotone and never compared to a threshold.
     pub total_j: f64,
+}
+
+/// A [`LoadView`] distilled from merged cluster telemetry carries
+/// exactly the autoscaler's inputs: this is the seam where `snn-slo`'s
+/// wire-side reading of `cluster-metrics` plugs into the scaling loop.
+impl From<LoadView> for LoadSnapshot {
+    fn from(view: LoadView) -> Self {
+        LoadSnapshot {
+            alive_shards: view.alive_shards,
+            sessions: view.sessions,
+            queued_jobs: view.queued_jobs,
+            total_j: view.total_j,
+        }
+    }
 }
 
 /// Scaling thresholds and hysteresis knobs.
@@ -239,6 +263,138 @@ impl ShardPool for ClusterPool<'_> {
             .map(|s| s.id)
             .ok_or(ClusterError::NoShards)?;
         self.cluster.drain_shard(victim).map(|_| ())
+    }
+}
+
+/// [`ShardPool`] over the wire: observes and acts on a cluster purely
+/// through its router's public verbs — `cluster-metrics` for load
+/// (parsed into a [`snn_slo::LoadView`]), `cluster-grow` and
+/// `cluster-drain` to scale — so the autoscaler can run as a sidecar
+/// process holding nothing but the router's address.
+///
+/// The connection is dialed lazily and re-dialed after any wire error;
+/// between successful scrapes [`WirePool::load`] repeats the last good
+/// observation, which reads as "no change" to the hysteresis state
+/// machine rather than a spurious idle signal.
+pub struct WirePool {
+    addr: SocketAddr,
+    state: Mutex<WireState>,
+}
+
+#[derive(Debug)]
+struct WireState {
+    client: Option<ServeClient>,
+    last: LoadSnapshot,
+}
+
+impl std::fmt::Debug for WirePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WirePool")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Wire-layer failures surface through the pool as I/O cluster errors,
+/// which the [`run`] loop tallies as `failed_actions` and retries after
+/// the cooldown.
+fn wire_err(detail: impl std::fmt::Display) -> ClusterError {
+    ClusterError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        detail.to_string(),
+    ))
+}
+
+impl WirePool {
+    /// A pool over the router listening at `addr`. Nothing is dialed
+    /// until the first observation or action needs the wire.
+    pub fn new(addr: SocketAddr) -> Self {
+        WirePool {
+            addr,
+            state: Mutex::new(WireState {
+                client: None,
+                last: LoadSnapshot {
+                    alive_shards: 0,
+                    sessions: 0,
+                    queued_jobs: 0,
+                    total_j: 0.0,
+                },
+            }),
+        }
+    }
+
+    /// Sends one request line on the cached connection (dialing if
+    /// needed) and returns the raw reply. Any failure drops the
+    /// connection so the next call re-dials a fresh one.
+    fn call_wire(&self, line: &str) -> Result<String, ClusterError> {
+        let mut state = self.state.lock().expect("wire pool poisoned");
+        if state.client.is_none() {
+            state.client = Some(ServeClient::connect(self.addr).map_err(wire_err)?);
+        }
+        let result = state
+            .client
+            .as_mut()
+            .expect("just connected")
+            .call_raw(line);
+        match result {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                state.client = None;
+                Err(wire_err(e))
+            }
+        }
+    }
+
+    /// One `ok …`-checked wire action; an `err` reply is a failed
+    /// action, not a dead connection.
+    fn act(&self, verb: &str) -> Result<(), ClusterError> {
+        let reply = self.call_wire(verb)?;
+        if reply.starts_with("ok") {
+            Ok(())
+        } else {
+            Err(wire_err(format!("{verb}: {reply}")))
+        }
+    }
+
+    /// Scrapes `cluster-metrics` and distills the merged exposition
+    /// into a [`LoadSnapshot`] via [`snn_slo::load_view`].
+    fn scrape(&self) -> Result<LoadSnapshot, ClusterError> {
+        let reply = self.call_wire("cluster-metrics")?;
+        if !reply.starts_with("ok") {
+            return Err(wire_err(format!("cluster-metrics: {reply}")));
+        }
+        let hex = reply
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("data="))
+            .ok_or_else(|| wire_err("cluster-metrics reply lacks data field"))?;
+        let bytes = hex_decode(hex).map_err(|e| wire_err(format!("metrics hex: {e}")))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| wire_err("metrics exposition not utf-8"))?;
+        let snap = snn_obs::Snapshot::parse(&text)
+            .map_err(|e| wire_err(format!("metrics exposition: {e}")))?;
+        Ok(load_view(&snap).into())
+    }
+}
+
+impl ShardPool for WirePool {
+    fn load(&self) -> LoadSnapshot {
+        match self.scrape() {
+            Ok(snap) => {
+                self.state.lock().expect("wire pool poisoned").last = snap;
+                snap
+            }
+            // A scrape that failed mid-incident repeats the last good
+            // observation: the streaks freeze instead of resetting.
+            Err(_) => self.state.lock().expect("wire pool poisoned").last,
+        }
+    }
+
+    fn grow(&self) -> Result<(), ClusterError> {
+        self.act("cluster-grow")
+    }
+
+    fn shrink(&self) -> Result<(), ClusterError> {
+        self.act("cluster-drain")
     }
 }
 

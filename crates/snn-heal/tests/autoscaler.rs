@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use snn_cluster::{Cluster, ClusterConfig};
-use snn_heal::{run, AutoscalerPolicy, ClusterPool};
+use snn_heal::{run, AutoscalerPolicy, ClusterPool, WirePool};
 use snn_serve::{ServeClient, ServerConfig, SessionSpec};
 use spikedyn::Method;
 
@@ -103,5 +103,53 @@ fn pool_grows_under_load_and_drains_at_idle() {
     client.open("after", tiny_spec(42)).unwrap();
     client.ingest("after", &stream(42, 4)).unwrap();
     client.close("after").unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn wire_pool_scales_from_telemetry_alone() {
+    let cluster = Cluster::start("127.0.0.1:0", ClusterConfig::default()).unwrap();
+    cluster.spawn_shard(ServerConfig::default()).unwrap();
+
+    let policy = AutoscalerPolicy {
+        min_shards: 1,
+        max_shards: 3,
+        up_sessions_per_shard: 4.0,
+        down_sessions_per_shard: 1.0,
+        up_after: 2,
+        down_after: 2,
+        cooldown: 0,
+        ..AutoscalerPolicy::default()
+    };
+    let stop = AtomicBool::new(false);
+    // The pool holds nothing but the router's address: load arrives
+    // through `cluster-metrics` scrapes and scaling happens through the
+    // `cluster-grow`/`cluster-drain` verbs, never a `&Cluster`.
+    let pool = WirePool::new(cluster.local_addr());
+    let report = std::thread::scope(|scope| {
+        let scaler = scope.spawn(|| run(&pool, policy, Duration::from_millis(30), &stop));
+
+        let mut client = ServeClient::connect(cluster.local_addr()).unwrap();
+        for s in 0..10u64 {
+            let id = format!("wp-{s}");
+            client.open(&id, tiny_spec(s)).unwrap();
+            client.ingest(&id, &stream(s, 4)).unwrap();
+        }
+        wait_for_shards(&cluster, 3, "wire-driven growth");
+
+        for s in 0..10u64 {
+            client.ingest(&format!("wp-{s}"), &stream(s, 4)).unwrap();
+        }
+
+        for s in 0..10u64 {
+            client.close(&format!("wp-{s}")).unwrap();
+        }
+        wait_for_shards(&cluster, 1, "wire-driven drain");
+
+        stop.store(true, Ordering::SeqCst);
+        scaler.join().unwrap()
+    });
+    assert!(report.grows >= 2, "grew at least twice: {report:?}");
+    assert!(report.shrinks >= 2, "drained at least twice: {report:?}");
     cluster.shutdown();
 }

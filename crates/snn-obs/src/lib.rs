@@ -21,18 +21,27 @@
 //!   render/parse pair is self-inverse, with associative snapshot
 //!   merging — the basis of the `metrics` wire verb and the cluster-wide
 //!   `cluster-metrics` fan-out scrape.
+//! * **Flight recorder** ([`JournalSnapshot`]): a bounded, always-on
+//!   ring of structured events (admissions, rejects, drift, evictions,
+//!   probe failures, failovers) with its own versioned text codec and
+//!   associative merge — the post-mortem complement to metrics, served
+//!   over the `journal` wire verb and merged cluster-wide by
+//!   `cluster-journal`.
 //!
 //! Naming scheme, trace propagation rules, and the exposition grammar
-//! are specified in `DESIGN.md` §10.
+//! are specified in `DESIGN.md` §10; the journal event schema and
+//! subscribe/streaming semantics in `DESIGN.md` §12.
 
 #![deny(missing_docs)]
 
 mod expo;
+mod journal;
 mod metrics;
 mod registry;
 mod trace;
 
 pub use expo::{ExpoError, Snapshot, EXPO_HEADER};
+pub use journal::{JournalError, JournalEvent, JournalSnapshot, JOURNAL_HEADER, JOURNAL_RING};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS,
 };

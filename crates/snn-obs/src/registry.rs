@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::expo::Snapshot;
+use crate::journal::{JournalEvent, JournalSnapshot, JOURNAL_RING};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::trace::SpanRecord;
 
@@ -45,6 +46,17 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     spans: Mutex<VecDeque<SpanRecord>>,
+    /// Spans the ring dropped to stay bounded, surfaced in the
+    /// exposition as the `obs.spans_dropped` counter — truncation is
+    /// visible, never silent.
+    spans_dropped: AtomicU64,
+    /// The flight-recorder ring (see [`crate::journal`]).
+    journal: Mutex<VecDeque<JournalEvent>>,
+    /// Events ever journaled (retained or dropped).
+    journal_total: AtomicU64,
+    /// Events the journal ring dropped to stay bounded, surfaced as the
+    /// `obs.journal_dropped` counter.
+    journal_dropped: AtomicU64,
 }
 
 impl Registry {
@@ -64,6 +76,10 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(VecDeque::with_capacity(SPAN_RING)),
+            spans_dropped: AtomicU64::new(0),
+            journal: Mutex::new(VecDeque::with_capacity(JOURNAL_RING)),
+            journal_total: AtomicU64::new(0),
+            journal_dropped: AtomicU64::new(0),
         }
     }
 
@@ -139,8 +155,55 @@ impl Registry {
         let mut ring = self.spans.lock().expect("span ring poisoned");
         if ring.len() >= SPAN_RING {
             ring.pop_front();
+            self.spans_dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(record);
+    }
+
+    /// Records one flight-recorder event, stamped now. The same
+    /// sanitisation discipline as [`Registry::span`]: bad kinds, rids,
+    /// and field values are repaired, never rejected — journaling must
+    /// not fail work that succeeded. The ring is bounded; overflow drops
+    /// the oldest event and counts it.
+    pub fn journal_event(&self, kind: &str, rid: &str, fields: &[(&str, String)]) {
+        let event = JournalEvent {
+            kind: sanitize(kind),
+            rid: if crate::trace::valid_rid(rid) {
+                rid.to_string()
+            } else {
+                String::new()
+            },
+            at_us: self.uptime_us(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (sanitize(k), sanitize(v)))
+                .collect(),
+        };
+        self.journal_total.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.journal.lock().expect("journal ring poisoned");
+        if ring.len() >= JOURNAL_RING {
+            ring.pop_front();
+            self.journal_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// A point-in-time copy of the flight-recorder ring, with the
+    /// ever-recorded total and drop count (the total lets a subscriber
+    /// turn consecutive snapshots into an exact event delta).
+    pub fn journal_snapshot(&self) -> JournalSnapshot {
+        let events: Vec<JournalEvent> = self
+            .journal
+            .lock()
+            .expect("journal ring poisoned")
+            .iter()
+            .cloned()
+            .collect();
+        JournalSnapshot {
+            total: self.journal_total.load(Ordering::Relaxed),
+            dropped: self.journal_dropped.load(Ordering::Relaxed),
+            events,
+        }
     }
 
     /// Microseconds since this registry was created (the span clock).
@@ -148,15 +211,25 @@ impl Registry {
         self.birth.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
     }
 
-    /// A point-in-time copy of every metric and the span ring.
+    /// A point-in-time copy of every metric and the span ring. The
+    /// synthetic `obs.spans_dropped` / `obs.journal_dropped` counters
+    /// ride along, so ring truncation shows up in every scrape.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
+        let mut counters: BTreeMap<String, u64> = self
             .counters
             .lock()
             .expect("counter map poisoned")
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        counters.insert(
+            "obs.spans_dropped".to_string(),
+            self.spans_dropped.load(Ordering::Relaxed),
+        );
+        counters.insert(
+            "obs.journal_dropped".to_string(),
+            self.journal_dropped.load(Ordering::Relaxed),
+        );
         let gauges = self
             .gauges
             .lock()
@@ -250,9 +323,40 @@ mod tests {
         }
         let snap = r.snapshot();
         assert_eq!(snap.spans.len(), SPAN_RING, "ring stays bounded");
+        assert_eq!(
+            snap.counter("obs.spans_dropped"),
+            10,
+            "overflow is counted, not silent"
+        );
         let last = snap.spans.last().unwrap();
         assert_eq!(last.field("k"), Some("has_space_quote"));
         assert_eq!(last.field("rid"), None, "reserved keys are dropped");
+    }
+
+    #[test]
+    fn journal_ring_is_bounded_with_visible_drops() {
+        use crate::journal::JOURNAL_RING;
+        let r = Registry::new("t3");
+        for i in 0..(JOURNAL_RING + 5) {
+            r.journal_event(
+                "serve.open",
+                "t3-1",
+                &[("i", i.to_string()), ("k", "bad value\"".to_string())],
+            );
+        }
+        let j = r.journal_snapshot();
+        assert_eq!(j.events.len(), JOURNAL_RING, "ring stays bounded");
+        assert_eq!(j.dropped, 5);
+        assert_eq!(j.total, (JOURNAL_RING + 5) as u64);
+        // The oldest events went first; the newest survives, sanitised.
+        let last = j.events.last().unwrap();
+        assert_eq!(
+            last.field("i"),
+            Some((JOURNAL_RING + 4).to_string().as_str())
+        );
+        assert_eq!(last.field("k"), Some("bad_value_"));
+        // And the drop count rides the metrics exposition too.
+        assert_eq!(r.snapshot().counter("obs.journal_dropped"), 5);
     }
 
     #[test]

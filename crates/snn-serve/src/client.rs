@@ -15,8 +15,8 @@ use snn_data::Image;
 use snn_online::EnergyReport;
 
 use crate::protocol::{
-    decode_predictions, format_request, hex_decode, parse_response, ProtocolError, Request,
-    Response, SessionSpec, MAX_LINE_BYTES, PROTO_VERSION,
+    decode_predictions, format_request, hex_decode, parse_response, tokenize, ProtocolError,
+    Request, Response, SessionSpec, MAX_LINE_BYTES, PROTO_VERSION,
 };
 use crate::session::ServerStats;
 
@@ -284,6 +284,12 @@ impl ServeClient {
             total_samples: field(&resp, "total_samples")?,
             evicted_sessions: field(&resp, "evicted")?,
             total_j: field(&resp, "total_j")?,
+            // Absent when talking to a pre-journal server: report zero
+            // rather than refusing the whole stats reply.
+            uptime_s: resp
+                .get("uptime_s")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         })
     }
 
@@ -309,6 +315,43 @@ impl ServeClient {
         let text =
             String::from_utf8(bytes).map_err(|_| ClientError::Malformed("metrics data utf-8"))?;
         snn_obs::Snapshot::parse(&text).map_err(|_| ClientError::Malformed("metrics exposition"))
+    }
+
+    /// Dumps the server's flight-recorder journal and parses it into a
+    /// mergeable [`snn_obs::JournalSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does; a reply whose `data` field is
+    /// missing, badly hex-encoded, or not valid journal text surfaces as
+    /// [`ClientError::Malformed`].
+    pub fn journal(&mut self) -> ClientResult<snn_obs::JournalSnapshot> {
+        let resp = self.call(&Request::Journal)?;
+        let hex = resp
+            .get("data")
+            .ok_or(ClientError::Malformed("journal data field"))?;
+        let bytes = hex_decode(hex).map_err(|_| ClientError::Malformed("journal data hex"))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| ClientError::Malformed("journal data utf-8"))?;
+        snn_obs::JournalSnapshot::parse(&text).map_err(|_| ClientError::Malformed("journal text"))
+    }
+
+    /// Switches this connection into streaming mode: the server pushes
+    /// one telemetry frame roughly every `interval_ms` (clamped
+    /// server-side) until the [`Subscription`] is dropped or the server
+    /// shuts down. The connection is consumed — subscriptions are
+    /// dedicated, so a slow consumer can only ever lose its own frames
+    /// (visible as `seq` gaps and in the server's
+    /// `serve.subscribe.drops` counter), never stall the data plane.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does on the handshake.
+    pub fn subscribe(mut self, interval_ms: u64) -> ClientResult<Subscription> {
+        self.call(&Request::Subscribe { interval_ms })?;
+        Ok(Subscription {
+            reader: self.reader,
+        })
     }
 
     /// Opens a fresh session.
@@ -474,6 +517,78 @@ impl ServeClient {
     pub fn close(&mut self, id: &str) -> ClientResult<WireReport> {
         let resp = self.call(&Request::Close { id: id.to_string() })?;
         wire_report(&resp)
+    }
+}
+
+/// One streamed telemetry frame from a subscribed server.
+#[derive(Debug, Clone)]
+pub struct Push {
+    /// Monotonic frame number minted by the server's sampler. Gaps mean
+    /// frames were dropped for this (slow) subscriber.
+    pub seq: u64,
+    /// The full metrics exposition at sample time.
+    pub metrics: snn_obs::Snapshot,
+    /// Journal events recorded since the previous frame; the `meta`
+    /// counters stay cumulative so deltas survive dropped frames.
+    pub journal: snn_obs::JournalSnapshot,
+}
+
+/// A connection switched into streaming mode by
+/// [`ServeClient::subscribe`]. Dropping it ends the subscription (the
+/// server notices on its next push).
+#[derive(Debug)]
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+}
+
+impl Subscription {
+    /// Blocks for the next pushed frame. A clean end of stream (server
+    /// shutdown) surfaces as [`ClientError::Io`] with
+    /// [`io::ErrorKind::UnexpectedEof`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, truncated or non-`push` lines, and frames
+    /// whose payload fields do not decode.
+    // Not `Iterator`: errors are fatal here (`Result`, not `Option`), and
+    // the blocking-pull call-site reads better as an explicit method.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> ClientResult<Push> {
+        let mut line = String::new();
+        let n = (&mut self.reader)
+            .take(MAX_LINE_BYTES)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "subscription ended",
+            )));
+        }
+        if !line.ends_with('\n') {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "push frame truncated",
+            )));
+        }
+        let (verb, fields) = tokenize(&line)?;
+        if verb != "push" {
+            return Err(ClientError::Malformed("push frame verb"));
+        }
+        let resp = Response::Ok(fields);
+        let decode_text = |key: &'static str| -> ClientResult<String> {
+            let hex = resp.get(key).ok_or(ClientError::Malformed(key))?;
+            let bytes = hex_decode(hex).map_err(|_| ClientError::Malformed(key))?;
+            String::from_utf8(bytes).map_err(|_| ClientError::Malformed(key))
+        };
+        let metrics = snn_obs::Snapshot::parse(&decode_text("data")?)
+            .map_err(|_| ClientError::Malformed("push metrics"))?;
+        let journal = snn_obs::JournalSnapshot::parse(&decode_text("journal")?)
+            .map_err(|_| ClientError::Malformed("push journal"))?;
+        Ok(Push {
+            seq: field(&resp, "seq")?,
+            metrics,
+            journal,
+        })
     }
 }
 

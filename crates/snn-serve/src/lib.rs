@@ -70,7 +70,9 @@ pub mod scheduler;
 pub mod server;
 pub mod session;
 
-pub use client::{ClientError, ClientResult, IngestOutcome, ServeClient, WireReport};
+pub use client::{
+    ClientError, ClientResult, IngestOutcome, Push, ServeClient, Subscription, WireReport,
+};
 pub use protocol::{ProtocolError, Request, Response, SessionSpec, PROTO_VERSION};
 pub use server::{ServerConfig, SnnServer};
 pub use session::{ServeError, ServeLimits, ServerStats, SessionManager};
@@ -168,6 +170,38 @@ mod tests {
             local.checkpoint().to_bytes(),
             "wire checkpoint must equal the local learner's, byte for byte"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn journal_dump_and_subscription_stream_over_the_wire() {
+        let server = start_server(ServeLimits::default());
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.open("j1", tiny_spec(4)).unwrap();
+        client.ingest("j1", &stream(4, 4)).unwrap();
+
+        // The flight recorder saw the admission.
+        let journal = client.journal().unwrap();
+        assert!(
+            journal
+                .of_kind("serve.open")
+                .any(|e| e.field("id") == Some("j1")),
+            "open event recorded: {journal:?}"
+        );
+        assert!(journal.total >= 1);
+
+        // A dedicated connection streams frames with rising seq numbers
+        // and parseable payloads.
+        let sub_client = ServeClient::connect(server.local_addr()).unwrap();
+        let mut sub = sub_client.subscribe(20).unwrap();
+        let first = sub.next().unwrap();
+        let second = sub.next().unwrap();
+        assert!(second.seq > first.seq, "{} !> {}", second.seq, first.seq);
+        assert!(first.metrics.counter("serve.requests") > 0);
+        assert!(second.journal.total >= first.journal.total);
+
+        client.close("j1").unwrap();
+        drop(sub);
         server.shutdown();
     }
 

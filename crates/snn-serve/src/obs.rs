@@ -36,6 +36,8 @@ pub(crate) const VERBS: &[&str] = &[
     "shadow",
     "evict",
     "close",
+    "journal",
+    "subscribe",
 ];
 
 /// Process-wide instance sequence: each manager gets a distinct rid
@@ -63,6 +65,10 @@ pub(crate) struct ServeObs {
     pub(crate) shadow_bytes: Arc<Histogram>,
     /// `serve.ingest.batch_size` — samples per ingest job.
     pub(crate) ingest_batch: Arc<Histogram>,
+    /// `serve.subscribe.drops` — push frames dropped because a
+    /// subscriber's bounded buffer was full (slow consumer). The sampler
+    /// never blocks: it counts here and moves on.
+    pub(crate) subscribe_drops: Arc<Counter>,
     /// `serve.tick_us` — scheduler tick wall time.
     pub(crate) tick_us: Arc<Histogram>,
     /// `serve.tick.jobs` — jobs executed per tick.
@@ -109,6 +115,7 @@ impl ServeObs {
             shadows: registry.gauge("serve.shadows"),
             shadow_bytes: registry.histogram("serve.shadow.store_bytes"),
             ingest_batch: registry.histogram("serve.ingest.batch_size"),
+            subscribe_drops: registry.counter("serve.subscribe.drops"),
             tick_us: registry.histogram("serve.tick_us"),
             tick_jobs: registry.histogram("serve.tick.jobs"),
             retired_mj: registry.histogram("serve.session.retired_mj"),

@@ -160,6 +160,21 @@ pub enum Request {
     /// hex-encoded `snn-obs` text exposition of the server's registry
     /// (multi-line text cannot ride a single-line response directly).
     Metrics,
+    /// Flight-recorder dump: the reply's `data` field carries the
+    /// hex-encoded `snn-journal` text of the server's event ring. The
+    /// routing tier polls this per health tick so a dead shard's last
+    /// journal survives it (the black-box it cannot scrape post-mortem).
+    Journal,
+    /// Switch this connection into streaming mode: after the `ok`
+    /// acknowledgement the server pushes one `push seq=… data=…
+    /// journal=…` frame roughly every `interval_ms` until the client
+    /// disconnects or the server shuts down. Frames are sampled into a
+    /// bounded buffer; a slow consumer loses frames (counted in
+    /// `serve.subscribe.drops`), never stalls the data plane.
+    Subscribe {
+        /// Sampling period in milliseconds (clamped server-side).
+        interval_ms: u64,
+    },
     /// Open a fresh session.
     Open {
         /// Session id (token, ≤ [`MAX_SESSION_ID`] bytes).
@@ -629,6 +644,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "journal" => Ok(Request::Journal),
+        "subscribe" => {
+            let interval_ms = fields.parse("interval_ms", 100u64)?;
+            Ok(Request::Subscribe { interval_ms })
+        }
         "open" => {
             let id = session_id(&fields)?;
             let defaults = SessionSpec::default();
@@ -707,6 +727,8 @@ pub fn format_request(req: &Request) -> String {
         Request::Ping => "ping".to_string(),
         Request::Stats => "stats".to_string(),
         Request::Metrics => "metrics".to_string(),
+        Request::Journal => "journal".to_string(),
+        Request::Subscribe { interval_ms } => format!("subscribe interval_ms={interval_ms}"),
         Request::Open { id, spec } => format!(
             "open id={id} method={} n_exc={} n_input={} n_classes={} seed={} batch={} \
              assign_every={} reservoir={} metric_window={} drift_window={}",
@@ -853,6 +875,8 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Metrics,
+            Request::Journal,
+            Request::Subscribe { interval_ms: 250 },
             Request::Open {
                 id: "s-1".into(),
                 spec,
@@ -958,6 +982,7 @@ mod tests {
             "open id=a n_exc=notanumber", // bad integer
             "hello",                      // missing proto
             "hello proto=latest",         // non-numeric proto
+            "subscribe interval_ms=fast", // non-numeric interval
             "err msg=\"unterminated",
             "ok =v",
         ] {

@@ -149,6 +149,21 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
                     .step(&images)
                     .map(|outcome| {
                         samples_delta += images.len() as u64;
+                        // Drift is the event the whole paper is about:
+                        // every detection lands in the flight recorder
+                        // with the batch's rid, so a post-mortem can line
+                        // drift storms up against rejects and failovers.
+                        if !outcome.drift_events.is_empty() {
+                            obs.registry.journal_event(
+                                "serve.drift",
+                                &rid,
+                                &[
+                                    ("id", id.clone()),
+                                    ("drifts", outcome.drift_events.len().to_string()),
+                                    ("at", outcome.samples_seen.to_string()),
+                                ],
+                            );
+                        }
                         let energy = learner.energy(manager.gpu());
                         JobOutput::Ingested(outcome, energy.train_j + energy.infer_j)
                     })
@@ -192,6 +207,8 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
                 )),
                 Some(path) => match learner.checkpoint().save(&path) {
                     Ok(()) => {
+                        obs.registry
+                            .journal_event("serve.evict", &rid, &[("id", id.clone())]);
                         evicted = Some(path.clone());
                         // Like close, evict is linearizable: the reply is
                         // deferred until after the registry update, so a
@@ -207,6 +224,14 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
             },
             Job::Close => {
                 closed = true;
+                obs.registry.journal_event(
+                    "serve.close",
+                    &rid,
+                    &[
+                        ("id", id.clone()),
+                        ("samples", learner.samples_seen().to_string()),
+                    ],
+                );
                 // The reply must not be visible before the registry drops
                 // the session, or a client could race its own close.
                 deferred.push((reply, Ok(JobOutput::Closed(learner.report()))));

@@ -195,6 +195,15 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
         };
         let t0 = std::time::Instant::now();
         let response = match parse_request(&line) {
+            // Subscribe switches the connection into streaming mode: the
+            // acknowledgement and every later frame are written inside,
+            // and the connection never returns to request/response.
+            Ok(Request::Subscribe { interval_ms }) => {
+                let dur = t0.elapsed();
+                obs.verb_hist("subscribe").record_duration(dur);
+                obs.registry.span("serve.subscribe", &rid, dur, &[]);
+                return serve_subscription(&mut writer, manager, interval_ms);
+            }
             Ok(request) => dispatch(request, manager, &rid),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
@@ -222,6 +231,81 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()>
     writer.flush()
 }
 
+/// How many sampled frames a subscription buffers between its sampler
+/// and its socket writer. A consumer that falls further behind loses
+/// frames (counted in `serve.subscribe.drops`) instead of backing the
+/// sampler up.
+const SUBSCRIBE_BUFFER: usize = 8;
+
+/// Streams periodic telemetry frames until the client disconnects or the
+/// server shuts down. The sampler thread renders each frame and
+/// `try_send`s it into a bounded channel — it never blocks on the
+/// subscriber's socket, so a stalled consumer cannot stall anything but
+/// its own feed. Each frame is one line:
+/// `push seq=<n> data=<hex exposition> journal=<hex journal delta>`,
+/// where the journal part carries only events recorded since the
+/// previous frame (its `meta` counters stay cumulative, so a subscriber
+/// can detect its own losses from `seq` gaps and the totals).
+fn serve_subscription(
+    writer: &mut TcpStream,
+    manager: &SessionManager,
+    interval_ms: u64,
+) -> io::Result<()> {
+    let interval = Duration::from_millis(interval_ms.clamp(10, 10_000));
+    write_response(
+        writer,
+        &Response::ok([("interval_ms", interval.as_millis().to_string())]),
+    )?;
+    let (tx, rx) = mpsc::sync_channel::<String>(SUBSCRIBE_BUFFER);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let obs = manager.obs();
+            let mut seq = 0u64;
+            let mut prev_total = obs.registry.journal_snapshot().total;
+            loop {
+                if manager.is_shutdown() {
+                    return; // dropping tx ends the writer loop cleanly
+                }
+                std::thread::sleep(interval);
+                let metrics = manager.metrics_text();
+                let mut journal = obs.registry.journal_snapshot();
+                // Delta framing: only the events born since the last
+                // frame ride along (the ring itself bounds how far back
+                // a reconnecting subscriber can catch up).
+                let fresh = (journal.total - prev_total).min(journal.events.len() as u64);
+                prev_total = journal.total;
+                journal
+                    .events
+                    .drain(..journal.events.len() - fresh as usize);
+                let frame = format!(
+                    "push seq={seq} data={} journal={}\n",
+                    hex_encode(metrics.as_bytes()),
+                    hex_encode(journal.render().as_bytes()),
+                );
+                seq += 1;
+                match tx.try_send(frame) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(_)) => obs.subscribe_drops.inc(),
+                    Err(mpsc::TrySendError::Disconnected(_)) => return,
+                }
+            }
+        });
+        // The writer loop runs on the connection thread; a write error
+        // (client gone) drops `rx`, which the sampler sees on its next
+        // try_send and exits — the scope then joins it.
+        for frame in rx {
+            if writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    Ok(())
+}
+
 /// Executes one request to completion (for session jobs: submit, then
 /// block this connection thread on the reply channel).
 fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
@@ -236,6 +320,10 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
                     // checkpoints (the `shadow` verb). Routing tiers key
                     // failover protection off it.
                     ("shadow", "1".to_string()),
+                    // This build keeps a flight-recorder journal and
+                    // accepts streaming subscriptions.
+                    ("journal", "1".to_string()),
+                    ("subscribe", "1".to_string()),
                 ])
             } else {
                 Response::error(
@@ -265,6 +353,7 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
                 ("total_samples", s.total_samples.to_string()),
                 ("evicted", s.evicted_sessions.to_string()),
                 ("total_j", s.total_j.to_string()),
+                ("uptime_s", s.uptime_s.to_string()),
             ])
         }
         // The exposition is multi-line text and responses are single
@@ -273,17 +362,44 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
             ("instance", manager.obs().registry.instance().to_string()),
             ("data", hex_encode(manager.metrics_text().as_bytes())),
         ]),
+        // The flight recorder travels the same way.
+        Request::Journal => Response::ok([
+            ("instance", manager.obs().registry.instance().to_string()),
+            ("data", hex_encode(manager.journal_text().as_bytes())),
+        ]),
+        // Handled before dispatch (it hijacks the connection); kept in the
+        // match so a new verb cannot be forgotten here.
+        Request::Subscribe { .. } => Response::error("bad-request", "subscribe is a stream"),
         Request::Open { id, spec } => match manager.open(&id, &spec) {
-            Ok(()) => Response::ok([("id", id)]),
-            Err(e) => error_response(&e),
+            Ok(()) => {
+                manager
+                    .obs()
+                    .registry
+                    .journal_event("serve.open", rid, &[("id", id.clone())]);
+                Response::ok([("id", id)])
+            }
+            Err(e) => {
+                journal_reject(manager, rid, &id, &e);
+                error_response(&e)
+            }
         },
         Request::Restore { id, snapshot } => match manager.open_restored(&id, &snapshot) {
-            Ok((samples, total_j)) => Response::ok([
-                ("id", id),
-                ("samples", samples.to_string()),
-                ("total_j", total_j.to_string()),
-            ]),
-            Err(e) => error_response(&e),
+            Ok((samples, total_j)) => {
+                manager.obs().registry.journal_event(
+                    "serve.restore",
+                    rid,
+                    &[("id", id.clone()), ("samples", samples.to_string())],
+                );
+                Response::ok([
+                    ("id", id),
+                    ("samples", samples.to_string()),
+                    ("total_j", total_j.to_string()),
+                ])
+            }
+            Err(e) => {
+                journal_reject(manager, rid, &id, &e);
+                error_response(&e)
+            }
         },
         Request::Ingest { id, images } => {
             if images.len() > manager.limits().max_batch {
@@ -318,9 +434,25 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
     }
 }
 
+/// Journals admission-class rejections (the events the post-mortem story
+/// of an overloaded or flapping shard is made of); other errors already
+/// surface through metrics and the wire response.
+fn journal_reject(manager: &SessionManager, rid: &str, id: &str, e: &ServeError) {
+    let kind = match e {
+        ServeError::Admission { .. } | ServeError::DuplicateSession(_) => "serve.reject.admission",
+        ServeError::Backpressure { .. } => "serve.reject.backpressure",
+        _ => return,
+    };
+    manager
+        .obs()
+        .registry
+        .journal_event(kind, rid, &[("id", id.to_string())]);
+}
+
 fn roundtrip(manager: &SessionManager, id: &str, job: Job, rid: &str) -> Response {
     let (tx, rx) = mpsc::channel();
     if let Err(e) = manager.submit(id, job, rid, tx) {
+        journal_reject(manager, rid, id, &e);
         return error_response(&e);
     }
     match rx.recv() {

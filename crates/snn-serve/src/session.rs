@@ -91,6 +91,10 @@ pub struct ServerStats {
     /// checkpoint did elsewhere is billed where it ran, so migrating a
     /// session never double-counts its history.
     pub total_j: f64,
+    /// Whole seconds since this server's registry was created — scrapes
+    /// of a mixed-age cluster can tell a fresh replacement shard from a
+    /// long-lived one.
+    pub uptime_s: u64,
 }
 
 /// Everything that can go wrong serving a request, with a stable wire
@@ -744,6 +748,7 @@ impl SessionManager {
                     .values()
                     .map(|e| e.joules - e.baseline_j)
                     .sum::<f64>(),
+            uptime_s: self.obs.registry.uptime_us() / 1_000_000,
         }
     }
 
@@ -769,7 +774,22 @@ impl SessionManager {
         r.gauge("runtime.pool.hits").set(pool.hits as f64);
         r.gauge("runtime.pool.wait_us").set(pool.wait_us as f64);
         r.gauge("runtime.pool.hit_rate").set(pool.hit_rate());
+        // Build/version attribution for mixed-version clusters: the
+        // exposition is numeric-only, so the version string rides in the
+        // gauge *name* (`build.info.<version> = 1`, the Prometheus info
+        // idiom) next to the instance's uptime.
+        r.gauge(&format!("build.info.{}", env!("CARGO_PKG_VERSION")))
+            .set(1.0);
+        r.gauge("serve.uptime_s").set(r.uptime_us() as f64 / 1e6);
         r.snapshot().render()
+    }
+
+    /// Renders this server's flight-recorder journal (`snn-journal`
+    /// text): the bounded ring of structured events plus its meta
+    /// counters. Served by the `journal` wire verb, hex-encoded into the
+    /// reply's `data` field.
+    pub fn journal_text(&self) -> String {
+        self.obs.registry.journal_snapshot().render()
     }
 
     /// Whether shutdown has been flagged (drives the honest `ping`:

@@ -17,6 +17,12 @@
 //! every session to finish through the restore-from-shadow failover —
 //! zero dropped sessions, at least one failover, and the observed
 //! shadow-lag/failover-latency numbers land in `BENCH_cluster.json`.
+//! The drill watches itself over the wire: a live `subscribe` stream
+//! feeds an `snn-slo` engine throughout (a deliberately unattainable
+//! ingest-latency canary proves the alert path fires), and afterwards
+//! the merged `cluster-journal` post-mortem — including the dead
+//! victim's black-box copy — is dumped to `POSTMORTEM_cluster.journal`
+//! and required to chain `probe_fail → shard_down → failover` by rid.
 //!
 //! Latency and throughput are wall-clock and machine-dependent; the
 //! learner outcomes are deterministic.
@@ -27,9 +33,10 @@ use std::time::{Duration, Instant};
 use snn_cluster::{Cluster, ClusterConfig, ClusterLimits};
 use snn_data::{Scenario, SyntheticDigits};
 use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer};
+use snn_slo::{Objective, Signal, SloEngine, SloPolicy};
 use spikedyn::Method;
 
-use crate::output::{json_array, write_bench_json, Json, Table};
+use crate::output::{json_array, write_bench_json, write_root_artifact, Json, Table};
 use crate::scale::HarnessScale;
 
 /// Scale profile of one cluster run.
@@ -247,6 +254,17 @@ struct ChaosOutcome {
     failovers: u64,
     failover_p50_us: u64,
     max_shadow_lag: f64,
+    /// SLO alerts the drill's live subscription fired (a deliberately
+    /// unattainable ingest-latency canary guarantees at least one, so
+    /// the streamed-telemetry → alert path is exercised end to end).
+    alerts_fired: u64,
+    /// `cluster.subscribe.drops` after the drill — frames the router
+    /// discarded for slow subscribers (usually 0 here; reported so a
+    /// lossy run is visible in the trajectory).
+    subscribe_drops: u64,
+    /// Events in the merged post-mortem journal written to
+    /// `POSTMORTEM_cluster.journal`.
+    postmortem_events: u64,
 }
 
 /// One chaos load generator: opens a session, ingests its stream in
@@ -335,11 +353,13 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
     let opened = AtomicUsize::new(0);
     let ingested = AtomicU64::new(0);
     let killed = AtomicBool::new(false);
+    let drill_done = AtomicBool::new(false);
     let total = n_sessions as u64 * CHAOS_SAMPLES;
 
-    let (finished, max_shadow_lag) = std::thread::scope(|s| {
+    let (finished, max_shadow_lag, alerts_fired) = std::thread::scope(|s| {
         let cluster = &cluster;
         let (opened, ingested, killed) = (&opened, &ingested, &killed);
+        let drill_done = &drill_done;
         let handles: Vec<_> = (0..n_sessions)
             .map(|i| {
                 s.spawn(move || {
@@ -347,6 +367,53 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
                 })
             })
             .collect();
+
+        // Subscribe to the router's live telemetry stream for the whole
+        // drill. Shadow-lag comes from pushed frames, not polls, and an
+        // SLO engine evaluates every frame: a deliberately unattainable
+        // ingest-latency canary (p99 < 1 µs) must fire under load, so
+        // the wire path `subscribe → SloEngine → alert` is proven every
+        // run. The policy is deliberately hair-triggered (one violating
+        // frame in a 4-frame window fires) because the drill's load
+        // arrives in bursts around the kill, not as a steady stream.
+        let mut subscription = ServeClient::connect(cluster.local_addr())
+            .expect("connect subscriber")
+            .subscribe(10)
+            .expect("subscribe to the router");
+        let subscriber = s.spawn(move || {
+            let mut engine = SloEngine::new(
+                vec![
+                    Objective {
+                        name: "ingest-canary".into(),
+                        signal: Signal::VerbLatencyP99Us("ingest".into()),
+                        threshold: 1.0,
+                    },
+                    Objective {
+                        name: "rejects".into(),
+                        signal: Signal::RejectRate,
+                        threshold: 0.5,
+                    },
+                ],
+                SloPolicy {
+                    window: 4,
+                    burn_threshold: 0.25,
+                    min_samples: 1,
+                },
+            );
+            let mut max_lag = 0.0f64;
+            let mut alerts = 0u64;
+            let mut frames = 0u64;
+            while !drill_done.load(Ordering::SeqCst) {
+                let push = match subscription.next() {
+                    Ok(push) => push,
+                    Err(_) => break, // clean shutdown ends the stream
+                };
+                frames += 1;
+                max_lag = max_lag.max(push.metrics.gauge("cluster.shadow_lag"));
+                alerts += engine.observe(&push.metrics, push.seq * 10_000).len() as u64;
+            }
+            (max_lag, alerts, frames)
+        });
 
         // Wait for every session to open, then make sure at least one
         // lives on the victim (the ring may have placed none there).
@@ -384,30 +451,53 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         victim_server.shutdown();
         killed.store(true, Ordering::SeqCst);
 
-        // Sample the shadow-lag gauge while the drivers ride out the
-        // failover; the max observed is the headline number.
-        let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
-        let mut max_lag = 0.0f64;
-        loop {
-            let snap = scrape_expo(&mut scraper, "metrics");
-            max_lag = max_lag.max(snap.gauge("cluster.shadow_lag"));
-            if handles.iter().all(|h| h.is_finished()) {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
         let finished = handles
             .into_iter()
             .map(|h| h.join().unwrap())
             .filter(|&ok| ok)
             .count();
-        (finished, max_lag)
+        drill_done.store(true, Ordering::SeqCst);
+        let (max_lag, alerts, frames) = subscriber.join().unwrap();
+        assert!(frames >= 1, "the drill must stream at least one frame");
+        (finished, max_lag, alerts)
     });
 
     // The merged scrape must still work after a shard death: the dead
     // shard left the pool, the router's failover telemetry remains.
     let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
     let telemetry = scrape_expo(&mut scraper, "cluster-metrics");
+
+    // Dump the merged post-mortem journal — router + live shards + the
+    // victim's black-box copy — to a root-level artifact, and require
+    // its tail to explain the failover: strikes and the death verdict
+    // share one incident rid, and each failover cites that incident.
+    let journal_text = scrape_journal_text(&mut scraper);
+    let journal = snn_obs::JournalSnapshot::parse(&journal_text)
+        .unwrap_or_else(|e| panic!("post-mortem journal is malformed: {e}"));
+    write_root_artifact("POSTMORTEM_cluster.journal", &journal_text)
+        .expect("write POSTMORTEM_cluster.journal");
+    let down = journal
+        .events
+        .iter()
+        .find(|e| e.kind == "cluster.shard_down" && e.field("shard") == Some(&victim.to_string()))
+        .expect("post-mortem records the victim's death");
+    assert!(!down.rid.is_empty(), "the death verdict is rid-attributed");
+    assert!(
+        journal
+            .events
+            .iter()
+            .any(|e| e.kind == "cluster.probe_fail" && e.rid == down.rid),
+        "the probe strikes share the incident rid {}",
+        down.rid
+    );
+    assert!(
+        journal
+            .events
+            .iter()
+            .any(|e| e.kind == "cluster.failover" && e.field("cause") == Some(&down.rid)),
+        "at least one failover cites incident {} as its cause",
+        down.rid
+    );
     cluster.shutdown();
 
     let outcome = ChaosOutcome {
@@ -416,6 +506,9 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         failovers: telemetry.counter("cluster.failovers"),
         failover_p50_us: telemetry.histogram("cluster.failover_us").quantile(0.50),
         max_shadow_lag,
+        alerts_fired,
+        subscribe_drops: telemetry.counter("cluster.subscribe.drops"),
+        postmortem_events: journal.events.len() as u64,
     };
     assert_eq!(
         outcome.finished, outcome.sessions,
@@ -425,7 +518,27 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         outcome.failovers >= 1,
         "the kill must exercise at least one failover"
     );
+    assert!(
+        outcome.alerts_fired >= 1,
+        "the canary objective must fire over the subscription"
+    );
     outcome
+}
+
+/// Fetches the merged `cluster-journal` dump through the router and
+/// returns the decoded journal text (the post-mortem artifact body).
+fn scrape_journal_text(client: &mut ServeClient) -> String {
+    let reply = client
+        .call_raw("cluster-journal")
+        .unwrap_or_else(|e| panic!("cluster-journal round trip failed: {e}"));
+    let resp = snn_serve::protocol::parse_response(&reply)
+        .unwrap_or_else(|e| panic!("cluster-journal reply is not a protocol line: {e} ({reply})"));
+    let hex = resp
+        .get("data")
+        .unwrap_or_else(|| panic!("cluster-journal reply carries no data field: {reply}"));
+    let bytes = snn_serve::protocol::hex_decode(hex)
+        .unwrap_or_else(|e| panic!("cluster-journal payload is not hex: {e}"));
+    String::from_utf8(bytes).unwrap_or_else(|e| panic!("cluster-journal payload is not UTF-8: {e}"))
 }
 
 /// Runs the experiment at the given profile and returns the rendered
@@ -494,12 +607,18 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
     let chaos = run_chaos(scale, profile);
     out.push_str(&format!(
         "chaos — shard killed mid-stream: {}/{} sessions finished, \
-         {} failover(s) (p50 {} µs), max shadow lag {:.0} sample(s)\n",
+         {} failover(s) (p50 {} µs), max shadow lag {:.0} sample(s); \
+         {} SLO alert(s) fired over the live subscription \
+         ({} frame(s) dropped); post-mortem journal: {} event(s) \
+         → POSTMORTEM_cluster.journal\n",
         chaos.finished,
         chaos.sessions,
         chaos.failovers,
         chaos.failover_p50_us,
         chaos.max_shadow_lag,
+        chaos.alerts_fired,
+        chaos.subscribe_drops,
+        chaos.postmortem_events,
     ));
 
     let run_objects = runs.iter().map(|run| {
@@ -545,7 +664,10 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
             .int("finished", chaos.finished as u64)
             .int("failovers", chaos.failovers)
             .int("failover_p50_us", chaos.failover_p50_us)
-            .num("max_shadow_lag", chaos.max_shadow_lag);
+            .num("max_shadow_lag", chaos.max_shadow_lag)
+            .int("alerts_fired", chaos.alerts_fired)
+            .int("subscribe_drops", chaos.subscribe_drops)
+            .int("postmortem_events", chaos.postmortem_events);
         j.render()
     };
     let mut bench = Json::new();
@@ -596,6 +718,14 @@ mod tests {
         assert!(
             out.contains("failover(s)"),
             "chaos drill must report failovers:\n{out}"
+        );
+        assert!(
+            out.contains("SLO alert(s) fired"),
+            "chaos drill must report the streamed SLO alerts:\n{out}"
+        );
+        assert!(
+            out.contains("POSTMORTEM_cluster.journal"),
+            "chaos drill must dump the post-mortem artifact:\n{out}"
         );
     }
 }

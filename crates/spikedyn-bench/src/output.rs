@@ -185,13 +185,31 @@ fn json_escape(s: &str) -> String {
 ///
 /// Propagates filesystem errors.
 pub fn write_bench_json(name: &str, json: &Json) -> io::Result<PathBuf> {
-    let root = std::env::var_os("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .and_then(|dir| Some(dir.parent()?.parent()?.to_path_buf()))
-        .unwrap_or_default();
-    let path = root.join(format!("BENCH_{name}.json"));
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
     fs::write(&path, format!("{}\n", json.render()))?;
     Ok(path)
+}
+
+/// Writes a root-level debug artifact (e.g. the chaos drill's
+/// `POSTMORTEM_cluster.journal`) next to the `BENCH_*.json` files,
+/// verbatim.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_root_artifact(file_name: &str, content: &str) -> io::Result<PathBuf> {
+    let path = workspace_root().join(file_name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// The workspace root, resolved from `CARGO_MANIFEST_DIR` so `cargo
+/// test` and `cargo run` land artifacts in the same place.
+fn workspace_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .and_then(|dir| Some(dir.parent()?.parent()?.to_path_buf()))
+        .unwrap_or_default()
 }
 
 /// Formats a fraction as a percentage with one decimal.

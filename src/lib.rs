@@ -15,7 +15,12 @@
 //!   `snn-serve` with checkpoint-based live migration, replica shadowing,
 //!   and restore-from-shadow failover,
 //! * [`heal`](snn_heal) — the self-healing control plane: a hysteresis
-//!   autoscaler growing and draining the shard pool from load snapshots.
+//!   autoscaler growing and draining the shard pool from load snapshots,
+//!   in-process or wire-driven,
+//! * [`obs`](snn_obs) — the telemetry spine: metrics, trace spans, and the
+//!   always-on flight-recorder journal,
+//! * [`slo`](snn_slo) — declarative SLOs with burn-rate alerting over
+//!   streamed telemetry windows.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -27,7 +32,9 @@ pub use snn_cluster;
 pub use snn_core;
 pub use snn_data;
 pub use snn_heal;
+pub use snn_obs;
 pub use snn_online;
 pub use snn_runtime;
 pub use snn_serve;
+pub use snn_slo;
 pub use spikedyn;

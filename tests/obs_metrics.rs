@@ -18,6 +18,7 @@
 use snn_cluster::{Cluster, ClusterConfig};
 use snn_data::{Image, Scenario, SyntheticDigits};
 use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer};
+use snn_slo::{Objective, Signal, SloEngine, SloPolicy};
 use spikedyn::Method;
 
 /// A tiny 7×7-input profile so streams stay fast.
@@ -94,6 +95,86 @@ fn observed_session_is_bit_identical_to_an_unobserved_learner() {
         "wire-level spans are recorded"
     );
     client.close("watched").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn subscribed_journaled_slo_watched_session_is_still_bit_identical() {
+    let server =
+        SnnServer::start("127.0.0.1:0", ServerConfig::default()).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    // The heaviest observation stack the stack offers, all at once: a
+    // live telemetry subscription streaming frames throughout the run…
+    let mut sub = ServeClient::connect(addr)
+        .expect("connect subscriber")
+        .subscribe(20)
+        .expect("subscribe");
+    // …feeding an SLO engine that evaluates every frame (journaling is
+    // always-on; the flight recorder needs no opt-in).
+    let mut engine = SloEngine::new(
+        vec![
+            Objective {
+                name: "rejects".into(),
+                signal: Signal::RejectRate,
+                threshold: 0.01,
+            },
+            Objective {
+                name: "ingest-p99".into(),
+                signal: Signal::VerbLatencyP99Us("ingest".into()),
+                threshold: 60_000_000.0,
+            },
+        ],
+        SloPolicy::default(),
+    );
+
+    let spec = tiny_spec(72);
+    let stream = scenario_stream(Scenario::NoiseBurst, 72, 32);
+    client.open("triple", spec.clone()).unwrap();
+
+    let mut frames = 0u64;
+    let mut alerts = Vec::new();
+    let mut journaled = Vec::new();
+    for chunk in stream.chunks(spec.batch_size) {
+        client.ingest("triple", chunk).unwrap();
+        // Block for the next pushed frame and evaluate it — the most
+        // adversarial interleaving: every ingest races a sampler scrape.
+        let push = sub.next().expect("frame mid-stream");
+        frames += 1;
+        alerts.extend(engine.observe(&push.metrics, push.seq * 20_000));
+        journaled.extend(push.journal.events);
+    }
+    let wire_checkpoint = client.checkpoint("triple").unwrap();
+
+    let mut reference = snn_online::OnlineLearner::new(spec.online_config());
+    for chunk in stream.chunks(spec.batch_size) {
+        reference.ingest_batch(chunk).unwrap();
+    }
+    assert_eq!(
+        wire_checkpoint,
+        reference.checkpoint().to_bytes(),
+        "streaming + journaling + SLO evaluation must never perturb learner state"
+    );
+
+    // The observation stack really ran: frames arrived, the engine saw
+    // them, and a healthy service fired nothing.
+    assert_eq!(frames, 8);
+    assert!(
+        alerts.is_empty(),
+        "a healthy service breaches no objective: {alerts:?}"
+    );
+    // The journal deltas carried the session's lifecycle: exactly one
+    // frame's delta holds this session's serve.open (deltas never
+    // re-send events).
+    assert_eq!(
+        journaled
+            .iter()
+            .filter(|e| e.kind == "serve.open" && e.field("id") == Some("triple"))
+            .count(),
+        1,
+        "the open event streams once across all frame deltas"
+    );
+    client.close("triple").unwrap();
     server.shutdown();
 }
 
