@@ -1,25 +1,34 @@
-//! One backend shard: its address, liveness, a small connection pool,
-//! and — for shards the cluster spawned itself — the owned in-process
+//! One backend shard: its address, liveness, its relay channel, and —
+//! for shards the cluster spawned itself — the owned in-process
 //! [`SnnServer`].
 //!
-//! Connections are plain [`ServeClient`]s, so every one performs the
-//! `hello proto=…` handshake on connect: a backend speaking a different
-//! protocol generation is refused at attach time
-//! ([`ClusterError::ProtoMismatch`]), never silently misparsed.
+//! The relay channel is negotiated at attach time: a shard that speaks
+//! proto 2 gets **one** shared multiplexed connection
+//! ([`snn_serve::MuxClient`]) over which every router thread interleaves
+//! session traffic, checkpoint blobs, shadow pushes and migrations; a
+//! proto-1-only shard falls back to the classic small connection pool.
+//! Either way every connection performs the `hello proto=…` handshake,
+//! so a backend speaking an unknown protocol generation is refused at
+//! attach time ([`ClusterError::ProtoMismatch`]), never silently
+//! misparsed.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use snn_serve::{ClientError, ServeClient, ServerConfig, SnnServer, PROTO_VERSION};
+use snn_serve::frame::line_payload_len;
+use snn_serve::{
+    ClientError, MuxClient, ServeClient, ServerConfig, SnnServer, PROTO_V2, PROTO_VERSION,
+};
 
+use crate::obs::WireObs;
 use crate::ring::ShardId;
 use crate::ClusterError;
 
-/// How many idle connections a shard keeps warm. More concurrent router
-/// connections simply open (and later drop) extras.
+/// How many idle proto-1 connections a shard keeps warm. More concurrent
+/// router connections simply open (and later drop) extras.
 const POOL_KEEP: usize = 8;
 
 /// Health probes get their own short deadline: a probe exists to answer
@@ -33,6 +42,17 @@ pub(crate) struct Backend {
     pub(crate) addr: SocketAddr,
     alive: AtomicBool,
     pool: Mutex<Vec<ServeClient>>,
+    /// Negotiated router↔shard protocol generation, settled by the
+    /// attach-time probe ([`PROTO_V2`] preferred, [`PROTO_VERSION`] on
+    /// `proto-mismatch` fallback).
+    proto: AtomicU32,
+    /// Highest protocol generation to offer the shard (a knob so mixed
+    /// clusters and A/B byte-count comparisons can pin proto 1).
+    max_proto: u32,
+    /// The shared multiplexed relay connection (proto 2 shards only).
+    mux: Mutex<Option<Arc<MuxClient>>>,
+    /// Shard-facing byte counters, bucketed by negotiated protocol.
+    wire: WireObs,
     /// Bound on every data-plane read/write to this shard (`None`
     /// blocks forever). Keeps a stalled shard from hanging router
     /// connection threads indefinitely.
@@ -52,6 +72,8 @@ impl Backend {
         id: ShardId,
         config: ServerConfig,
         io_timeout: Option<Duration>,
+        max_proto: u32,
+        wire: WireObs,
     ) -> Result<Backend, ClusterError> {
         let server = SnnServer::start("127.0.0.1:0", config).map_err(ClusterError::Io)?;
         let backend = Backend {
@@ -59,6 +81,10 @@ impl Backend {
             addr: server.local_addr(),
             alive: AtomicBool::new(true),
             pool: Mutex::new(Vec::new()),
+            proto: AtomicU32::new(PROTO_VERSION),
+            max_proto,
+            mux: Mutex::new(None),
+            wire,
             io_timeout,
             supports_evict: AtomicBool::new(false),
             server: Mutex::new(Some(server)),
@@ -73,12 +99,18 @@ impl Backend {
         id: ShardId,
         addr: SocketAddr,
         io_timeout: Option<Duration>,
+        max_proto: u32,
+        wire: WireObs,
     ) -> Result<Backend, ClusterError> {
         let backend = Backend {
             id,
             addr,
             alive: AtomicBool::new(true),
             pool: Mutex::new(Vec::new()),
+            proto: AtomicU32::new(PROTO_VERSION),
+            max_proto,
+            mux: Mutex::new(None),
+            wire,
             io_timeout,
             supports_evict: AtomicBool::new(false),
             server: Mutex::new(None),
@@ -87,18 +119,41 @@ impl Backend {
         Ok(backend)
     }
 
+    /// Attach-time negotiation: offer the newest protocol first and
+    /// remember what the shard actually speaks.
     fn probe(&self) -> Result<(), ClusterError> {
+        if self.max_proto >= PROTO_V2 {
+            match self.connect_proto2() {
+                Ok(mut client) => {
+                    self.proto.store(PROTO_V2, Ordering::SeqCst);
+                    self.learn_caps(&mut client, PROTO_V2);
+                    if let Some(mux) = client.mux() {
+                        *self.mux.lock().expect("backend mux poisoned") = Some(mux);
+                    }
+                    return Ok(());
+                }
+                // A proto-1-only shard is a supported peer, not an
+                // error: fall through to the classic pool.
+                Err(ClusterError::ProtoMismatch { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.proto.store(PROTO_VERSION, Ordering::SeqCst);
         let mut client = self.connect()?;
-        // Read the versioned banner once more to learn the shard's
-        // capabilities (connect's own handshake discards the fields).
-        if let Ok(banner) = client.call_raw(&format!("hello proto={PROTO_VERSION}")) {
+        self.learn_caps(&mut client, PROTO_VERSION);
+        self.give_back(client);
+        Ok(())
+    }
+
+    /// Reads the versioned banner once more to learn the shard's
+    /// capabilities (connect's own handshake discards the fields).
+    fn learn_caps(&self, client: &mut ServeClient, proto: u32) {
+        if let Ok(banner) = client.call_raw(&format!("hello proto={proto}")) {
             if let Ok(resp) = snn_serve::protocol::parse_response(&banner) {
                 self.supports_evict
                     .store(resp.get("evict") == Some("1"), Ordering::SeqCst);
             }
         }
-        self.give_back(client);
-        Ok(())
     }
 
     /// Whether the shard advertised eviction support at attach time.
@@ -106,11 +161,12 @@ impl Backend {
         self.supports_evict.load(Ordering::SeqCst)
     }
 
-    fn connect(&self) -> Result<ServeClient, ClusterError> {
-        let attempt = match self.io_timeout {
-            Some(timeout) => ServeClient::connect_with_timeout(self.addr, timeout),
-            None => ServeClient::connect(self.addr),
-        };
+    /// The negotiated router↔shard protocol generation.
+    pub(crate) fn proto(&self) -> u32 {
+        self.proto.load(Ordering::SeqCst)
+    }
+
+    fn lift(&self, attempt: Result<ServeClient, ClientError>) -> Result<ServeClient, ClusterError> {
         match attempt {
             Ok(client) => Ok(client),
             Err(ClientError::Server { code, msg }) if code == "proto-mismatch" => {
@@ -127,6 +183,20 @@ impl Backend {
         }
     }
 
+    fn connect(&self) -> Result<ServeClient, ClusterError> {
+        self.lift(match self.io_timeout {
+            Some(timeout) => ServeClient::connect_with_timeout(self.addr, timeout),
+            None => ServeClient::connect(self.addr),
+        })
+    }
+
+    fn connect_proto2(&self) -> Result<ServeClient, ClusterError> {
+        self.lift(match self.io_timeout {
+            Some(timeout) => ServeClient::connect_with_proto_timeout(self.addr, PROTO_V2, timeout),
+            None => ServeClient::connect_with_proto(self.addr, PROTO_V2),
+        })
+    }
+
     pub(crate) fn is_alive(&self) -> bool {
         self.alive.load(Ordering::SeqCst)
     }
@@ -136,6 +206,7 @@ impl Backend {
     pub(crate) fn mark_dead(&self) {
         self.alive.store(false, Ordering::SeqCst);
         self.pool.lock().expect("backend pool poisoned").clear();
+        *self.mux.lock().expect("backend mux poisoned") = None;
     }
 
     /// Takes a connection (pooled or fresh). The boolean is `true` when
@@ -170,10 +241,25 @@ impl Backend {
     /// the session's state — the caller surfaces the error and lets the
     /// client decide.
     pub(crate) fn call_raw(&self, line: &str, idempotent: bool) -> Result<String, ClusterError> {
+        if self.proto() >= PROTO_V2 {
+            return self.call_raw_mux(line, idempotent);
+        }
         loop {
             let (mut client, pooled) = self.checkout()?;
             match client.call_raw(line) {
                 Ok(reply) => {
+                    let trimmed = line.trim_end_matches('\n');
+                    self.wire.count(
+                        PROTO_VERSION,
+                        reply.len() as u64 + 1,
+                        trimmed.len() as u64 + 1,
+                    );
+                    // Proto 1 moves payloads as hex text: count the hex
+                    // characters that actually crossed the wire.
+                    self.wire.count_payload(
+                        PROTO_VERSION,
+                        line_payload_len(trimmed) + line_payload_len(&reply),
+                    );
                     self.give_back(client);
                     return Ok(reply);
                 }
@@ -185,6 +271,80 @@ impl Backend {
                     })
                 }
             }
+        }
+    }
+
+    /// [`Backend::call_raw`] over the shared multiplexed connection. The
+    /// retry rule mirrors the pool path exactly: a failure on a *reused*
+    /// connection (which may have gone stale between calls) is retried
+    /// once on a fresh one, and only for idempotent lines.
+    fn call_raw_mux(&self, line: &str, idempotent: bool) -> Result<String, ClusterError> {
+        let mut retried = false;
+        loop {
+            let (mux, fresh) = self.mux_handle()?;
+            match mux.call_line_counted(line.trim_end_matches('\n')) {
+                Ok((reply, tx, rx)) => {
+                    self.wire.count(PROTO_V2, rx, tx);
+                    // The reconstructed lines carry the payloads re-hexed;
+                    // the frames moved half that, as raw bytes.
+                    self.wire.count_payload(
+                        PROTO_V2,
+                        (line_payload_len(line.trim_end_matches('\n')) + line_payload_len(&reply))
+                            / 2,
+                    );
+                    return Ok(reply);
+                }
+                Err(_) if !fresh && idempotent && !retried => {
+                    retried = true;
+                    // Like a stale pooled connection, a reused channel is
+                    // not trusted after a failure: drop the shared handle
+                    // (in-flight callers holding their own `Arc` finish
+                    // undisturbed; the socket closes with the last clone).
+                    self.clear_mux(&mux);
+                    continue;
+                }
+                Err(e) => {
+                    if mux.is_dead() {
+                        self.clear_mux(&mux);
+                    }
+                    return Err(ClusterError::Backend {
+                        shard: self.id,
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Takes the shared multiplexed connection, reconnecting when it is
+    /// missing or dead. The boolean is `true` when the connection was
+    /// freshly established by this call.
+    fn mux_handle(&self) -> Result<(Arc<MuxClient>, bool), ClusterError> {
+        if !self.is_alive() {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        let mut guard = self.mux.lock().expect("backend mux poisoned");
+        if let Some(mux) = guard.as_ref() {
+            if !mux.is_dead() {
+                return Ok((Arc::clone(mux), false));
+            }
+            *guard = None;
+        }
+        let client = self.connect_proto2()?;
+        let mux = client.mux().ok_or_else(|| ClusterError::Backend {
+            shard: self.id,
+            detail: "proto 2 negotiation lost on reconnect".to_string(),
+        })?;
+        *guard = Some(Arc::clone(&mux));
+        Ok((mux, true))
+    }
+
+    /// Drops the shared handle iff it still points at `mux` (a
+    /// concurrent caller may already have replaced it).
+    fn clear_mux(&self, mux: &Arc<MuxClient>) {
+        let mut guard = self.mux.lock().expect("backend mux poisoned");
+        if guard.as_ref().is_some_and(|m| Arc::ptr_eq(m, mux)) {
+            *guard = None;
         }
     }
 

@@ -88,6 +88,61 @@ pub(crate) struct ClusterObs {
     pub(crate) failover_us: Arc<Histogram>,
     /// `cluster.failover_bytes` — decoded snapshot payload per failover.
     pub(crate) failover_bytes: Arc<Histogram>,
+    /// `cluster.wire.p{1,2}.rx_bytes` / `.tx_bytes` — client-facing
+    /// bytes on the wire per protocol generation (proto 1 counts line
+    /// bytes, proto 2 counts whole frames).
+    pub(crate) wire: WireObs,
+    /// `cluster.relay.p{1,2}.rx_bytes` / `.tx_bytes` — shard-facing
+    /// bytes moved by the relay path, per negotiated backend protocol.
+    /// This pair is what the proto 2 rollout's payload-reduction claim
+    /// is measured on.
+    pub(crate) relay_wire: WireObs,
+}
+
+/// Shared handles for one per-protocol byte-counter pair, cloned into
+/// every [`crate::backend::Backend`] so the relay path can count bytes
+/// where they actually move.
+#[derive(Debug, Clone)]
+pub(crate) struct WireObs {
+    rx: [Arc<Counter>; 2],
+    tx: [Arc<Counter>; 2],
+    /// `<prefix>.p{1,2}.payload_bytes` — bytes the `data=` payloads
+    /// themselves occupied on the wire (hex characters under proto 1,
+    /// raw bytes under proto 2). Only the relay family tracks this; it
+    /// is the denominator-free form of the framing rollout's "proto 2
+    /// moves ≥2× fewer payload bytes" claim.
+    payload: Option<[Arc<Counter>; 2]>,
+}
+
+impl WireObs {
+    /// Pre-creates `<prefix>.p{1,2}.rx_bytes` / `.tx_bytes`, plus
+    /// `.payload_bytes` when the caller tracks payload economics.
+    fn new(registry: &Registry, prefix: &str, with_payload: bool) -> Self {
+        WireObs {
+            rx: [1u32, 2].map(|p| registry.counter(&format!("{prefix}.p{p}.rx_bytes"))),
+            tx: [1u32, 2].map(|p| registry.counter(&format!("{prefix}.p{p}.tx_bytes"))),
+            payload: with_payload.then(|| {
+                [1u32, 2].map(|p| registry.counter(&format!("{prefix}.p{p}.payload_bytes")))
+            }),
+        }
+    }
+
+    /// Counts one exchange's bytes under its protocol generation
+    /// (everything at or above proto 2 shares the binary-framing
+    /// bucket).
+    pub(crate) fn count(&self, proto: u32, rx_bytes: u64, tx_bytes: u64) {
+        let i = usize::from(proto >= 2);
+        self.rx[i].add(rx_bytes);
+        self.tx[i].add(tx_bytes);
+    }
+
+    /// Counts one exchange's payload-on-the-wire bytes (no-op for
+    /// families created without payload tracking).
+    pub(crate) fn count_payload(&self, proto: u32, payload_bytes: u64) {
+        if let Some(payload) = &self.payload {
+            payload[usize::from(proto >= 2)].add(payload_bytes);
+        }
+    }
 }
 
 impl ClusterObs {
@@ -119,6 +174,8 @@ impl ClusterObs {
             failover_fail: registry.counter("cluster.failover_fail"),
             failover_us: registry.histogram("cluster.failover_us"),
             failover_bytes: registry.histogram("cluster.failover_bytes"),
+            wire: WireObs::new(&registry, "cluster.wire", false),
+            relay_wire: WireObs::new(&registry, "cluster.relay", true),
             registry,
         }
     }
@@ -156,6 +213,16 @@ mod tests {
             "cluster.shadow_push_fail",
             "cluster.failovers",
             "cluster.failover_fail",
+            "cluster.wire.p1.rx_bytes",
+            "cluster.wire.p1.tx_bytes",
+            "cluster.wire.p2.rx_bytes",
+            "cluster.wire.p2.tx_bytes",
+            "cluster.relay.p1.rx_bytes",
+            "cluster.relay.p1.tx_bytes",
+            "cluster.relay.p2.rx_bytes",
+            "cluster.relay.p2.tx_bytes",
+            "cluster.relay.p1.payload_bytes",
+            "cluster.relay.p2.payload_bytes",
         ] {
             assert!(snap.counters.contains_key(name), "missing {name}");
         }

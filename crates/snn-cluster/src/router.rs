@@ -44,7 +44,7 @@ use snn_serve::protocol::{
     self, extract_rid, format_response, hex_decode, hex_encode, parse_response, Response,
     MAX_LINE_BYTES, PROTO_VERSION,
 };
-use snn_serve::ServerConfig;
+use snn_serve::{run_mux, MuxHost, ServerConfig, PROTO_V2};
 
 use crate::backend::Backend;
 use crate::heal::{failover_locked, shadow_locked};
@@ -82,6 +82,14 @@ pub struct ClusterLimits {
     /// shard, so one stalled shard costs a scrape at most this long —
     /// never the much larger data-plane `io_timeout`.
     pub scrape_timeout: Duration,
+    /// Highest protocol generation the router accepts from clients
+    /// ([`PROTO_V2`] by default; pin to [`PROTO_VERSION`] to refuse the
+    /// binary-framing upgrade at the front door).
+    pub max_proto: u32,
+    /// Highest protocol generation the router offers shards. Each shard
+    /// negotiates independently at attach time and falls back to
+    /// proto 1 on `proto-mismatch`, so a mixed cluster keeps serving.
+    pub backend_max_proto: u32,
 }
 
 impl Default for ClusterLimits {
@@ -94,6 +102,8 @@ impl Default for ClusterLimits {
             shadow_interval: None,
             io_timeout: Some(Duration::from_secs(30)),
             scrape_timeout: Duration::from_secs(2),
+            max_proto: PROTO_V2,
+            backend_max_proto: PROTO_V2,
         }
     }
 }
@@ -309,7 +319,13 @@ impl Cluster {
     /// migration.
     pub fn attach_shard(&self, addr: SocketAddr) -> Result<ShardId, ClusterError> {
         let id = next_shard_id(&self.state)?;
-        let backend = Arc::new(Backend::attach(id, addr, self.state.limits.io_timeout)?);
+        let backend = Arc::new(Backend::attach(
+            id,
+            addr,
+            self.state.limits.io_timeout,
+            self.state.limits.backend_max_proto,
+            self.state.obs.relay_wire.clone(),
+        )?);
         join_backend(&self.state, backend)?;
         Ok(id)
     }
@@ -546,7 +562,13 @@ fn spawn_shard_on(state: &State, mut config: ServerConfig) -> Result<ShardId, Cl
         std::fs::create_dir_all(&dir).map_err(ClusterError::Io)?;
         config.evict_dir = Some(dir);
     }
-    let backend = Arc::new(Backend::spawn(id, config, state.limits.io_timeout)?);
+    let backend = Arc::new(Backend::spawn(
+        id,
+        config,
+        state.limits.io_timeout,
+        state.limits.backend_max_proto,
+        state.obs.relay_wire.clone(),
+    )?);
     join_backend(state, backend)?;
     Ok(id)
 }
@@ -1000,7 +1022,7 @@ fn failover_sessions_of(state: &State, dead: ShardId, cause: &str) {
 // ---------------------------------------------------------------------------
 // Connection handling.
 
-fn handle_connection(stream: TcpStream, state: &State) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
@@ -1009,21 +1031,37 @@ fn handle_connection(stream: TcpStream, state: &State) -> io::Result<()> {
         if n == 0 {
             return Ok(());
         }
+        state.obs.wire.count(PROTO_VERSION, n as u64, 0);
         if !line.ends_with('\n') {
             // Same truncation rule as the shard server: never dispatch a
             // cut-short line.
             if n as u64 == MAX_LINE_BYTES {
                 let reply = err_line("bad-request", "line exceeds the protocol size limit");
-                writer.write_all(reply.as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
+                write_reply(&mut writer, state, &reply)?;
             }
             return Ok(());
         }
-        // `subscribe` upgrades the connection to a one-way push stream
-        // and never returns to request/reply, so it is dispatched here —
-        // the only verb that needs the writer, not just a reply line.
         if let Ok((verb, fields)) = protocol::tokenize(&line) {
+            // `hello proto=2` upgrades the connection to multiplexed
+            // binary framing and never returns to line mode, so it is
+            // dispatched here, exactly as on the shard tier. The hello
+            // exchange itself is always line-based.
+            if verb == "hello" {
+                if let Some(Ok(proto)) = find(&fields, "proto").map(str::parse::<u32>) {
+                    if proto >= PROTO_V2 && proto <= state.limits.max_proto {
+                        let banner = route_line(&line, state);
+                        write_reply(&mut writer, state, &banner)?;
+                        let host = Arc::new(ClusterHost {
+                            state: Arc::clone(state),
+                        });
+                        return run_mux(reader, writer, host);
+                    }
+                }
+            }
+            // `subscribe` upgrades the connection to a one-way push
+            // stream and never returns to request/reply, so it is also
+            // dispatched here — it needs the writer, not just a reply
+            // line.
             if verb == "subscribe" {
                 let interval_ms = match find(&fields, "interval_ms") {
                     None => 200,
@@ -1032,9 +1070,7 @@ fn handle_connection(stream: TcpStream, state: &State) -> io::Result<()> {
                         Err(_) => {
                             let reply =
                                 err_line("bad-request", "interval_ms must be a non-negative int");
-                            writer.write_all(reply.as_bytes())?;
-                            writer.write_all(b"\n")?;
-                            writer.flush()?;
+                            write_reply(&mut writer, state, &reply)?;
                             continue;
                         }
                     },
@@ -1043,9 +1079,58 @@ fn handle_connection(stream: TcpStream, state: &State) -> io::Result<()> {
             }
         }
         let reply = route_line(&line, state);
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        write_reply(&mut writer, state, &reply)?;
+    }
+}
+
+/// Writes one reply line (appending the newline) and counts its bytes
+/// against the client-facing proto 1 wire counters.
+fn write_reply(writer: &mut TcpStream, state: &State, reply: &str) -> io::Result<()> {
+    writer.write_all(reply.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    state
+        .obs
+        .wire
+        .count(PROTO_VERSION, 0, reply.len() as u64 + 1);
+    Ok(())
+}
+
+/// The router's half of a multiplexed proto 2 connection: requests are
+/// answered by the same [`route_line`] the line loop uses, and
+/// subscription pushes sample the same merged cluster-wide exposition.
+#[derive(Debug)]
+struct ClusterHost {
+    state: Arc<State>,
+}
+
+impl MuxHost for ClusterHost {
+    fn handle_line(&self, line: &str) -> String {
+        route_line(line, &self.state)
+    }
+
+    fn push_line(&self, seq: u64, journal_cursor: &mut u64) -> Option<String> {
+        render_cluster_push(&self.state, seq, journal_cursor)
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.state
+            .inner
+            .lock()
+            .expect("cluster state poisoned")
+            .shutdown
+    }
+
+    fn journal_total(&self) -> u64 {
+        self.state.obs.registry.journal_snapshot().total
+    }
+
+    fn on_wire(&self, rx_bytes: u64, tx_bytes: u64) {
+        self.state.obs.wire.count(PROTO_V2, rx_bytes, tx_bytes);
+    }
+
+    fn on_push_drop(&self) {
+        self.state.obs.subscribe_drops.inc();
     }
 }
 
@@ -1072,15 +1157,20 @@ fn route_line(line: &str, state: &State) -> String {
     };
     match verb.as_str() {
         "hello" => match find(&fields, "proto").map(str::parse::<u32>) {
-            Some(Ok(proto)) if proto == PROTO_VERSION => format_response(&Response::ok([
-                ("proto", PROTO_VERSION.to_string()),
-                ("server", "snn-cluster".to_string()),
-                ("journal", "1".to_string()),
-                ("subscribe", "1".to_string()),
-            ])),
+            Some(Ok(proto)) if proto >= PROTO_VERSION && proto <= state.limits.max_proto => {
+                format_response(&Response::ok([
+                    ("proto", proto.to_string()),
+                    ("server", "snn-cluster".to_string()),
+                    ("journal", "1".to_string()),
+                    ("subscribe", "1".to_string()),
+                ]))
+            }
             Some(Ok(proto)) => err_line(
                 "proto-mismatch",
-                &format!("cluster speaks proto {PROTO_VERSION}, client sent {proto}"),
+                &format!(
+                    "cluster speaks proto {PROTO_VERSION}..{}, client sent {proto}",
+                    state.limits.max_proto
+                ),
             ),
             _ => err_line("bad-request", "hello needs a numeric proto field"),
         },
@@ -1425,9 +1515,7 @@ fn serve_cluster_subscription(
         "interval_ms",
         interval.as_millis().to_string(),
     )]));
-    writer.write_all(banner.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()?;
+    write_reply(writer, state, &banner)?;
     let (tx, rx) = mpsc::sync_channel::<String>(SUBSCRIBE_BUFFER);
     std::thread::scope(|scope| {
         scope.spawn(|| {
@@ -1438,22 +1526,11 @@ fn serve_cluster_subscription(
                     return; // dropping tx ends the writer loop cleanly
                 }
                 std::thread::sleep(interval);
-                let (_, _, metrics) = merged_metrics(state);
-                let mut journal = state.obs.registry.journal_snapshot();
-                // Delta framing, as on the shard tier: only events born
-                // since the last frame ride along.
-                let fresh = (journal.total - prev_total).min(journal.events.len() as u64);
-                prev_total = journal.total;
-                journal
-                    .events
-                    .drain(..journal.events.len() - fresh as usize);
-                let frame = format!(
-                    "push seq={seq} data={} journal={}\n",
-                    hex_encode(metrics.render().as_bytes()),
-                    hex_encode(journal.render().as_bytes()),
-                );
+                let Some(line) = render_cluster_push(state, seq, &mut prev_total) else {
+                    return;
+                };
                 seq += 1;
-                match tx.try_send(frame) {
+                match tx.try_send(line + "\n") {
                     Ok(()) => {}
                     Err(mpsc::TrySendError::Full(_)) => state.obs.subscribe_drops.inc(),
                     Err(mpsc::TrySendError::Disconnected(_)) => return,
@@ -1471,9 +1548,34 @@ fn serve_cluster_subscription(
             {
                 break;
             }
+            state.obs.wire.count(PROTO_VERSION, 0, frame.len() as u64);
         }
     });
     Ok(())
+}
+
+/// Renders one cluster telemetry push line (no trailing newline): the
+/// merged cluster-wide exposition plus the router's own journal delta
+/// since `prev_total`. `None` once the router is draining. Shared by the
+/// proto 1 dedicated-connection stream and the proto 2 mux sampler.
+fn render_cluster_push(state: &State, seq: u64, prev_total: &mut u64) -> Option<String> {
+    if state.inner.lock().expect("cluster state poisoned").shutdown {
+        return None;
+    }
+    let (_, _, metrics) = merged_metrics(state);
+    let mut journal = state.obs.registry.journal_snapshot();
+    // Delta framing, as on the shard tier: only events born since the
+    // last frame ride along.
+    let fresh = (journal.total - *prev_total).min(journal.events.len() as u64);
+    *prev_total = journal.total;
+    journal
+        .events
+        .drain(..journal.events.len() - fresh as usize);
+    Some(format!(
+        "push seq={seq} data={} journal={}",
+        hex_encode(metrics.render().as_bytes()),
+        hex_encode(journal.render().as_bytes()),
+    ))
 }
 
 /// `open`/`restore`: cluster admission, ring placement, optimistic table

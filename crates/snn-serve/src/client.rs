@@ -6,17 +6,26 @@
 //! experiment load generator, the integration tests and external tools
 //! all speak through this type, so the protocol has exactly one
 //! client-side encoder/decoder.
+//!
+//! The negotiated transport is invisible above [`ServeClient::call_raw`]:
+//! proto 1 writes LF-terminated lines, proto 2
+//! ([`ServeClient::connect_with_proto`]) rides a multiplexed binary
+//! connection ([`crate::mux::MuxClient`]) — same requests, same typed
+//! results, roughly half the wire bytes for payload-heavy verbs.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{mpsc, Arc};
 
 use snn_data::Image;
 use snn_online::EnergyReport;
 
+use crate::frame::Frame;
+use crate::mux::MuxClient;
 use crate::protocol::{
     decode_predictions, format_request, hex_decode, parse_response, tokenize, ProtocolError,
-    Request, Response, SessionSpec, MAX_LINE_BYTES, PROTO_VERSION,
+    Request, Response, SessionSpec, MAX_LINE_BYTES, PROTO_V2, PROTO_VERSION,
 };
 use crate::session::ServerStats;
 
@@ -108,30 +117,60 @@ pub struct IngestOutcome {
     pub total_j: f64,
 }
 
+/// The negotiated wire transport under a [`ServeClient`].
+#[derive(Debug)]
+enum Transport {
+    /// Proto 1: one LF-terminated line per request and response.
+    Line {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    },
+    /// Proto 2: tagged binary frames over a shared multiplexed socket.
+    Mux(Arc<MuxClient>),
+}
+
 /// One blocking protocol connection.
 #[derive(Debug)]
 pub struct ServeClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    transport: Transport,
+    /// Negotiated protocol generation.
+    proto: u32,
+    /// Line-transport byte counters (the mux transport keeps its own).
+    line_tx: u64,
+    line_rx: u64,
 }
 
 impl ServeClient {
     /// Connects to a server and performs the `hello proto=…` version
     /// handshake, so an incompatible peer fails fast here instead of
-    /// misparsing lines later.
+    /// misparsing lines later. Speaks the classic proto 1; use
+    /// [`ServeClient::connect_with_proto`] to negotiate binary framing.
     ///
     /// # Errors
     ///
     /// Propagates socket errors; a version mismatch arrives as
     /// [`ClientError::Server`] with code `proto-mismatch`.
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
-        let mut client = Self::connect_unchecked(addr)?;
-        client.hello()?;
-        Ok(client)
+        Self::connect_with_proto(addr, PROTO_VERSION)
+    }
+
+    /// Connects and negotiates a specific protocol generation.
+    /// [`PROTO_V2`] upgrades the connection to multiplexed binary
+    /// framing after the (always line-based) `hello` exchange; a server
+    /// that does not speak `proto` answers `proto-mismatch` and no
+    /// upgrade happens.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::connect`] does.
+    pub fn connect_with_proto(addr: impl ToSocketAddrs, proto: u32) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).ok();
+        Self::negotiate(stream, proto, None)
     }
 
     /// Connects without the version handshake (for peers known to skip
-    /// `hello`, e.g. pre-versioning tooling).
+    /// `hello`, e.g. pre-versioning tooling). Always the line transport.
     ///
     /// # Errors
     ///
@@ -139,10 +178,7 @@ impl ServeClient {
     pub fn connect_unchecked(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(ServeClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
+        Self::from_stream(stream)
     }
 
     /// Connects with bounded connect/read/write times (the timeouts
@@ -159,32 +195,118 @@ impl ServeClient {
         addr: std::net::SocketAddr,
         timeout: std::time::Duration,
     ) -> ClientResult<Self> {
+        Self::connect_with_proto_timeout(addr, PROTO_VERSION, timeout)
+    }
+
+    /// [`ServeClient::connect_with_timeout`] with an explicit protocol
+    /// generation (see [`ServeClient::connect_with_proto`]). Under
+    /// [`PROTO_V2`] the timeout bounds each call's wait for its tagged
+    /// response instead of the raw socket reads.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::connect_with_timeout`] does.
+    pub fn connect_with_proto_timeout(
+        addr: std::net::SocketAddr,
+        proto: u32,
+        timeout: std::time::Duration,
+    ) -> ClientResult<Self> {
         let stream = TcpStream::connect_timeout(&addr, timeout).map_err(ClientError::Io)?;
         stream.set_nodelay(true).ok();
-        let mut client = ServeClient {
-            reader: BufReader::new(stream.try_clone().map_err(ClientError::Io)?),
-            writer: stream,
-        };
-        client.set_io_timeout(Some(timeout))?;
-        client.hello()?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(ClientError::Io)?;
+        Self::negotiate(stream, proto, Some(timeout))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        Ok(ServeClient {
+            transport: Transport::Line {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: stream,
+            },
+            proto: PROTO_VERSION,
+            line_tx: 0,
+            line_rx: 0,
+        })
+    }
+
+    /// Line-based `hello`, then — when `proto` is [`PROTO_V2`] and the
+    /// server agreed — the transport upgrade. Nothing rides the socket
+    /// between the banner and the first frame, so no buffered bytes can
+    /// be lost in the switch.
+    fn negotiate(
+        stream: TcpStream,
+        proto: u32,
+        timeout: Option<std::time::Duration>,
+    ) -> ClientResult<Self> {
+        let mut client = Self::from_stream(stream).map_err(ClientError::Io)?;
+        client.hello_as(proto)?;
+        client.proto = proto;
+        if proto >= PROTO_V2 {
+            let (tx, rx) = (client.line_tx, client.line_rx);
+            if let Transport::Line { writer, .. } = client.transport {
+                let mux = MuxClient::new(writer, timeout).map_err(ClientError::Io)?;
+                client = ServeClient {
+                    transport: Transport::Mux(mux),
+                    proto,
+                    line_tx: tx,
+                    line_rx: rx,
+                };
+            }
+        }
         Ok(client)
     }
 
     /// Bounds every later read and write on this connection (`None`
-    /// blocks forever, the default). Clones of the socket share the
-    /// setting.
+    /// blocks forever, the default). On a proto 2 connection this bounds
+    /// each call's wait for its tagged response.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn set_io_timeout(&mut self, timeout: Option<std::time::Duration>) -> ClientResult<()> {
-        self.writer
-            .set_read_timeout(timeout)
-            .map_err(ClientError::Io)?;
-        self.writer
-            .set_write_timeout(timeout)
-            .map_err(ClientError::Io)?;
+        match &mut self.transport {
+            Transport::Line { writer, .. } => {
+                writer.set_read_timeout(timeout).map_err(ClientError::Io)?;
+                writer.set_write_timeout(timeout).map_err(ClientError::Io)?;
+            }
+            Transport::Mux(mux) => mux.set_reply_timeout(timeout),
+        }
         Ok(())
+    }
+
+    /// The negotiated protocol generation.
+    pub fn proto(&self) -> u32 {
+        self.proto
+    }
+
+    /// The underlying multiplexed connection, when proto 2 was
+    /// negotiated. The handle is cheap to clone and safe to share — a
+    /// routing tier extracts it here and interleaves many callers'
+    /// traffic over the one socket.
+    pub fn mux(&self) -> Option<Arc<MuxClient>> {
+        match &self.transport {
+            Transport::Mux(mux) => Some(Arc::clone(mux)),
+            Transport::Line { .. } => None,
+        }
+    }
+
+    /// Total bytes this client has written to / read from the wire,
+    /// framing overhead included. The first comparison the proto 2
+    /// rollout is judged by, so it lives on the client where both
+    /// transports meet.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        match &self.transport {
+            Transport::Line { .. } => (self.line_tx, self.line_rx),
+            Transport::Mux(mux) => {
+                let (tx, rx) = mux.wire_bytes();
+                (self.line_tx + tx, self.line_rx + rx)
+            }
+        }
     }
 
     /// Performs the version handshake; returns the server's protocol
@@ -197,14 +319,16 @@ impl ServeClient {
     /// Fails as [`ServeClient::call`] does, plus on a missing or
     /// non-matching `proto` banner field.
     pub fn hello(&mut self) -> ClientResult<u32> {
-        let resp = self.call(&Request::Hello {
-            proto: PROTO_VERSION,
-        })?;
-        let proto: u32 = field(&resp, "proto")?;
-        if proto != PROTO_VERSION {
+        self.hello_as(PROTO_VERSION)
+    }
+
+    fn hello_as(&mut self, proto: u32) -> ClientResult<u32> {
+        let resp = self.call(&Request::Hello { proto })?;
+        let got: u32 = field(&resp, "proto")?;
+        if got != proto {
             return Err(ClientError::Malformed("proto"));
         }
-        Ok(proto)
+        Ok(got)
     }
 
     /// Sends one request and reads the matching response line.
@@ -230,34 +354,42 @@ impl ServeClient {
     ///
     /// Fails on socket errors and truncated responses only.
     pub fn call_raw(&mut self, line: &str) -> ClientResult<String> {
-        self.writer.write_all(line.as_bytes())?;
-        if !line.ends_with('\n') {
-            self.writer.write_all(b"\n")?;
+        match &mut self.transport {
+            Transport::Line { reader, writer } => {
+                writer.write_all(line.as_bytes())?;
+                if !line.ends_with('\n') {
+                    writer.write_all(b"\n")?;
+                }
+                writer.flush()?;
+                self.line_tx += line.trim_end_matches('\n').len() as u64 + 1;
+                let mut reply = String::new();
+                let n = reader.take(MAX_LINE_BYTES).read_line(&mut reply)?;
+                if n == 0 {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                self.line_rx += n as u64;
+                if !reply.ends_with('\n') {
+                    // Truncated at the size cap or by a dying server: a cut-short
+                    // hex payload can still parse (and would silently corrupt a
+                    // checkpoint, then desync every later call on this stream).
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response line truncated",
+                    )));
+                }
+                while reply.ends_with('\n') || reply.ends_with('\r') {
+                    reply.pop();
+                }
+                Ok(reply)
+            }
+            Transport::Mux(mux) => {
+                let reply = mux.call_line(line.trim_end_matches('\n'))?;
+                Ok(reply)
+            }
         }
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = (&mut self.reader)
-            .take(MAX_LINE_BYTES)
-            .read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
-        if !reply.ends_with('\n') {
-            // Truncated at the size cap or by a dying server: a cut-short
-            // hex payload can still parse (and would silently corrupt a
-            // checkpoint, then desync every later call on this stream).
-            return Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "response line truncated",
-            )));
-        }
-        while reply.ends_with('\n') || reply.ends_with('\r') {
-            reply.pop();
-        }
-        Ok(reply)
     }
 
     /// Liveness check.
@@ -348,10 +480,30 @@ impl ServeClient {
     ///
     /// Fails as [`ServeClient::call`] does on the handshake.
     pub fn subscribe(mut self, interval_ms: u64) -> ClientResult<Subscription> {
+        if let Transport::Mux(mux) = &self.transport {
+            // Under proto 2 the subscription rides its tag on the shared
+            // connection: the ack retires the request, then `push`-flagged
+            // frames keep arriving on the same tag.
+            let line = format_request(&Request::Subscribe { interval_ms });
+            let (ack, rx) = mux.subscribe_line(line.trim_end_matches('\n'))?;
+            if let Response::Err { code, msg } = parse_response(&ack)? {
+                return Err(ClientError::Server { code, msg });
+            }
+            let client = Arc::clone(mux);
+            return Ok(Subscription {
+                inner: SubscriptionInner::Mux {
+                    rx,
+                    _client: client,
+                },
+            });
+        }
         self.call(&Request::Subscribe { interval_ms })?;
-        Ok(Subscription {
-            reader: self.reader,
-        })
+        match self.transport {
+            Transport::Line { reader, .. } => Ok(Subscription {
+                inner: SubscriptionInner::Line { reader },
+            }),
+            Transport::Mux(_) => unreachable!("mux subscriptions return above"),
+        }
     }
 
     /// Opens a fresh session.
@@ -533,12 +685,28 @@ pub struct Push {
     pub journal: snn_obs::JournalSnapshot,
 }
 
+/// The transport under a [`Subscription`].
+#[derive(Debug)]
+enum SubscriptionInner {
+    /// Proto 1: the dedicated connection's reader, now carrying only
+    /// push lines.
+    Line { reader: BufReader<TcpStream> },
+    /// Proto 2: push-flagged frames delivered by the shared connection's
+    /// reader thread.
+    Mux {
+        rx: mpsc::Receiver<Frame>,
+        /// Keeps the multiplexed connection (and its reader thread)
+        /// alive for as long as the subscription is held.
+        _client: Arc<MuxClient>,
+    },
+}
+
 /// A connection switched into streaming mode by
 /// [`ServeClient::subscribe`]. Dropping it ends the subscription (the
 /// server notices on its next push).
 #[derive(Debug)]
 pub struct Subscription {
-    reader: BufReader<TcpStream>,
+    inner: SubscriptionInner,
 }
 
 impl Subscription {
@@ -554,42 +722,62 @@ impl Subscription {
     // the blocking-pull call-site reads better as an explicit method.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> ClientResult<Push> {
-        let mut line = String::new();
-        let n = (&mut self.reader)
-            .take(MAX_LINE_BYTES)
-            .read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "subscription ended",
-            )));
-        }
-        if !line.ends_with('\n') {
-            return Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "push frame truncated",
-            )));
-        }
-        let (verb, fields) = tokenize(&line)?;
-        if verb != "push" {
-            return Err(ClientError::Malformed("push frame verb"));
-        }
-        let resp = Response::Ok(fields);
-        let decode_text = |key: &'static str| -> ClientResult<String> {
-            let hex = resp.get(key).ok_or(ClientError::Malformed(key))?;
-            let bytes = hex_decode(hex).map_err(|_| ClientError::Malformed(key))?;
-            String::from_utf8(bytes).map_err(|_| ClientError::Malformed(key))
+        let line = match &mut self.inner {
+            SubscriptionInner::Line { reader } => {
+                let mut line = String::new();
+                let n = (&mut *reader).take(MAX_LINE_BYTES).read_line(&mut line)?;
+                if n == 0 {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "subscription ended",
+                    )));
+                }
+                if !line.ends_with('\n') {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "push frame truncated",
+                    )));
+                }
+                line
+            }
+            SubscriptionInner::Mux { rx, .. } => {
+                let frame = rx.recv().map_err(|_| {
+                    ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "subscription ended",
+                    ))
+                })?;
+                frame.to_line().map_err(|e| {
+                    ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                })?
+            }
         };
-        let metrics = snn_obs::Snapshot::parse(&decode_text("data")?)
-            .map_err(|_| ClientError::Malformed("push metrics"))?;
-        let journal = snn_obs::JournalSnapshot::parse(&decode_text("journal")?)
-            .map_err(|_| ClientError::Malformed("push journal"))?;
-        Ok(Push {
-            seq: field(&resp, "seq")?,
-            metrics,
-            journal,
-        })
+        parse_push(&line)
     }
+}
+
+/// Decodes one `push seq=… data=… journal=…` telemetry line (shared by
+/// both subscription transports).
+fn parse_push(line: &str) -> ClientResult<Push> {
+    let (verb, fields) = tokenize(line)?;
+    if verb != "push" {
+        return Err(ClientError::Malformed("push frame verb"));
+    }
+    let resp = Response::Ok(fields);
+    let decode_text = |key: &'static str| -> ClientResult<String> {
+        let hex = resp.get(key).ok_or(ClientError::Malformed(key))?;
+        let bytes = hex_decode(hex).map_err(|_| ClientError::Malformed(key))?;
+        String::from_utf8(bytes).map_err(|_| ClientError::Malformed(key))
+    };
+    let metrics = snn_obs::Snapshot::parse(&decode_text("data")?)
+        .map_err(|_| ClientError::Malformed("push metrics"))?;
+    let journal = snn_obs::JournalSnapshot::parse(&decode_text("journal")?)
+        .map_err(|_| ClientError::Malformed("push journal"))?;
+    Ok(Push {
+        seq: field(&resp, "seq")?,
+        metrics,
+        journal,
+    })
 }
 
 fn wire_report(resp: &Response) -> ClientResult<WireReport> {

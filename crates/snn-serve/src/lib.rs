@@ -64,6 +64,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod frame;
+pub mod mux;
 pub(crate) mod obs;
 pub mod protocol;
 pub mod scheduler;
@@ -73,7 +75,9 @@ pub mod session;
 pub use client::{
     ClientError, ClientResult, IngestOutcome, Push, ServeClient, Subscription, WireReport,
 };
-pub use protocol::{ProtocolError, Request, Response, SessionSpec, PROTO_VERSION};
+pub use frame::{Frame, FrameError};
+pub use mux::{run_mux, MuxClient, MuxHost};
+pub use protocol::{ProtocolError, Request, Response, SessionSpec, PROTO_V2, PROTO_VERSION};
 pub use server::{ServerConfig, SnnServer};
 pub use session::{ServeError, ServeLimits, ServerStats, SessionManager};
 

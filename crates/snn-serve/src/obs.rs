@@ -92,8 +92,19 @@ pub(crate) struct ServeObs {
     pub(crate) infer_samples: Arc<Counter>,
     /// See [`ServeObs::infer_batches`].
     pub(crate) infer_busy_us: Arc<Counter>,
+    /// `serve.wire.p{1,2}.rx_bytes` / `.tx_bytes` — frame-level bytes on
+    /// the wire per protocol generation (proto 1 counts line bytes,
+    /// proto 2 counts whole frames, header and checksum included).
+    wire_rx: [Arc<Counter>; 2],
+    /// See [`ServeObs::wire_rx`].
+    wire_tx: [Arc<Counter>; 2],
     verb_us: HashMap<&'static str, Arc<Histogram>>,
     other_us: Arc<Histogram>,
+    /// `serve.proto.p{1,2}.<verb>_us` — per-protocol verb latency, so a
+    /// proto rollout's effect is visible per verb without a redeploy.
+    proto_verb_us: [HashMap<&'static str, Arc<Histogram>>; 2],
+    /// See [`ServeObs::proto_verb_us`] (the hostile-verb bucket).
+    proto_other_us: [Arc<Histogram>; 2],
 }
 
 impl ServeObs {
@@ -107,6 +118,16 @@ impl ServeObs {
             .iter()
             .map(|&v| (v, registry.histogram(&format!("serve.req.{v}_us"))))
             .collect();
+        let proto_verb_us = [1u32, 2].map(|p| {
+            VERBS
+                .iter()
+                .map(|&v| (v, registry.histogram(&format!("serve.proto.p{p}.{v}_us"))))
+                .collect()
+        });
+        let proto_other_us =
+            [1u32, 2].map(|p| registry.histogram(&format!("serve.proto.p{p}.other_us")));
+        let wire_rx = [1u32, 2].map(|p| registry.counter(&format!("serve.wire.p{p}.rx_bytes")));
+        let wire_tx = [1u32, 2].map(|p| registry.counter(&format!("serve.wire.p{p}.tx_bytes")));
         ServeObs {
             requests: registry.counter("serve.requests"),
             admission_rejects: registry.counter("serve.admission_rejects"),
@@ -128,6 +149,10 @@ impl ServeObs {
             infer_busy_us: registry.counter("runtime.infer.busy_us"),
             other_us: registry.histogram("serve.req.other_us"),
             verb_us,
+            wire_rx,
+            wire_tx,
+            proto_verb_us,
+            proto_other_us,
             registry,
         }
     }
@@ -136,6 +161,28 @@ impl ServeObs {
     /// outside [`VERBS`]).
     pub(crate) fn verb_hist(&self, verb: &str) -> &Arc<Histogram> {
         self.verb_us.get(verb).unwrap_or(&self.other_us)
+    }
+
+    /// Index into the fixed per-protocol metric arrays: everything at or
+    /// above proto 2 shares the binary-framing bucket.
+    fn proto_idx(proto: u32) -> usize {
+        usize::from(proto >= 2)
+    }
+
+    /// The per-protocol latency histogram for `verb` (with the same
+    /// hostile-verb collapse rule as [`ServeObs::verb_hist`]).
+    pub(crate) fn proto_verb_hist(&self, proto: u32, verb: &str) -> &Arc<Histogram> {
+        let i = Self::proto_idx(proto);
+        self.proto_verb_us[i]
+            .get(verb)
+            .unwrap_or(&self.proto_other_us[i])
+    }
+
+    /// Counts frame-level bytes on the wire for one protocol generation.
+    pub(crate) fn count_wire(&self, proto: u32, rx_bytes: u64, tx_bytes: u64) {
+        let i = Self::proto_idx(proto);
+        self.wire_rx[i].add(rx_bytes);
+        self.wire_tx[i].add(tx_bytes);
     }
 
     /// The handles a hosted [`snn_online::OnlineLearner`] records its

@@ -27,6 +27,13 @@ use spikedyn::Method;
 /// misparse lines (see [`Request::Hello`]).
 pub const PROTO_VERSION: u32 = 1;
 
+/// The binary-framing protocol generation (`DESIGN.md` §13). Negotiated
+/// through the same `hello proto=…` gate: a `hello proto=2` accepted by
+/// the server upgrades the connection from line framing to length-
+/// prefixed binary frames over one multiplexed socket ([`crate::frame`],
+/// [`crate::mux`]). Proto 1 stays the default and fully supported.
+pub const PROTO_V2: u32 = 2;
+
 /// Hard cap on one protocol line in bytes (a paper-scale snapshot is a
 /// few MiB hex-encoded; this bounds hostile allocations, not real use).
 pub const MAX_LINE_BYTES: u64 = 64 * 1024 * 1024;

@@ -19,9 +19,10 @@ use std::time::Duration;
 
 use neuro_energy::GpuSpec;
 
+use crate::mux::{run_mux, MuxHost};
 use crate::protocol::{
     encode_predictions, extract_rid, format_response, hex_encode, parse_request, Request, Response,
-    MAX_LINE_BYTES,
+    MAX_LINE_BYTES, PROTO_V2, PROTO_VERSION,
 };
 use crate::scheduler;
 use crate::session::{Job, JobOutput, JobResult, ServeError, ServeLimits, SessionManager};
@@ -37,6 +38,14 @@ pub struct ServerConfig {
     /// per victim). `None` disables both the `evict` request and the
     /// idle-timeout sweep. The directory must already exist.
     pub evict_dir: Option<std::path::PathBuf>,
+    /// Lowest protocol generation this server accepts at `hello`
+    /// (default [`PROTO_VERSION`]). Pin to [`PROTO_V2`] to refuse
+    /// line-protocol clients.
+    pub min_proto: u32,
+    /// Highest protocol generation this server accepts at `hello`
+    /// (default [`PROTO_V2`]). Pin to [`PROTO_VERSION`] for a
+    /// proto-1-only server.
+    pub max_proto: u32,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +54,8 @@ impl Default for ServerConfig {
             limits: ServeLimits::default(),
             gpu: GpuSpec::gtx_1080_ti(),
             evict_dir: None,
+            min_proto: PROTO_VERSION,
+            max_proto: PROTO_V2,
         }
     }
 }
@@ -85,7 +96,8 @@ impl SnnServer {
         let accept_thread = {
             let manager = Arc::clone(&manager);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, manager, stop))
+            let protos = config.min_proto..=config.max_proto;
+            std::thread::spawn(move || accept_loop(listener, manager, stop, protos))
         };
         Ok(SnnServer {
             addr,
@@ -131,7 +143,12 @@ impl Drop for SnnServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, manager: Arc<SessionManager>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+    protos: std::ops::RangeInclusive<u32>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -141,11 +158,12 @@ fn accept_loop(listener: TcpListener, manager: Arc<SessionManager>, stop: Arc<At
                     continue;
                 }
                 let manager = Arc::clone(&manager);
+                let protos = protos.clone();
                 // Connection threads are detached: they exit on client
                 // disconnect, and post-shutdown requests get error
                 // responses because the registry rejects them.
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &manager);
+                    let _ = handle_connection(stream, &manager, &protos);
                 });
             }
             // Accept errors are all transient from this loop's point of
@@ -162,7 +180,14 @@ fn accept_loop(listener: TcpListener, manager: Arc<SessionManager>, stop: Arc<At
 }
 
 /// Serves one connection until EOF or an unrecoverable socket error.
-fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<()> {
+/// Starts in the proto 1 line protocol; an accepted `hello proto=2`
+/// upgrades the connection to multiplexed binary framing
+/// ([`crate::mux::run_mux`]) and never returns to lines.
+fn handle_connection(
+    stream: TcpStream,
+    manager: &Arc<SessionManager>,
+    protos: &std::ops::RangeInclusive<u32>,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
@@ -171,6 +196,8 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
         if n == 0 {
             return Ok(()); // client closed the connection
         }
+        let obs = manager.obs();
+        obs.count_wire(PROTO_VERSION, n as u64, 0);
         if !line.ends_with('\n') {
             // The line is incomplete: either it hit the size cap, or the
             // client died mid-send and this is the truncated tail before
@@ -184,7 +211,6 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
             }
             return Ok(());
         }
-        let obs = manager.obs();
         obs.requests.inc();
         // The rid either rode in as the line's final field (a relaying
         // tier stamped it) or is minted here — the wire layer is where a
@@ -204,12 +230,44 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
                 obs.registry.span("serve.subscribe", &rid, dur, &[]);
                 return serve_subscription(&mut writer, manager, interval_ms);
             }
+            // Hello owns version negotiation: in-range proto 1 keeps the
+            // line protocol, in-range proto 2 acknowledges and upgrades
+            // this connection to binary framing, everything else fails
+            // fast with `proto-mismatch`.
+            Ok(Request::Hello { proto }) => {
+                if !protos.contains(&proto) {
+                    Response::error(
+                        "proto-mismatch",
+                        format!(
+                            "server speaks proto {}..{}, client sent {proto}",
+                            protos.start(),
+                            protos.end()
+                        ),
+                    )
+                } else if proto >= PROTO_V2 {
+                    let banner = hello_banner(manager, PROTO_V2);
+                    let dur = t0.elapsed();
+                    obs.verb_hist("hello").record_duration(dur);
+                    obs.proto_verb_hist(PROTO_V2, "hello").record_duration(dur);
+                    obs.registry.span("serve.hello", &rid, dur, &[]);
+                    let tx = write_response(&mut writer, &banner)?;
+                    obs.count_wire(PROTO_V2, 0, tx as u64);
+                    let host = Arc::new(ServeHost {
+                        manager: Arc::clone(manager),
+                    });
+                    return run_mux(reader, writer, host);
+                } else {
+                    hello_banner(manager, proto)
+                }
+            }
             Ok(request) => dispatch(request, manager, &rid),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
         let dur = t0.elapsed();
         let verb = line.split_whitespace().next().unwrap_or("");
         obs.verb_hist(verb).record_duration(dur);
+        obs.proto_verb_hist(PROTO_VERSION, verb)
+            .record_duration(dur);
         // Unknown verbs collapse to one span name, mirroring the metric
         // fallback, so hostile input cannot pollute the trace ring with
         // garbage names.
@@ -220,15 +278,128 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
         };
         obs.registry
             .span(&format!("serve.{canonical}"), &rid, dur, &[]);
-        write_response(&mut writer, &response)?;
+        let tx = write_response(&mut writer, &response)?;
+        obs.count_wire(PROTO_VERSION, 0, tx as u64);
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+/// The `ok` banner a successful `hello` negotiation answers with,
+/// stamped with the agreed protocol generation.
+fn hello_banner(manager: &SessionManager, proto: u32) -> Response {
+    Response::ok([
+        ("proto", proto.to_string()),
+        ("server", "snn-serve".to_string()),
+        ("evict", u8::from(manager.eviction_enabled()).to_string()),
+        // Capability flag: this build stores shadow checkpoints (the
+        // `shadow` verb). Routing tiers key failover protection off it.
+        ("shadow", "1".to_string()),
+        // This build keeps a flight-recorder journal and accepts
+        // streaming subscriptions.
+        ("journal", "1".to_string()),
+        ("subscribe", "1".to_string()),
+    ])
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<usize> {
     let mut wire = format_response(response);
     wire.push('\n');
     writer.write_all(wire.as_bytes())?;
-    writer.flush()
+    writer.flush()?;
+    Ok(wire.len())
+}
+
+/// The session server as a [`MuxHost`]: answers one line per request
+/// frame and samples subscription push frames, recording proto 2 wire
+/// and latency metrics.
+#[derive(Debug)]
+struct ServeHost {
+    manager: Arc<SessionManager>,
+}
+
+impl MuxHost for ServeHost {
+    fn handle_line(&self, line: &str) -> String {
+        let manager = &*self.manager;
+        let obs = manager.obs();
+        obs.requests.inc();
+        let rid = match extract_rid(line) {
+            Some(r) => r.to_string(),
+            None => obs.registry.mint_rid(),
+        };
+        let t0 = std::time::Instant::now();
+        let response = match parse_request(line) {
+            // The connection is already negotiated: an in-stream hello
+            // (a client re-probing capabilities) re-answers the banner.
+            Ok(Request::Hello { proto }) if proto == PROTO_V2 => hello_banner(manager, PROTO_V2),
+            Ok(Request::Hello { proto }) => Response::error(
+                "proto-mismatch",
+                format!("connection is negotiated to proto {PROTO_V2}, client sent {proto}"),
+            ),
+            // Subscriptions are intercepted by the demux loop before this
+            // is called; kept so a crafted frame cannot reach dispatch.
+            Ok(Request::Subscribe { .. }) => {
+                Response::error("bad-request", "subscribe is a stream")
+            }
+            Ok(request) => dispatch(request, manager, &rid),
+            Err(e) => Response::error("bad-request", e.to_string()),
+        };
+        let dur = t0.elapsed();
+        let verb = line.split_whitespace().next().unwrap_or("");
+        obs.verb_hist(verb).record_duration(dur);
+        obs.proto_verb_hist(PROTO_V2, verb).record_duration(dur);
+        let canonical = if crate::obs::VERBS.contains(&verb) {
+            verb
+        } else {
+            "other"
+        };
+        obs.registry
+            .span(&format!("serve.{canonical}"), &rid, dur, &[]);
+        format_response(&response)
+    }
+
+    fn push_line(&self, seq: u64, journal_cursor: &mut u64) -> Option<String> {
+        if self.manager.is_shutdown() {
+            return None;
+        }
+        Some(render_push_line(&self.manager, seq, journal_cursor))
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.manager.is_shutdown()
+    }
+
+    fn journal_total(&self) -> u64 {
+        self.manager.obs().registry.journal_snapshot().total
+    }
+
+    fn on_wire(&self, rx_bytes: u64, tx_bytes: u64) {
+        self.manager.obs().count_wire(PROTO_V2, rx_bytes, tx_bytes);
+    }
+
+    fn on_push_drop(&self) {
+        self.manager.obs().subscribe_drops.inc();
+    }
+}
+
+/// Renders one subscription frame line (shared by the proto 1 stream
+/// writer and the proto 2 push sampler): the full metrics exposition
+/// plus the journal events born since `journal_cursor`, which advances.
+fn render_push_line(manager: &SessionManager, seq: u64, journal_cursor: &mut u64) -> String {
+    let metrics = manager.metrics_text();
+    let obs = manager.obs();
+    let mut journal = obs.registry.journal_snapshot();
+    // Delta framing: only the events born since the last frame ride
+    // along (the ring itself bounds how far back a reconnecting
+    // subscriber can catch up).
+    let fresh = (journal.total - *journal_cursor).min(journal.events.len() as u64);
+    *journal_cursor = journal.total;
+    journal
+        .events
+        .drain(..journal.events.len() - fresh as usize);
+    format!(
+        "push seq={seq} data={} journal={}",
+        hex_encode(metrics.as_bytes()),
+        hex_encode(journal.render().as_bytes()),
+    )
 }
 
 /// How many sampled frames a subscription buffers between its sampler
@@ -261,27 +432,14 @@ fn serve_subscription(
         scope.spawn(|| {
             let obs = manager.obs();
             let mut seq = 0u64;
-            let mut prev_total = obs.registry.journal_snapshot().total;
+            let mut cursor = obs.registry.journal_snapshot().total;
             loop {
                 if manager.is_shutdown() {
                     return; // dropping tx ends the writer loop cleanly
                 }
                 std::thread::sleep(interval);
-                let metrics = manager.metrics_text();
-                let mut journal = obs.registry.journal_snapshot();
-                // Delta framing: only the events born since the last
-                // frame ride along (the ring itself bounds how far back
-                // a reconnecting subscriber can catch up).
-                let fresh = (journal.total - prev_total).min(journal.events.len() as u64);
-                prev_total = journal.total;
-                journal
-                    .events
-                    .drain(..journal.events.len() - fresh as usize);
-                let frame = format!(
-                    "push seq={seq} data={} journal={}\n",
-                    hex_encode(metrics.as_bytes()),
-                    hex_encode(journal.render().as_bytes()),
-                );
+                let mut frame = render_push_line(manager, seq, &mut cursor);
+                frame.push('\n');
                 seq += 1;
                 match tx.try_send(frame) {
                     Ok(()) => {}
@@ -293,6 +451,7 @@ fn serve_subscription(
         // The writer loop runs on the connection thread; a write error
         // (client gone) drops `rx`, which the sampler sees on its next
         // try_send and exits — the scope then joins it.
+        let obs = manager.obs();
         for frame in rx {
             if writer
                 .write_all(frame.as_bytes())
@@ -301,6 +460,7 @@ fn serve_subscription(
             {
                 break;
             }
+            obs.count_wire(PROTO_VERSION, 0, frame.len() as u64);
         }
     });
     Ok(())
@@ -310,28 +470,16 @@ fn serve_subscription(
 /// block this connection thread on the reply channel).
 fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
     match request {
+        // Negotiation is owned by the connection loops (line and mux),
+        // which intercept hello before dispatch; this arm is the
+        // defensive fallback answering for the classic line protocol.
         Request::Hello { proto } => {
-            if proto == crate::protocol::PROTO_VERSION {
-                Response::ok([
-                    ("proto", crate::protocol::PROTO_VERSION.to_string()),
-                    ("server", "snn-serve".to_string()),
-                    ("evict", u8::from(manager.eviction_enabled()).to_string()),
-                    // Capability flag: this build stores shadow
-                    // checkpoints (the `shadow` verb). Routing tiers key
-                    // failover protection off it.
-                    ("shadow", "1".to_string()),
-                    // This build keeps a flight-recorder journal and
-                    // accepts streaming subscriptions.
-                    ("journal", "1".to_string()),
-                    ("subscribe", "1".to_string()),
-                ])
+            if proto == PROTO_VERSION {
+                hello_banner(manager, PROTO_VERSION)
             } else {
                 Response::error(
                     "proto-mismatch",
-                    format!(
-                        "server speaks proto {}, client sent {proto}",
-                        crate::protocol::PROTO_VERSION
-                    ),
+                    format!("server speaks proto {PROTO_VERSION}, client sent {proto}"),
                 )
             }
         }

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the two wire protocols side by side:
+//! the same `snn-serve` operations driven once over proto 1 (hex text,
+//! one line per request) and once over proto 2 (length-prefixed binary
+//! frames on a multiplexed socket).
+//!
+//! Two operations are measured, chosen to bracket the framing rollout's
+//! trade-off:
+//!
+//! - **checkpoint-over-wire** — fetch a trained session's snapshot. The
+//!   payload dominates; proto 2 halves the bytes on the wire (raw vs
+//!   hex) and skips the hex encode/decode on both ends.
+//! - **ingest round trip** — one micro-batch of images. Small payloads
+//!   and verb overhead dominate; this pins that the mux + frame codec
+//!   does not regress the hot request path.
+//!
+//! Both protocols talk to the *same* server process; per-iteration work
+//! is identical modulo framing, so the numbers compare directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_data::SyntheticDigits;
+use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer, PROTO_V2, PROTO_VERSION};
+use spikedyn::Method;
+use std::hint::black_box;
+
+/// The benchmarked session's spec: paper-small network so the
+/// checkpoint carries a realistic (196×200) weight matrix.
+fn spec() -> SessionSpec {
+    SessionSpec {
+        method: Method::SpikeDyn,
+        n_exc: 200,
+        n_input: 196,
+        n_classes: 10,
+        seed: 11,
+        batch_size: 8,
+        assign_every: 16,
+        reservoir_capacity: 24,
+        metric_window: 24,
+        drift_window: 12,
+    }
+}
+
+/// One server, one trained session per protocol generation, and a
+/// connected client for each. Training happens once, outside the
+/// measured loops.
+struct Rig {
+    _server: SnnServer,
+    clients: Vec<(u32, ServeClient, String)>,
+    batch: Vec<snn_data::Image>,
+}
+
+fn rig() -> Rig {
+    let server =
+        SnnServer::start("127.0.0.1:0", ServerConfig::default()).expect("bind an ephemeral port");
+    let gen = SyntheticDigits::new(spec().seed);
+    let warmup: Vec<_> = (0..16)
+        .map(|i| gen.sample((i % 10) as u8, i).downsample(2))
+        .collect();
+    let batch: Vec<_> = (0..8)
+        .map(|i| gen.sample((i % 10) as u8, 100 + i).downsample(2))
+        .collect();
+    let clients = [PROTO_VERSION, PROTO_V2]
+        .into_iter()
+        .map(|proto| {
+            let mut client =
+                ServeClient::connect_with_proto(server.local_addr(), proto).expect("connect");
+            assert_eq!(client.proto(), proto, "negotiation must land on {proto}");
+            let id = format!("bench-p{proto}");
+            client.open(&id, spec()).expect("open session");
+            client.ingest(&id, &warmup).expect("warm up the session");
+            (proto, client, id)
+        })
+        .collect();
+    Rig {
+        _server: server,
+        clients,
+        batch,
+    }
+}
+
+fn bench_checkpoint_over_wire(c: &mut Criterion) {
+    let mut rig = rig();
+    let mut group = c.benchmark_group("wire_checkpoint");
+    for (proto, client, id) in &mut rig.clients {
+        group.bench_function(format!("proto{proto}_n200"), |b| {
+            b.iter(|| black_box(client.checkpoint(id).expect("checkpoint").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_round_trip(c: &mut Criterion) {
+    let mut rig = rig();
+    let mut group = c.benchmark_group("wire_ingest");
+    // Round trips dominated by the learner's own work; keep criterion's
+    // sample appetite in check.
+    group.sample_size(10);
+    for (proto, client, id) in &mut rig.clients {
+        let batch = &rig.batch;
+        group.bench_function(format!("proto{proto}_batch8"), |b| {
+            b.iter(|| black_box(client.ingest(id, batch).expect("ingest").samples_seen))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_over_wire, bench_ingest_round_trip);
+criterion_main!(benches);

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use snn_cluster::{Cluster, ClusterConfig, ClusterLimits};
 use snn_data::{Scenario, SyntheticDigits};
-use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer};
+use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer, PROTO_V2, PROTO_VERSION};
 use snn_slo::{Objective, Signal, SloEngine, SloPolicy};
 use spikedyn::Method;
 
@@ -46,6 +46,17 @@ pub enum Profile {
     Standard,
     /// Seconds-long smoke profile (`--fast`), used by CI and `run_all`.
     Smoke,
+}
+
+/// Protocol generation the load-generator clients speak to the router,
+/// from `SNN_CLUSTER_PROTO` (`1` or `2`); proto 1 — the wire default —
+/// when unset. CI runs the smoke once per value. The router↔shard relay
+/// negotiates its own protocol independently (proto 2 by default).
+fn client_proto() -> u32 {
+    match std::env::var("SNN_CLUSTER_PROTO").ok().as_deref() {
+        Some("2") => PROTO_V2,
+        _ => PROTO_VERSION,
+    }
 }
 
 fn shard_counts(profile: Profile) -> &'static [usize] {
@@ -106,7 +117,8 @@ fn drive_session(
     let scenario = Scenario::all()[session % Scenario::all().len()];
     let spec = spec(scale, profile, session);
     let id = format!("cl-{session}");
-    let mut client = ServeClient::connect(cluster.local_addr()).expect("connect to router");
+    let mut client = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+        .expect("connect to router");
     client.open(&id, spec.clone()).expect("open session");
 
     let gen = SyntheticDigits::new(spec.seed);
@@ -219,7 +231,8 @@ fn run_one(scale: &HarnessScale, profile: Profile, n_shards: usize) -> RunOutcom
     // Smoke-scrape both exposition verbs while the cluster is still up:
     // the router's own registry must parse, and the fan-out must merge
     // every shard cleanly. The merged snapshot feeds BENCH_cluster.json.
-    let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
+    let mut scraper = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+        .expect("connect for scrape");
     let router_only = scrape_expo(&mut scraper, "metrics");
     assert!(
         router_only.counters.contains_key("cluster.relays"),
@@ -283,7 +296,8 @@ fn drive_chaos_session(
 ) -> bool {
     let spec = spec(scale, profile, session);
     let id = format!("ch-{session}");
-    let mut client = ServeClient::connect(cluster.local_addr()).expect("connect to router");
+    let mut client = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+        .expect("connect to router");
     client.open(&id, spec.clone()).expect("open chaos session");
     opened.fetch_add(1, Ordering::SeqCst);
 
@@ -376,10 +390,11 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         // run. The policy is deliberately hair-triggered (one violating
         // frame in a 4-frame window fires) because the drill's load
         // arrives in bursts around the kill, not as a steady stream.
-        let mut subscription = ServeClient::connect(cluster.local_addr())
-            .expect("connect subscriber")
-            .subscribe(10)
-            .expect("subscribe to the router");
+        let mut subscription =
+            ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+                .expect("connect subscriber")
+                .subscribe(10)
+                .expect("subscribe to the router");
         let subscriber = s.spawn(move || {
             let mut engine = SloEngine::new(
                 vec![
@@ -464,7 +479,8 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
 
     // The merged scrape must still work after a shard death: the dead
     // shard left the pool, the router's failover telemetry remains.
-    let mut scraper = ServeClient::connect(cluster.local_addr()).expect("connect for scrape");
+    let mut scraper = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+        .expect("connect for scrape");
     let telemetry = scrape_expo(&mut scraper, "cluster-metrics");
 
     // Dump the merged post-mortem journal — router + live shards + the
@@ -539,6 +555,105 @@ fn scrape_journal_text(client: &mut ServeClient) -> String {
     let bytes = snn_serve::protocol::hex_decode(hex)
         .unwrap_or_else(|e| panic!("cluster-journal payload is not hex: {e}"));
     String::from_utf8(bytes).unwrap_or_else(|e| panic!("cluster-journal payload is not UTF-8: {e}"))
+}
+
+/// Relay-path byte totals of one [`wire_run`]: what the `data=`
+/// payloads occupied on the router↔shard wire, and the whole
+/// lines/frames around them.
+struct WireRun {
+    payload_bytes: u64,
+    wire_bytes: u64,
+}
+
+/// Drives one checkpoint-heavy workload with the router↔shard relay
+/// pinned to the given protocol generation and reads the
+/// `cluster.relay.p{N}.*` counters back. The cluster is quieted (no
+/// probes, no shadow sweeps) so the byte counts are exactly the
+/// workload's — the p1 and p2 runs move bit-identical payloads, and the
+/// only difference on the relay wire is the framing.
+fn wire_run(scale: &HarnessScale, profile: Profile, backend_proto: u32) -> WireRun {
+    let cluster = Cluster::start(
+        "127.0.0.1:0",
+        ClusterConfig {
+            limits: ClusterLimits {
+                backend_max_proto: backend_proto,
+                health_interval: Duration::from_secs(60),
+                shadow_interval: None,
+                ..ClusterLimits::default()
+            },
+        },
+    )
+    .expect("bind an ephemeral port");
+    for _ in 0..2 {
+        cluster
+            .spawn_shard(ServerConfig::default())
+            .expect("spawn shard");
+    }
+    let mut client = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+        .expect("connect to router");
+    let spec = spec(scale, profile, 0);
+    let id = "wire";
+    client.open(id, spec.clone()).expect("open session");
+
+    let gen = SyntheticDigits::new(spec.seed);
+    let classes: Vec<u8> = (0..10).collect();
+    let stream: Vec<_> = Scenario::all()[0]
+        .stream(&gen, &classes, 16, spec.seed, 0)
+        .into_iter()
+        .map(|img| img.downsample(2))
+        .collect();
+    for chunk in stream.chunks(spec.batch_size) {
+        client.ingest(id, chunk).expect("ingest");
+    }
+    // The checkpoint-heavy half: snapshot fetches plus live migrations
+    // (each a checkpoint→restore round trip over the relay), the blob
+    // traffic the binary framing exists for.
+    for _ in 0..4 {
+        let snapshot = client.checkpoint(id).expect("checkpoint");
+        assert!(!snapshot.is_empty(), "checkpoint must carry a payload");
+        let here = cluster.session_shard(id).expect("session is routed");
+        let there = cluster
+            .shard_ids()
+            .into_iter()
+            .find(|&s| s != here)
+            .expect("two shards");
+        cluster.migrate_session(id, there).expect("live migration");
+    }
+    client.close(id).expect("close session");
+
+    let mut scraper = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
+        .expect("connect for scrape");
+    let telemetry = scrape_expo(&mut scraper, "cluster-metrics");
+    cluster.shutdown();
+    let p = if backend_proto >= PROTO_V2 { 2 } else { 1 };
+    WireRun {
+        payload_bytes: telemetry.counter(&format!("cluster.relay.p{p}.payload_bytes")),
+        wire_bytes: telemetry.counter(&format!("cluster.relay.p{p}.rx_bytes"))
+            + telemetry.counter(&format!("cluster.relay.p{p}.tx_bytes")),
+    }
+}
+
+/// Runs the identical workload once per relay protocol and pins the
+/// framing rollout's headline claim: proto 2 moves the same payloads in
+/// at least 2× fewer payload bytes (hex text vs raw binary).
+fn compare_wire(scale: &HarnessScale, profile: Profile) -> (WireRun, WireRun) {
+    let p1 = wire_run(scale, profile, PROTO_VERSION);
+    let p2 = wire_run(scale, profile, PROTO_V2);
+    assert!(
+        p1.payload_bytes > 0 && p2.payload_bytes > 0,
+        "both relay runs must move payload bytes (p1 {}, p2 {})",
+        p1.payload_bytes,
+        p2.payload_bytes
+    );
+    let ratio = p1.payload_bytes as f64 / p2.payload_bytes as f64;
+    assert!(
+        ratio >= 2.0,
+        "proto 2 must move ≥2x fewer payload bytes than proto 1 \
+         (p1 {} B, p2 {} B, ratio {ratio:.3})",
+        p1.payload_bytes,
+        p2.payload_bytes
+    );
+    (p1, p2)
 }
 
 /// Runs the experiment at the given profile and returns the rendered
@@ -621,6 +736,20 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         chaos.postmortem_events,
     ));
 
+    let (wire_p1, wire_p2) = compare_wire(scale, profile);
+    out.push_str(&format!(
+        "wire — relay payload bytes on an identical checkpoint-heavy \
+         workload, proto 1 vs proto 2: {} B vs {} B ({:.2}x); whole \
+         lines/frames: {} B vs {} B ({:.2}x)\n",
+        wire_p1.payload_bytes,
+        wire_p2.payload_bytes,
+        wire_p1.payload_bytes as f64 / wire_p2.payload_bytes.max(1) as f64,
+        wire_p1.wire_bytes,
+        wire_p2.wire_bytes,
+        wire_p1.wire_bytes as f64 / wire_p2.wire_bytes.max(1) as f64,
+    ));
+
+    let client_p = if client_proto() >= PROTO_V2 { 2 } else { 1 };
     let run_objects = runs.iter().map(|run| {
         let migrate_us = run.telemetry.histogram("cluster.migrate_us");
         let migrate_bytes = run.telemetry.histogram("cluster.migrate_bytes");
@@ -640,6 +769,16 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
             .num(
                 "ingest_p95_ms",
                 percentile(&run.latencies, 0.95).as_secs_f64() * 1e3,
+            )
+            .int(
+                "wire_rx_bytes",
+                run.telemetry
+                    .counter(&format!("cluster.wire.p{client_p}.rx_bytes")),
+            )
+            .int(
+                "wire_tx_bytes",
+                run.telemetry
+                    .counter(&format!("cluster.wire.p{client_p}.tx_bytes")),
             )
             .int("migrations", run.telemetry.counter("cluster.migrations"))
             .int("migrate_p50_us", migrate_us.quantile(0.50))
@@ -670,11 +809,29 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
             .int("postmortem_events", chaos.postmortem_events);
         j.render()
     };
+    let wire_json = {
+        let mut j = Json::new();
+        j.int("p1_payload_bytes", wire_p1.payload_bytes)
+            .int("p2_payload_bytes", wire_p2.payload_bytes)
+            .num(
+                "payload_ratio",
+                wire_p1.payload_bytes as f64 / wire_p2.payload_bytes.max(1) as f64,
+            )
+            .int("p1_wire_bytes", wire_p1.wire_bytes)
+            .int("p2_wire_bytes", wire_p2.wire_bytes)
+            .num(
+                "wire_ratio",
+                wire_p1.wire_bytes as f64 / wire_p2.wire_bytes.max(1) as f64,
+            );
+        j.render()
+    };
     let mut bench = Json::new();
     bench
         .str("experiment", "cluster")
+        .int("proto", u64::from(client_proto()))
         .raw("runs", json_array(run_objects))
-        .raw("chaos", chaos_json);
+        .raw("chaos", chaos_json)
+        .raw("wire", wire_json);
     let _ = write_bench_json("cluster", &bench);
     out
 }
@@ -726,6 +883,10 @@ mod tests {
         assert!(
             out.contains("POSTMORTEM_cluster.journal"),
             "chaos drill must dump the post-mortem artifact:\n{out}"
+        );
+        assert!(
+            out.contains("wire — relay payload bytes"),
+            "the dual-proto wire comparison must be reported:\n{out}"
         );
     }
 }

@@ -17,7 +17,9 @@
 use std::time::{Duration, Instant};
 
 use snn_data::{Scenario, SyntheticDigits};
-use snn_serve::{ServeClient, ServeLimits, ServerConfig, SessionSpec, SnnServer};
+use snn_serve::{
+    ServeClient, ServeLimits, ServerConfig, SessionSpec, SnnServer, PROTO_V2, PROTO_VERSION,
+};
 use spikedyn::Method;
 
 use crate::output::{pct, write_bench_json, Json, Table};
@@ -31,6 +33,17 @@ pub enum Profile {
     Standard,
     /// Seconds-long smoke profile (`--fast`), used by CI and `run_all`.
     Smoke,
+}
+
+/// Protocol generation the load-generator clients speak, from
+/// `SNN_SERVE_PROTO` (`1` or `2`); proto 1 — the wire default — when
+/// unset. CI runs the smoke once per value so both framings stay load
+/// tested.
+fn client_proto() -> u32 {
+    match std::env::var("SNN_SERVE_PROTO").ok().as_deref() {
+        Some("2") => PROTO_V2,
+        _ => PROTO_VERSION,
+    }
 }
 
 fn sessions(profile: Profile) -> usize {
@@ -74,6 +87,9 @@ struct SessionOutcome {
     drift_events: u64,
     per_sample_mj: f64,
     latencies: Vec<Duration>,
+    /// Bytes this session's client moved on the wire (tx, rx), framing
+    /// included.
+    wire: (u64, u64),
 }
 
 fn drive_session(
@@ -85,7 +101,8 @@ fn drive_session(
     let scenario = Scenario::all()[session % Scenario::all().len()];
     let spec = spec(scale, profile, session);
     let id = format!("load-{session}");
-    let mut client = ServeClient::connect(addr).expect("connect to in-process server");
+    let mut client =
+        ServeClient::connect_with_proto(addr, client_proto()).expect("connect to server");
     client.open(&id, spec.clone()).expect("open session");
 
     let gen = SyntheticDigits::new(spec.seed);
@@ -125,6 +142,7 @@ fn drive_session(
         drift_events: report.drift_events,
         per_sample_mj: energy.per_sample_j * 1e3,
         latencies,
+        wire: client.wire_bytes(),
     }
 }
 
@@ -198,8 +216,16 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         all_latencies.extend(o.latencies.iter().copied());
         total_samples += o.samples;
     }
+    let wire_tx: u64 = outcomes.iter().map(|o| o.wire.0).sum();
+    let wire_rx: u64 = outcomes.iter().map(|o| o.wire.1).sum();
     let mut out = table.render();
     all_latencies.sort();
+    out.push_str(&format!(
+        "aggregate — proto {}: {} B sent, {} B received on the wire\n",
+        client_proto(),
+        wire_tx,
+        wire_rx,
+    ));
     out.push_str(&format!(
         "aggregate — {} sessions, {} samples in {:.2}s = {:.0} samples/s; \
          ingest latency p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms; \
@@ -222,9 +248,17 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
     let _ = table.write_csv("serve_load");
 
     let ingest_us = scrape.histogram("serve.req.ingest_us");
+    let proto = client_proto();
     let mut bench = Json::new();
     bench
         .str("experiment", "serve")
+        .int("proto", u64::from(proto))
+        .int("wire_tx_bytes", wire_tx)
+        .int("wire_rx_bytes", wire_rx)
+        .int(
+            "server_rx_bytes",
+            scrape.counter(&format!("serve.wire.p{proto}.rx_bytes")),
+        )
         .int("sessions", n_sessions as u64)
         .int("samples", total_samples)
         .num("wall_s", wall.as_secs_f64())

@@ -8,6 +8,11 @@ use snn_core::ops::OpCounts;
 use snn_core::rng::{derive_seed, seeded_rng};
 use snn_core::synapse::WeightMatrix;
 use snn_data::SyntheticDigits;
+use snn_serve::frame::{
+    decode_exact, line_to_frame, verb_code, Frame, FLAG_PUSH, MAX_FRAME_PAYLOAD, VERB_CODES,
+    VERB_RAW,
+};
+use snn_serve::protocol::hex_encode;
 
 proptest! {
     // --- weight matrix invariants ---
@@ -197,4 +202,61 @@ proptest! {
         prop_assume!(s1 != s2);
         prop_assert_ne!(derive_seed(master, s1), derive_seed(master, s2));
     }
+
+    // --- proto 2 frame codec (DESIGN.md §13) ---
+
+    #[test]
+    fn frame_encode_decode_is_an_identity(
+        flags in 0u8..2, // FLAG_DATA is owned by line_to_frame; see below
+        tag in any::<u32>(),
+        head_bytes in prop::collection::vec(32u8..127, 0..96),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame {
+            flags: if flags == 1 { FLAG_PUSH } else { 0 },
+            verb: VERB_RAW,
+            tag,
+            head: String::from_utf8(head_bytes).expect("printable ASCII"),
+            payload,
+        };
+        prop_assert_eq!(decode_exact(&frame.encode()).expect("round trip"), frame);
+    }
+
+    #[test]
+    fn frame_lift_and_reinsert_is_total_for_any_verb_tag_payload(
+        verb_i in 0usize..21,
+        tag in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..256),
+        trailing_rid in any::<bool>(),
+    ) {
+        // Every protocol verb code (plus raw), any tag, any payload —
+        // including zero-length — survives line → frame → wire → frame →
+        // line byte-identically, rid-as-final-field included.
+        let verb = if verb_i == 0 { "no-such-verb" } else { VERB_CODES[verb_i - 1].1 };
+        let rid = if trailing_rid { " rid=c0-42" } else { "" };
+        let line = format!("{verb} id=s1 data={}{rid}", hex_encode(&data));
+        let frame = line_to_frame(&line, tag, 0);
+        prop_assert_eq!(frame.verb, verb_code(verb));
+        prop_assert_eq!(frame.tag, tag);
+        prop_assert_eq!(&frame.payload, &data);
+        let wired = decode_exact(&frame.encode()).expect("round trip");
+        prop_assert_eq!(wired.to_line().expect("reinsert"), line);
+    }
+}
+
+/// The payload cap is inclusive: a frame carrying exactly
+/// [`MAX_FRAME_PAYLOAD`] bytes round-trips, one byte past it is the
+/// reject threshold (pinned in `snn-serve`'s hardening tests).
+#[test]
+fn frame_roundtrips_at_the_exact_payload_cap() {
+    let frame = Frame {
+        flags: 0,
+        verb: VERB_RAW,
+        tag: 7,
+        head: "checkpoint id=big data=".to_string(),
+        payload: vec![0xAB; MAX_FRAME_PAYLOAD as usize],
+    };
+    let decoded = decode_exact(&frame.encode()).expect("cap-sized frame decodes");
+    assert_eq!(decoded.payload.len(), MAX_FRAME_PAYLOAD as usize);
+    assert_eq!(decoded, frame);
 }
