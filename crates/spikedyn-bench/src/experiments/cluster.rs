@@ -13,10 +13,15 @@
 //!
 //! After the scaling runs, a **chaos drill** starts a shadowing cluster
 //! (one spawned shard plus one externally-owned victim), drives every
-//! session to its halfway mark, kills the victim abruptly, and requires
-//! every session to finish through the restore-from-shadow failover —
-//! zero dropped sessions, at least one failover, and the observed
-//! shadow-lag/failover-latency numbers land in `BENCH_cluster.json`.
+//! session to its halfway mark, waits until every victim-resident
+//! session's shadow provably covers that mark, kills the victim
+//! abruptly, and requires every session to finish through the
+//! restore-from-shadow failover — zero dropped sessions, **zero lost
+//! samples** (each close report's server-side count must equal the full
+//! stream, and every failover/restore in the post-mortem journal must
+//! carry the shadowed prefix, never an empty blob), at least one
+//! failover, and the observed shadow-lag/failover-latency numbers land
+//! in `BENCH_cluster.json`.
 //! The drill watches itself over the wire: a live `subscribe` stream
 //! feeds an `snn-slo` engine throughout (a deliberately unattainable
 //! ingest-latency canary proves the alert path fires), and afterwards
@@ -49,13 +54,18 @@ pub enum Profile {
 }
 
 /// Protocol generation the load-generator clients speak to the router,
-/// from `SNN_CLUSTER_PROTO` (`1` or `2`); proto 1 — the wire default —
-/// when unset. CI runs the smoke once per value. The router↔shard relay
-/// negotiates its own protocol independently (proto 2 by default).
+/// from `SNN_CLUSTER_PROTO` (`1` or `2`). Unset means proto 2: the
+/// emitted `BENCH_cluster.json` is the committed perf trajectory, and
+/// its headline numbers are the binary-framing path — a bare re-run
+/// must not silently overwrite them with proto-1 figures. CI pins each
+/// leg explicitly (proto 1 first, proto 2 last) so both framings stay
+/// load tested and the artifact left behind is always the proto-2 one.
+/// The router↔shard relay negotiates its own protocol independently
+/// (proto 2 by default).
 fn client_proto() -> u32 {
     match std::env::var("SNN_CLUSTER_PROTO").ok().as_deref() {
-        Some("2") => PROTO_V2,
-        _ => PROTO_VERSION,
+        Some("1") => PROTO_VERSION,
+        _ => PROTO_V2,
     }
 }
 
@@ -278,13 +288,24 @@ struct ChaosOutcome {
     /// Events in the merged post-mortem journal written to
     /// `POSTMORTEM_cluster.journal`.
     postmortem_events: u64,
+    /// Samples the clients streamed that the servers do not hold at
+    /// close time — the drill's silent-loss measure, asserted to be 0
+    /// (every failover must recover the whole shadowed prefix, and the
+    /// arming gate guarantees the shadows covered everything sent).
+    lost_samples: u64,
 }
 
 /// One chaos load generator: opens a session, ingests its stream in
 /// batches, and **holds at the halfway mark until the victim shard has
 /// been killed** — so every session provably crosses the kill
 /// mid-stream. Any error (dead backend, failover window, backpressure)
-/// is retried against a deadline; returns whether the session finished.
+/// is retried against a deadline; returns the session's final
+/// *server-side* sample count from the close report (`None` if the
+/// session never recovered). Client-side completion alone is not
+/// success: a failover that restored an empty shadow would still let
+/// every ingest call succeed while silently dropping the pre-kill half
+/// of the stream, so the caller must compare the returned count against
+/// the samples actually sent.
 fn drive_chaos_session(
     cluster: &Cluster,
     scale: &HarnessScale,
@@ -293,7 +314,7 @@ fn drive_chaos_session(
     opened: &AtomicUsize,
     ingested: &AtomicU64,
     killed: &AtomicBool,
-) -> bool {
+) -> Option<u64> {
     let spec = spec(scale, profile, session);
     let id = format!("ch-{session}");
     let mut client = ServeClient::connect_with_proto(cluster.local_addr(), client_proto())
@@ -330,13 +351,13 @@ fn drive_chaos_session(
                 }
                 Err(e) => {
                     eprintln!("chaos session {id} never recovered: {e}");
-                    return false;
+                    return None;
                 }
             }
         }
         ingested.fetch_add(chunk.len() as u64, Ordering::SeqCst);
     }
-    client.close(&id).is_ok()
+    client.close(&id).ok().map(|report| report.samples)
 }
 
 /// The chaos drill: kill a shard mid-stream under load and require every
@@ -370,7 +391,7 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
     let drill_done = AtomicBool::new(false);
     let total = n_sessions as u64 * CHAOS_SAMPLES;
 
-    let (finished, max_shadow_lag, alerts_fired) = std::thread::scope(|s| {
+    let (finals, max_shadow_lag, alerts_fired) = std::thread::scope(|s| {
         let cluster = &cluster;
         let (opened, ingested, killed) = (&opened, &ingested, &killed);
         let drill_done = &drill_done;
@@ -445,18 +466,29 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
                 .migrate_session("ch-0", victim)
                 .expect("seed the victim shard");
         }
-        // Don't pull the trigger before EVERY session on the victim has
-        // a parked shadow — an un-shadowed session fails fast by design,
-        // and the drill requires zero dropped sessions — and before real
-        // load is flowing. (No migrations run here, so the set of
-        // victim-resident sessions is stable.)
+        // Don't pull the trigger before EVERY session is parked at its
+        // halfway barrier (so `ingested` can no longer move and nothing
+        // is in flight) and every victim-resident session's shadow
+        // PROVABLY covers that halfway mark. A shadow merely *existing*
+        // is not enough: the shadower's first sweep usually parks a
+        // seq-0 blob taken before any ingest landed, and killing on that
+        // evidence restores an empty learner — every pre-kill sample is
+        // then lost while the clients finish none the wiser, which is
+        // exactly the silent-loss failure this drill exists to rule
+        // out. (No migrations run here, so the set of victim-resident
+        // sessions is stable.)
+        let halfway = CHAOS_SAMPLES / 2;
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
-            let armed = (0..n_sessions)
-                .map(|i| format!("ch-{i}"))
-                .filter(|id| cluster.session_shard(id) == Some(victim))
-                .all(|id| cluster.session_shadow(&id).is_some())
-                && ingested.load(Ordering::SeqCst) >= total / 4;
+            let armed = ingested.load(Ordering::SeqCst) == total / 2
+                && (0..n_sessions)
+                    .map(|i| format!("ch-{i}"))
+                    .filter(|id| cluster.session_shard(id) == Some(victim))
+                    .all(|id| {
+                        cluster
+                            .session_shadow(&id)
+                            .is_some_and(|(_, seq)| seq >= halfway)
+                    });
             if armed {
                 break;
             }
@@ -466,16 +498,33 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         victim_server.shutdown();
         killed.store(true, Ordering::SeqCst);
 
-        let finished = handles
-            .into_iter()
-            .map(|h| h.join().unwrap())
-            .filter(|&ok| ok)
-            .count();
+        let finals: Vec<Option<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         drill_done.store(true, Ordering::SeqCst);
         let (max_lag, alerts, frames) = subscriber.join().unwrap();
         assert!(frames >= 1, "the drill must stream at least one frame");
-        (finished, max_lag, alerts)
+        (finals, max_lag, alerts)
     });
+    let finished = finals.iter().filter(|f| f.is_some()).count();
+    // The drill armed only after every shadow covered the halfway mark
+    // and every session was parked there (nothing in flight), so the
+    // failovers recover the whole pre-kill half and NO sample may be
+    // lost: each session's final server-side count must equal exactly
+    // what its client streamed. This is the server-side half of the
+    // zero-loss claim — client-side completion alone would also pass
+    // with an empty restore.
+    let lost_samples: u64 = finals
+        .iter()
+        .map(|f| CHAOS_SAMPLES.saturating_sub(f.unwrap_or(0)))
+        .sum();
+    for (i, samples) in finals.iter().enumerate() {
+        if let Some(samples) = samples {
+            assert_eq!(
+                *samples, CHAOS_SAMPLES,
+                "chaos session ch-{i} closed with {samples}/{CHAOS_SAMPLES} samples \
+                 on the server — the failover silently lost data"
+            );
+        }
+    }
 
     // The merged scrape must still work after a shard death: the dead
     // shard left the pool, the router's failover telemetry remains.
@@ -514,6 +563,34 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         "at least one failover cites incident {} as its cause",
         down.rid
     );
+    // Every failover must restore real progress. The drill armed only
+    // after each victim session's shadow covered the halfway mark, so a
+    // seq-0 failover (or a restore reporting an empty learner) here
+    // means restore-from-shadow regressed into replaying a blank blob —
+    // the post-mortem must refuse to greenlight it.
+    let halfway = CHAOS_SAMPLES / 2;
+    for e in journal
+        .events
+        .iter()
+        .filter(|e| e.kind == "cluster.failover")
+    {
+        let seq = e.field("seq").and_then(|v| v.parse::<u64>().ok());
+        assert!(
+            seq.is_some_and(|s| s >= halfway),
+            "failover of {} restored seq {seq:?}, expected >= {halfway}: \
+             the shadow did not cover the pre-kill stream",
+            e.field("id").map_or("?", |v| v),
+        );
+    }
+    for e in journal.events.iter().filter(|e| e.kind == "serve.restore") {
+        let samples = e.field("samples").and_then(|v| v.parse::<u64>().ok());
+        assert!(
+            samples.is_some_and(|s| s >= halfway),
+            "restore of {} landed with {samples:?} samples, expected >= {halfway}: \
+             the shadowed blob was (nearly) empty",
+            e.field("id").map_or("?", |v| v),
+        );
+    }
     cluster.shutdown();
 
     let outcome = ChaosOutcome {
@@ -525,10 +602,15 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         alerts_fired,
         subscribe_drops: telemetry.counter("cluster.subscribe.drops"),
         postmortem_events: journal.events.len() as u64,
+        lost_samples,
     };
     assert_eq!(
         outcome.finished, outcome.sessions,
         "chaos drill dropped sessions"
+    );
+    assert_eq!(
+        outcome.lost_samples, 0,
+        "chaos drill lost samples across the failover"
     );
     assert!(
         outcome.failovers >= 1,
@@ -721,13 +803,14 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
 
     let chaos = run_chaos(scale, profile);
     out.push_str(&format!(
-        "chaos — shard killed mid-stream: {}/{} sessions finished, \
-         {} failover(s) (p50 {} µs), max shadow lag {:.0} sample(s); \
-         {} SLO alert(s) fired over the live subscription \
-         ({} frame(s) dropped); post-mortem journal: {} event(s) \
-         → POSTMORTEM_cluster.journal\n",
+        "chaos — shard killed mid-stream: {}/{} sessions finished with \
+         {} sample(s) lost, {} failover(s) (p50 {} µs), max shadow lag \
+         {:.0} sample(s); {} SLO alert(s) fired over the live \
+         subscription ({} frame(s) dropped); post-mortem journal: \
+         {} event(s) → POSTMORTEM_cluster.journal\n",
         chaos.finished,
         chaos.sessions,
+        chaos.lost_samples,
         chaos.failovers,
         chaos.failover_p50_us,
         chaos.max_shadow_lag,
@@ -806,7 +889,8 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
             .num("max_shadow_lag", chaos.max_shadow_lag)
             .int("alerts_fired", chaos.alerts_fired)
             .int("subscribe_drops", chaos.subscribe_drops)
-            .int("postmortem_events", chaos.postmortem_events);
+            .int("postmortem_events", chaos.postmortem_events)
+            .int("lost_samples", chaos.lost_samples);
         j.render()
     };
     let wire_json = {

@@ -36,13 +36,16 @@ pub enum Profile {
 }
 
 /// Protocol generation the load-generator clients speak, from
-/// `SNN_SERVE_PROTO` (`1` or `2`); proto 1 — the wire default — when
-/// unset. CI runs the smoke once per value so both framings stay load
-/// tested.
+/// `SNN_SERVE_PROTO` (`1` or `2`). Unset means proto 2: the emitted
+/// `BENCH_serve.json` is the committed perf trajectory, and its headline
+/// numbers are the binary-framing path — a bare re-run must not silently
+/// overwrite them with proto-1 figures. CI pins each leg explicitly
+/// (proto 1 first, proto 2 last) so both framings stay load tested and
+/// the artifact left behind is always the proto-2 one.
 fn client_proto() -> u32 {
     match std::env::var("SNN_SERVE_PROTO").ok().as_deref() {
-        Some("2") => PROTO_V2,
-        _ => PROTO_VERSION,
+        Some("1") => PROTO_VERSION,
+        _ => PROTO_V2,
     }
 }
 
