@@ -88,6 +88,18 @@ pub(crate) struct ClusterObs {
     pub(crate) failover_us: Arc<Histogram>,
     /// `cluster.failover_bytes` — decoded snapshot payload per failover.
     pub(crate) failover_bytes: Arc<Histogram>,
+    /// `cluster.wire.p2.tags_in_flight` — request frames the router's
+    /// proto 2 demux has admitted but not yet answered (flow-control
+    /// window occupancy, capped by the mux inflight limit).
+    pub(crate) tags_in_flight: Arc<Gauge>,
+    /// `cluster.wire.p2.writer_queue` — reply/push frames queued behind
+    /// the router's shared proto 2 writer thread.
+    pub(crate) writer_queue: Arc<Gauge>,
+    /// Subscriber sequence: each router subscription stream gets a
+    /// distinct per-subscriber drop counter
+    /// (`cluster.subscribe.drops.sub<N>`), so one slow consumer is
+    /// attributable instead of anonymous in the aggregate.
+    sub_seq: AtomicU64,
     /// `cluster.wire.p{1,2}.rx_bytes` / `.tx_bytes` — client-facing
     /// bytes on the wire per protocol generation (proto 1 counts line
     /// bytes, proto 2 counts whole frames).
@@ -174,10 +186,28 @@ impl ClusterObs {
             failover_fail: registry.counter("cluster.failover_fail"),
             failover_us: registry.histogram("cluster.failover_us"),
             failover_bytes: registry.histogram("cluster.failover_bytes"),
+            tags_in_flight: registry.gauge("cluster.wire.p2.tags_in_flight"),
+            writer_queue: registry.gauge("cluster.wire.p2.writer_queue"),
+            sub_seq: AtomicU64::new(0),
             wire: WireObs::new(&registry, "cluster.wire", false),
             relay_wire: WireObs::new(&registry, "cluster.relay", true),
             registry,
         }
+    }
+
+    /// Registers one subscription stream: its sequence number and its
+    /// dedicated drop counter (`cluster.subscribe.drops.sub<N>`). The
+    /// aggregate `cluster.subscribe.drops` keeps counting every drop;
+    /// the per-subscriber counter pins which stream lost frames.
+    pub(crate) fn subscriber(&self) -> (u64, Arc<Counter>) {
+        let seq = self.sub_seq.fetch_add(1, Ordering::Relaxed);
+        (seq, self.sub_drop_counter(seq))
+    }
+
+    /// The drop counter of subscription stream `seq`.
+    pub(crate) fn sub_drop_counter(&self, seq: u64) -> Arc<Counter> {
+        self.registry
+            .counter(&format!("cluster.subscribe.drops.sub{seq}"))
     }
 }
 
@@ -237,9 +267,26 @@ mod tests {
         ] {
             assert!(snap.histograms.contains_key(name), "missing {name}");
         }
-        assert!(
-            snap.gauges.contains_key("cluster.shadow_lag"),
-            "missing cluster.shadow_lag"
-        );
+        for name in [
+            "cluster.shadow_lag",
+            "cluster.wire.p2.tags_in_flight",
+            "cluster.wire.p2.writer_queue",
+        ] {
+            assert!(snap.gauges.contains_key(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn subscribers_get_distinct_drop_counters() {
+        let obs = ClusterObs::new();
+        let (a, drops_a) = obs.subscriber();
+        let (b, drops_b) = obs.subscriber();
+        assert_ne!(a, b);
+        drops_a.inc();
+        drops_a.inc();
+        drops_b.inc();
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters[&format!("cluster.subscribe.drops.sub{a}")], 2);
+        assert_eq!(snap.counters[&format!("cluster.subscribe.drops.sub{b}")], 1);
     }
 }

@@ -39,7 +39,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use snn_obs::{JournalSnapshot, Snapshot};
+use snn_obs::{valid_rid, JournalSnapshot, Snapshot, TraceTree};
 use snn_serve::protocol::{
     self, extract_rid, format_response, hex_decode, hex_encode, parse_response, Response,
     MAX_LINE_BYTES, PROTO_VERSION,
@@ -1046,17 +1046,23 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
             // binary framing and never returns to line mode, so it is
             // dispatched here, exactly as on the shard tier. The hello
             // exchange itself is always line-based.
+            // Hello is connection negotiation, not request traffic:
+            // whatever the proto, it bypasses `accept_line` so it never
+            // mints a rid — a negotiated connection and a bare one must
+            // leave the rid sequence (and thus the byte-exact relay
+            // lines later rids ride on) identical.
             if verb == "hello" {
+                let banner = route_line(&line, state);
+                write_reply(&mut writer, state, &banner)?;
                 if let Some(Ok(proto)) = find(&fields, "proto").map(str::parse::<u32>) {
                     if proto >= PROTO_V2 && proto <= state.limits.max_proto {
-                        let banner = route_line(&line, state);
-                        write_reply(&mut writer, state, &banner)?;
                         let host = Arc::new(ClusterHost {
                             state: Arc::clone(state),
                         });
                         return run_mux(reader, writer, host);
                     }
                 }
+                continue;
             }
             // `subscribe` upgrades the connection to a one-way push
             // stream and never returns to request/reply, so it is also
@@ -1078,9 +1084,48 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
                 return serve_cluster_subscription(&mut writer, state, interval_ms);
             }
         }
-        let reply = route_line(&line, state);
+        let (reply, rid) = accept_line(&line, state);
+        let w0 = Instant::now();
         write_reply(&mut writer, state, &reply)?;
+        let wdur = w0.elapsed();
+        state.obs.registry.span(
+            "cluster.phase.write",
+            &rid,
+            wdur,
+            &[
+                ("phase", "write".to_string()),
+                ("parent", "accept".to_string()),
+            ],
+        );
     }
+}
+
+/// Routes one client line under its request id, timing the router's
+/// whole ownership of the request as the trace tree's `accept` root
+/// span. The rid is the client's (when the line already ends in
+/// `rid=…`) or freshly minted; either way the line the router routes
+/// carries it as the **final field**, so the relay span, the shard's
+/// request-path spans, and this root all share one id. Returns
+/// `(reply line, rid)`.
+fn accept_line(line: &str, state: &State) -> (String, String) {
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    let (routed, rid) = match extract_rid(trimmed) {
+        Some(rid) => (trimmed.to_string(), rid.to_string()),
+        None => {
+            let rid = state.obs.registry.mint_rid();
+            (format!("{trimmed} rid={rid}"), rid)
+        }
+    };
+    let t0 = Instant::now();
+    let reply = route_line(&routed, state);
+    let dur = t0.elapsed();
+    state.obs.registry.span(
+        "cluster.phase.accept",
+        &rid,
+        dur,
+        &[("phase", "accept".to_string())],
+    );
+    (reply, rid)
 }
 
 /// Writes one reply line (appending the newline) and counts its bytes
@@ -1106,7 +1151,12 @@ struct ClusterHost {
 
 impl MuxHost for ClusterHost {
     fn handle_line(&self, line: &str) -> String {
-        route_line(line, &self.state)
+        // Same rid accounting as the line loop: the accept root span
+        // covers the router's whole ownership of the frame. The reply
+        // write itself happens on the shared writer thread, so proto 2
+        // traces have no router-side write node — the writer-queue
+        // gauge is what shows that backlog instead.
+        accept_line(line, &self.state).0
     }
 
     fn push_line(&self, seq: u64, journal_cursor: &mut u64) -> Option<String> {
@@ -1129,8 +1179,34 @@ impl MuxHost for ClusterHost {
         self.state.obs.wire.count(PROTO_V2, rx_bytes, tx_bytes);
     }
 
-    fn on_push_drop(&self) {
+    fn on_queue_wait(&self, line: &str, waited: Duration) {
+        // Only rid-bearing frames get a demux-wait node: a rid minted
+        // here would never match the accept span's rid.
+        if let Some(rid) = extract_rid(line.trim_end_matches(['\r', '\n'])) {
+            self.state.obs.registry.span(
+                "cluster.phase.demux_wait",
+                rid,
+                waited,
+                &[
+                    ("phase", "demux_wait".to_string()),
+                    ("parent", "accept".to_string()),
+                ],
+            );
+        }
+    }
+
+    fn on_flow(&self, tags_in_flight: u64, writer_queue: u64) {
+        self.state.obs.tags_in_flight.set(tags_in_flight as f64);
+        self.state.obs.writer_queue.set(writer_queue as f64);
+    }
+
+    fn next_subscriber(&self) -> u64 {
+        self.state.obs.subscriber().0
+    }
+
+    fn on_push_drop(&self, sub: u64) {
         self.state.obs.subscribe_drops.inc();
+        self.state.obs.sub_drop_counter(sub).inc();
     }
 }
 
@@ -1163,6 +1239,7 @@ fn route_line(line: &str, state: &State) -> String {
                     ("server", "snn-cluster".to_string()),
                     ("journal", "1".to_string()),
                     ("subscribe", "1".to_string()),
+                    ("trace", "1".to_string()),
                 ]))
             }
             Some(Ok(proto)) => err_line(
@@ -1193,6 +1270,8 @@ fn route_line(line: &str, state: &State) -> String {
         "cluster-metrics" => cluster_metrics_line(state),
         "journal" => journal_line(state),
         "cluster-journal" => cluster_journal_line(state),
+        "trace" => trace_line(state, &fields),
+        "cluster-trace" => cluster_trace_line(state, &fields),
         "cluster-grow" => cluster_grow_line(state),
         "cluster-drain" => cluster_drain_line(state, &fields),
         "open" | "restore" | "close" | "evict" | "ingest" | "report" | "energy" | "checkpoint"
@@ -1226,7 +1305,11 @@ fn relay(line: &str, verb: &str, fields: &[(String, String)], state: &State) -> 
     };
     let dur = t0.elapsed();
     obs.relay_us.record_duration(dur);
-    let mut span_fields = vec![("verb", verb.to_string())];
+    let mut span_fields = vec![
+        ("verb", verb.to_string()),
+        ("phase", "relay".to_string()),
+        ("parent", "accept".to_string()),
+    ];
     if let Some(id) = find(fields, "id") {
         span_fields.push(("id", id.to_string()));
     }
@@ -1423,6 +1506,139 @@ fn cluster_journal_line(state: &State) -> String {
     ]))
 }
 
+/// `trace rid=…`: the router's own raw trace material for one request
+/// id — its rid-filtered spans (a spans-only exposition in `data`) and
+/// rid-filtered journal events (in `journal`), the same reply shape a
+/// shard answers, so [`snn_serve::ServeClient::trace`] works against
+/// either tier. The merged, assembled view is `cluster-trace`.
+fn trace_line(state: &State, fields: &[(String, String)]) -> String {
+    let Some(rid) = find(fields, "rid") else {
+        return err_line("bad-request", "missing field rid");
+    };
+    if !valid_rid(rid) {
+        return err_line("bad-request", "invalid rid");
+    }
+    let reg = &state.obs.registry;
+    let mut snap = reg.snapshot();
+    snap.counters.clear();
+    snap.gauges.clear();
+    snap.histograms.clear();
+    snap.exemplars.clear();
+    snap.spans.retain(|s| s.rid == rid);
+    let mut journal = reg.journal_snapshot();
+    journal.events.retain(|e| e.rid == rid);
+    // Keep the codec invariant (total − events − dropped = 0): the
+    // filtered document stands alone, not as a window onto the ring.
+    journal.total = journal.events.len() as u64;
+    journal.dropped = 0;
+    format_response(&Response::ok([
+        ("instance", reg.instance().to_string()),
+        ("rid", rid.to_string()),
+        ("spans", snap.spans.len().to_string()),
+        ("events", journal.events.len().to_string()),
+        ("data", hex_encode(snap.render().as_bytes())),
+        ("journal", hex_encode(journal.render().as_bytes())),
+    ]))
+}
+
+/// `cluster-trace rid=…`: the on-demand cluster-wide trace assembler.
+/// Fans `trace rid=…` out to every live shard on its own
+/// deadline-bounded connection (a slow shard costs one deadline and a
+/// `cluster.scrape_fail` tick, never the whole trace), merges the
+/// shards' spans and journal events with the router's own rid-filtered
+/// material **and the frozen post-mortem journals of dead shards**,
+/// assembles the parent-linked trace tree, and replies with the
+/// rendered `# snn-trace v1` document (hex in `data`). A request that
+/// crossed a shard which has since died still explains itself: the
+/// victim's journal events ride in as `via=journal` leaves.
+fn cluster_trace_line(state: &State, fields: &[(String, String)]) -> String {
+    let Some(rid) = find(fields, "rid") else {
+        return err_line("bad-request", "missing field rid");
+    };
+    if !valid_rid(rid) {
+        return err_line("bad-request", "invalid rid");
+    }
+    let (backends, victims): (Vec<Arc<Backend>>, Vec<String>) = {
+        let inner = state.inner.lock().expect("cluster state poisoned");
+        (
+            inner.backends.values().cloned().collect(),
+            inner.victim_journals.values().cloned().collect(),
+        )
+    };
+    let deadline = state.limits.scrape_timeout;
+    let request = format!("trace rid={rid}");
+    let scraped: Vec<Option<(Snapshot, JournalSnapshot)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = backends
+            .iter()
+            .map(|backend| {
+                let request = request.as_str();
+                scope.spawn(move || {
+                    if !backend.is_alive() {
+                        return None;
+                    }
+                    let t0 = Instant::now();
+                    let got = fetch_shard_trace(backend, request, deadline);
+                    state.obs.scrape_us.record_duration(t0.elapsed());
+                    if got.is_none() {
+                        record_scrape_fail(state, backend.id);
+                    }
+                    Some(got)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("trace scrape thread"))
+            .collect()
+    });
+    let attempted = scraped.len();
+    let ok = scraped.iter().filter(|s| s.is_some()).count();
+    let mut spans = state.obs.registry.snapshot().spans;
+    let mut events = state.obs.registry.journal_snapshot().events;
+    for (snap, journal) in scraped.into_iter().flatten() {
+        spans.extend(snap.spans);
+        events.extend(journal.events);
+    }
+    for text in victims {
+        if let Ok(snap) = JournalSnapshot::parse(&text) {
+            events.extend(snap.events);
+        }
+    }
+    let Some(tree) = TraceTree::assemble(rid, &spans, &events) else {
+        return err_line(
+            "unknown-rid",
+            &format!("no span or journal event references rid {rid}"),
+        );
+    };
+    format_response(&Response::ok([
+        ("rid", rid.to_string()),
+        ("shards", attempted.to_string()),
+        ("scraped", ok.to_string()),
+        ("failed", (attempted - ok).to_string()),
+        ("nodes", tree.root.count().to_string()),
+        ("root_us", tree.root.dur_us.to_string()),
+        ("data", hex_encode(tree.render().as_bytes())),
+    ]))
+}
+
+/// One shard's `trace` reply, decoded to its span snapshot and journal
+/// events (`None` on timeout, transport failure, a malformed reply, or
+/// a shard that predates the verb).
+fn fetch_shard_trace(
+    backend: &Backend,
+    request: &str,
+    deadline: Duration,
+) -> Option<(Snapshot, JournalSnapshot)> {
+    let reply = backend.call_with_deadline(request, deadline)?;
+    let resp = parse_response(&reply).ok()?;
+    let spans = String::from_utf8(hex_decode(resp.get("data")?).ok()?).ok()?;
+    let journal = String::from_utf8(hex_decode(resp.get("journal")?).ok()?).ok()?;
+    Some((
+        Snapshot::parse(&spans).ok()?,
+        JournalSnapshot::parse(&journal).ok()?,
+    ))
+}
+
 /// `cluster-grow`: spawns a default-configured shard and joins it to the
 /// ring — the wire half of [`Cluster::spawn_shard`], which is what lets
 /// an autoscaler run against the router without holding `&Cluster`.
@@ -1519,6 +1735,7 @@ fn serve_cluster_subscription(
     let (tx, rx) = mpsc::sync_channel::<String>(SUBSCRIBE_BUFFER);
     std::thread::scope(|scope| {
         scope.spawn(|| {
+            let (_sub, sub_drops) = state.obs.subscriber();
             let mut seq = 0u64;
             let mut prev_total = state.obs.registry.journal_snapshot().total;
             loop {
@@ -1532,7 +1749,10 @@ fn serve_cluster_subscription(
                 seq += 1;
                 match tx.try_send(line + "\n") {
                     Ok(()) => {}
-                    Err(mpsc::TrySendError::Full(_)) => state.obs.subscribe_drops.inc(),
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        state.obs.subscribe_drops.inc();
+                        sub_drops.inc();
+                    }
                     Err(mpsc::TrySendError::Disconnected(_)) => return,
                 }
             }

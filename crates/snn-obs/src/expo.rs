@@ -9,6 +9,7 @@
 //! gauge <name> <f64>
 //! hist <name> <sum> <bucket>:<count>,...      (`-` when empty)
 //! span <name> <rid> <start_us> <dur_us> [k=v ...]   (rid `-` when unattributed)
+//! exemplar <name> <region> <value> <rid> [k=v ...]
 //! ```
 //!
 //! [`Snapshot::render`] ∘ [`Snapshot::parse`] is an identity (pinned by
@@ -21,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::metrics::{HistogramSnapshot, HIST_BUCKETS};
+use crate::metrics::{Exemplar, HistogramSnapshot, HIST_BUCKETS, HIST_REGIONS};
 use crate::registry::valid_name;
 use crate::trace::{canonical_cmp, valid_rid, SpanRecord};
 
@@ -57,6 +58,9 @@ pub struct Snapshot {
     /// Retained spans (insertion order for a single registry, canonical
     /// order after a merge).
     pub spans: Vec<SpanRecord>,
+    /// Tail-latency exemplars by histogram name, region-ascending. At
+    /// most one exemplar per (name, region); merging keeps the slowest.
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
 impl Snapshot {
@@ -78,6 +82,29 @@ impl Snapshot {
         }
         self.spans.extend(other.spans.iter().cloned());
         self.spans.sort_by(canonical_cmp);
+        for (name, theirs) in &other.exemplars {
+            let ours = self.exemplars.entry(name.clone()).or_default();
+            for e in theirs {
+                match ours.iter_mut().find(|o| o.region == e.region) {
+                    Some(o) => {
+                        if e.beats(o) {
+                            *o = e.clone();
+                        }
+                    }
+                    None => ours.push(e.clone()),
+                }
+            }
+            ours.sort_by_key(|e| e.region);
+        }
+    }
+
+    /// The slowest exemplar retained for histogram `name` — the rid a
+    /// tail-latency alert should point at.
+    pub fn worst_exemplar(&self, name: &str) -> Option<&Exemplar> {
+        self.exemplars
+            .get(name)?
+            .iter()
+            .max_by(|a, b| (a.value, &b.rid).cmp(&(b.value, &a.rid)))
     }
 
     /// Convenience: the named histogram, or an empty one.
@@ -131,6 +158,15 @@ impl Snapshot {
                 let _ = write!(out, " {k}={v}");
             }
             out.push('\n');
+        }
+        for (name, exemplars) in &self.exemplars {
+            for e in exemplars {
+                let _ = write!(out, "exemplar {name} {} {} {}", e.region, e.value, e.rid);
+                for (k, v) in &e.fields {
+                    let _ = write!(out, " {k}={v}");
+                }
+                out.push('\n');
+            }
         }
         out
     }
@@ -254,6 +290,55 @@ impl Snapshot {
                         fields,
                     });
                 }
+                "exemplar" => {
+                    let name = tok.next().ok_or_else(|| err(n, "missing name"))?;
+                    if !valid_name(name) {
+                        return Err(err(n, "invalid metric name"));
+                    }
+                    let region = tok
+                        .next()
+                        .ok_or_else(|| err(n, "missing region"))?
+                        .parse::<usize>()
+                        .map_err(|_| err(n, "region is not a usize"))?;
+                    if region >= HIST_REGIONS {
+                        return Err(err(n, "region out of range"));
+                    }
+                    let value = tok
+                        .next()
+                        .ok_or_else(|| err(n, "missing value"))?
+                        .parse::<u64>()
+                        .map_err(|_| err(n, "value is not a u64"))?;
+                    let rid = tok.next().ok_or_else(|| err(n, "missing rid"))?;
+                    if !valid_rid(rid) {
+                        return Err(err(n, "invalid rid"));
+                    }
+                    let mut fields = Vec::new();
+                    for pair in tok {
+                        let (k, v) = pair
+                            .split_once('=')
+                            .ok_or_else(|| err(n, "exemplar field is not k=v"))?;
+                        fields.push((k.to_string(), v.to_string()));
+                    }
+                    let candidate = Exemplar {
+                        region,
+                        value,
+                        rid: rid.to_string(),
+                        fields,
+                    };
+                    // Duplicate (name, region) lines fold like a merge:
+                    // the slowest wins, so parse tolerates concatenated
+                    // expositions the same way counters do.
+                    let ours = snap.exemplars.entry(name.to_string()).or_default();
+                    match ours.iter_mut().find(|o| o.region == region) {
+                        Some(o) => {
+                            if candidate.beats(o) {
+                                *o = candidate;
+                            }
+                        }
+                        None => ours.push(candidate),
+                    }
+                    ours.sort_by_key(|e| e.region);
+                }
                 _ => return Err(err(n, "unknown line kind")),
             }
         }
@@ -283,6 +368,13 @@ mod tests {
             &[("id", "load-1".to_string())],
         );
         r.span("serve.tick", "", Duration::from_micros(7), &[]);
+        r.exemplar(
+            "serve.req.ingest_us",
+            4096,
+            "t0-1",
+            &[("verb", "ingest".to_string())],
+        );
+        r.exemplar("serve.req.ingest_us", 9, "t0-2", &[]);
         r.snapshot()
     }
 
@@ -348,6 +440,11 @@ mod tests {
             ("# snn-obs v1\nspan x !bad! 1 2\n", 2),
             ("# snn-obs v1\nwhatever\n", 2),
             ("# snn-obs v1\ncounter a 1 extra\n", 2),
+            ("# snn-obs v1\nexemplar h 0 5\n", 2),
+            ("# snn-obs v1\nexemplar h 9999 5 r-1\n", 2),
+            ("# snn-obs v1\nexemplar h 0 x r-1\n", 2),
+            ("# snn-obs v1\nexemplar h 0 5 !bad!\n", 2),
+            ("# snn-obs v1\nexemplar h 0 5 r-1 loose\n", 2),
         ];
         for (text, line) in cases {
             match Snapshot::parse(text) {
@@ -355,6 +452,51 @@ mod tests {
                 Ok(_) => panic!("case {text:?} must fail"),
             }
         }
+    }
+
+    #[test]
+    fn exemplar_merge_keeps_the_slowest_per_region() {
+        let mut a = Snapshot::new();
+        a.exemplars.insert(
+            "h".into(),
+            vec![Exemplar {
+                region: 3,
+                value: 100,
+                rid: "a-1".into(),
+                fields: vec![],
+            }],
+        );
+        let mut b = Snapshot::new();
+        b.exemplars.insert(
+            "h".into(),
+            vec![
+                Exemplar {
+                    region: 3,
+                    value: 250,
+                    rid: "b-1".into(),
+                    fields: vec![("verb".into(), "ingest".into())],
+                },
+                Exemplar {
+                    region: 7,
+                    value: 9000,
+                    rid: "b-2".into(),
+                    fields: vec![],
+                },
+            ],
+        );
+        // Merge is commutative: either direction keeps the same winners.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let ex = &ab.exemplars["h"];
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].rid, "b-1", "slower sample displaced region 3");
+        assert_eq!(ab.worst_exemplar("h").unwrap().rid, "b-2");
+        assert_eq!(ab.worst_exemplar("nope"), None);
+        // And the merged snapshot still round-trips.
+        assert_eq!(Snapshot::parse(&ab.render()).unwrap(), ab);
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   enters the stack and propagated as a trailing `rid=` field on
 //!   forwarded protocol lines; spans recorded at every layer carry it,
 //!   so one client request is traceable across router, shards, and
-//!   scheduler ticks.
+//!   scheduler ticks. Spans carrying `phase=`/`parent=` fields assemble
+//!   into parent-linked [`TraceTree`]s with a versioned `# snn-trace v1`
+//!   codec and a deterministic critical-path report (`DESIGN.md` §14).
+//! * **Exemplars** ([`Exemplar`]): per-histogram tail-latency exemplars
+//!   — the slowest sample per bucket region keeps its rid and context,
+//!   so a bad p99 links directly to a concrete trace.
 //! * **Exposition** ([`Snapshot`]): a line-oriented text format whose
 //!   render/parse pair is self-inverse, with associative snapshot
 //!   merging — the basis of the `metrics` wire verb and the cluster-wide
@@ -43,10 +48,14 @@ mod trace;
 pub use expo::{ExpoError, Snapshot, EXPO_HEADER};
 pub use journal::{JournalError, JournalEvent, JournalSnapshot, JOURNAL_HEADER, JOURNAL_RING};
 pub use metrics::{
-    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS,
+    bucket_index, bucket_region, bucket_upper_bound, Counter, Exemplar, Gauge, Histogram,
+    HistogramSnapshot, HIST_BUCKETS, HIST_REGIONS,
 };
 pub use registry::{valid_name, Registry, SPAN_RING};
-pub use trace::{valid_rid, SpanRecord, MAX_RID};
+pub use trace::{
+    valid_rid, SpanRecord, TraceError, TraceNode, TraceShares, TraceTree, MAX_RID, PARENT_KEY,
+    PHASE_KEY, TRACE_HEADER,
+};
 
 #[cfg(test)]
 mod hammer {

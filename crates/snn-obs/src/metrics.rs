@@ -76,6 +76,50 @@ pub fn bucket_index(value: u64) -> usize {
     }
 }
 
+/// Number of exemplar **bucket regions**: one per power-of-two octave
+/// (four adjacent histogram buckets collapse into one region), so a
+/// histogram keeps at most [`HIST_REGIONS`] tail exemplars however many
+/// samples it absorbs.
+pub const HIST_REGIONS: usize = HIST_BUCKETS / 4;
+
+/// The exemplar region `value` lands in (its octave).
+pub fn bucket_region(value: u64) -> usize {
+    bucket_index(value) / 4
+}
+
+/// A tail-latency exemplar: the slowest sample a histogram has seen in
+/// one bucket region, with the request id that produced it — the link
+/// from "p99 is bad" to a concrete trace (`trace rid=` / `cluster-trace
+/// rid=`). Extra `k=v` context (verb, phase breakdown) rides along.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The bucket region ([`bucket_region`]) the sample landed in.
+    pub region: usize,
+    /// The sample value (microseconds for latency histograms).
+    pub value: u64,
+    /// The request id of the sample.
+    pub rid: String,
+    /// Extra context (e.g. `verb`, `queue_us`, `exec_us`, `write_us`).
+    pub fields: Vec<(String, String)>,
+}
+
+impl Exemplar {
+    /// The value of `key` in [`Exemplar::fields`], if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether `self` displaces `other` when both claim one region:
+    /// strictly slower wins; ties break to the lexicographically smaller
+    /// rid then fields, so merging stays order-insensitive.
+    pub(crate) fn beats(&self, other: &Exemplar) -> bool {
+        (self.value, &other.rid, &other.fields) > (other.value, &self.rid, &self.fields)
+    }
+}
+
 /// The largest value that lands in bucket `index` (inclusive). The last
 /// bucket's upper bound is `u64::MAX`.
 pub fn bucket_upper_bound(index: usize) -> u64 {

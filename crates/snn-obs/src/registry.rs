@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use crate::expo::Snapshot;
 use crate::journal::{JournalEvent, JournalSnapshot, JOURNAL_RING};
-use crate::metrics::{Counter, Gauge, Histogram};
+use crate::metrics::{bucket_region, Counter, Exemplar, Gauge, Histogram};
 use crate::trace::SpanRecord;
 
 /// How many recent spans a registry retains (older spans are dropped;
@@ -50,6 +50,10 @@ pub struct Registry {
     /// exposition as the `obs.spans_dropped` counter — truncation is
     /// visible, never silent.
     spans_dropped: AtomicU64,
+    /// Tail-latency exemplars: per histogram name, the slowest sample's
+    /// rid (and context) per bucket region. Bounded by construction
+    /// (histogram count × [`crate::HIST_REGIONS`]).
+    exemplars: Mutex<BTreeMap<String, BTreeMap<usize, Exemplar>>>,
     /// The flight-recorder ring (see [`crate::journal`]).
     journal: Mutex<VecDeque<JournalEvent>>,
     /// Events ever journaled (retained or dropped).
@@ -77,6 +81,7 @@ impl Registry {
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(VecDeque::with_capacity(SPAN_RING)),
             spans_dropped: AtomicU64::new(0),
+            exemplars: Mutex::new(BTreeMap::new()),
             journal: Mutex::new(VecDeque::with_capacity(JOURNAL_RING)),
             journal_total: AtomicU64::new(0),
             journal_dropped: AtomicU64::new(0),
@@ -158,6 +163,38 @@ impl Registry {
             self.spans_dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(record);
+    }
+
+    /// Records a tail-latency exemplar for the histogram `name`: if
+    /// `value` is the slowest sample yet seen in its bucket region, the
+    /// region's exemplar becomes `(value, rid, fields)`. Unattributed
+    /// samples (invalid rid) are skipped — an exemplar's whole point is
+    /// the rid link to a trace. Same sanitisation discipline as
+    /// [`Registry::span`]: names and fields are repaired, never
+    /// rejected. Off the hot path this is one short mutex; callers
+    /// record exemplars next to `Histogram::record`, not inside engine
+    /// loops.
+    pub fn exemplar(&self, name: &str, value: u64, rid: &str, fields: &[(&str, String)]) {
+        if !crate::trace::valid_rid(rid) {
+            return;
+        }
+        let candidate = Exemplar {
+            region: bucket_region(value),
+            value,
+            rid: rid.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (sanitize(k), sanitize(v)))
+                .collect(),
+        };
+        let mut map = self.exemplars.lock().expect("exemplar map poisoned");
+        let regions = map.entry(sanitize(name)).or_default();
+        match regions.get(&candidate.region) {
+            Some(existing) if !candidate.beats(existing) => {}
+            _ => {
+                regions.insert(candidate.region, candidate);
+            }
+        }
     }
 
     /// Records one flight-recorder event, stamped now. The same
@@ -251,11 +288,19 @@ impl Registry {
             .iter()
             .cloned()
             .collect();
+        let exemplars = self
+            .exemplars
+            .lock()
+            .expect("exemplar map poisoned")
+            .iter()
+            .map(|(name, regions)| (name.clone(), regions.values().cloned().collect()))
+            .collect();
         Snapshot {
             counters,
             gauges,
             histograms,
             spans,
+            exemplars,
         }
     }
 }
@@ -357,6 +402,32 @@ mod tests {
         assert_eq!(last.field("k"), Some("bad_value_"));
         // And the drop count rides the metrics exposition too.
         assert_eq!(r.snapshot().counter("obs.journal_dropped"), 5);
+    }
+
+    #[test]
+    fn exemplars_keep_the_slowest_rid_per_region() {
+        let r = Registry::new("t4");
+        // Same region (octave 1024..2047): the slower sample wins,
+        // whatever the arrival order.
+        r.exemplar("serve.req.ingest_us", 1100, "t4-1", &[]);
+        r.exemplar(
+            "serve.req.ingest_us",
+            1500,
+            "t4-2",
+            &[("verb", "ingest".to_string())],
+        );
+        r.exemplar("serve.req.ingest_us", 1200, "t4-3", &[]);
+        // A different region keeps its own exemplar.
+        r.exemplar("serve.req.ingest_us", 5, "t4-4", &[]);
+        // Invalid rid: skipped entirely.
+        r.exemplar("serve.req.ingest_us", 9999, "not a rid", &[]);
+        let snap = r.snapshot();
+        let ex = snap.exemplars.get("serve.req.ingest_us").unwrap();
+        assert_eq!(ex.len(), 2, "one exemplar per touched region");
+        let slow = ex.iter().max_by_key(|e| e.value).unwrap();
+        assert_eq!(slow.value, 1500);
+        assert_eq!(slow.rid, "t4-2");
+        assert_eq!(slow.field("verb"), Some("ingest"));
     }
 
     #[test]

@@ -468,6 +468,70 @@ impl ServeClient {
         snn_obs::JournalSnapshot::parse(&text).map_err(|_| ClientError::Malformed("journal text"))
     }
 
+    /// Fetches the server's raw trace material for one request id: its
+    /// retained spans (as a spans-only [`snn_obs::Snapshot`]) and its
+    /// journal events stamped with `rid`. The caller assembles trees —
+    /// typically via [`snn_obs::TraceTree::assemble`] after merging
+    /// material from every process the request crossed.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does; malformed payloads surface
+    /// as [`ClientError::Malformed`].
+    pub fn trace(
+        &mut self,
+        rid: &str,
+    ) -> ClientResult<(snn_obs::Snapshot, snn_obs::JournalSnapshot)> {
+        let resp = self.call(&Request::Trace {
+            rid: rid.to_string(),
+        })?;
+        let spans_hex = resp
+            .get("data")
+            .ok_or(ClientError::Malformed("trace data field"))?;
+        let bytes = hex_decode(spans_hex).map_err(|_| ClientError::Malformed("trace data hex"))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| ClientError::Malformed("trace data utf-8"))?;
+        let spans =
+            snn_obs::Snapshot::parse(&text).map_err(|_| ClientError::Malformed("trace spans"))?;
+        let journal_hex = resp
+            .get("journal")
+            .ok_or(ClientError::Malformed("trace journal field"))?;
+        let bytes =
+            hex_decode(journal_hex).map_err(|_| ClientError::Malformed("trace journal hex"))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| ClientError::Malformed("trace journal utf-8"))?;
+        let journal = snn_obs::JournalSnapshot::parse(&text)
+            .map_err(|_| ClientError::Malformed("trace journal text"))?;
+        Ok((spans, journal))
+    }
+
+    /// Fetches the assembled cluster-wide trace tree for one request id
+    /// (router tier only: the `cluster-trace` verb fans out to every
+    /// live shard and merges in dead shards' black-box journals). The
+    /// returned tree is the parsed `# snn-trace v1` document — its root
+    /// duration is the router's ownership of the request, and
+    /// [`snn_obs::TraceTree::shares`] splits it into queue/exec/write.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`ServeClient::call`] does — a rid nothing references
+    /// answers `err code=unknown-rid` — and malformed payloads surface
+    /// as [`ClientError::Malformed`].
+    pub fn cluster_trace(&mut self, rid: &str) -> ClientResult<snn_obs::TraceTree> {
+        let reply = self.call_raw(&format!("cluster-trace rid={rid}"))?;
+        let resp = match parse_response(&reply)? {
+            Response::Err { code, msg } => return Err(ClientError::Server { code, msg }),
+            ok => ok,
+        };
+        let hex = resp
+            .get("data")
+            .ok_or(ClientError::Malformed("cluster-trace data field"))?;
+        let bytes = hex_decode(hex).map_err(|_| ClientError::Malformed("cluster-trace hex"))?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| ClientError::Malformed("cluster-trace utf-8"))?;
+        snn_obs::TraceTree::parse(&text).map_err(|_| ClientError::Malformed("cluster-trace text"))
+    }
+
     /// Switches this connection into streaming mode: the server pushes
     /// one telemetry frame roughly every `interval_ms` (clamped
     /// server-side) until the [`Subscription`] is dropped or the server

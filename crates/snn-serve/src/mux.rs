@@ -66,8 +66,65 @@ pub trait MuxHost: Send + Sync + 'static {
         let _ = (rx_bytes, tx_bytes);
     }
 
-    /// A push frame was dropped for a slow subscriber.
-    fn on_push_drop(&self) {}
+    /// Demux queue-wait hook: `line`'s frame waited `waited` for a slot
+    /// in the in-flight window before being served (zero when the window
+    /// had room). Hosts turn this into the request trace's `demux_wait`
+    /// phase when the line carries a rid.
+    fn on_queue_wait(&self, line: &str, waited: Duration) {
+        let _ = (line, waited);
+    }
+
+    /// Flow-control sample: how many tags are currently being served and
+    /// how many outbound frames sit in the writer queue. Called at every
+    /// demux/complete/write step; hosts publish the numbers as gauges.
+    fn on_flow(&self, tags_in_flight: u64, writer_queue: u64) {
+        let _ = (tags_in_flight, writer_queue);
+    }
+
+    /// Registers a new subscription stream, returning the sequence label
+    /// its drop accounting is filed under.
+    fn next_subscriber(&self) -> u64 {
+        0
+    }
+
+    /// A push frame was dropped for slow subscriber `sub` (the label
+    /// [`MuxHost::next_subscriber`] returned for its stream).
+    fn on_push_drop(&self, sub: u64) {
+        let _ = sub;
+    }
+}
+
+/// The outbound frame channel plus its depth counter: every enqueue and
+/// the writer thread's dequeues keep `depth` equal to the frames queued
+/// but not yet written, so hosts can publish writer-queue pressure.
+#[derive(Clone)]
+struct Outbound {
+    tx: mpsc::SyncSender<Frame>,
+    depth: Arc<AtomicU64>,
+}
+
+impl Outbound {
+    fn send(&self, frame: Frame) -> Result<(), mpsc::SendError<Frame>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_send(&self, frame: Frame) -> Result<(), mpsc::TrySendError<Frame>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
 }
 
 /// Serves one upgraded (post-`hello`) proto 2 connection until the peer
@@ -88,24 +145,36 @@ pub fn run_mux<R: io::Read, H: MuxHost>(
     stream: TcpStream,
     host: Arc<H>,
 ) -> io::Result<()> {
-    let (out_tx, out_rx) = mpsc::sync_channel::<Frame>(MAX_INFLIGHT);
-    let writer_thread = std::thread::spawn(move || {
-        let mut writer = BufWriter::new(stream);
-        for frame in out_rx {
-            if writer
-                .write_all(&frame.encode())
-                .and_then(|()| writer.flush())
-                .is_err()
-            {
-                // The socket is gone: drain (and drop) remaining frames
-                // so senders never block on a dead connection.
-                break;
-            }
-        }
-    });
+    let (raw_tx, out_rx) = mpsc::sync_channel::<Frame>(MAX_INFLIGHT);
+    let out_tx = Outbound {
+        tx: raw_tx,
+        depth: Arc::new(AtomicU64::new(0)),
+    };
     // Tags currently being served (duplicate detection + the in-flight
     // window the reader blocks on).
     let inflight = Arc::new((Mutex::new(HashSet::<u32>::new()), Condvar::new()));
+    let writer_thread = {
+        let depth = Arc::clone(&out_tx.depth);
+        let inflight = Arc::clone(&inflight);
+        let host = Arc::clone(&host);
+        std::thread::spawn(move || {
+            let mut writer = BufWriter::new(stream);
+            for frame in out_rx {
+                let queued = depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                let tags = inflight.0.lock().expect("inflight lock").len() as u64;
+                host.on_flow(tags, queued);
+                if writer
+                    .write_all(&frame.encode())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    // The socket is gone: drain (and drop) remaining frames
+                    // so senders never block on a dead connection.
+                    break;
+                }
+            }
+        })
+    };
     let result = loop {
         let frame = match Frame::read_from(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -138,6 +207,7 @@ pub fn run_mux<R: io::Read, H: MuxHost>(
             spawn_push_sampler(&frame, Arc::clone(&host), out_tx.clone());
             continue;
         }
+        let waited;
         {
             let (set, cv) = &*inflight;
             let mut set = set.lock().expect("inflight lock");
@@ -153,10 +223,14 @@ pub fn run_mux<R: io::Read, H: MuxHost>(
             // The flow-control window: stop pulling frames until a slot
             // frees up. The kernel's receive buffer then fills and the
             // client blocks in its own write — backpressure, not OOM.
+            // Time spent here is the request's demux queue-wait.
+            let wait0 = std::time::Instant::now();
             while set.len() >= MAX_INFLIGHT {
                 set = cv.wait(set).expect("inflight lock");
             }
+            waited = wait0.elapsed();
             set.insert(frame.tag);
+            host.on_flow(set.len() as u64, out_tx.depth.load(Ordering::Relaxed));
         }
         let host = Arc::clone(&host);
         let out_tx = out_tx.clone();
@@ -164,15 +238,23 @@ pub fn run_mux<R: io::Read, H: MuxHost>(
         std::thread::spawn(move || {
             let tag = frame.tag;
             let response_line = match frame.to_line() {
-                Ok(line) => host.handle_line(&line),
+                Ok(line) => {
+                    host.on_queue_wait(&line, waited);
+                    host.handle_line(&line)
+                }
                 Err(e) => format_response(&Response::error("bad-frame", e.to_string())),
             };
             let response = line_to_frame(&response_line, tag, 0);
             host.on_wire(rx_bytes, wire_len(&response));
             let _ = out_tx.send(response);
             let (set, cv) = &*inflight;
-            set.lock().expect("inflight lock").remove(&tag);
+            let remaining = {
+                let mut set = set.lock().expect("inflight lock");
+                set.remove(&tag);
+                set.len() as u64
+            };
             cv.notify_one();
+            host.on_flow(remaining, out_tx.depth.load(Ordering::Relaxed));
         });
     };
     drop(out_tx);
@@ -186,7 +268,7 @@ pub fn run_mux<R: io::Read, H: MuxHost>(
 /// subscription's tag, then periodic [`FLAG_PUSH`] frames until host
 /// shutdown or connection death. The sampler never blocks on the
 /// subscriber: full outbound queues drop the frame and count it.
-fn spawn_push_sampler<H: MuxHost>(frame: &Frame, host: Arc<H>, out_tx: mpsc::SyncSender<Frame>) {
+fn spawn_push_sampler<H: MuxHost>(frame: &Frame, host: Arc<H>, out_tx: Outbound) {
     let interval_ms: u64 = tokenize(&frame.head)
         .ok()
         .and_then(|(_, fields)| {
@@ -206,6 +288,7 @@ fn spawn_push_sampler<H: MuxHost>(frame: &Frame, host: Arc<H>, out_tx: mpsc::Syn
         return;
     }
     std::thread::spawn(move || {
+        let sub = host.next_subscriber();
         let mut cursor = host.journal_total();
         let mut seq = 0u64;
         loop {
@@ -221,7 +304,7 @@ fn spawn_push_sampler<H: MuxHost>(frame: &Frame, host: Arc<H>, out_tx: mpsc::Syn
             let tx_bytes = wire_len(&push);
             match out_tx.try_send(push) {
                 Ok(()) => host.on_wire(0, tx_bytes),
-                Err(mpsc::TrySendError::Full(_)) => host.on_push_drop(),
+                Err(mpsc::TrySendError::Full(_)) => host.on_push_drop(sub),
                 Err(mpsc::TrySendError::Disconnected(_)) => return,
             }
         }

@@ -38,6 +38,7 @@ pub(crate) const VERBS: &[&str] = &[
     "close",
     "journal",
     "subscribe",
+    "trace",
 ];
 
 /// Process-wide instance sequence: each manager gets a distinct rid
@@ -67,8 +68,26 @@ pub(crate) struct ServeObs {
     pub(crate) ingest_batch: Arc<Histogram>,
     /// `serve.subscribe.drops` — push frames dropped because a
     /// subscriber's bounded buffer was full (slow consumer). The sampler
-    /// never blocks: it counts here and moves on.
+    /// never blocks: it counts here and moves on. Per-subscriber
+    /// breakdowns live next to it as `serve.subscribe.drops.sub<N>`
+    /// (see [`ServeObs::subscriber`]).
     pub(crate) subscribe_drops: Arc<Counter>,
+    /// `serve.phase.queue_wait_us` — time a job sat in its session queue
+    /// between submit and its scheduler tick (the queue-wait phase of
+    /// the request trace).
+    pub(crate) queue_wait_us: Arc<Histogram>,
+    /// `serve.phase.exec_us` — engine compute time per job (the exec
+    /// phase of the request trace).
+    pub(crate) exec_us: Arc<Histogram>,
+    /// `serve.phase.write_us` — reply serialize/write time (the write
+    /// phase of the request trace).
+    pub(crate) write_us: Arc<Histogram>,
+    /// `serve.wire.p2.tags_in_flight` — requests concurrently being
+    /// served on multiplexed connections (sampled at each demux step).
+    pub(crate) tags_in_flight: Arc<Gauge>,
+    /// `serve.wire.p2.writer_queue` — response/push frames queued at the
+    /// proto 2 writer threads, not yet on the socket.
+    pub(crate) writer_queue: Arc<Gauge>,
     /// `serve.tick_us` — scheduler tick wall time.
     pub(crate) tick_us: Arc<Histogram>,
     /// `serve.tick.jobs` — jobs executed per tick.
@@ -105,7 +124,19 @@ pub(crate) struct ServeObs {
     proto_verb_us: [HashMap<&'static str, Arc<Histogram>>; 2],
     /// See [`ServeObs::proto_verb_us`] (the hostile-verb bucket).
     proto_other_us: [Arc<Histogram>; 2],
+    /// Subscription sequence: each subscriber (proto 1 stream or proto 2
+    /// push tag) gets the next number, labelling its drop counter.
+    sub_seq: AtomicU64,
+    /// Per-rid phase breakdown the scheduler stashes for the wire layer:
+    /// rid → (queue_wait_us, exec_us). Taken (removed) when the request's
+    /// latency exemplar is recorded, so a tail sample carries its own
+    /// queue/exec split. Bounded: at capacity the map is cleared — the
+    /// notes are best-effort annotation, never load-bearing state.
+    phase_notes: std::sync::Mutex<HashMap<String, (u64, u64)>>,
 }
+
+/// Bound on stashed per-rid phase notes (see [`ServeObs::note_phases`]).
+const PHASE_NOTE_CAP: usize = 1024;
 
 impl ServeObs {
     /// A fresh registry with every hot-path handle pre-created. Creating
@@ -137,6 +168,11 @@ impl ServeObs {
             shadow_bytes: registry.histogram("serve.shadow.store_bytes"),
             ingest_batch: registry.histogram("serve.ingest.batch_size"),
             subscribe_drops: registry.counter("serve.subscribe.drops"),
+            queue_wait_us: registry.histogram("serve.phase.queue_wait_us"),
+            exec_us: registry.histogram("serve.phase.exec_us"),
+            write_us: registry.histogram("serve.phase.write_us"),
+            tags_in_flight: registry.gauge("serve.wire.p2.tags_in_flight"),
+            writer_queue: registry.gauge("serve.wire.p2.writer_queue"),
             tick_us: registry.histogram("serve.tick_us"),
             tick_jobs: registry.histogram("serve.tick.jobs"),
             retired_mj: registry.histogram("serve.session.retired_mj"),
@@ -153,8 +189,64 @@ impl ServeObs {
             wire_tx,
             proto_verb_us,
             proto_other_us,
+            sub_seq: AtomicU64::new(0),
+            phase_notes: std::sync::Mutex::new(HashMap::new()),
             registry,
         }
+    }
+
+    /// Registers a new subscriber: its sequence number plus its
+    /// dedicated drop counter (`serve.subscribe.drops.sub<N>`), created
+    /// eagerly so even a drop-free subscriber shows up in the scrape.
+    pub(crate) fn subscriber(&self) -> (u64, Arc<Counter>) {
+        let seq = self.sub_seq.fetch_add(1, Ordering::Relaxed);
+        (seq, self.sub_drop_counter(seq))
+    }
+
+    /// The per-subscriber drop counter for subscription `seq`.
+    pub(crate) fn sub_drop_counter(&self, seq: u64) -> Arc<Counter> {
+        self.registry
+            .counter(&format!("serve.subscribe.drops.sub{seq}"))
+    }
+
+    /// Stashes a request's queue/exec phase split for the wire layer to
+    /// attach to its latency exemplar (keyed by rid; empty rids are
+    /// unattributed work and are skipped).
+    pub(crate) fn note_phases(&self, rid: &str, queue_us: u64, exec_us: u64) {
+        if rid.is_empty() {
+            return;
+        }
+        let mut notes = self.phase_notes.lock().expect("phase notes poisoned");
+        if notes.len() >= PHASE_NOTE_CAP {
+            notes.clear();
+        }
+        notes.insert(rid.to_string(), (queue_us, exec_us));
+    }
+
+    /// Takes (removes) the stashed phase split for `rid`, if any.
+    pub(crate) fn take_phases(&self, rid: &str) -> Option<(u64, u64)> {
+        self.phase_notes
+            .lock()
+            .expect("phase notes poisoned")
+            .remove(rid)
+    }
+
+    /// Records one completed request against the verb latency histogram
+    /// *and* its tail-latency exemplar: the exemplar keeps the rid plus
+    /// the canonical verb and — when the scheduler stashed one — the
+    /// request's queue/exec phase split, so a bad p99 bucket points at a
+    /// concrete, explainable request.
+    pub(crate) fn record_request(&self, verb: &str, dur: std::time::Duration, rid: &str) {
+        self.verb_hist(verb).record_duration(dur);
+        let canonical = if VERBS.contains(&verb) { verb } else { "other" };
+        let us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        let mut fields: Vec<(&str, String)> = vec![("verb", canonical.to_string())];
+        if let Some((queue_us, exec_us)) = self.take_phases(rid) {
+            fields.push(("queue_us", queue_us.to_string()));
+            fields.push(("exec_us", exec_us.to_string()));
+        }
+        self.registry
+            .exemplar(&format!("serve.req.{canonical}_us"), us, rid, &fields);
     }
 
     /// The latency histogram for `verb` (the `other` bucket for verbs
@@ -222,6 +314,45 @@ mod tests {
                 "missing serve.req.{v}_us"
             );
         }
+    }
+
+    #[test]
+    fn request_exemplars_carry_phase_notes() {
+        let obs = ServeObs::new();
+        obs.note_phases("s9-1", 40, 60);
+        obs.record_request("ingest", std::time::Duration::from_micros(120), "s9-1");
+        let snap = obs.registry.snapshot();
+        let e = snap.worst_exemplar("serve.req.ingest_us").unwrap();
+        assert_eq!(e.rid, "s9-1");
+        assert_eq!(e.field("verb"), Some("ingest"));
+        assert_eq!(e.field("queue_us"), Some("40"));
+        assert_eq!(e.field("exec_us"), Some("60"));
+        assert!(obs.take_phases("s9-1").is_none(), "notes are take-once");
+        // Hostile verbs collapse into the `other` exemplar like the
+        // histogram fallback, so they cannot mint unbounded names.
+        obs.record_request(
+            "GET / HTTP/1.1",
+            std::time::Duration::from_micros(7),
+            "s9-2",
+        );
+        let snap = obs.registry.snapshot();
+        assert_eq!(
+            snap.worst_exemplar("serve.req.other_us").unwrap().rid,
+            "s9-2"
+        );
+    }
+
+    #[test]
+    fn subscribers_get_distinct_drop_counters() {
+        let obs = ServeObs::new();
+        let (s0, c0) = obs.subscriber();
+        let (s1, c1) = obs.subscriber();
+        assert_ne!(s0, s1);
+        c1.inc();
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counter(&format!("serve.subscribe.drops.sub{s1}")), 1);
+        assert_eq!(snap.counter(&format!("serve.subscribe.drops.sub{s0}")), 0);
+        drop(c0);
     }
 
     #[test]

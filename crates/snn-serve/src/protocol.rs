@@ -260,6 +260,16 @@ pub enum Request {
         /// Session id.
         id: String,
     },
+    /// Fetch this server's raw trace material for one request id: every
+    /// retained span and journal event stamped with `rid`, hex-encoded
+    /// as `snn-obs` / `snn-journal` text in the reply's `data` and
+    /// `journal` fields. The cluster tier's `cluster-trace` verb fans
+    /// this out across shards and assembles the merged
+    /// [`snn_obs::TraceTree`].
+    Trace {
+        /// The request id whose spans/events are wanted.
+        rid: String,
+    },
 }
 
 /// One server response: `ok` with ordered `key=value` pairs, or `err`.
@@ -723,6 +733,18 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "close" => Ok(Request::Close {
             id: session_id(&fields)?,
         }),
+        "trace" => {
+            let rid = fields.required("rid")?;
+            if !snn_obs::valid_rid(rid) {
+                return Err(ProtocolError::InvalidValue {
+                    field: "rid".into(),
+                    value: abbreviate(rid),
+                });
+            }
+            Ok(Request::Trace {
+                rid: rid.to_string(),
+            })
+        }
         _ => Err(ProtocolError::UnknownVerb(abbreviate(&verb))),
     }
 }
@@ -768,6 +790,9 @@ pub fn format_request(req: &Request) -> String {
         Request::ShadowGet { id } => format!("shadow id={id}"),
         Request::Evict { id } => format!("evict id={id}"),
         Request::Close { id } => format!("close id={id}"),
+        // The target rid doubles as the line's trailing rid= field, so a
+        // trace request's own span lands on the rid being traced.
+        Request::Trace { rid } => format!("trace rid={rid}"),
     }
 }
 
@@ -911,6 +936,9 @@ mod tests {
             Request::ShadowGet { id: "s-1".into() },
             Request::Evict { id: "s-1".into() },
             Request::Close { id: "s-1".into() },
+            Request::Trace {
+                rid: "s0-17".into(),
+            },
         ];
         for req in requests {
             let line = format_request(&req);
@@ -990,6 +1018,8 @@ mod tests {
             "hello",                      // missing proto
             "hello proto=latest",         // non-numeric proto
             "subscribe interval_ms=fast", // non-numeric interval
+            "trace",                      // missing rid
+            "trace rid=\"a b\"",          // rid with forbidden characters
             "err msg=\"unterminated",
             "ok =v",
         ] {

@@ -117,7 +117,13 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
     let mut deferred = Vec::new();
     let obs = manager.obs();
     let engine_before = learner.engine_stats();
-    for Envelope { job, rid, reply } in jobs {
+    for Envelope {
+        job,
+        rid,
+        reply,
+        enqueued,
+    } in jobs
+    {
         if closed {
             deferred.push((reply, Err(ServeError::SessionClosing(id.clone()))));
             continue;
@@ -130,16 +136,45 @@ fn execute_unit(unit: WorkUnit, manager: &SessionManager) -> FinishedUnit {
             continue;
         }
         let kind = job_kind(&job);
+        // The gap between submit and this tick is the request's
+        // queue-wait phase: a child span under the wire layer's request
+        // span, plus the histogram the latency-breakdown bench reads.
+        let queue_wait = enqueued.elapsed();
+        obs.queue_wait_us.record_duration(queue_wait);
+        obs.registry.span(
+            "serve.phase.queue_wait",
+            &rid,
+            queue_wait,
+            &[
+                ("phase", "queue_wait".to_string()),
+                ("parent", "request".to_string()),
+                ("id", id.clone()),
+            ],
+        );
         let t0 = std::time::Instant::now();
         // Records the job's execution span under the rid stamped on the
         // envelope at the wire layer, so one client request is traceable
-        // from connection thread to scheduler tick.
+        // from connection thread to scheduler tick. The phase/parent
+        // fields link it into the request's trace tree; the stashed
+        // phase note lets the wire layer attach this split to the
+        // request's tail-latency exemplar.
+        let queue_us = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
         let span = |dur: std::time::Duration| {
+            obs.exec_us.record_duration(dur);
             obs.registry.span(
                 &format!("serve.exec.{kind}"),
                 &rid,
                 dur,
-                &[("id", id.clone())],
+                &[
+                    ("phase", "exec".to_string()),
+                    ("parent", "request".to_string()),
+                    ("id", id.clone()),
+                ],
+            );
+            obs.note_phases(
+                &rid,
+                queue_us,
+                u64::try_from(dur.as_micros()).unwrap_or(u64::MAX),
             );
         };
         let result = match job {
@@ -373,6 +408,7 @@ mod tests {
             job: Job::Report,
             rid: String::new(),
             reply: late_tx,
+            enqueued: std::time::Instant::now(),
         });
         let finished = execute_unit(unit, &manager);
         assert!(finished.learner.is_none(), "closed => learner dropped");

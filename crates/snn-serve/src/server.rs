@@ -214,11 +214,12 @@ fn handle_connection(
         obs.requests.inc();
         // The rid either rode in as the line's final field (a relaying
         // tier stamped it) or is minted here — the wire layer is where a
-        // request first enters this server's trace.
-        let rid = match extract_rid(&line) {
-            Some(r) => r.to_string(),
-            None => obs.registry.mint_rid(),
-        };
+        // request first enters this server's trace. A carried rid also
+        // marks this request as relayed: its request span then links
+        // under the relaying tier's `relay` phase.
+        let carried_rid = extract_rid(&line).map(str::to_string);
+        let carried = carried_rid.is_some();
+        let rid = carried_rid.unwrap_or_else(|| obs.registry.mint_rid());
         let t0 = std::time::Instant::now();
         let response = match parse_request(&line) {
             // Subscribe switches the connection into streaming mode: the
@@ -265,7 +266,7 @@ fn handle_connection(
         };
         let dur = t0.elapsed();
         let verb = line.split_whitespace().next().unwrap_or("");
-        obs.verb_hist(verb).record_duration(dur);
+        obs.record_request(verb, dur, &rid);
         obs.proto_verb_hist(PROTO_VERSION, verb)
             .record_duration(dur);
         // Unknown verbs collapse to one span name, mirroring the metric
@@ -276,10 +277,58 @@ fn handle_connection(
         } else {
             "other"
         };
-        obs.registry
-            .span(&format!("serve.{canonical}"), &rid, dur, &[]);
+        obs.registry.span(
+            &format!("serve.{canonical}"),
+            &rid,
+            dur,
+            &request_phase_fields(carried),
+        );
+        let response = stamp_rid(response, &rid, carried);
+        let w0 = std::time::Instant::now();
         let tx = write_response(&mut writer, &response)?;
+        let wdur = w0.elapsed();
+        obs.write_us.record_duration(wdur);
+        obs.registry.span(
+            "serve.phase.write",
+            &rid,
+            wdur,
+            &[
+                ("phase", "write".to_string()),
+                ("parent", "request".to_string()),
+            ],
+        );
         obs.count_wire(PROTO_VERSION, 0, tx as u64);
+    }
+}
+
+/// The phase/parent fields of a wire-layer request span: the `request`
+/// phase is the shard-local root of the trace, linking under a routing
+/// tier's `relay` phase only when the rid actually rode in from one.
+fn request_phase_fields(carried: bool) -> Vec<(&'static str, String)> {
+    let mut fields = vec![("phase", "request".to_string())];
+    if carried {
+        fields.push(("parent", "relay".to_string()));
+    }
+    fields
+}
+
+/// Echoes a carried rid onto successful replies, so any client (or
+/// relay) holding an `ok` line can hand its rid straight to
+/// `trace`/`cluster-trace`. Only propagated rids are echoed: locally
+/// minted ones would make otherwise-identical replies differ across
+/// protocol generations.
+fn stamp_rid(response: Response, rid: &str, carried: bool) -> Response {
+    if !carried {
+        return response;
+    }
+    match response {
+        Response::Ok(mut pairs) => {
+            if !pairs.iter().any(|(k, _)| k == "rid") {
+                pairs.push(("rid".to_string(), rid.to_string()));
+            }
+            Response::Ok(pairs)
+        }
+        err => err,
     }
 }
 
@@ -297,6 +346,9 @@ fn hello_banner(manager: &SessionManager, proto: u32) -> Response {
         // streaming subscriptions.
         ("journal", "1".to_string()),
         ("subscribe", "1".to_string()),
+        // This build answers `trace rid=` with its per-request span and
+        // journal material for cluster-wide trace assembly.
+        ("trace", "1".to_string()),
     ])
 }
 
@@ -321,10 +373,9 @@ impl MuxHost for ServeHost {
         let manager = &*self.manager;
         let obs = manager.obs();
         obs.requests.inc();
-        let rid = match extract_rid(line) {
-            Some(r) => r.to_string(),
-            None => obs.registry.mint_rid(),
-        };
+        let carried_rid = extract_rid(line).map(str::to_string);
+        let carried = carried_rid.is_some();
+        let rid = carried_rid.unwrap_or_else(|| obs.registry.mint_rid());
         let t0 = std::time::Instant::now();
         let response = match parse_request(line) {
             // The connection is already negotiated: an in-stream hello
@@ -344,16 +395,37 @@ impl MuxHost for ServeHost {
         };
         let dur = t0.elapsed();
         let verb = line.split_whitespace().next().unwrap_or("");
-        obs.verb_hist(verb).record_duration(dur);
+        obs.record_request(verb, dur, &rid);
         obs.proto_verb_hist(PROTO_V2, verb).record_duration(dur);
         let canonical = if crate::obs::VERBS.contains(&verb) {
             verb
         } else {
             "other"
         };
-        obs.registry
-            .span(&format!("serve.{canonical}"), &rid, dur, &[]);
-        format_response(&response)
+        obs.registry.span(
+            &format!("serve.{canonical}"),
+            &rid,
+            dur,
+            &request_phase_fields(carried),
+        );
+        let response = stamp_rid(response, &rid, carried);
+        // Proto 2's socket write happens on the shared writer thread, so
+        // the write phase times what this request path owns: rendering
+        // the reply line the frame is built from.
+        let w0 = std::time::Instant::now();
+        let out = format_response(&response);
+        let wdur = w0.elapsed();
+        obs.write_us.record_duration(wdur);
+        obs.registry.span(
+            "serve.phase.write",
+            &rid,
+            wdur,
+            &[
+                ("phase", "write".to_string()),
+                ("parent", "request".to_string()),
+            ],
+        );
+        out
     }
 
     fn push_line(&self, seq: u64, journal_cursor: &mut u64) -> Option<String> {
@@ -375,8 +447,36 @@ impl MuxHost for ServeHost {
         self.manager.obs().count_wire(PROTO_V2, rx_bytes, tx_bytes);
     }
 
-    fn on_push_drop(&self) {
-        self.manager.obs().subscribe_drops.inc();
+    fn on_queue_wait(&self, line: &str, waited: Duration) {
+        // Only relayed (rid-bearing) frames get a demux-wait node: a
+        // minted rid here would never match the request span's rid.
+        if let Some(rid) = extract_rid(line) {
+            self.manager.obs().registry.span(
+                "serve.phase.demux_wait",
+                rid,
+                waited,
+                &[
+                    ("phase", "demux_wait".to_string()),
+                    ("parent", "request".to_string()),
+                ],
+            );
+        }
+    }
+
+    fn on_flow(&self, tags_in_flight: u64, writer_queue: u64) {
+        let obs = self.manager.obs();
+        obs.tags_in_flight.set(tags_in_flight as f64);
+        obs.writer_queue.set(writer_queue as f64);
+    }
+
+    fn next_subscriber(&self) -> u64 {
+        self.manager.obs().subscriber().0
+    }
+
+    fn on_push_drop(&self, sub: u64) {
+        let obs = self.manager.obs();
+        obs.subscribe_drops.inc();
+        obs.sub_drop_counter(sub).inc();
     }
 }
 
@@ -431,6 +531,9 @@ fn serve_subscription(
     std::thread::scope(|scope| {
         scope.spawn(|| {
             let obs = manager.obs();
+            // Drops are billed both globally and to this subscriber's
+            // own counter, so one slow consumer is identifiable.
+            let (_sub, sub_drops) = obs.subscriber();
             let mut seq = 0u64;
             let mut cursor = obs.registry.journal_snapshot().total;
             loop {
@@ -443,7 +546,10 @@ fn serve_subscription(
                 seq += 1;
                 match tx.try_send(frame) {
                     Ok(()) => {}
-                    Err(mpsc::TrySendError::Full(_)) => obs.subscribe_drops.inc(),
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        obs.subscribe_drops.inc();
+                        sub_drops.inc();
+                    }
                     Err(mpsc::TrySendError::Disconnected(_)) => return,
                 }
             }
@@ -579,6 +685,33 @@ fn dispatch(request: Request, manager: &SessionManager, rid: &str) -> Response {
         },
         Request::Evict { id } => roundtrip(manager, &id, Job::Evict, rid),
         Request::Close { id } => roundtrip(manager, &id, Job::Close, rid),
+        // Raw trace material for one rid: this server's retained spans
+        // and journal events stamped with it, as hex-encoded exposition
+        // and journal documents. Assembly into a tree happens at the
+        // caller (the router's `cluster-trace` merges many of these).
+        Request::Trace { rid: target } => {
+            let reg = &manager.obs().registry;
+            let mut snap = reg.snapshot();
+            snap.counters.clear();
+            snap.gauges.clear();
+            snap.histograms.clear();
+            snap.exemplars.clear();
+            snap.spans.retain(|s| s.rid == target);
+            let mut journal = reg.journal_snapshot();
+            journal.events.retain(|e| e.rid == target);
+            // Re-base the meta counters onto the filtered view so the
+            // document keeps the codec's total/dropped invariant.
+            journal.total = journal.events.len() as u64;
+            journal.dropped = 0;
+            Response::ok([
+                ("instance", reg.instance().to_string()),
+                ("rid", target.clone()),
+                ("spans", snap.spans.len().to_string()),
+                ("events", journal.events.len().to_string()),
+                ("data", hex_encode(snap.render().as_bytes())),
+                ("journal", hex_encode(journal.render().as_bytes())),
+            ])
+        }
     }
 }
 

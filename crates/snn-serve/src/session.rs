@@ -243,6 +243,9 @@ pub(crate) struct Envelope {
     pub(crate) job: Job,
     pub(crate) rid: String,
     pub(crate) reply: mpsc::Sender<JobResult>,
+    /// When the job entered its session queue; the scheduler turns the
+    /// gap to execution into the trace's queue-wait phase.
+    pub(crate) enqueued: Instant,
 }
 
 /// Bounds a wire-supplied session spec before any construction happens:
@@ -530,6 +533,7 @@ impl SessionManager {
             job,
             rid: rid.to_string(),
             reply,
+            enqueued: Instant::now(),
         });
         drop(state);
         self.work_ready.notify_all();
@@ -579,6 +583,7 @@ impl SessionManager {
                                 // so the eviction span is still traceable.
                                 rid: self.obs.registry.mint_rid(),
                                 reply,
+                                enqueued: Instant::now(),
                             }],
                         });
                     }

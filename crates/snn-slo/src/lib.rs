@@ -116,6 +116,13 @@ pub struct Alert {
     pub burn_rate: f64,
     /// The caller's timestamp of the firing observation, microseconds.
     pub at_us: u64,
+    /// The request id of the worst tail-latency exemplar the observed
+    /// snapshot retains for the violated signal (latency objectives
+    /// only; `None` for rate/gauge signals or when the exposition
+    /// carries no exemplars). This is the rid to hand straight to
+    /// `cluster-trace rid=…` — the alert names the exact request that
+    /// defines the regression, not just the aggregate.
+    pub exemplar_rid: Option<String>,
 }
 
 /// Per-objective evaluation state: the recent violation window and
@@ -186,6 +193,7 @@ impl SloEngine {
                         value,
                         burn_rate,
                         at_us,
+                        exemplar_rid: signal_exemplar(&state.objective.signal, snap),
                     });
                 }
             } else {
@@ -250,6 +258,18 @@ fn signal_value(
             }
         }
         Signal::ShadowLagSamples => snap.gauge("cluster.shadow_lag"),
+    }
+}
+
+/// The rid of the worst retained tail-latency exemplar for a signal's
+/// backing histogram, if the signal has one and the snapshot retains
+/// any. Only latency signals map to an exemplar-bearing series.
+fn signal_exemplar(signal: &Signal, snap: &Snapshot) -> Option<String> {
+    match signal {
+        Signal::VerbLatencyP99Us(verb) => snap
+            .worst_exemplar(&format!("serve.req.{verb}_us"))
+            .map(|e| e.rid.clone()),
+        Signal::RejectRate | Signal::JoulesPerSecond | Signal::ShadowLagSamples => None,
     }
 }
 
@@ -443,6 +463,53 @@ mod tests {
         let fired = engine.observe(&r.snapshot(), 2_000_000);
         assert_eq!(fired.len(), 1);
         assert!(fired[0].value >= 1_000.0);
+    }
+
+    #[test]
+    fn latency_alert_names_the_worst_exemplar_rid() {
+        let r = Registry::new("t9");
+        let h = r.histogram("serve.req.ingest_us");
+        let mut engine = SloEngine::new(
+            vec![Objective {
+                name: "ingest-p99".into(),
+                signal: Signal::VerbLatencyP99Us("ingest".into()),
+                threshold: 1_000.0,
+            }],
+            SloPolicy {
+                window: 1,
+                burn_threshold: 1.0,
+                min_samples: 1,
+            },
+        );
+        engine.observe(&r.snapshot(), 0);
+        // The spike that violates the objective, with exemplars retained
+        // exactly as the serve tier records them alongside the histogram.
+        h.record(40_000);
+        r.exemplar("serve.req.ingest_us", 40_000, "s0-7", &[]);
+        h.record(90_000);
+        r.exemplar("serve.req.ingest_us", 90_000, "s0-9", &[]);
+        let fired = engine.observe(&r.snapshot(), 1_000_000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(
+            fired[0].exemplar_rid.as_deref(),
+            Some("s0-9"),
+            "the alert hands over the slowest retained request's rid"
+        );
+        // Rate signals have no backing latency series: no rid.
+        let mut rates = SloEngine::new(
+            vec![reject_objective()],
+            SloPolicy {
+                window: 1,
+                burn_threshold: 1.0,
+                min_samples: 1,
+            },
+        );
+        rates.observe(&r.snapshot(), 0);
+        r.counter("serve.requests").add(10);
+        r.counter("serve.admission_rejects").add(10);
+        let fired = rates.observe(&r.snapshot(), 1_000_000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].exemplar_rid, None);
     }
 
     #[test]

@@ -41,7 +41,9 @@ use snn_serve::{ServeClient, ServerConfig, SessionSpec, SnnServer, PROTO_V2, PRO
 use snn_slo::{Objective, Signal, SloEngine, SloPolicy};
 use spikedyn::Method;
 
-use crate::output::{json_array, write_bench_json, write_root_artifact, Json, Table};
+use crate::output::{
+    json_array, latency_breakdown, write_bench_json, write_root_artifact, Json, Table,
+};
 use crate::scale::HarnessScale;
 
 /// Scale profile of one cluster run.
@@ -293,6 +295,11 @@ struct ChaosOutcome {
     /// (every failover must recover the whole shadowed prefix, and the
     /// arming gate guarantees the shadows covered everything sent).
     lost_samples: u64,
+    /// Nodes in the merged `cluster-trace` tree assembled for the
+    /// incident rid — the "explain the outage" smoke: the assembler
+    /// must still work after the home shard is dead, sourcing the
+    /// victim's phases from its black-box journal.
+    trace_nodes: u64,
 }
 
 /// One chaos load generator: opens a session, ingests its stream in
@@ -591,6 +598,20 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
             e.field("id").map_or("?", |v| v),
         );
     }
+    // The incident rid from the post-mortem must be traceable on
+    // demand: `cluster-trace` assembles the merged tree even though the
+    // victim shard is gone (its events come from the frozen black-box
+    // journal), and the tree names the death verdict.
+    let tree = scraper
+        .cluster_trace(&down.rid)
+        .unwrap_or_else(|e| panic!("cluster-trace rid={} failed: {e}", down.rid));
+    assert_eq!(tree.rid, down.rid, "trace tree is for the incident rid");
+    let rendered = tree.render();
+    assert!(
+        rendered.contains("event.cluster.shard_down"),
+        "the incident trace must contain the death verdict:\n{rendered}"
+    );
+    let trace_nodes = tree.root.count() as u64;
     cluster.shutdown();
 
     let outcome = ChaosOutcome {
@@ -603,6 +624,7 @@ fn run_chaos(scale: &HarnessScale, profile: Profile) -> ChaosOutcome {
         subscribe_drops: telemetry.counter("cluster.subscribe.drops"),
         postmortem_events: journal.events.len() as u64,
         lost_samples,
+        trace_nodes,
     };
     assert_eq!(
         outcome.finished, outcome.sessions,
@@ -807,7 +829,8 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
          {} sample(s) lost, {} failover(s) (p50 {} µs), max shadow lag \
          {:.0} sample(s); {} SLO alert(s) fired over the live \
          subscription ({} frame(s) dropped); post-mortem journal: \
-         {} event(s) → POSTMORTEM_cluster.journal\n",
+         {} event(s) → POSTMORTEM_cluster.journal; incident \
+         cluster-trace: {} node(s)\n",
         chaos.finished,
         chaos.sessions,
         chaos.lost_samples,
@@ -817,6 +840,7 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         chaos.alerts_fired,
         chaos.subscribe_drops,
         chaos.postmortem_events,
+        chaos.trace_nodes,
     ));
 
     let (wire_p1, wire_p2) = compare_wire(scale, profile);
@@ -890,7 +914,8 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
             .int("alerts_fired", chaos.alerts_fired)
             .int("subscribe_drops", chaos.subscribe_drops)
             .int("postmortem_events", chaos.postmortem_events)
-            .int("lost_samples", chaos.lost_samples);
+            .int("lost_samples", chaos.lost_samples)
+            .int("trace_nodes", chaos.trace_nodes);
         j.render()
     };
     let wire_json = {
@@ -916,6 +941,11 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         .raw("runs", json_array(run_objects))
         .raw("chaos", chaos_json)
         .raw("wire", wire_json);
+    // Where did the wall time go, cluster-wide: the merged telemetry of
+    // the largest scaling run carries every shard's phase histograms.
+    if let Some(last) = runs.last() {
+        bench.raw("latency_breakdown", latency_breakdown(&last.telemetry));
+    }
     let _ = write_bench_json("cluster", &bench);
     out
 }
@@ -967,6 +997,10 @@ mod tests {
         assert!(
             out.contains("POSTMORTEM_cluster.journal"),
             "chaos drill must dump the post-mortem artifact:\n{out}"
+        );
+        assert!(
+            out.contains("incident cluster-trace:"),
+            "chaos drill must assemble the incident trace:\n{out}"
         );
         assert!(
             out.contains("wire — relay payload bytes"),

@@ -22,7 +22,7 @@ use snn_serve::{
 };
 use spikedyn::Method;
 
-use crate::output::{pct, write_bench_json, Json, Table};
+use crate::output::{latency_breakdown, pct, write_bench_json, Json, Table};
 use crate::scale::HarnessScale;
 
 /// Scale profile of one serve run.
@@ -275,7 +275,8 @@ pub fn run_profile(scale: &HarnessScale, profile: Profile) -> String {
         .int("requests", scrape.counter("serve.requests"))
         .int("ticks", stats.ticks)
         .int("drift_events", scrape.counter("online.drift_events"))
-        .num("total_j", scrape.gauge("serve.total_j"));
+        .num("total_j", scrape.gauge("serve.total_j"))
+        .raw("latency_breakdown", latency_breakdown(&scrape));
     let _ = write_bench_json("serve", &bench);
     out
 }

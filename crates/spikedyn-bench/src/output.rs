@@ -152,6 +152,34 @@ impl Json {
     }
 }
 
+/// Renders the `latency_breakdown` object of a BENCH artifact: where
+/// request wall time went, from the serving tier's own phase
+/// histograms (`serve.phase.{queue_wait,exec,write}_us`). The three
+/// `*_share` fields are fractions of queue+exec+write — they sum to
+/// 1.0 whenever any phase time was observed, an invariant CI pins on
+/// both `BENCH_serve.json` and `BENCH_cluster.json`.
+pub fn latency_breakdown(snap: &snn_obs::Snapshot) -> String {
+    let queue = snap.histogram("serve.phase.queue_wait_us");
+    let exec = snap.histogram("serve.phase.exec_us");
+    let write = snap.histogram("serve.phase.write_us");
+    let shares = snn_obs::TraceShares {
+        queue_us: queue.sum,
+        exec_us: exec.sum,
+        write_us: write.sum,
+    };
+    let mut json = Json::new();
+    json.num("queue_share", shares.queue_share())
+        .num("exec_share", shares.exec_share())
+        .num("write_share", shares.write_share())
+        .int("queue_p50_us", queue.quantile(0.50))
+        .int("queue_p99_us", queue.quantile(0.99))
+        .int("exec_p50_us", exec.quantile(0.50))
+        .int("exec_p99_us", exec.quantile(0.99))
+        .int("write_p50_us", write.quantile(0.50))
+        .int("write_p99_us", write.quantile(0.99));
+    json.render()
+}
+
 /// Renders pre-rendered JSON values as an array.
 pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
     let items: Vec<String> = items.into_iter().collect();

@@ -11,6 +11,11 @@
 //!   duration, payload bytes, and originating request id — and the same
 //!   rid attributes the shard-side spans the migration's forwarded
 //!   `checkpoint`/`restore` lines produced, across process boundaries.
+//! * **Every reply is explainable**: the rid a routed reply carries can
+//!   be handed straight to `cluster-trace`, which assembles the merged
+//!   router+shard trace tree — rooted at the router's accept span,
+//!   bounded by the client-observed latency, with the queue/exec/write
+//!   split accounted.
 //!
 //! Unit-level exposition tests (bucket bounds, merge algebra, hammer
 //! concurrency) live in `snn-obs` itself.
@@ -176,6 +181,93 @@ fn subscribed_journaled_slo_watched_session_is_still_bit_identical() {
     );
     client.close("triple").unwrap();
     server.shutdown();
+}
+
+/// True when any node in the subtree carries the phase label.
+fn has_phase(node: &snn_obs::TraceNode, phase: &str) -> bool {
+    node.phase == phase || node.children.iter().any(|c| has_phase(c, phase))
+}
+
+#[test]
+fn a_reply_rid_cluster_traces_to_the_client_observed_latency() {
+    let cluster = Cluster::start("127.0.0.1:0", ClusterConfig::default()).unwrap();
+    cluster.spawn_shard(ServerConfig::default()).unwrap();
+    let mut client = ServeClient::connect(cluster.local_addr()).unwrap();
+
+    let spec = tiny_spec(73);
+    let stream = scenario_stream(Scenario::GradualDrift, 73, 16);
+    client.open("traced", spec.clone()).unwrap();
+    client.ingest("traced", &stream[..8]).unwrap();
+
+    // Take the rid straight off a routed reply: every line through the
+    // router carries its minted rid back on the ok reply.
+    let line = snn_serve::protocol::format_request(&snn_serve::protocol::Request::Ingest {
+        id: "traced".to_string(),
+        images: stream[8..12].to_vec(),
+    });
+    let t0 = std::time::Instant::now();
+    let reply = client.call_raw(&line).unwrap();
+    let observed_us = t0.elapsed().as_micros() as u64;
+    let resp = snn_serve::protocol::parse_response(&reply).expect("well-formed ingest reply");
+    let rid = resp
+        .get("rid")
+        .expect("routed replies carry their rid")
+        .to_string();
+    assert!(rid.starts_with("c0-"), "router-minted rid: {rid}");
+
+    // …and ask the router to explain it: the merged tree roots at the
+    // router's accept span, whose duration is the request as the
+    // outermost tier saw it — it cannot exceed the client-observed
+    // round trip, and every shard-side phase hangs underneath.
+    let tree = client.cluster_trace(&rid).unwrap();
+    assert_eq!(tree.rid, rid);
+    assert_eq!(tree.root.phase, "accept", "the accept span roots the tree");
+    assert!(tree.root.dur_us > 0, "the root covers real time");
+    assert!(
+        tree.root.dur_us <= observed_us,
+        "root {} µs cannot exceed the client-observed {} µs",
+        tree.root.dur_us,
+        observed_us
+    );
+    for phase in ["relay", "request", "queue_wait", "exec", "write"] {
+        assert!(
+            has_phase(&tree.root, phase),
+            "missing `{phase}` phase in:\n{}",
+            tree.render()
+        );
+    }
+    let shares = tree.shares();
+    let sum = shares.queue_share() + shares.exec_share() + shares.write_share();
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "queue+exec+write shares must account for each other: {sum}"
+    );
+
+    // The rendered document is canonical: parse ∘ render is byte-stable,
+    // and re-assembling later only ever extends the tree (the trace
+    // request itself is rid-attributed traffic) without moving the root.
+    let rendered = tree.render();
+    let reparsed = snn_obs::TraceTree::parse(&rendered).expect("trace document parses");
+    assert_eq!(reparsed.render(), rendered, "render ∘ parse is byte-stable");
+    let again = client.cluster_trace(&rid).unwrap();
+    assert_eq!(again.root.phase, tree.root.phase);
+    assert_eq!(again.root.dur_us, tree.root.dur_us);
+    assert!(again.root.count() >= tree.root.count());
+
+    // Tracing is observation like any other: the session's checkpoint
+    // stays byte-identical to a bare learner fed the same stream.
+    let wire_checkpoint = client.checkpoint("traced").unwrap();
+    let mut reference = snn_online::OnlineLearner::new(spec.online_config());
+    reference.ingest_batch(&stream[..8]).unwrap();
+    reference.ingest_batch(&stream[8..12]).unwrap();
+    assert_eq!(
+        wire_checkpoint,
+        reference.checkpoint().to_bytes(),
+        "trace assembly must never perturb learner state"
+    );
+
+    client.close("traced").unwrap();
+    cluster.shutdown();
 }
 
 #[test]
